@@ -1,0 +1,60 @@
+//! The §VI-A speed claim under Criterion: cost-model evaluation vs the
+//! detailed preliminary estimator vs the full virtual-toolchain run,
+//! all on the same SOR variant. The paper's claim is >200× between the
+//! first two.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tytra_cost::estimate;
+use tytra_device::stratix_v_gsd8;
+use tytra_hls_baseline::slow_estimate;
+use tytra_kernels::{EvalKernel, Sor};
+use tytra_sim::run_application;
+use tytra_transform::Variant;
+
+fn bench_estimators(c: &mut Criterion) {
+    let sor = Sor::cubic(96, 10);
+    let m = sor.lower_variant(&Variant::baseline()).expect("lowers");
+    let dev = stratix_v_gsd8();
+
+    let mut g = c.benchmark_group("estimator_speed");
+    g.sample_size(20);
+
+    g.bench_function("cost_model", |b| {
+        b.iter(|| estimate(&m, &dev).expect("estimate").throughput.ekit)
+    });
+    g.bench_function("slow_preliminary_estimator", |b| {
+        b.iter_batched(
+            || (),
+            |_| slow_estimate(&m, &dev).expect("slow").cpki,
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("full_virtual_run", |b| {
+        b.iter(|| run_application(&m, &dev).expect("run").cpki())
+    });
+    g.finish();
+}
+
+fn bench_variant_sweep(c: &mut Criterion) {
+    // Costing a whole 16-variant sweep — what the DSE pays per kernel.
+    let sor = Sor::cubic(48, 10);
+    let dev = stratix_v_gsd8();
+    let variants: Vec<_> = [1u64, 2, 4, 8]
+        .iter()
+        .map(|&l| Variant { lanes: l, ..Variant::baseline() })
+        .collect();
+    let modules: Vec<_> =
+        variants.iter().map(|v| sor.lower_variant(v).expect("lowers")).collect();
+
+    c.bench_function("cost_model/4_variant_sweep", |b| {
+        b.iter(|| {
+            modules
+                .iter()
+                .map(|m| estimate(m, &dev).expect("estimate").throughput.ekit)
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_estimators, bench_variant_sweep);
+criterion_main!(benches);

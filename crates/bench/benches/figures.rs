@@ -1,0 +1,49 @@
+//! Criterion benches over the figure/table regeneration pipelines —
+//! one per experiment, so `cargo bench` exercises every reproduction
+//! path and reports how long regenerating each artefact takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig09(c: &mut Criterion) {
+    c.bench_function("figures/fig09_resource_curves", |b| {
+        b.iter(|| tytra_bench::fig09::run().len())
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("figures/fig10_bandwidth", |b| {
+        b.iter(|| tytra_bench::fig10::run().len())
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig15_lane_sweep", |b| b.iter(|| tytra_bench::fig15::walls()));
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("table2_accuracy", |b| b.iter(|| tytra_bench::table2::run().len()));
+    g.finish();
+}
+
+fn bench_fig17_18(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    // One case-study sweep feeds both figures.
+    g.bench_function("fig17_fig18_case_study", |b| b.iter(|| tytra_bench::fig17::run().len()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig09,
+    bench_fig10,
+    bench_fig15,
+    bench_table2,
+    bench_fig17_18
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches over the compilation-pipeline stages the paper's
+//! flow touches per variant: parse → validate → cost → synthesize →
+//! simulate → emit HDL. Shows where the (already sub-millisecond)
+//! per-variant budget goes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tytra_codegen::emit_design;
+use tytra_cost::estimate;
+use tytra_device::stratix_v_gsd8;
+use tytra_ir::{parse, print};
+use tytra_kernels::{EvalKernel, Sor};
+use tytra_sim::{simulate_instance, synthesize};
+use tytra_transform::Variant;
+
+fn stages(c: &mut Criterion) {
+    let sor = Sor::cubic(48, 10);
+    let dev = stratix_v_gsd8();
+    let module = sor.lower_variant(&Variant { lanes: 4, ..Variant::baseline() }).unwrap();
+    let text = print(&module);
+
+    let mut g = c.benchmark_group("pipeline_stages");
+    g.bench_function("lower_from_frontend", |b| {
+        b.iter(|| sor.lower_variant(&Variant { lanes: 4, ..Variant::baseline() }).unwrap())
+    });
+    g.bench_function("print_to_text", |b| b.iter(|| print(&module).len()));
+    g.bench_function("parse_and_validate", |b| b.iter(|| parse(&text).unwrap().functions.len()));
+    g.bench_function("cost_model", |b| b.iter(|| estimate(&module, &dev).unwrap().throughput.ekit));
+    g.bench_function("virtual_synthesis", |b| {
+        b.iter(|| synthesize(&module, &dev).unwrap().resources.aluts)
+    });
+    g.bench_function("cycle_simulation", |b| {
+        b.iter(|| simulate_instance(&module, &dev, 200.0).unwrap().total)
+    });
+    g.bench_function("emit_verilog", |b| b.iter(|| emit_design(&module, &dev).unwrap().len()));
+    g.finish();
+}
+
+criterion_group!(benches, stages);
+criterion_main!(benches);

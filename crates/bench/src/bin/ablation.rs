@@ -1,0 +1,4 @@
+//! Ablation study over the cost model's ingredients (DESIGN.md §8).
+fn main() {
+    print!("{}", tytra_bench::ablation::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate every table and figure of the paper's evaluation.
+fn main() {
+    print!("{}", tytra_bench::run_all());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig09 data (see tytra-bench::fig09).
+fn main() {
+    print!("{}", tytra_bench::fig09::render());
+}

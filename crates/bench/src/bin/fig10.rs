@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig10 data (see tytra-bench::fig10).
+fn main() {
+    print!("{}", tytra_bench::fig10::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig15 data (see tytra-bench::fig15).
+fn main() {
+    print!("{}", tytra_bench::fig15::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig17 data (see tytra-bench::fig17).
+fn main() {
+    print!("{}", tytra_bench::fig17::render());
+}

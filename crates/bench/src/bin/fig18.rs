@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig18 data (see tytra-bench::fig18).
+fn main() {
+    print!("{}", tytra_bench::fig18::render());
+}

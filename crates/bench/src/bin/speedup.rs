@@ -1,0 +1,4 @@
+//! Regenerate the paper's speedup data (see tytra-bench::speedup).
+fn main() {
+    print!("{}", tytra_bench::speedup::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's table2 data (see tytra-bench::table2).
+fn main() {
+    print!("{}", tytra_bench::table2::render());
+}

@@ -1,0 +1,68 @@
+//! Minimal table rendering shared by the experiment modules (kept
+//! dependency-free per DESIGN.md §7 — no serde_json beyond the approved
+//! list).
+
+/// Render rows of equal length as an aligned text table with a header.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        out.push('\n');
+    };
+    render_row(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for r in rows {
+        render_row(&mut out, r);
+    }
+    out
+}
+
+/// Format a float with the given decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Format a signed percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["100".into(), "x".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("a"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert_eq!(lines[2].trim(), "1     2");
+        assert_eq!(lines[3].trim(), "100     x");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(-7.04), "-7.0%");
+        assert_eq!(pct(0.333), "+0.3%");
+    }
+}

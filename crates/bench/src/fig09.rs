@@ -1,0 +1,130 @@
+//! Fig 9 — deriving resource cost expressions from benchmark points.
+//!
+//! Paper: a quadratic fitted from three synthesis points (18/32/64 bits)
+//! predicts a 24-bit divider at 654 ALUTs vs 652 synthesised; multiplier
+//! ALUTs are piece-wise-linear and DSP elements a staircase. Here the
+//! "synthesis points" come from the virtual toolchain, the fit from
+//! `tytra-device`, and the table sweeps widths 8…64.
+
+use crate::emit;
+use tytra_device::{stratix_v_gsd8, OpCostModel, PolyFit};
+use tytra_ir::{Opcode, ScalarType};
+use tytra_sim::synth::synth_fu_probe;
+
+/// One width sample of the Fig 9 curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig09Row {
+    /// Operand bit width.
+    pub width: u16,
+    /// Cost-model divider ALUTs (fitted quadratic).
+    pub div_aluts_est: u64,
+    /// Virtual-toolchain divider ALUTs ("actual").
+    pub div_aluts_actual: u64,
+    /// Cost-model multiplier ALUTs (piece-wise linear).
+    pub mul_aluts_est: u64,
+    /// Cost-model multiplier DSP elements (staircase).
+    pub mul_dsps_est: u64,
+}
+
+/// The quadratic refit from three virtual-toolchain points, as the
+/// paper fits from three synthesis runs. Returns (coefficients lowest
+/// first, prediction at 24 bits, actual at 24 bits).
+pub fn refit_divider() -> (Vec<f64>, u64, u64) {
+    let dev = stratix_v_gsd8();
+    let pts: Vec<(f64, f64)> = [18u16, 32, 64]
+        .iter()
+        .map(|&w| {
+            let a = synth_fu_probe(&dev, Opcode::Div, ScalarType::UInt(w)).aluts;
+            (f64::from(w), a as f64)
+        })
+        .collect();
+    let fit = PolyFit::fit(&pts, 2);
+    let pred24 = fit.eval_count(24.0);
+    let act24 = synth_fu_probe(&dev, Opcode::Div, ScalarType::UInt(24)).aluts;
+    (fit.coeffs.clone(), pred24, act24)
+}
+
+/// Sweep the widths.
+pub fn run() -> Vec<Fig09Row> {
+    let ops = OpCostModel::stratix_v();
+    let dev = stratix_v_gsd8();
+    (1..=8)
+        .map(|k| {
+            let w = 8 * k;
+            let ty = ScalarType::UInt(w);
+            Fig09Row {
+                width: w,
+                div_aluts_est: ops.cost(Opcode::Div, ty).aluts,
+                div_aluts_actual: synth_fu_probe(&dev, Opcode::Div, ty).aluts,
+                mul_aluts_est: ops.cost(Opcode::Mul, ty).aluts,
+                mul_dsps_est: ops.cost(Opcode::Mul, ty).dsps,
+            }
+        })
+        .collect()
+}
+
+/// Render the experiment.
+pub fn render() -> String {
+    let mut s = String::from("== Fig 9: resource cost expressions vs bit width (Stratix-V) ==\n");
+    let (coeffs, pred24, act24) = refit_divider();
+    s.push_str(&format!(
+        "divider fit from 3 toolchain points: {:.2}x^2 + {:.2}x + {:.2} (paper: x^2 + 3.7x - 10.6)\n",
+        coeffs[2], coeffs[1], coeffs[0]
+    ));
+    s.push_str(&format!(
+        "24-bit interpolation: {pred24} ALUTs vs {act24} synthesised ({:.2}% error; paper: 654 vs 652)\n\n",
+        (pred24 as f64 - act24 as f64) / act24 as f64 * 100.0
+    ));
+    let rows: Vec<Vec<String>> = run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.width.to_string(),
+                r.div_aluts_est.to_string(),
+                r.div_aluts_actual.to_string(),
+                r.mul_aluts_est.to_string(),
+                r.mul_dsps_est.to_string(),
+            ]
+        })
+        .collect();
+    s.push_str(&emit::table(
+        &["width", "div-ALUT(est)", "div-ALUT(actual)", "mul-ALUT", "mul-DSP"],
+        &rows,
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refit_recovers_quadratic_within_a_few_percent() {
+        let (coeffs, pred24, act24) = refit_divider();
+        assert!((coeffs[2] - 1.0).abs() < 0.25, "{coeffs:?}");
+        let err = (pred24 as f64 - act24 as f64).abs() / act24 as f64;
+        assert!(err < 0.05, "24-bit interpolation error {err}");
+    }
+
+    #[test]
+    fn staircase_and_monotonicity() {
+        let rows = run();
+        assert_eq!(rows.len(), 8);
+        // Divider grows strictly; DSP staircase is monotone and reaches
+        // 8 at 64 bits.
+        for w in rows.windows(2) {
+            assert!(w[1].div_aluts_est > w[0].div_aluts_est);
+            assert!(w[1].mul_dsps_est >= w[0].mul_dsps_est);
+        }
+        assert_eq!(rows.last().unwrap().mul_dsps_est, 8);
+        // Two-curve separation: divider ALUTs dwarf multiplier ALUTs.
+        assert!(rows.last().unwrap().div_aluts_est > 40 * rows.last().unwrap().mul_aluts_est);
+    }
+
+    #[test]
+    fn render_contains_fit_line() {
+        let s = render();
+        assert!(s.contains("divider fit"));
+        assert!(s.contains("24-bit interpolation"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig 10 — sustained bandwidth vs data size and contiguity.
+//!
+//! Two views of the same link: the paper's *measured* calibration
+//! (embedded verbatim in `tytra-device`) and the *mechanistic* DRAM
+//! model re-measured by streaming through `tytra-sim`. The reproduction
+//! targets are the curve's shape: contiguous bandwidth rising with size
+//! and plateauing around side ≈ 1000–4000, strided flat and roughly two
+//! orders of magnitude below.
+
+use crate::emit;
+use tytra_device::BandwidthModel;
+use tytra_ir::AccessPattern;
+use tytra_sim::DramModel;
+
+/// One point of the Fig 10 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Row {
+    /// Square-array side (also the stride for strided access).
+    pub side: u64,
+    /// Measured-calibration contiguous figure, Gbps.
+    pub cont_calibrated: f64,
+    /// Mechanistic-model contiguous figure, Gbps.
+    pub cont_mechanistic: f64,
+    /// Measured-calibration strided figure, Gbps.
+    pub strided_calibrated: f64,
+    /// Mechanistic-model strided figure, Gbps.
+    pub strided_mechanistic: f64,
+}
+
+/// The paper's x-axis points.
+pub const SIDES: [u64; 12] =
+    [100, 500, 800, 1000, 1500, 2000, 2500, 3000, 4000, 4500, 5000, 6000];
+
+/// Run the sweep.
+pub fn run() -> Vec<Fig10Row> {
+    let cal = BandwidthModel::fig10_virtex7();
+    let mech = DramModel::fig10_baseline();
+    SIDES
+        .iter()
+        .map(|&side| {
+            let elems = side * side;
+            Fig10Row {
+                side,
+                cont_calibrated: cal.sustained_gbps(AccessPattern::Contiguous, elems),
+                cont_mechanistic: mech.sustained_gbps(AccessPattern::Contiguous, side, 4.0),
+                strided_calibrated: cal
+                    .sustained_gbps(AccessPattern::Strided { stride: side }, elems),
+                strided_mechanistic: mech.sustained_gbps(
+                    AccessPattern::Strided { stride: side },
+                    side,
+                    4.0,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Render the experiment.
+pub fn render() -> String {
+    let mut s = String::from(
+        "== Fig 10: sustained bandwidth vs size & contiguity (ADM-PCIE-7V3 baseline) ==\n",
+    );
+    let rows: Vec<Vec<String>> = run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.side.to_string(),
+                emit::f(r.cont_calibrated, 2),
+                emit::f(r.cont_mechanistic, 2),
+                emit::f(r.strided_calibrated, 3),
+                emit::f(r.strided_mechanistic, 3),
+            ]
+        })
+        .collect();
+    s.push_str(&emit::table(
+        &["side", "cont Gbps (meas.)", "cont Gbps (mech.)", "strided (meas.)", "strided (mech.)"],
+        &rows,
+    ));
+    let r = run();
+    let gap = r.last().unwrap().cont_calibrated / r.last().unwrap().strided_calibrated;
+    s.push_str(&format!("contiguity gap at side 6000: {gap:.0}x (paper: ~90x)\n"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_views_rise_and_plateau() {
+        let rows = run();
+        for view in [
+            rows.iter().map(|r| r.cont_calibrated).collect::<Vec<_>>(),
+            rows.iter().map(|r| r.cont_mechanistic).collect::<Vec<_>>(),
+        ] {
+            assert!(view.first().unwrap() < view.last().unwrap());
+            // Plateau: last two points within 5 %.
+            let (a, b) = (view[view.len() - 2], view[view.len() - 1]);
+            assert!((b - a) / a < 0.05);
+        }
+    }
+
+    #[test]
+    fn both_views_show_the_contiguity_collapse() {
+        let rows = run();
+        let last = rows.last().unwrap();
+        assert!(last.cont_calibrated / last.strided_calibrated > 50.0);
+        assert!(last.cont_mechanistic / last.strided_mechanistic > 50.0);
+    }
+
+    #[test]
+    fn calibrated_values_match_the_published_labels() {
+        let rows = run();
+        assert_eq!(rows[0].cont_calibrated, 0.3);
+        assert_eq!(rows[3].cont_calibrated, 2.4);
+        assert_eq!(rows[11].cont_calibrated, 6.3);
+        assert_eq!(rows[11].strided_calibrated, 0.07);
+    }
+
+    #[test]
+    fn mechanistic_lands_in_the_measured_decade() {
+        for r in run() {
+            let ratio = r.cont_mechanistic / r.cont_calibrated;
+            assert!(ratio > 0.2 && ratio < 6.0, "side {}: ratio {ratio}", r.side);
+        }
+    }
+}

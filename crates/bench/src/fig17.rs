@@ -1,0 +1,90 @@
+//! Fig 17 — runtime of the SOR kernel for different grid sizes,
+//! normalised against the CPU-only solution (1000 kernel iterations).
+//!
+//! Reproduction targets: `fpga-tytra` beats both comparators from 48³
+//! up (paper: "apart from the smallest grid-size"), `fpga-maxJ` is
+//! *slower* than the CPU at the typical weather-model grid (~100³), and
+//! the small-grid point shows the stream-overhead reversal.
+
+use crate::emit;
+use tytra_device::stratix_v_gsd8;
+use tytra_hls_baseline::{case_study, CaseStudyPoint};
+
+/// The paper's grid sides.
+pub const SIDES: [u64; 5] = [24, 48, 96, 144, 192];
+
+/// The paper's iteration count.
+pub const NKI: u64 = 1000;
+
+/// Run the sweep.
+pub fn run() -> Vec<CaseStudyPoint> {
+    case_study(&SIDES, NKI, &stratix_v_gsd8()).expect("case study runs")
+}
+
+/// Render the experiment.
+pub fn render() -> String {
+    render_points(&run())
+}
+
+/// Render pre-computed points (shared with fig18's binary).
+pub fn render_points(points: &[CaseStudyPoint]) -> String {
+    let mut s = String::from(
+        "== Fig 17: SOR runtime vs grid size, normalised to CPU (nmaxp = 1000) ==\n",
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let (c, m, t) = p.runtime_normalized();
+            vec![
+                p.side.to_string(),
+                emit::f(c, 2),
+                emit::f(m, 2),
+                emit::f(t, 2),
+                emit::f(p.cpu_s, 3),
+                emit::f(p.maxj_s, 3),
+                emit::f(p.tytra_s, 3),
+            ]
+        })
+        .collect();
+    s.push_str(&emit::table(
+        &["side", "cpu", "fpga-maxJ", "fpga-tytra", "cpu[s]", "maxJ[s]", "tytra[s]"],
+        &rows,
+    ));
+    let best_vs_maxj =
+        points.iter().map(|p| p.maxj_s / p.tytra_s).fold(0.0f64, f64::max);
+    let best_vs_cpu = points.iter().map(|p| p.cpu_s / p.tytra_s).fold(0.0f64, f64::max);
+    s.push_str(&format!(
+        "tytra best: {best_vs_maxj:.1}x over maxJ (paper: 3.9x), {best_vs_cpu:.1}x over cpu (paper: 2.6x)\n",
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_shape_holds() {
+        let pts = run();
+        // tytra wins from 48³ up.
+        for p in pts.iter().filter(|p| p.side >= 48) {
+            assert!(p.tytra_s < p.cpu_s, "side {}", p.side);
+            assert!(p.tytra_s < p.maxj_s, "side {}", p.side);
+        }
+        // maxJ slower than CPU at the typical grid.
+        let p96 = pts.iter().find(|p| p.side == 96).unwrap();
+        assert!(p96.maxj_s > p96.cpu_s);
+        // Small-grid reversal for tytra.
+        let p24 = pts.iter().find(|p| p.side == 24).unwrap();
+        assert!(p24.tytra_s / p24.cpu_s > p96.tytra_s / p96.cpu_s);
+    }
+
+    #[test]
+    fn factors_are_in_the_papers_range() {
+        let pts = run();
+        let best_vs_maxj = pts.iter().map(|p| p.maxj_s / p.tytra_s).fold(0.0f64, f64::max);
+        let best_vs_cpu = pts.iter().map(|p| p.cpu_s / p.tytra_s).fold(0.0f64, f64::max);
+        assert!((2.0..8.0).contains(&best_vs_maxj), "{best_vs_maxj}");
+        assert!((1.5..6.0).contains(&best_vs_cpu), "{best_vs_cpu}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Fig 18 — increase from idle energy consumption for the SOR sweep,
+//! normalised against the CPU-only solution.
+//!
+//! Reproduction targets: FPGAs "very quickly overtake CPU-only
+//! solutions"; `fpga-tytra` shows up to ~11× power-efficiency over the
+//! CPU and ~3× over `fpga-maxJ`.
+
+use crate::emit;
+use crate::fig17;
+use tytra_hls_baseline::CaseStudyPoint;
+
+/// Same sweep as Fig 17 (the paper derives both figures from one run).
+pub fn run() -> Vec<CaseStudyPoint> {
+    fig17::run()
+}
+
+/// Render the experiment.
+pub fn render() -> String {
+    render_points(&run())
+}
+
+/// Render pre-computed points.
+pub fn render_points(points: &[CaseStudyPoint]) -> String {
+    let mut s = String::from(
+        "== Fig 18: SOR delta energy vs grid size, normalised to CPU (nmaxp = 1000) ==\n",
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let (c, m, t) = p.energy_normalized();
+            vec![
+                p.side.to_string(),
+                emit::f(c, 2),
+                emit::f(m, 2),
+                emit::f(t, 2),
+                emit::f(p.cpu_j, 1),
+                emit::f(p.maxj_j, 1),
+                emit::f(p.tytra_j, 1),
+            ]
+        })
+        .collect();
+    s.push_str(&emit::table(
+        &["side", "cpu", "fpga-maxJ", "fpga-tytra", "cpu[J]", "maxJ[J]", "tytra[J]"],
+        &rows,
+    ));
+    let best_vs_cpu = points.iter().map(|p| p.cpu_j / p.tytra_j).fold(0.0f64, f64::max);
+    let best_vs_maxj = points.iter().map(|p| p.maxj_j / p.tytra_j).fold(0.0f64, f64::max);
+    s.push_str(&format!(
+        "tytra energy gain: {best_vs_cpu:.1}x over cpu (paper: up to 11x), {best_vs_maxj:.1}x over maxJ (paper: 2.9x)\n",
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpga_overtakes_cpu_energy_quickly() {
+        let pts = run();
+        for p in pts.iter().filter(|p| p.side >= 48) {
+            assert!(p.tytra_j < p.cpu_j, "side {}", p.side);
+        }
+        // Even the conventional HLS port wins energy at scale.
+        let p192 = pts.iter().find(|p| p.side == 192).unwrap();
+        assert!(p192.maxj_j < p192.cpu_j);
+    }
+
+    #[test]
+    fn efficiency_factors_near_paper() {
+        let pts = run();
+        let vs_cpu = pts.iter().map(|p| p.cpu_j / p.tytra_j).fold(0.0f64, f64::max);
+        let vs_maxj = pts.iter().map(|p| p.maxj_j / p.tytra_j).fold(0.0f64, f64::max);
+        assert!((5.0..20.0).contains(&vs_cpu), "vs cpu {vs_cpu} (paper 11x)");
+        assert!((1.5..8.0).contains(&vs_maxj), "vs maxj {vs_maxj} (paper 2.9x)");
+    }
+
+    #[test]
+    fn tytra_always_beats_maxj_on_energy() {
+        for p in run() {
+            assert!(p.tytra_j < p.maxj_j, "side {}", p.side);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Table II — estimated vs actual resources and throughput for the
+//! three scientific kernels (integer versions).
+//!
+//! Estimates come from the cost model, actuals from the virtual
+//! toolchain (resources, clock) and the cycle-level simulator (CPKI).
+//! The reproduction target is the error *regime*: single-digit
+//! percentages, BRAM within a fraction of a percent (the window-bit
+//! arithmetic), and zero-DSP rows staying zero.
+
+use crate::emit;
+use tytra_cost::estimate;
+use tytra_device::{stratix_v_gsd8, ResourceVector};
+use tytra_kernels::{all_kernels, EvalKernel};
+use tytra_sim::{run_application, synthesize};
+use tytra_transform::Variant;
+
+/// One kernel's estimated-vs-actual comparison.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Kernel name.
+    pub kernel: String,
+    /// Cost-model estimate.
+    pub estimated: ResourceVector,
+    /// Virtual-toolchain actual.
+    pub actual: ResourceVector,
+    /// Estimated cycles per kernel instance.
+    pub cpki_est: f64,
+    /// Simulated cycles per kernel instance.
+    pub cpki_actual: u64,
+    /// Signed percentage errors [ALUT, REG, BRAM, DSP].
+    pub errors_pct: [f64; 4],
+    /// Signed CPKI percentage error.
+    pub cpki_error_pct: f64,
+}
+
+/// Evaluate one kernel under the baseline variant.
+pub fn row_for(kernel: &dyn EvalKernel) -> Table2Row {
+    let dev = stratix_v_gsd8();
+    let m = kernel.lower_variant(&Variant::baseline()).expect("baseline lowers");
+    let est = estimate(&m, &dev).expect("estimate");
+    let act = synthesize(&m, &dev).expect("synthesize");
+    let run = run_application(&m, &dev).expect("simulate");
+    let errors_pct = est.resources.total.pct_error_vs(&act.resources);
+    let cpki_error_pct =
+        (est.throughput.cpki - run.cpki() as f64) / run.cpki() as f64 * 100.0;
+    Table2Row {
+        kernel: kernel.name().to_string(),
+        estimated: est.resources.total,
+        actual: act.resources,
+        cpki_est: est.throughput.cpki,
+        cpki_actual: run.cpki(),
+        errors_pct,
+        cpki_error_pct,
+    }
+}
+
+/// Run all three kernels.
+pub fn run() -> Vec<Table2Row> {
+    all_kernels().iter().map(|k| row_for(k.as_ref())).collect()
+}
+
+/// Render the experiment.
+pub fn render() -> String {
+    let mut s = String::from(
+        "== Table II: estimated vs actual resources & CPKI (three kernels, integer) ==\n",
+    );
+    let mut rows = Vec::new();
+    for r in run() {
+        rows.push(vec![
+            r.kernel.clone(),
+            "est".into(),
+            r.estimated.aluts.to_string(),
+            r.estimated.regs.to_string(),
+            r.estimated.bram_bits.to_string(),
+            r.estimated.dsps.to_string(),
+            emit::f(r.cpki_est, 0),
+        ]);
+        rows.push(vec![
+            String::new(),
+            "actual".into(),
+            r.actual.aluts.to_string(),
+            r.actual.regs.to_string(),
+            r.actual.bram_bits.to_string(),
+            r.actual.dsps.to_string(),
+            r.cpki_actual.to_string(),
+        ]);
+        rows.push(vec![
+            String::new(),
+            "% err".into(),
+            emit::pct(r.errors_pct[0]),
+            emit::pct(r.errors_pct[1]),
+            emit::pct(r.errors_pct[2]),
+            emit::pct(r.errors_pct[3]),
+            emit::pct(r.cpki_error_pct),
+        ]);
+    }
+    s.push_str(&emit::table(
+        &["kernel", "", "ALUT", "REG", "BRAM(bits)", "DSP", "CPKI"],
+        &rows,
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_kernels::{Hotspot, LavaMd, Sor};
+
+    #[test]
+    fn errors_stay_in_the_table2_regime() {
+        for r in run() {
+            assert!(r.errors_pct[0].abs() < 15.0, "{}: ALUT {:?}", r.kernel, r.errors_pct);
+            assert!(r.errors_pct[1].abs() < 15.0, "{}: REG {:?}", r.kernel, r.errors_pct);
+            assert!(r.errors_pct[2].abs() < 2.0, "{}: BRAM {:?}", r.kernel, r.errors_pct);
+            assert!(r.errors_pct[3].abs() <= 15.0, "{}: DSP {:?}", r.kernel, r.errors_pct);
+            assert!(r.cpki_error_pct.abs() < 6.0, "{}: CPKI {}", r.kernel, r.cpki_error_pct);
+        }
+    }
+
+    #[test]
+    fn sor_row_has_zero_dsps_and_window_bram() {
+        let r = row_for(&Sor::default());
+        assert_eq!(r.estimated.dsps, 0, "constant coefficients strength-reduce");
+        assert_eq!(r.actual.dsps, 0);
+        // 30³ grid: window ±900 on ui18 → (1801)×18 est vs 1800×18
+        // actual.
+        assert_eq!(r.estimated.bram_bits, 1801 * 18);
+        assert_eq!(r.actual.bram_bits, 1800 * 18);
+    }
+
+    #[test]
+    fn hotspot_row_matches_paper_bram_arithmetic() {
+        let r = row_for(&Hotspot::default());
+        // ±512 window on ui32: 32.8 Kbit estimated vs 32.7 Kbit actual —
+        // Table II's hotspot BRAM row to the bit.
+        assert_eq!(r.estimated.bram_bits, 32_800);
+        assert_eq!(r.actual.bram_bits, 32_768);
+        assert_eq!(r.estimated.dsps, r.actual.dsps, "ui32 products cannot pair");
+        assert_eq!(r.estimated.dsps, 12);
+    }
+
+    #[test]
+    fn lavamd_row_shows_dsp_pairing_gap() {
+        let r = row_for(&LavaMd::default());
+        assert_eq!(r.estimated.dsps, 26, "Table II estimates 26");
+        assert_eq!(r.actual.dsps, 23, "pairing saves 3 (Table II actual 23)");
+        assert!((r.errors_pct[3] - 13.0).abs() < 1.0, "{:?}", r.errors_pct);
+        assert_eq!(r.estimated.bram_bits, 0, "no row-sized windows");
+    }
+
+    #[test]
+    fn estimates_never_equal_actuals_exactly_on_alut_axis() {
+        for r in run() {
+            assert_ne!(r.estimated.aluts, r.actual.aluts, "{}", r.kernel);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates the shipped .tirl assets from the kernel library.
+use tytra_kernels::{EvalKernel, Hotspot, LavaMd, Sor};
+use tytra_transform::Variant;
+
+fn main() {
+    let sor = Sor::default();
+    let base = sor.lower_variant(&Variant::baseline()).unwrap();
+    std::fs::write(
+        "assets/sor_c2.tirl",
+        format!(
+            "; SOR kernel, single pipeline lane (paper Fig 12 shape)\n{}",
+            tytra_ir::print(&base)
+        ),
+    )
+    .unwrap();
+    let four = sor.lower_variant(&Variant { lanes: 4, ..Variant::baseline() }).unwrap();
+    std::fs::write(
+        "assets/sor_c1_4lane.tirl",
+        format!(
+            "; SOR kernel, four data-parallel pipeline lanes (paper Fig 14 shape)\n{}",
+            tytra_ir::print(&four)
+        ),
+    )
+    .unwrap();
+    for (name, m) in [
+        ("hotspot", Hotspot::default().lower_variant(&Variant::baseline()).unwrap()),
+        ("lavamd", LavaMd::default().lower_variant(&Variant::baseline()).unwrap()),
+    ] {
+        std::fs::write(
+            format!("assets/{name}_c2.tirl"),
+            format!("; {name} kernel, single pipeline lane\n{}", tytra_ir::print(&m)),
+        )
+        .unwrap();
+    }
+    eprintln!("assets regenerated");
+}

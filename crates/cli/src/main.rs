@@ -1,0 +1,270 @@
+//! `tybec` — the TyTra Back-End Compiler command-line front end.
+//!
+//! The tool described in paper section VI ("we have developed a back-end
+//! compiler that accepts a design variant in TyTra-IR, costs it and, if
+//! needed, generates the HDL code for it"):
+//!
+//! ```text
+//! tybec cost   <design.tirl> [--target <name>]      cost-model report
+//! tybec actual <design.tirl> [--target <name>]      virtual synthesis + simulation, est-vs-actual
+//! tybec hdl    <design.tirl> [--target <name>] [-o out.v] [--wrapper] [--check]
+//! tybec tree   <design.tirl>                        configuration tree (Fig 8)
+//! tybec dse    <sor|hotspot|lavamd> [--target <name>] [--lanes N,N,...]
+//! tybec roofline <sor|hotspot|lavamd> [--target <name>] [--lanes N,N,...]
+//! tybec exec   <design.tirl> [--items N] [--seed S]   run the datapath functionally
+//! ```
+//!
+//! Targets: `stratix-v-gsd8` (default), `virtex7-adm7v3`, `eval-small`.
+
+use std::process::ExitCode;
+use tytra_codegen::{check, emit_design, emit_maxj_wrapper};
+use tytra_cost::estimate;
+use tytra_device::TargetDevice;
+use tytra_dse::{explore, lane_sweep, tune, ExplorationConfig};
+use tytra_kernels::{EvalKernel, Hotspot, LavaMd, Sor};
+use tytra_sim::{run_application, synthesize};
+use tytra_transform::Variant;
+
+const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse> <input> [options]
+  cost   <design.tirl> [--target <name>]
+  actual <design.tirl> [--target <name>]
+  hdl    <design.tirl> [--target <name>] [-o <out.v>] [--wrapper] [--check]
+  tree   <design.tirl>
+  dse    <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...]
+  roofline <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...]
+  exec   <design.tirl> [--items N] [--seed S]
+targets: stratix-v-gsd8 (default) | virtex7-adm7v3 | eval-small";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tybec: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "cost" => cmd_cost(rest),
+        "actual" => cmd_actual(rest),
+        "hdl" => cmd_hdl(rest),
+        "tree" => cmd_tree(rest),
+        "dse" => cmd_dse(rest),
+        "roofline" => cmd_roofline(rest),
+        "exec" => cmd_exec(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn target_of(args: &[String]) -> Result<TargetDevice, String> {
+    match flag_value(args, "--target").unwrap_or("stratix-v-gsd8") {
+        "stratix-v-gsd8" | "stratix" => Ok(tytra_device::stratix_v_gsd8()),
+        "virtex7-adm7v3" | "virtex7" => Ok(tytra_device::virtex7_adm7v3()),
+        "eval-small" => Ok(tytra_device::eval_small()),
+        other => Err(format!("unknown target `{other}`")),
+    }
+}
+
+fn load_module(args: &[String]) -> Result<tytra_ir::IrModule, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".tirl"))
+        .ok_or("expected a .tirl input file")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    tytra_ir::parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_cost(args: &[String]) -> Result<(), String> {
+    let m = load_module(args)?;
+    let dev = target_of(args)?;
+    let report = estimate(&m, &dev).map_err(|e| e.to_string())?;
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_actual(args: &[String]) -> Result<(), String> {
+    let m = load_module(args)?;
+    let dev = target_of(args)?;
+    let est = estimate(&m, &dev).map_err(|e| e.to_string())?;
+    let synth = synthesize(&m, &dev).map_err(|e| e.to_string())?;
+    let run = run_application(&m, &dev).map_err(|e| e.to_string())?;
+    println!("estimated: {}", est.resources.total);
+    println!("actual   : {}", synth.resources);
+    let err = est.resources.total.pct_error_vs(&synth.resources);
+    println!(
+        "error %  : ALUT {:+.1} REG {:+.1} BRAM {:+.1} DSP {:+.1}",
+        err[0], err[1], err[2], err[3]
+    );
+    println!("clock    : est {:.1} MHz, achieved {:.1} MHz", est.clock.freq_mhz, synth.fmax_mhz);
+    println!(
+        "CPKI     : est {:.0}, simulated {} ({:+.2} %)",
+        est.throughput.cpki,
+        run.cpki(),
+        (est.throughput.cpki - run.cpki() as f64) / run.cpki() as f64 * 100.0
+    );
+    println!(
+        "runtime  : {:.3} ms/instance, {:.3} s total; {:.1} W, {:.1} J",
+        run.t_instance_s * 1e3,
+        run.t_total_s,
+        run.power.delta_watts,
+        run.power.delta_energy_j
+    );
+    Ok(())
+}
+
+fn cmd_hdl(args: &[String]) -> Result<(), String> {
+    let m = load_module(args)?;
+    let dev = target_of(args)?;
+    let hdl = emit_design(&m, &dev).map_err(|e| e.to_string())?;
+    if has_flag(args, "--check") {
+        check(&hdl).map_err(|errs| {
+            errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n")
+        })?;
+        eprintln!("structural check: ok");
+    }
+    match flag_value(args, "-o") {
+        Some(path) => {
+            std::fs::write(path, &hdl).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{hdl}"),
+    }
+    if has_flag(args, "--wrapper") {
+        print!("{}", emit_maxj_wrapper(&m));
+    }
+    Ok(())
+}
+
+fn cmd_tree(args: &[String]) -> Result<(), String> {
+    let m = load_module(args)?;
+    let tree = tytra_ir::config_tree::extract(&m).map_err(|e| e.to_string())?;
+    println!("class: {:?}, lanes: {}", tree.class, tree.lanes);
+    print!("{}", tree.root.outline());
+    Ok(())
+}
+
+fn kernel_by_name(args: &[String]) -> Result<Box<dyn EvalKernel>, String> {
+    match args.first().map(String::as_str) {
+        Some("sor") => Ok(Box::new(Sor::default())),
+        Some("hotspot") => Ok(Box::new(Hotspot::default())),
+        Some("lavamd") => Ok(Box::new(LavaMd::default())),
+        other => Err(format!("unknown kernel {other:?}; expected sor|hotspot|lavamd")),
+    }
+}
+
+fn lanes_flag(args: &[String]) -> Result<Vec<u64>, String> {
+    match flag_value(args, "--lanes") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse::<u64>().map_err(|e| format!("bad lane `{s}`: {e}")))
+            .collect(),
+        None => Ok(vec![1, 2, 4, 8, 16, 32]),
+    }
+}
+
+fn cmd_roofline(args: &[String]) -> Result<(), String> {
+    let kernel = kernel_by_name(args)?;
+    let dev = target_of(args)?;
+    let mut points = Vec::new();
+    for lanes in lanes_flag(args)? {
+        let v = Variant { lanes, ..Variant::baseline() };
+        let Ok(m) = kernel.lower_variant(&v) else { continue };
+        points.push(tytra_dse::roofline::roofline(&m, &dev).map_err(|e| e.to_string())?);
+    }
+    print!("{}", tytra_dse::roofline::render(&points));
+    Ok(())
+}
+
+fn cmd_exec(args: &[String]) -> Result<(), String> {
+    use tytra_sim::{execute_module, ExecInputs};
+    let m = load_module(args)?;
+    let items: usize = match flag_value(args, "--items") {
+        Some(v) => v.parse().map_err(|e| format!("bad --items: {e}"))?,
+        None => (m.meta.global_size() as usize).min(4096),
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(v) => v.parse().map_err(|e| format!("bad --seed: {e}"))?,
+        None => 42,
+    };
+    // Seed every input port of the lane function with a deterministic
+    // pseudo-random array (splitmix-style mix over the index).
+    let tree = tytra_ir::config_tree::extract(&m).map_err(|e| e.to_string())?;
+    let mut node = &tree.root;
+    while node.kind == tytra_ir::ParKind::Par {
+        node = node.children.first().ok_or("empty par")?;
+    }
+    let lane = m.function(&node.function).ok_or("missing lane function")?;
+    let mut inputs = ExecInputs::default();
+    for p in lane.params.iter().filter(|p| p.dir == tytra_ir::PortDir::In) {
+        let data: Vec<f64> = (0..items as u64)
+            .map(|i| {
+                let mut x = i.wrapping_add(seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 27;
+                (x % 1024) as f64
+            })
+            .collect();
+        inputs.set(p.name.clone(), data);
+    }
+    let out = execute_module(&m, &inputs, items).map_err(|e| e.to_string())?;
+    println!("executed {items} work-items of `{}`", m.name);
+    let mut names: Vec<&String> = out.arrays.keys().collect();
+    names.sort();
+    for name in names {
+        let arr = &out.arrays[name];
+        let sum: f64 = arr.iter().sum();
+        let head: Vec<String> = arr.iter().take(6).map(|v| format!("{v}")).collect();
+        println!("  {name}: checksum {sum}, head [{}]", head.join(", "));
+    }
+    let mut reds: Vec<(&String, &f64)> = out.reductions.iter().collect();
+    reds.sort_by(|a, b| a.0.cmp(b.0));
+    for (acc, v) in reds {
+        println!("  @{acc} = {v}");
+    }
+    Ok(())
+}
+
+fn cmd_dse(args: &[String]) -> Result<(), String> {
+    let kernel = kernel_by_name(args)?;
+    let dev = target_of(args)?;
+    let lanes = lanes_flag(args)?;
+
+    println!("== lane sweep (Fig 15 style) ==");
+    let rows = lane_sweep(kernel.as_ref(), &dev, &lanes, &Variant::baseline());
+    print!("{}", tytra_dse::report::render_table(&rows));
+
+    println!("\n== full exploration ==");
+    let cfg = ExplorationConfig { lanes, ..ExplorationConfig::default() };
+    let evaluated = explore(kernel.as_ref(), &dev, &cfg);
+    print!("{}", tytra_dse::report::render_leaderboard(&evaluated, 10));
+
+    println!("\n== guided tuning from baseline ==");
+    for step in tune(kernel.as_ref(), &dev, Variant::baseline(), 12) {
+        println!(
+            "  {:<18} EKIT {:>12.1}  {} {}",
+            step.variant.tag(),
+            step.ekit,
+            step.limiter,
+            step.action.map(|a| format!("→ {a}")).unwrap_or_default()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! Integration tests driving the `tybec` binary end to end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tybec(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tybec"))
+        .args(args)
+        .current_dir(workspace_root())
+        .output()
+        .expect("tybec runs")
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/cli → workspace root two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let o = tybec(&[]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("usage: tybec"));
+}
+
+#[test]
+fn help_succeeds() {
+    let o = tybec(&["help"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("cost"));
+    assert!(stdout(&o).contains("eval-small"));
+}
+
+#[test]
+fn cost_reports_on_the_shipped_asset() {
+    let o = tybec(&["cost", "assets/sor_c2.tirl"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    for needle in ["design", "resources", "EKIT", "limiter", "clock"] {
+        assert!(out.contains(needle), "missing `{needle}` in:\n{out}");
+    }
+}
+
+#[test]
+fn cost_accepts_target_flag() {
+    let o = tybec(&["cost", "assets/sor_c2.tirl", "--target", "eval-small"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("eval-small"));
+    let bad = tybec(&["cost", "assets/sor_c2.tirl", "--target", "nonsense"]);
+    assert!(!bad.status.success());
+    assert!(stderr(&bad).contains("unknown target"));
+}
+
+#[test]
+fn actual_compares_estimate_and_simulation() {
+    let o = tybec(&["actual", "assets/sor_c2.tirl"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("estimated:"));
+    assert!(out.contains("actual   :"));
+    assert!(out.contains("CPKI"));
+    assert!(out.contains("error %"));
+}
+
+#[test]
+fn tree_shows_the_four_lane_structure() {
+    let o = tybec(&["tree", "assets/sor_c1_4lane.tirl"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("C1ParallelPipes"));
+    assert_eq!(out.matches("pipe f0").count(), 4);
+}
+
+#[test]
+fn hdl_emits_checked_verilog_to_a_file() {
+    let dir = std::env::temp_dir().join("tytra_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("sor.v");
+    let out_str = out_path.to_str().unwrap();
+    let o = tybec(&["hdl", "assets/sor_c2.tirl", "--check", "-o", out_str]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stderr(&o).contains("structural check: ok"));
+    let hdl = std::fs::read_to_string(&out_path).unwrap();
+    assert!(hdl.contains("module tytra_f0"));
+    assert!(hdl.contains("endmodule"));
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn hdl_wrapper_prints_maxj() {
+    let o = tybec(&["hdl", "assets/sor_c2.tirl", "--wrapper"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("extends Kernel"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let o = tybec(&["cost", "assets/ghost.tirl"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("ghost.tirl"));
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    let dir = std::env::temp_dir().join("tytra_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.tirl");
+    std::fs::write(&bad, "define void @f0(ui18 %p) pipe {\n ui18 %x = frob ui18 %p, %p\n}\n")
+        .unwrap();
+    let o = tybec(&["cost", bad.to_str().unwrap()]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(err.contains("unknown opcode"), "{err}");
+    assert!(err.contains("2:"), "position missing: {err}");
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn dse_runs_a_small_sweep() {
+    let o = tybec(&["dse", "sor", "--target", "eval-small", "--lanes", "1,2,4"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("lane sweep"));
+    assert!(out.contains("full exploration"));
+    assert!(out.contains("guided tuning"));
+    assert!(out.contains("EWGT/s"));
+}
+
+#[test]
+fn roofline_places_variants() {
+    let o = tybec(&["roofline", "hotspot", "--lanes", "1,8"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("compute roof"));
+    assert!(out.contains("memory"), "8 hotspot lanes should be memory-bound:\n{out}");
+    assert_eq!(out.lines().count(), 3);
+}
+
+#[test]
+fn exec_runs_the_datapath_deterministically() {
+    let a = tybec(&["exec", "assets/sor_c2.tirl", "--items", "256", "--seed", "7"]);
+    assert!(a.status.success(), "{}", stderr(&a));
+    let b = tybec(&["exec", "assets/sor_c2.tirl", "--items", "256", "--seed", "7"]);
+    assert_eq!(stdout(&a), stdout(&b), "same seed, same checksums");
+    assert!(stdout(&a).contains("checksum"));
+    assert!(stdout(&a).contains("@sorErrAcc"));
+    let c = tybec(&["exec", "assets/sor_c2.tirl", "--items", "256", "--seed", "8"]);
+    assert_ne!(stdout(&a), stdout(&c), "different seed, different data");
+}
+
+#[test]
+fn dse_rejects_unknown_kernel() {
+    let o = tybec(&["dse", "fft"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown kernel"));
+}

@@ -1,0 +1,22 @@
+//! # tytra-codegen — HDL emission
+//!
+//! The code-generation flow of paper Fig 11 (yellow stages): from a
+//! validated TyTra-IR design variant, generate synthesizable Verilog —
+//! core-compute pipelines with scheduled SSA instructions and data/control
+//! delay lines, offset buffers, stream counters/control, custom
+//! combinational blocks, and a top-level compute-unit wrapper — plus the
+//! MaxJ-style wrapper-kernel stub used for HLS-framework integration
+//! (Fig 16).
+//!
+//! [`verilog::emit_design`] is deterministic: identical IR yields
+//! byte-identical HDL. [`check()`][check::check] is a miniature structural Verilog
+//! checker (balanced modules, declare-before-use, unique module names)
+//! used by the tests and by `tybec` to sanity-check emitted output.
+
+pub mod check;
+pub mod verilog;
+pub mod wrapper;
+
+pub use check::{check, CheckError};
+pub use verilog::emit_design;
+pub use wrapper::emit_maxj_wrapper;

@@ -1,0 +1,128 @@
+//! HLS-framework integration wrapper (paper §VII, Fig 16).
+//!
+//! "Integrating custom code with Maxeler requires a wrapper kernel
+//! written in its kernel language MaxJ for the custom HDL module.
+//! Currently, we create the MaxJ wrapper kernel manually for each
+//! design, but generating them in our compiler is expected to be a
+//! relatively trivial engineering task." — this module is that task: a
+//! MaxJ-style wrapper-kernel source naming every stream of the design
+//! and instantiating the generated compute unit as custom HDL.
+
+use std::fmt::Write;
+use tytra_ir::{IrModule, StreamDir};
+
+/// Emit a MaxJ-style wrapper kernel for the design's compute unit.
+pub fn emit_maxj_wrapper(m: &IrModule) -> String {
+    let mut s = String::new();
+    let class = camel(&m.name);
+    let _ = writeln!(s, "// Auto-generated Maxeler wrapper kernel for `{}`", m.name);
+    let _ = writeln!(s, "package tytra.generated;");
+    let _ = writeln!(s, "import com.maxeler.maxcompiler.v2.kernelcompiler.Kernel;");
+    let _ = writeln!(s, "import com.maxeler.maxcompiler.v2.kernelcompiler.KernelParameters;");
+    let _ = writeln!(s, "import com.maxeler.maxcompiler.v2.kernelcompiler.types.base.DFEVar;");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "class {class}Kernel extends Kernel {{");
+    let _ = writeln!(s, "    {class}Kernel(KernelParameters parameters) {{");
+    let _ = writeln!(s, "        super(parameters);");
+    for p in &m.ports {
+        let ty = format!("dfeUInt({})", p.ty.bits());
+        match p.dir {
+            StreamDir::Read => {
+                let _ = writeln!(
+                    s,
+                    "        DFEVar {} = io.input(\"{}\", {ty});",
+                    ident(&p.name),
+                    p.stream
+                );
+            }
+            StreamDir::Write => {
+                let _ = writeln!(
+                    s,
+                    "        DFEVar {} = {ty}.newInstance(this); // driven by custom HDL",
+                    ident(&p.name)
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        s,
+        "        // Custom HDL insertion point: tytra_{}_cu",
+        ident(&m.name)
+    );
+    for p in &m.ports {
+        if p.dir == StreamDir::Write {
+            let _ = writeln!(
+                s,
+                "        io.output(\"{}\", {}, dfeUInt({}));",
+                p.stream,
+                ident(&p.name),
+                p.ty.bits()
+            );
+        }
+    }
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn ident(n: &str) -> String {
+    n.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+fn camel(n: &str) -> String {
+    let mut out = String::new();
+    let mut upper = true;
+    for c in n.chars() {
+        if c.is_ascii_alphanumeric() {
+            if upper {
+                out.extend(c.to_uppercase());
+                upper = false;
+            } else {
+                out.push(c);
+            }
+        } else {
+            upper = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_ir::{ModuleBuilder, Opcode, ParKind, ScalarType};
+
+    fn module() -> IrModule {
+        let t = ScalarType::UInt(18);
+        let mut b = ModuleBuilder::new("sor_c2");
+        b.global_input("p", t, 64);
+        b.global_output("pnew", t, 64);
+        {
+            let f = b.function("f0", ParKind::Pipe);
+            f.input("p", t);
+            f.output("pnew", t);
+            let p = f.arg("p");
+            let v = f.instr(Opcode::Add, t, vec![p, f.imm(1)]);
+            f.write_out("pnew", v);
+        }
+        b.main_calls("f0");
+        b.ndrange(&[64]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn wrapper_names_every_stream() {
+        let w = emit_maxj_wrapper(&module());
+        assert!(w.contains("class SorC2Kernel extends Kernel"));
+        assert!(w.contains("io.input(\"strobj_p\", dfeUInt(18));"));
+        assert!(w.contains("io.output(\"strobj_pnew\""));
+        assert!(w.contains("tytra_sor_c2_cu"));
+    }
+
+    #[test]
+    fn camel_casing() {
+        assert_eq!(camel("sor_c2"), "SorC2");
+        assert_eq!(camel("hotspot"), "Hotspot");
+        assert_eq!(camel("a_b_c"), "ABC");
+    }
+}

@@ -1,0 +1,257 @@
+//! Applying the empirical sustained-bandwidth model to a design's
+//! streams (paper section V-C).
+//!
+//! Each off-chip stream sustains a pattern- and size-dependent fraction
+//! of the link's peak. Concurrent streams time-share the memory
+//! controller: the aggregate is the sum of per-stream sustained figures,
+//! capped at a controller-efficiency fraction of the link peak. The
+//! resulting aggregate ÷ peak is the design's ρ (ρ_G for the DRAM link,
+//! ρ_H for the host link).
+
+use tytra_device::{LinkSpec, TargetDevice};
+use tytra_ir::{AccessPattern, IrModule, StreamDir};
+
+/// Fraction of link peak a real controller sustains with many concurrent
+/// well-formed streams.
+pub const CONTROLLER_EFFICIENCY: f64 = 0.85;
+
+/// One stream's bandwidth assessment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBandwidth {
+    /// Stream-object name.
+    pub name: String,
+    /// Direction.
+    pub dir: StreamDir,
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// Elements in the backing array.
+    pub elems: u64,
+    /// Sustained bandwidth alone on the link, bytes/s.
+    pub sustained_bytes_per_s: f64,
+}
+
+/// Aggregate bandwidth figures for one design on one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthBreakdown {
+    /// Per off-chip stream assessments.
+    pub streams: Vec<StreamBandwidth>,
+    /// Aggregate sustained DRAM bandwidth, bytes/s (`GPB · ρ_G`).
+    pub dram_effective: f64,
+    /// The DRAM scaling factor ρ_G.
+    pub rho_g: f64,
+    /// Aggregate sustained host bandwidth, bytes/s (`HPB · ρ_H`).
+    pub host_effective: f64,
+    /// The host scaling factor ρ_H.
+    pub rho_h: f64,
+}
+
+/// Assess with the empirical model disabled: every stream is assumed to
+/// sustain the controller-efficiency fraction of peak, regardless of
+/// pattern or size. This is the naive model the paper's section V-C
+/// argues against; the ablation bench quantifies the damage.
+pub fn assess_naive(m: &IrModule, dev: &TargetDevice) -> BandwidthBreakdown {
+    let mut full = assess(m, dev);
+    let dram = dev.dram_link.peak_bytes_per_s * CONTROLLER_EFFICIENCY;
+    let host = dev.host_link.peak_bytes_per_s * CONTROLLER_EFFICIENCY;
+    for s in &mut full.streams {
+        s.sustained_bytes_per_s = dram;
+    }
+    full.dram_effective = dram;
+    full.rho_g = CONTROLLER_EFFICIENCY;
+    full.host_effective = host;
+    full.rho_h = CONTROLLER_EFFICIENCY;
+    full
+}
+
+/// Assess every off-chip stream of the design and derive ρ_G / ρ_H.
+///
+/// Streams are **co-required**: every work-item consumes one element of
+/// each input stream and produces one of each output, so the slowest
+/// per-element stream gates the item rate — a strided input cannot be
+/// masked by a fast contiguous output. The aggregate is therefore
+/// `min(Σ sustained capped at controller efficiency,
+///      lanes × min_i(sustained_i / elem_bytes_i) × bytes_per_item)`.
+pub fn assess(m: &IrModule, dev: &TargetDevice) -> BandwidthBreakdown {
+    let mut streams = Vec::new();
+    let mut dram_sum = 0.0;
+    // Slowest per-element rate across co-required streams, items/s.
+    let mut min_item_rate = f64::INFINITY;
+    let mut bytes_per_item_all_lanes = 0.0f64;
+    for s in &m.streams {
+        let Some(mem) = m.mem(&s.mem) else { continue };
+        if !mem.space.is_offchip() {
+            continue;
+        }
+        let sustained = dev.dram_link.bw.sustained_bytes_per_s(s.pattern, mem.len);
+        dram_sum += sustained;
+        let eb = f64::from(mem.elem_ty.bytes());
+        min_item_rate = min_item_rate.min(sustained / eb);
+        bytes_per_item_all_lanes += eb;
+        streams.push(StreamBandwidth {
+            name: s.name.clone(),
+            dir: s.dir,
+            pattern: s.pattern,
+            elems: mem.len,
+            sustained_bytes_per_s: sustained,
+        });
+    }
+    let lanes = m.kernel_lanes().max(1) as f64;
+    // Per-work-item bytes (per-lane stream sets are parallel replicas).
+    let bytes_per_item = bytes_per_item_all_lanes / lanes;
+    let gated = if min_item_rate.is_finite() {
+        lanes * min_item_rate * bytes_per_item
+    } else {
+        f64::INFINITY
+    };
+    let dram_sum = dram_sum.min(gated);
+    let (dram_effective, rho_g) = aggregate(&dev.dram_link, dram_sum, streams.is_empty());
+
+    // Host DMA moves whole arrays contiguously regardless of the kernel's
+    // access pattern; its sustained figure depends on transfer size.
+    let total_elems: u64 = m
+        .streams
+        .iter()
+        .filter_map(|s| m.mem(&s.mem))
+        .filter(|mem| mem.space.is_offchip())
+        .map(|mem| mem.len)
+        .sum();
+    let host_sum = if total_elems == 0 {
+        0.0
+    } else {
+        dev.host_link
+            .bw
+            .sustained_bytes_per_s(AccessPattern::Contiguous, total_elems)
+    };
+    let (host_effective, rho_h) = aggregate(&dev.host_link, host_sum, total_elems == 0);
+
+    BandwidthBreakdown { streams, dram_effective, rho_g, host_effective, rho_h }
+}
+
+fn aggregate(link: &LinkSpec, sum: f64, empty: bool) -> (f64, f64) {
+    if empty {
+        // No off-chip streams: bandwidth is not a factor; report the
+        // cap so time terms divide cleanly.
+        let eff = link.peak_bytes_per_s * CONTROLLER_EFFICIENCY;
+        return (eff, CONTROLLER_EFFICIENCY);
+    }
+    let eff = sum.min(link.peak_bytes_per_s * CONTROLLER_EFFICIENCY);
+    (eff, eff / link.peak_bytes_per_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_device::{stratix_v_gsd8, virtex7_adm7v3};
+    use tytra_ir::{ModuleBuilder, Opcode, ParKind, ScalarType};
+
+    const T: ScalarType = ScalarType::UInt(32);
+
+    fn module_with_streams(n_in: usize, strided: bool, elems: u64) -> IrModule {
+        let mut b = ModuleBuilder::new("m");
+        for i in 0..n_in {
+            if strided {
+                b.global_array(
+                    &format!("x{i}"),
+                    T,
+                    elems,
+                    StreamDir::Read,
+                    AccessPattern::Strided { stride: 2000 },
+                );
+            } else {
+                b.global_input(&format!("x{i}"), T, elems);
+            }
+        }
+        b.global_output("y", T, elems);
+        {
+            let f = b.function("f0", ParKind::Pipe);
+            for i in 0..n_in {
+                f.input(format!("x{i}"), T);
+            }
+            f.output("y", T);
+            let x = f.arg("x0");
+            let v = f.instr(Opcode::Add, T, vec![x, f.imm(1)]);
+            f.write_out("y", v);
+        }
+        b.main_calls("f0");
+        b.ndrange(&[elems]);
+        b.finish_unchecked()
+    }
+
+    #[test]
+    fn contiguous_streams_aggregate() {
+        let dev = virtex7_adm7v3();
+        let m = module_with_streams(3, false, 2000 * 2000);
+        let bw = assess(&m, &dev);
+        assert_eq!(bw.streams.len(), 4);
+        // Each contiguous 2000-side stream sustains 5.2 Gbps = 0.65 GB/s.
+        let per = 5.2e9 / 8.0;
+        assert!((bw.streams[0].sustained_bytes_per_s - per).abs() / per < 1e-9);
+        assert!((bw.dram_effective - 4.0 * per).abs() / per < 1e-6);
+        assert!(bw.rho_g > 0.2 && bw.rho_g < 0.3, "{}", bw.rho_g);
+    }
+
+    #[test]
+    fn aggregate_capped_at_controller_efficiency() {
+        let dev = virtex7_adm7v3();
+        // 20 streams would nominally exceed the 10.7 GB/s link.
+        let m = module_with_streams(19, false, 6000 * 6000);
+        let bw = assess(&m, &dev);
+        assert!((bw.rho_g - CONTROLLER_EFFICIENCY).abs() < 1e-9);
+        assert!(
+            (bw.dram_effective - dev.dram_link.peak_bytes_per_s * CONTROLLER_EFFICIENCY).abs()
+                < 1.0
+        );
+    }
+
+    #[test]
+    fn strided_streams_collapse_rho() {
+        let dev = virtex7_adm7v3();
+        let cont = assess(&module_with_streams(1, false, 2000 * 2000), &dev);
+        let strided = assess(&module_with_streams(1, true, 2000 * 2000), &dev);
+        // One stream of each direction; the strided input drags the
+        // aggregate down by an order of magnitude or more.
+        assert!(cont.dram_effective / strided.dram_effective > 1.8);
+        let strided_in = &strided.streams[0];
+        assert!(matches!(strided_in.pattern, AccessPattern::Strided { .. }));
+        assert!(strided_in.sustained_bytes_per_s < 0.08e9 / 8.0 + 1.0);
+    }
+
+    #[test]
+    fn small_arrays_sustain_less() {
+        let dev = virtex7_adm7v3();
+        let small = assess(&module_with_streams(1, false, 100 * 100), &dev);
+        let large = assess(&module_with_streams(1, false, 4000 * 4000), &dev);
+        assert!(small.dram_effective < large.dram_effective);
+    }
+
+    #[test]
+    fn no_offchip_streams_reports_cap() {
+        let dev = stratix_v_gsd8();
+        let mut b = ModuleBuilder::new("c");
+        b.local_array("x", T, 64, StreamDir::Read);
+        b.local_array("y", T, 64, StreamDir::Write);
+        {
+            let f = b.function("f0", ParKind::Pipe);
+            f.input("x", T);
+            f.output("y", T);
+            let x = f.arg("x");
+            let v = f.instr(Opcode::Add, T, vec![x, f.imm(1)]);
+            f.write_out("y", v);
+        }
+        b.main_calls("f0");
+        b.ndrange(&[64]);
+        let m = b.finish_unchecked();
+        let bw = assess(&m, &dev);
+        assert!(bw.streams.is_empty());
+        assert_eq!(bw.rho_g, CONTROLLER_EFFICIENCY);
+    }
+
+    #[test]
+    fn host_rho_depends_on_transfer_size() {
+        let dev = stratix_v_gsd8();
+        let small = assess(&module_with_streams(1, false, 64 * 64), &dev);
+        let large = assess(&module_with_streams(1, false, 4000 * 4000), &dev);
+        assert!(small.rho_h < large.rho_h);
+        assert!(large.rho_h <= CONTROLLER_EFFICIENCY + 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Ablatable cost-model configuration.
+//!
+//! DESIGN.md §8 commits to ablation benches for the design choices the
+//! paper motivates. [`CostOptions`] switches the three distinctive
+//! ingredients of the model off one at a time:
+//!
+//! * the **empirical sustained-bandwidth model** (section V-C) — without
+//!   it, streams are assumed to sustain the controller-efficiency
+//!   fraction of peak regardless of pattern and size;
+//! * the **structural resource terms** (offset buffers, delay lines,
+//!   stream control, lane glue) — without them, only the datapath
+//!   functional units are counted, as a naive per-instruction model
+//!   would;
+//! * **constant strength reduction** — without it, a multiply by a
+//!   constant is priced like a variable multiply (DSP and all).
+//!
+//! `estimate` ≡ `estimate_with(&CostOptions::default())`; the ablation
+//! bench (`cargo run -p tytra-bench --bin ablation`) quantifies how each
+//! ingredient buys accuracy against the virtual toolchain.
+
+/// Which ingredients of the cost model are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostOptions {
+    /// Apply the Fig 10 empirical sustained-bandwidth model (§V-C).
+    pub sustained_bandwidth: bool,
+    /// Count structural logic (offset buffers, delay lines, stream
+    /// control, sequencers, lane glue), not just functional units.
+    pub structural_resources: bool,
+    /// Model synthesis strength reduction of constant operands.
+    pub strength_reduction: bool,
+}
+
+impl Default for CostOptions {
+    fn default() -> CostOptions {
+        CostOptions {
+            sustained_bandwidth: true,
+            structural_resources: true,
+            strength_reduction: true,
+        }
+    }
+}
+
+impl CostOptions {
+    /// Everything on (the paper's model).
+    pub fn full() -> CostOptions {
+        CostOptions::default()
+    }
+
+    /// The naive comparator: per-instruction resources at peak
+    /// bandwidth, no strength reduction.
+    pub fn naive() -> CostOptions {
+        CostOptions {
+            sustained_bandwidth: false,
+            structural_resources: false,
+            strength_reduction: false,
+        }
+    }
+
+    /// Ablate only the bandwidth model.
+    pub fn without_bandwidth() -> CostOptions {
+        CostOptions { sustained_bandwidth: false, ..CostOptions::default() }
+    }
+
+    /// Ablate only the structural terms.
+    pub fn without_structural() -> CostOptions {
+        CostOptions { structural_resources: false, ..CostOptions::default() }
+    }
+
+    /// Ablate only strength reduction.
+    pub fn without_strength_reduction() -> CostOptions {
+        CostOptions { strength_reduction: false, ..CostOptions::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full() {
+        assert_eq!(CostOptions::default(), CostOptions::full());
+        let f = CostOptions::full();
+        assert!(f.sustained_bandwidth && f.structural_resources && f.strength_reduction);
+    }
+
+    #[test]
+    fn naive_disables_everything() {
+        let n = CostOptions::naive();
+        assert!(!n.sustained_bandwidth && !n.structural_resources && !n.strength_reduction);
+    }
+
+    #[test]
+    fn single_ablations_flip_one_switch() {
+        assert!(!CostOptions::without_bandwidth().sustained_bandwidth);
+        assert!(CostOptions::without_bandwidth().structural_resources);
+        assert!(!CostOptions::without_structural().structural_resources);
+        assert!(CostOptions::without_structural().sustained_bandwidth);
+        assert!(!CostOptions::without_strength_reduction().strength_reduction);
+    }
+}

@@ -1,0 +1,144 @@
+//! Physical-plausibility properties of the cost model over randomised
+//! designs: resources grow with replication, throughput responds to the
+//! knobs in the right direction, and the EKIT terms compose.
+
+use proptest::prelude::*;
+use tytra_cost::{estimate, CostOptions, estimate_with};
+use tytra_device::stratix_v_gsd8;
+use tytra_ir::{IrModule, MemForm, ModuleBuilder, Opcode, ParKind, ScalarType};
+
+/// Build a pipeline with `n_muls` chained multiplies at `width` bits,
+/// `lanes` lanes and the given geometry.
+fn chain_module(width: u16, n_muls: usize, lanes: u64, ngs: u64, nki: u64) -> IrModule {
+    let t = ScalarType::UInt(width);
+    let mut b = ModuleBuilder::new(format!("chain_w{width}_m{n_muls}_l{lanes}"));
+    if lanes > 1 {
+        for l in 0..lanes {
+            b.global_input(&format!("x{l}"), t, ngs / lanes);
+            b.global_output(&format!("y{l}"), t, ngs / lanes);
+        }
+    } else {
+        b.global_input("x", t, ngs);
+        b.global_output("y", t, ngs);
+    }
+    {
+        let f = b.function("f0", ParKind::Pipe);
+        f.input("x", t);
+        f.output("y", t);
+        let mut cur = f.arg("x");
+        for _ in 0..n_muls {
+            let x = f.arg("x");
+            cur = f.instr(Opcode::Mul, t, vec![cur, x]);
+        }
+        let fin = f.instr(Opcode::Add, t, vec![cur, f.imm(1)]);
+        f.write_out("y", fin);
+    }
+    if lanes > 1 {
+        let f = b.function("f1", ParKind::Par);
+        for _ in 0..lanes {
+            f.call("f0", vec![], ParKind::Pipe);
+        }
+        b.main_calls("f1");
+    } else {
+        b.main_calls("f0");
+    }
+    b.ndrange(&[ngs]).nki(nki).form(MemForm::B);
+    b.finish().expect("valid chain module")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn resources_monotone_in_instruction_count(
+        w in 8u16..40,
+        n in 1usize..8,
+    ) {
+        let dev = stratix_v_gsd8();
+        let small = estimate(&chain_module(w, n, 1, 1 << 12, 1), &dev).unwrap();
+        let large = estimate(&chain_module(w, n + 2, 1, 1 << 12, 1), &dev).unwrap();
+        prop_assert!(large.resources.total.aluts > small.resources.total.aluts);
+        prop_assert!(large.params.sched.ni > small.params.sched.ni);
+        prop_assert!(large.params.sched.kpd >= small.params.sched.kpd);
+    }
+
+    #[test]
+    fn resources_scale_linearly_with_lanes(
+        lanes_pow in 1u32..4,
+        n in 1usize..5,
+    ) {
+        let lanes = 1u64 << lanes_pow;
+        let dev = stratix_v_gsd8();
+        let one = estimate(&chain_module(18, n, 1, 1 << 12, 1), &dev).unwrap();
+        let many = estimate(&chain_module(18, n, lanes, 1 << 12, 1), &dev).unwrap();
+        let ratio = many.resources.total.aluts as f64 / one.resources.total.aluts as f64;
+        // Per-lane port/stream-control replication makes tiny datapaths
+        // scale slightly super-linearly; the band is still ~linear.
+        prop_assert!(
+            ratio > 0.85 * lanes as f64 && ratio < 1.35 * lanes as f64 + 0.2,
+            "{lanes} lanes scaled ALUTs by {ratio}"
+        );
+    }
+
+    #[test]
+    fn compute_bound_throughput_improves_with_lanes(lanes_pow in 1u32..4) {
+        let lanes = 1u64 << lanes_pow;
+        let dev = stratix_v_gsd8();
+        // Small traffic (1 in, 1 out) keeps the design compute-bound.
+        let one = estimate(&chain_module(18, 4, 1, 1 << 18, 10), &dev).unwrap();
+        let many = estimate(&chain_module(18, 4, lanes, 1 << 18, 10), &dev).unwrap();
+        prop_assert!(many.throughput.ekit > one.throughput.ekit);
+    }
+
+    #[test]
+    fn ekit_terms_compose_to_the_total(
+        w in 8u16..33,
+        n in 1usize..6,
+        lanes_pow in 0u32..3,
+    ) {
+        let dev = stratix_v_gsd8();
+        let r = estimate(&chain_module(w, n, 1 << lanes_pow, 1 << 14, 5), &dev).unwrap();
+        let t = &r.throughput;
+        let main = t.t_memory.max(t.t_compute);
+        let sum = t.t_host + t.t_offset_fill + t.t_pipe_fill + main + t.t_overhead;
+        prop_assert!((sum - t.t_instance).abs() < 1e-12 * t.t_instance.max(1e-30));
+        prop_assert!((1.0 / t.t_instance - t.ekit).abs() < 1e-6 * t.ekit);
+    }
+
+    #[test]
+    fn bigger_grids_take_longer(npow in 10u32..20) {
+        let dev = stratix_v_gsd8();
+        let small = estimate(&chain_module(18, 3, 1, 1 << npow, 5), &dev).unwrap();
+        let large = estimate(&chain_module(18, 3, 1, 1 << (npow + 1), 5), &dev).unwrap();
+        prop_assert!(large.throughput.t_instance > small.throughput.t_instance);
+        prop_assert!(large.throughput.cpki > small.throughput.cpki);
+    }
+
+    #[test]
+    fn ablated_structural_model_underestimates(
+        w in 8u16..33,
+        n in 1usize..6,
+    ) {
+        let dev = stratix_v_gsd8();
+        let m = chain_module(w, n, 1, 1 << 12, 1);
+        let full = estimate_with(&m, &dev, &CostOptions::full()).unwrap();
+        let naive = estimate_with(&m, &dev, &CostOptions::without_structural()).unwrap();
+        prop_assert!(naive.resources.total.aluts < full.resources.total.aluts);
+        prop_assert!(naive.resources.total.regs <= full.resources.total.regs);
+    }
+
+    #[test]
+    fn form_a_never_faster_than_form_b(
+        npow in 12u32..18,
+        nki in 2u64..50,
+    ) {
+        let dev = stratix_v_gsd8();
+        let mut ma = chain_module(18, 3, 1, 1 << npow, nki);
+        ma.meta.form = MemForm::A;
+        let mut mb = chain_module(18, 3, 1, 1 << npow, nki);
+        mb.meta.form = MemForm::B;
+        let a = estimate(&ma, &dev).unwrap();
+        let b = estimate(&mb, &dev).unwrap();
+        prop_assert!(b.throughput.ekit >= a.throughput.ekit);
+    }
+}

@@ -1,0 +1,348 @@
+//! Per-instruction cost curves fitted from synthesis benchmark points
+//! (paper section V-A, Fig 9).
+//!
+//! For each opcode family the model holds the *benchmark points* a
+//! one-time calibration run produced on the target, and fits the
+//! appropriate expression at construction:
+//!
+//! * integer division — a quadratic in bit width (the paper's
+//!   `x² + 3.7x − 10.6` trend line fitted from synthesis at 18/32/64
+//!   bits);
+//! * integer multiplication — piece-wise-linear ALUTs plus a step table
+//!   of DSP elements that jumps at the native 18×18 slice boundaries;
+//! * adders, logic, shifters, comparators — first-order expressions;
+//! * floating-point units — constant tables per precision.
+//!
+//! Besides resources, the calibration provides per-op pipeline
+//! **latency** (cycles) and **stage delay** (ns, limiting the clock a
+//! stage containing the unit can close), both consumed by the cost
+//! model's scheduler and frequency estimator.
+
+use crate::interp::{PiecewiseLinear, PolyFit};
+use crate::resources::ResourceVector;
+use tytra_ir::{LatencyModel, Opcode, ScalarType};
+
+/// Calibrated per-instruction cost model for one target fabric.
+#[derive(Debug, Clone)]
+pub struct OpCostModel {
+    /// Quadratic fit for divider/remainder ALUTs vs width.
+    div_aluts: PolyFit,
+    /// Piece-wise-linear multiplier ALUTs vs width.
+    mul_aluts: PiecewiseLinear,
+    /// Step table of multiplier DSP elements vs width.
+    mul_dsps: PiecewiseLinear,
+    /// ns of combinational delay added per bit of adder carry chain.
+    carry_ns_per_bit: f64,
+    /// Fixed routing + LUT delay per pipeline stage, ns.
+    route_ns: f64,
+}
+
+impl Default for OpCostModel {
+    fn default() -> OpCostModel {
+        OpCostModel::stratix_v()
+    }
+}
+
+impl OpCostModel {
+    /// The Stratix-V calibration used throughout the paper (Fig 9's
+    /// benchmark points).
+    pub fn stratix_v() -> OpCostModel {
+        // Divider ALUTs from synthesis at 18/32/64 bits; the quadratic
+        // through them is the paper's x² + 3.7x − 10.6.
+        let div_curve = |x: f64| x * x + 3.7 * x - 10.6;
+        let div_points: Vec<(f64, f64)> =
+            [18.0, 32.0, 64.0].iter().map(|&x| (x, div_curve(x))).collect();
+        // Multiplier ALUTs: small below one DSP slice, growing piece-wise
+        // as correction logic appears around slice boundaries (Fig 9's
+        // mul-ALUTs series tops out near 70 at 64 bits).
+        let mul_aluts = PiecewiseLinear::new(vec![
+            (1.0, 1.0),
+            (9.0, 4.0),
+            (18.0, 6.0),
+            (19.0, 21.0),
+            (36.0, 30.0),
+            (37.0, 52.0),
+            (54.0, 60.0),
+            (64.0, 70.0),
+        ]);
+        // DSP elements: one variable-precision slice handles 18×18; wider
+        // products tile (Fig 9's mul-DSP staircase, reaching 8 at 64
+        // bits).
+        let mul_dsps = PiecewiseLinear::new(vec![
+            (1.0, 1.0),
+            (19.0, 2.0),
+            (37.0, 4.0),
+            (55.0, 8.0),
+        ]);
+        OpCostModel {
+            div_aluts: PolyFit::fit(&div_points, 2),
+            mul_aluts,
+            mul_dsps,
+            carry_ns_per_bit: 0.035,
+            route_ns: 2.1,
+        }
+    }
+
+    /// Resource cost of one functional unit implementing `op` at `ty`.
+    pub fn cost(&self, op: Opcode, ty: ScalarType) -> ResourceVector {
+        if ty.is_float() {
+            return self.float_cost(op, ty);
+        }
+        let w = u64::from(ty.bits());
+        let wf = ty.bits() as f64;
+        let lat = u64::from(self.latency(op, ty));
+        // Every pipelined unit registers its output each cycle of its
+        // latency.
+        let regs = w * lat;
+        match op {
+            Opcode::Add | Opcode::Sub => ResourceVector::new(w + 2, regs, 0, 0),
+            Opcode::Mul => ResourceVector::new(
+                self.mul_aluts.eval_count(wf),
+                regs,
+                0,
+                self.mul_dsps.eval_step(wf) as u64,
+            ),
+            Opcode::Div | Opcode::Rem => {
+                ResourceVector::new(self.div_aluts.eval_count(wf), regs, 0, 0)
+            }
+            Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Not => {
+                ResourceVector::new(w.div_ceil(2), regs, 0, 0)
+            }
+            Opcode::Shl | Opcode::Shr => {
+                // Barrel shifter: log2(w) mux levels of w bits.
+                let levels = 64 - u64::from(w.leading_zeros());
+                ResourceVector::new(w * levels / 2 + 2, regs, 0, 0)
+            }
+            Opcode::CmpEq
+            | Opcode::CmpNe
+            | Opcode::CmpLt
+            | Opcode::CmpLe
+            | Opcode::CmpGt
+            | Opcode::CmpGe => ResourceVector::new(w / 2 + 3, lat, 0, 0),
+            Opcode::Select => ResourceVector::new(w, regs, 0, 0),
+            Opcode::Min | Opcode::Max => ResourceVector::new(w + w / 2 + 3, regs, 0, 0),
+            Opcode::Abs | Opcode::Neg => ResourceVector::new(w + 1, regs, 0, 0),
+            Opcode::Sqrt => {
+                // Integer isqrt: a restoring network roughly half a
+                // divider.
+                ResourceVector::new(self.div_aluts.eval_count(wf) / 2 + 8, regs, 0, 0)
+            }
+        }
+    }
+
+    fn float_cost(&self, op: Opcode, ty: ScalarType) -> ResourceVector {
+        let double = ty.bits() == 64;
+        let lat = u64::from(self.latency(op, ty));
+        let w = u64::from(ty.bits());
+        let regs = w * lat;
+        let scale = if double { 3 } else { 1 };
+        match op {
+            Opcode::Add | Opcode::Sub => ResourceVector::new(550 * scale, regs, 0, 0),
+            Opcode::Mul => ResourceVector::new(130 * scale, regs, 0, if double { 4 } else { 1 }),
+            Opcode::Div | Opcode::Rem => ResourceVector::new(900 * scale, regs, 0, 0),
+            Opcode::Sqrt => ResourceVector::new(800 * scale, regs, 0, 0),
+            Opcode::CmpEq
+            | Opcode::CmpNe
+            | Opcode::CmpLt
+            | Opcode::CmpLe
+            | Opcode::CmpGt
+            | Opcode::CmpGe => ResourceVector::new(80 * scale, lat, 0, 0),
+            Opcode::Min | Opcode::Max => ResourceVector::new(120 * scale, regs, 0, 0),
+            Opcode::Abs | Opcode::Neg => ResourceVector::new(2, regs, 0, 0),
+            Opcode::Select => ResourceVector::new(w, regs, 0, 0),
+            Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Not | Opcode::Shl | Opcode::Shr => {
+                // Bit-level ops on float lanes are raw moves.
+                ResourceVector::new(w.div_ceil(2), regs, 0, 0)
+            }
+        }
+    }
+
+    /// Pipeline latency of the unit, in cycles (≥ 1).
+    pub fn latency(&self, op: Opcode, ty: ScalarType) -> u32 {
+        let w = u32::from(ty.bits());
+        if ty.is_float() {
+            return match op {
+                Opcode::Add | Opcode::Sub => 7,
+                Opcode::Mul => 5,
+                Opcode::Div | Opcode::Rem => 14,
+                Opcode::Sqrt => 16,
+                Opcode::Min | Opcode::Max => 2,
+                _ => 1,
+            };
+        }
+        match op {
+            Opcode::Mul => {
+                if w <= 18 {
+                    2
+                } else {
+                    3
+                }
+            }
+            Opcode::Div | Opcode::Rem => w / 4 + 3,
+            Opcode::Sqrt => w / 2 + 3,
+            _ => 1,
+        }
+    }
+
+    /// Combinational delay of a pipeline stage containing the unit, in
+    /// ns, including fixed routing overhead. The frequency estimator uses
+    /// the maximum stage delay along the datapath.
+    pub fn stage_delay_ns(&self, op: Opcode, ty: ScalarType) -> f64 {
+        self.route_ns + self.op_delay_ns(op, ty)
+    }
+
+    /// Fixed routing + clock-network delay charged once per pipeline
+    /// stage, ns.
+    pub fn route_delay_ns(&self) -> f64 {
+        self.route_ns
+    }
+
+    /// Pure combinational delay of the unit's logic, ns, excluding
+    /// routing. `comb` blocks chain several of these inside one stage.
+    pub fn op_delay_ns(&self, op: Opcode, ty: ScalarType) -> f64 {
+        let w = f64::from(ty.bits());
+        if ty.is_float() {
+            // FP units are internally pipelined to the fabric's sweet
+            // spot.
+            return 1.4;
+        }
+        match op {
+            Opcode::Add | Opcode::Sub | Opcode::Min | Opcode::Max | Opcode::Abs | Opcode::Neg => {
+                self.carry_ns_per_bit * w
+            }
+            Opcode::Mul => 0.9 + 0.012 * w,
+            Opcode::Div | Opcode::Rem | Opcode::Sqrt => 1.8 + 0.04 * w,
+            Opcode::Shl | Opcode::Shr => 0.3 + 0.01 * w,
+            Opcode::CmpEq
+            | Opcode::CmpNe
+            | Opcode::CmpLt
+            | Opcode::CmpLe
+            | Opcode::CmpGt
+            | Opcode::CmpGe => self.carry_ns_per_bit * w * 0.6,
+            Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Not | Opcode::Select => 0.2,
+        }
+    }
+}
+
+/// Adapter so the calibration plugs straight into
+/// [`tytra_ir::Dfg::build`].
+impl LatencyModel for OpCostModel {
+    fn latency(&self, op: Opcode, ty: ScalarType) -> u32 {
+        OpCostModel::latency(self, op, ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UI18: ScalarType = ScalarType::UInt(18);
+    const UI24: ScalarType = ScalarType::UInt(24);
+    const UI32: ScalarType = ScalarType::UInt(32);
+    const UI64: ScalarType = ScalarType::UInt(64);
+    const F32: ScalarType = ScalarType::Float(32);
+
+    #[test]
+    fn fig9_divider_interpolation_at_24_bits() {
+        let m = OpCostModel::stratix_v();
+        // Paper: estimate 654 ALUTs, actual 652.
+        assert_eq!(m.cost(Opcode::Div, UI24).aluts, 654);
+    }
+
+    #[test]
+    fn divider_aluts_grow_quadratically() {
+        let m = OpCostModel::stratix_v();
+        let a18 = m.cost(Opcode::Div, UI18).aluts;
+        let a32 = m.cost(Opcode::Div, UI32).aluts;
+        let a64 = m.cost(Opcode::Div, UI64).aluts;
+        assert!(a18 < a32 && a32 < a64);
+        // Quadratic growth: doubling width more than doubles cost.
+        assert!(a64 > 3 * a32, "{a64} vs {a32}");
+        assert_eq!(m.cost(Opcode::Div, UI18).dsps, 0);
+    }
+
+    #[test]
+    fn multiplier_dsp_staircase() {
+        let m = OpCostModel::stratix_v();
+        assert_eq!(m.cost(Opcode::Mul, UI18).dsps, 1);
+        assert_eq!(m.cost(Opcode::Mul, ScalarType::UInt(19)).dsps, 2);
+        assert_eq!(m.cost(Opcode::Mul, UI32).dsps, 2);
+        assert_eq!(m.cost(Opcode::Mul, ScalarType::UInt(48)).dsps, 4);
+        assert_eq!(m.cost(Opcode::Mul, UI64).dsps, 8);
+    }
+
+    #[test]
+    fn multiplier_aluts_piecewise_and_small() {
+        let m = OpCostModel::stratix_v();
+        let a18 = m.cost(Opcode::Mul, UI18).aluts;
+        let a64 = m.cost(Opcode::Mul, UI64).aluts;
+        assert!(a18 <= 6);
+        assert_eq!(a64, 70);
+        // Two orders of magnitude below a divider of the same width.
+        assert!(m.cost(Opcode::Div, UI64).aluts > 40 * a64);
+    }
+
+    #[test]
+    fn adder_linear_in_width() {
+        let m = OpCostModel::stratix_v();
+        assert_eq!(m.cost(Opcode::Add, UI18).aluts, 20);
+        assert_eq!(m.cost(Opcode::Add, UI32).aluts, 34);
+        assert_eq!(m.cost(Opcode::Add, UI18).regs, 18);
+    }
+
+    #[test]
+    fn latencies_reasonable() {
+        let m = OpCostModel::stratix_v();
+        assert_eq!(m.latency(Opcode::Add, UI18), 1);
+        assert_eq!(m.latency(Opcode::Mul, UI18), 2);
+        assert_eq!(m.latency(Opcode::Mul, UI32), 3);
+        assert_eq!(m.latency(Opcode::Div, UI32), 11);
+        assert_eq!(m.latency(Opcode::Add, F32), 7);
+        for op in Opcode::ALL {
+            assert!(m.latency(op, UI18) >= 1);
+            assert!(m.latency(op, F32) >= 1);
+        }
+    }
+
+    #[test]
+    fn stage_delays_bound_frequency_realistically() {
+        let m = OpCostModel::stratix_v();
+        for op in Opcode::ALL {
+            for ty in [UI18, UI32, UI64, F32] {
+                let d = m.stage_delay_ns(op, ty);
+                // Every stage closes between 100 MHz and 500 MHz.
+                assert!(d > 2.0 && d < 10.0, "{op} {ty}: {d} ns");
+            }
+        }
+        // Wider adders are slower.
+        assert!(m.stage_delay_ns(Opcode::Add, UI64) > m.stage_delay_ns(Opcode::Add, UI18));
+    }
+
+    #[test]
+    fn float_units_cost_more_than_int() {
+        let m = OpCostModel::stratix_v();
+        assert!(m.cost(Opcode::Add, F32).aluts > 10 * m.cost(Opcode::Add, UI32).aluts);
+        assert_eq!(m.cost(Opcode::Mul, F32).dsps, 1);
+        let f64t = ScalarType::Float(64);
+        assert!(m.cost(Opcode::Add, f64t).aluts > m.cost(Opcode::Add, F32).aluts);
+    }
+
+    #[test]
+    fn all_ops_have_finite_costs() {
+        let m = OpCostModel::stratix_v();
+        for op in Opcode::ALL {
+            for ty in [UI18, UI32, UI64, F32, ScalarType::Int(16), ScalarType::Float(64)] {
+                let c = m.cost(op, ty);
+                assert!(c.aluts < 100_000, "{op} {ty}: {c}");
+                assert!(c.bram_bits == 0, "FU models use no BRAM: {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_model_trait_adapter() {
+        let m = OpCostModel::stratix_v();
+        let lm: &dyn LatencyModel = &m;
+        assert_eq!(lm.latency(Opcode::Mul, UI18), 2);
+    }
+}

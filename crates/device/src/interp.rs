@@ -1,0 +1,256 @@
+//! Fitting and interpolation over benchmark points (paper section V-A).
+//!
+//! The paper observes that "the regularity of FPGA fabric allows some very
+//! simple first or second order expressions to be built up for most
+//! primitive instructions based on a few experiments": a quadratic fitted
+//! from three synthesis points predicts the ALUTs of an integer divider
+//! within a fraction of a percent (654 predicted vs 652 actual at 24
+//! bits), while multiplier resources are piece-wise linear in bit width
+//! with clearly identifiable discontinuities at DSP-granularity
+//! boundaries.
+//!
+//! [`PolyFit`] implements least-squares polynomial fitting (normal
+//! equations + Gaussian elimination — tiny systems, numerically tame for
+//! degree ≤ 3 over bit widths ≤ 128). [`PiecewiseLinear`] implements the
+//! breakpoint tables.
+
+/// A least-squares polynomial `c0 + c1·x + c2·x² + …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    /// Coefficients, lowest order first.
+    pub coeffs: Vec<f64>,
+}
+
+impl PolyFit {
+    /// Fit a polynomial of the given degree through `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `degree + 1` points are supplied or the
+    /// normal-equation system is singular (coincident x values).
+    pub fn fit(points: &[(f64, f64)], degree: usize) -> PolyFit {
+        let n = degree + 1;
+        assert!(
+            points.len() >= n,
+            "need at least {n} points for a degree-{degree} fit, got {}",
+            points.len()
+        );
+        // Normal equations: A^T A c = A^T y with A the Vandermonde matrix.
+        let mut ata = vec![vec![0.0f64; n]; n];
+        let mut aty = vec![0.0f64; n];
+        for &(x, y) in points {
+            let mut powers = Vec::with_capacity(2 * n - 1);
+            let mut p = 1.0;
+            for _ in 0..(2 * n - 1) {
+                powers.push(p);
+                p *= x;
+            }
+            for (i, row) in ata.iter_mut().enumerate() {
+                for (j, a) in row.iter_mut().enumerate() {
+                    *a += powers[i + j];
+                }
+                aty[i] += powers[i] * y;
+            }
+        }
+        let coeffs = solve(&mut ata, &mut aty);
+        PolyFit { coeffs }
+    }
+
+    /// Evaluate the polynomial at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // Horner's rule.
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluate, clamp below at zero, and round to the nearest integer —
+    /// the form resource estimates take.
+    pub fn eval_count(&self, x: f64) -> u64 {
+        self.eval(x).max(0.0).round() as u64
+    }
+}
+
+/// Solve the symmetric positive-definite system in place via Gaussian
+/// elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // index form mirrors the algebra
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty system");
+        assert!(a[pivot][col].abs() > 1e-12, "singular fit system");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let k = a[row][col] / a[col][col];
+            if k == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[row][c] -= k * a[col][c];
+            }
+            b[row] -= k * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in (row + 1)..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+/// A piece-wise-linear table over sorted breakpoints, clamped at both
+/// ends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    points: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Build from breakpoints; sorts by x and requires at least one point
+    /// and strictly increasing x after sorting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty table or duplicate x values.
+    pub fn new(mut points: Vec<(f64, f64)>) -> PiecewiseLinear {
+        assert!(!points.is_empty(), "piecewise table needs at least one point");
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "duplicate breakpoint x = {}", w[0].0);
+        }
+        PiecewiseLinear { points }
+    }
+
+    /// Interpolate at `x` (clamped to the table's range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the enclosing segment.
+        let idx = pts.partition_point(|&(px, _)| px < x);
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Interpolate and round to a count.
+    pub fn eval_count(&self, x: f64) -> u64 {
+        self.eval(x).max(0.0).round() as u64
+    }
+
+    /// A step table: holds each y constant until the next breakpoint
+    /// (used for DSP-element counts, which jump at width boundaries).
+    pub fn eval_step(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        let idx = pts.partition_point(|&(px, _)| px <= x);
+        pts[idx - 1].1
+    }
+
+    /// The breakpoints (sorted).
+    pub fn breakpoints(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig 9 experiment: fit a quadratic to three synthesis
+    /// points for integer division generated by `x² + 3.7x − 10.6`, then
+    /// interpolate at 24 bits and compare with the actual 652 ALUTs.
+    #[test]
+    fn fig9_quadratic_from_three_points() {
+        let curve = |x: f64| x * x + 3.7 * x - 10.6;
+        let pts: Vec<(f64, f64)> = [18.0, 32.0, 64.0].iter().map(|&x| (x, curve(x))).collect();
+        let fit = PolyFit::fit(&pts, 2);
+        assert!((fit.coeffs[2] - 1.0).abs() < 1e-9);
+        assert!((fit.coeffs[1] - 3.7).abs() < 1e-9);
+        assert!((fit.coeffs[0] + 10.6).abs() < 1e-9);
+        let at24 = fit.eval_count(24.0);
+        assert_eq!(at24, 654);
+        // Paper: actual usage 652 ALUTs → error well under 1 %.
+        let err = (at24 as f64 - 652.0) / 652.0 * 100.0;
+        assert!(err.abs() < 0.5, "error {err}%");
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let pts = [(1.0, 3.0), (2.0, 5.0), (3.0, 7.0), (10.0, 21.0)];
+        let fit = PolyFit::fit(&pts, 1);
+        assert!((fit.coeffs[1] - 2.0).abs() < 1e-9);
+        assert!((fit.coeffs[0] - 1.0).abs() < 1e-9);
+        assert_eq!(fit.eval_count(6.0), 13);
+    }
+
+    #[test]
+    fn overdetermined_fit_minimises_residual() {
+        // Noisy line; least squares should land near slope 2.
+        let pts = [(0.0, 0.1), (1.0, 1.9), (2.0, 4.1), (3.0, 5.9), (4.0, 8.1)];
+        let fit = PolyFit::fit(&pts, 1);
+        assert!((fit.coeffs[1] - 2.0).abs() < 0.05, "{:?}", fit.coeffs);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn underdetermined_fit_panics() {
+        PolyFit::fit(&[(1.0, 1.0), (2.0, 2.0)], 2);
+    }
+
+    #[test]
+    fn eval_count_clamps_negative() {
+        // x² + 3.7x − 10.6 is negative at small x; counts clamp at 0.
+        let fit = PolyFit { coeffs: vec![-10.6, 3.7, 1.0] };
+        assert_eq!(fit.eval_count(1.0), 0);
+    }
+
+    #[test]
+    fn piecewise_interpolates_and_clamps() {
+        let t = PiecewiseLinear::new(vec![(10.0, 100.0), (20.0, 200.0), (40.0, 200.0)]);
+        assert_eq!(t.eval(5.0), 100.0);
+        assert_eq!(t.eval(15.0), 150.0);
+        assert_eq!(t.eval(30.0), 200.0);
+        assert_eq!(t.eval(99.0), 200.0);
+        assert_eq!(t.eval_count(15.1), 151);
+    }
+
+    #[test]
+    fn piecewise_sorts_input() {
+        let t = PiecewiseLinear::new(vec![(20.0, 2.0), (10.0, 1.0)]);
+        assert_eq!(t.breakpoints(), &[(10.0, 1.0), (20.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate breakpoint")]
+    fn piecewise_rejects_duplicates() {
+        PiecewiseLinear::new(vec![(1.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    fn step_table_for_dsp_counts() {
+        // DSP elements for a multiplier on a Stratix-V-like fabric: jumps
+        // at the 18/36/54-bit boundaries.
+        let t = PiecewiseLinear::new(vec![(1.0, 1.0), (19.0, 2.0), (37.0, 4.0), (55.0, 8.0)]);
+        assert_eq!(t.eval_step(18.0), 1.0);
+        assert_eq!(t.eval_step(19.0), 2.0);
+        assert_eq!(t.eval_step(36.0), 2.0);
+        assert_eq!(t.eval_step(40.0), 4.0);
+        assert_eq!(t.eval_step(64.0), 8.0);
+        assert_eq!(t.eval_step(0.5), 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Power model used for the Fig 18 energy comparison.
+//!
+//! The paper measures the *increase over idle* of the host+device node on
+//! a power meter. We model the FPGA side as static power plus dynamic
+//! power proportional to toggling resources and clock frequency, plus an
+//! I/O term proportional to the exercised link bandwidth — the standard
+//! first-order FPGA power decomposition.
+
+use crate::resources::ResourceVector;
+
+/// First-order FPGA power model; coefficients are per-device calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Static (configuration + leakage) power above board idle, W.
+    pub static_w: f64,
+    /// Dynamic µW per ALUT per MHz of clock (at the design's activity).
+    pub alut_uw_per_mhz: f64,
+    /// Dynamic µW per register per MHz.
+    pub reg_uw_per_mhz: f64,
+    /// Dynamic µW per DSP element per MHz.
+    pub dsp_uw_per_mhz: f64,
+    /// Dynamic µW per kilobit of active BRAM per MHz.
+    pub bram_uw_per_kbit_mhz: f64,
+    /// W per GB/s of exercised memory/host bandwidth.
+    pub io_w_per_gbytes: f64,
+}
+
+impl PowerModel {
+    /// Stratix-V-class 28 nm calibration.
+    pub fn stratix_v() -> PowerModel {
+        PowerModel {
+            static_w: 6.5,
+            alut_uw_per_mhz: 0.09,
+            reg_uw_per_mhz: 0.03,
+            dsp_uw_per_mhz: 4.0,
+            bram_uw_per_kbit_mhz: 0.35,
+            io_w_per_gbytes: 0.9,
+        }
+    }
+
+    /// Delta power (W above idle) of a design using `used` resources at
+    /// `freq_mhz`, exercising `io_gbytes_per_s` of link bandwidth.
+    pub fn delta_watts(
+        &self,
+        used: &ResourceVector,
+        freq_mhz: f64,
+        io_gbytes_per_s: f64,
+    ) -> f64 {
+        let dyn_uw = (used.aluts as f64 * self.alut_uw_per_mhz
+            + used.regs as f64 * self.reg_uw_per_mhz
+            + used.dsps as f64 * self.dsp_uw_per_mhz
+            + used.bram_bits as f64 / 1024.0 * self.bram_uw_per_kbit_mhz)
+            * freq_mhz;
+        self.static_w + dyn_uw * 1e-6 + self.io_w_per_gbytes * io_gbytes_per_s
+    }
+
+    /// Energy above idle in joules for a run of `seconds`.
+    pub fn delta_energy_j(
+        &self,
+        used: &ResourceVector,
+        freq_mhz: f64,
+        io_gbytes_per_s: f64,
+        seconds: f64,
+    ) -> f64 {
+        self.delta_watts(used, freq_mhz, io_gbytes_per_s) * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_power_floor() {
+        let p = PowerModel::stratix_v();
+        let w = p.delta_watts(&ResourceVector::ZERO, 0.0, 0.0);
+        assert!((w - p.static_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_frequency_and_resources() {
+        let p = PowerModel::stratix_v();
+        let r = ResourceVector::new(50_000, 100_000, 1 << 20, 100);
+        let w100 = p.delta_watts(&r, 100.0, 0.0);
+        let w200 = p.delta_watts(&r, 200.0, 0.0);
+        assert!(w200 > w100);
+        // Dynamic part doubles exactly.
+        assert!(((w200 - p.static_w) - 2.0 * (w100 - p.static_w)).abs() < 1e-9);
+        let r2 = r * 2;
+        let w2 = p.delta_watts(&r2, 100.0, 0.0);
+        assert!(((w2 - p.static_w) - 2.0 * (w100 - p.static_w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_term_added() {
+        let p = PowerModel::stratix_v();
+        let base = p.delta_watts(&ResourceVector::ZERO, 0.0, 0.0);
+        let io = p.delta_watts(&ResourceVector::ZERO, 0.0, 10.0);
+        assert!((io - base - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plausible_magnitude_for_a_full_kernel() {
+        // A mid-size design: ~50 K ALUTs at 200 MHz with 5 GB/s of DRAM
+        // traffic should land in the 10–40 W envelope the paper's power
+        // meter reports for accelerator deltas.
+        let p = PowerModel::stratix_v();
+        let r = ResourceVector::new(50_000, 80_000, 8 << 20, 200);
+        let w = p.delta_watts(&r, 200.0, 5.0);
+        assert!(w > 10.0 && w < 40.0, "{w} W");
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let p = PowerModel::stratix_v();
+        let r = ResourceVector::new(1000, 1000, 0, 0);
+        let w = p.delta_watts(&r, 150.0, 1.0);
+        let e = p.delta_energy_j(&r, 150.0, 1.0, 3.5);
+        assert!((e - w * 3.5).abs() < 1e-9);
+    }
+}

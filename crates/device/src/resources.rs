@@ -1,0 +1,227 @@
+//! The four-axis FPGA resource vector reported throughout the paper
+//! (Table II, Fig 15): adaptive LUTs, registers, block-RAM bits and DSP
+//! elements.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A resource bundle. BRAM is accounted in *bits* (the paper's Table II
+/// reports the SOR offset buffers as 5418 estimated / 5400 actual — the
+/// window bits, see DESIGN.md §6); conversion to physical block counts is
+/// a target property ([`crate::TargetDevice::bram_blocks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct ResourceVector {
+    /// Adaptive look-up tables (Altera ALUT / Xilinx LUT6 equivalents).
+    pub aluts: u64,
+    /// Flip-flop registers.
+    pub regs: u64,
+    /// On-chip block-RAM bits.
+    pub bram_bits: u64,
+    /// DSP elements (18×18 multiplier slices).
+    pub dsps: u64,
+}
+
+impl ResourceVector {
+    /// The zero vector.
+    pub const ZERO: ResourceVector =
+        ResourceVector { aluts: 0, regs: 0, bram_bits: 0, dsps: 0 };
+
+    /// Construct from the four axes.
+    pub const fn new(aluts: u64, regs: u64, bram_bits: u64, dsps: u64) -> ResourceVector {
+        ResourceVector { aluts, regs, bram_bits, dsps }
+    }
+
+    /// Component-wise `self ≤ cap` — does the design fit the device?
+    pub fn fits_within(&self, cap: &ResourceVector) -> bool {
+        self.aluts <= cap.aluts
+            && self.regs <= cap.regs
+            && self.bram_bits <= cap.bram_bits
+            && self.dsps <= cap.dsps
+    }
+
+    /// Component-wise utilisation fractions against a capacity vector
+    /// (axes with zero capacity report 0 when unused, `inf` when used).
+    pub fn utilization(&self, cap: &ResourceVector) -> Utilization {
+        fn frac(used: u64, cap: u64) -> f64 {
+            if used == 0 {
+                0.0
+            } else if cap == 0 {
+                f64::INFINITY
+            } else {
+                used as f64 / cap as f64
+            }
+        }
+        Utilization {
+            aluts: frac(self.aluts, cap.aluts),
+            regs: frac(self.regs, cap.regs),
+            bram_bits: frac(self.bram_bits, cap.bram_bits),
+            dsps: frac(self.dsps, cap.dsps),
+        }
+    }
+
+    /// Largest utilisation fraction across the four axes.
+    pub fn max_utilization(&self, cap: &ResourceVector) -> f64 {
+        let u = self.utilization(cap);
+        u.aluts.max(u.regs).max(u.bram_bits).max(u.dsps)
+    }
+
+    /// Component-wise saturating subtraction (headroom left on a device).
+    pub fn saturating_sub(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            aluts: self.aluts.saturating_sub(other.aluts),
+            regs: self.regs.saturating_sub(other.regs),
+            bram_bits: self.bram_bits.saturating_sub(other.bram_bits),
+            dsps: self.dsps.saturating_sub(other.dsps),
+        }
+    }
+
+    /// Signed relative error per axis against a reference (`self` is the
+    /// estimate, `other` the actual), as percentages; axes where both are
+    /// zero report 0.
+    pub fn pct_error_vs(&self, actual: &ResourceVector) -> [f64; 4] {
+        fn pct(est: u64, act: u64) -> f64 {
+            if act == 0 && est == 0 {
+                0.0
+            } else if act == 0 {
+                100.0
+            } else {
+                (est as f64 - act as f64) / act as f64 * 100.0
+            }
+        }
+        [
+            pct(self.aluts, actual.aluts),
+            pct(self.regs, actual.regs),
+            pct(self.bram_bits, actual.bram_bits),
+            pct(self.dsps, actual.dsps),
+        ]
+    }
+}
+
+/// Utilisation fractions (0.0–1.0+) per resource axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// ALUT fraction.
+    pub aluts: f64,
+    /// Register fraction.
+    pub regs: f64,
+    /// BRAM-bit fraction.
+    pub bram_bits: f64,
+    /// DSP fraction.
+    pub dsps: f64,
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            aluts: self.aluts + rhs.aluts,
+            regs: self.regs + rhs.regs,
+            bram_bits: self.bram_bits + rhs.bram_bits,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, rhs: ResourceVector) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for ResourceVector {
+    type Output = ResourceVector;
+    fn mul(self, k: u64) -> ResourceVector {
+        ResourceVector {
+            aluts: self.aluts * k,
+            regs: self.regs * k,
+            bram_bits: self.bram_bits * k,
+            dsps: self.dsps * k,
+        }
+    }
+}
+
+impl Sum for ResourceVector {
+    fn sum<I: Iterator<Item = ResourceVector>>(iter: I) -> ResourceVector {
+        iter.fold(ResourceVector::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ALUT {} / REG {} / BRAM {} bits / DSP {}",
+            self.aluts, self.regs, self.bram_bits, self.dsps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ResourceVector = ResourceVector::new(100, 200, 4096, 2);
+    const CAP: ResourceVector = ResourceVector::new(1000, 1000, 8192, 4);
+
+    #[test]
+    fn arithmetic() {
+        let b = ResourceVector::new(1, 2, 3, 4);
+        assert_eq!(A + b, ResourceVector::new(101, 202, 4099, 6));
+        assert_eq!(b * 3, ResourceVector::new(3, 6, 9, 12));
+        let mut c = A;
+        c += b;
+        assert_eq!(c, A + b);
+        let s: ResourceVector = [A, b].into_iter().sum();
+        assert_eq!(s, A + b);
+    }
+
+    #[test]
+    fn fits_and_headroom() {
+        assert!(A.fits_within(&CAP));
+        assert!(!CAP.fits_within(&A));
+        assert_eq!(CAP.saturating_sub(&A), ResourceVector::new(900, 800, 4096, 2));
+        assert_eq!(A.saturating_sub(&CAP), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let u = A.utilization(&CAP);
+        assert!((u.aluts - 0.1).abs() < 1e-12);
+        assert!((u.regs - 0.2).abs() < 1e-12);
+        assert!((u.bram_bits - 0.5).abs() < 1e-12);
+        assert!((u.dsps - 0.5).abs() < 1e-12);
+        assert!((A.max_utilization(&CAP) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_axes() {
+        let cap0 = ResourceVector::new(10, 10, 10, 0);
+        let unused = ResourceVector::new(1, 1, 1, 0);
+        assert!(unused.fits_within(&cap0));
+        assert_eq!(unused.utilization(&cap0).dsps, 0.0);
+        let used = ResourceVector::new(1, 1, 1, 1);
+        assert!(!used.fits_within(&cap0));
+        assert!(used.utilization(&cap0).dsps.is_infinite());
+    }
+
+    #[test]
+    fn pct_error_matches_table2_convention() {
+        // SOR row of Table II: est 528 vs actual 534 ALUTs → ≈ −1.1 %.
+        let est = ResourceVector::new(528, 534, 5418, 0);
+        let act = ResourceVector::new(534, 575, 5400, 0);
+        let e = est.pct_error_vs(&act);
+        assert!((e[0] + 1.123).abs() < 0.01, "{e:?}");
+        assert!((e[1] + 7.13).abs() < 0.01, "{e:?}");
+        assert!((e[2] - 0.333).abs() < 0.01, "{e:?}");
+        assert_eq!(e[3], 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_axes() {
+        let s = A.to_string();
+        for part in ["ALUT 100", "REG 200", "BRAM 4096 bits", "DSP 2"] {
+            assert!(s.contains(part), "{s}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Target-device descriptions (the "target description" input of Fig 2).
+
+use crate::bandwidth::BandwidthModel;
+use crate::calibration::OpCostModel;
+use crate::power::PowerModel;
+use crate::resources::ResourceVector;
+
+/// One off-chip link (host↔device or device-DRAM) with its peak figure
+/// and sustained-bandwidth calibration.
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    /// Peak (data-sheet) bandwidth, bytes/s — the paper's `HPB`/`GPB`.
+    pub peak_bytes_per_s: f64,
+    /// Empirical sustained-bandwidth model for streams over this link.
+    pub bw: BandwidthModel,
+    /// Per-stream setup latency in µs (descriptor programming, DMA
+    /// engine arming). Paid once per stream per kernel-instance; this is
+    /// what makes many-lane variants lose at small grids (paper §VII:
+    /// "the overhead of handling multiple streams per input and output
+    /// array dominates").
+    pub stream_setup_us: f64,
+}
+
+impl LinkSpec {
+    /// Link with the Fig 10 efficiency shape scaled to `peak` bytes/s
+    /// (the unoptimised kernel-access path).
+    pub fn with_peak(peak_bytes_per_s: f64, stream_setup_us: f64) -> LinkSpec {
+        LinkSpec {
+            peak_bytes_per_s,
+            bw: BandwidthModel::scaled_to_peak(peak_bytes_per_s),
+            stream_setup_us,
+        }
+    }
+
+    /// Link behind a DMA engine / optimised streaming controller (see
+    /// [`BandwidthModel::dma`]).
+    pub fn dma(peak_bytes_per_s: f64, stream_setup_us: f64) -> LinkSpec {
+        LinkSpec {
+            peak_bytes_per_s,
+            bw: BandwidthModel::dma(peak_bytes_per_s),
+            stream_setup_us,
+        }
+    }
+}
+
+/// A complete FPGA target: capacities, clocking, links, calibrations.
+#[derive(Debug, Clone)]
+pub struct TargetDevice {
+    /// Human-readable name.
+    pub name: String,
+    /// Resource capacities.
+    pub capacity: ResourceVector,
+    /// Bits per physical BRAM block (M20K: 20480; Xilinx 36Kb: 36864).
+    /// Used to convert bit footprints into block counts.
+    pub bram_block_bits: u64,
+    /// Fabric base Fmax in MHz — the clock a well-pipelined design closes
+    /// before stage-delay or congestion derating.
+    pub fmax_mhz: f64,
+    /// Host↔device link (`HPB` and its ρ_H calibration).
+    pub host_link: LinkSpec,
+    /// Device-DRAM link (`GPB` and its ρ_G calibration).
+    pub dram_link: LinkSpec,
+    /// Per-instruction cost calibration.
+    pub ops: OpCostModel,
+    /// Power calibration.
+    pub power: PowerModel,
+    /// Fixed host overhead per kernel-instance invocation, µs (driver
+    /// call, DMA kick-off).
+    pub host_call_overhead_us: f64,
+    /// Fractional Fmax lost per unit of peak resource utilisation —
+    /// models routing congestion on a nearly-full device
+    /// (`F = F0 · (1 − derate · util)`).
+    pub util_derate: f64,
+}
+
+impl TargetDevice {
+    /// Convert a BRAM bit footprint into occupied physical blocks
+    /// (each buffer rounds up to whole blocks).
+    pub fn bram_blocks(&self, bits: u64) -> u64 {
+        bits.div_ceil(self.bram_block_bits)
+    }
+
+    /// Total physical BRAM blocks on the device.
+    pub fn bram_block_capacity(&self) -> u64 {
+        self.capacity.bram_bits / self.bram_block_bits
+    }
+
+    /// Clock estimate for a design with the given worst stage delay and
+    /// peak utilisation fraction, honouring an optional user constraint.
+    pub fn clock_mhz(&self, max_stage_delay_ns: f64, peak_util: f64, constraint_mhz: Option<f64>) -> f64 {
+        let stage_limit = if max_stage_delay_ns > 0.0 {
+            1000.0 / max_stage_delay_ns
+        } else {
+            f64::INFINITY
+        };
+        let derated = self.fmax_mhz * (1.0 - self.util_derate * peak_util.clamp(0.0, 1.0));
+        let f = stage_limit.min(derated).max(1.0);
+        match constraint_mhz {
+            Some(c) => f.min(c),
+            None => f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::library::stratix_v_gsd8;
+
+    #[test]
+    fn bram_block_rounding() {
+        let d = stratix_v_gsd8();
+        assert_eq!(d.bram_block_bits, 20480);
+        assert_eq!(d.bram_blocks(1), 1);
+        assert_eq!(d.bram_blocks(20480), 1);
+        assert_eq!(d.bram_blocks(20481), 2);
+        assert_eq!(d.bram_blocks(0), 0);
+    }
+
+    #[test]
+    fn clock_respects_stage_delay() {
+        let d = stratix_v_gsd8();
+        // 5 ns worst stage → at most 200 MHz regardless of base Fmax.
+        let f = d.clock_mhz(5.0, 0.0, None);
+        assert!(f <= 200.0 + 1e-9);
+        // Fast stages → base Fmax (no derating at 0 util).
+        let f = d.clock_mhz(1.0, 0.0, None);
+        assert!((f - d.fmax_mhz).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_derates_with_utilisation() {
+        let d = stratix_v_gsd8();
+        let f_empty = d.clock_mhz(2.0, 0.0, None);
+        let f_full = d.clock_mhz(2.0, 0.95, None);
+        assert!(f_full < f_empty);
+    }
+
+    #[test]
+    fn clock_honours_constraint() {
+        let d = stratix_v_gsd8();
+        assert_eq!(d.clock_mhz(1.0, 0.0, Some(150.0)), 150.0);
+    }
+
+    #[test]
+    fn clock_never_zero() {
+        let d = stratix_v_gsd8();
+        assert!(d.clock_mhz(1e9, 1.0, None) >= 1.0);
+    }
+}

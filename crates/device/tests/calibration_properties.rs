@@ -1,0 +1,116 @@
+//! Property tests over the calibration machinery: fits are faithful,
+//! cost curves behave physically (monotone in width, non-negative), and
+//! the bandwidth tables respect their defining invariants.
+
+use proptest::prelude::*;
+use tytra_device::{BandwidthModel, OpCostModel, PiecewiseLinear, PolyFit};
+use tytra_ir::{AccessPattern, Opcode, ScalarType};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn polyfit_recovers_exact_quadratics(
+        a in -5.0f64..5.0,
+        b in -50.0f64..50.0,
+        c in -200.0f64..200.0,
+    ) {
+        let f = |x: f64| a * x * x + b * x + c;
+        let pts: Vec<(f64, f64)> = [4.0, 18.0, 32.0, 64.0].iter().map(|&x| (x, f(x))).collect();
+        let fit = PolyFit::fit(&pts, 2);
+        for x in [8.0, 24.0, 48.0, 100.0] {
+            let err = (fit.eval(x) - f(x)).abs();
+            prop_assert!(err < 1e-5 * (1.0 + f(x).abs()), "at {x}: {err}");
+        }
+    }
+
+    #[test]
+    fn polyfit_interpolation_bounded_by_noise(
+        noise in proptest::collection::vec(-3.0f64..3.0, 5),
+    ) {
+        // A noisy line fitted with degree 1: predictions stay within the
+        // noise envelope around the true line.
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let pts: Vec<(f64, f64)> =
+            xs.iter().zip(&noise).map(|(&x, &n)| (x, 2.0 * x + 5.0 + n)).collect();
+        let fit = PolyFit::fit(&pts, 1);
+        let pred = fit.eval(25.0);
+        prop_assert!((pred - 55.0).abs() < 4.0, "{pred}");
+    }
+
+    #[test]
+    fn piecewise_interpolation_stays_within_hull(
+        ys in proptest::collection::vec(0.0f64..100.0, 4),
+        x in 0.0f64..40.0,
+    ) {
+        let pts: Vec<(f64, f64)> =
+            ys.iter().enumerate().map(|(i, &y)| (10.0 * i as f64, y)).collect();
+        let t = PiecewiseLinear::new(pts);
+        let v = t.eval(x);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn integer_op_costs_monotone_in_width(w in 2u16..64) {
+        let m = OpCostModel::stratix_v();
+        for op in [Opcode::Add, Opcode::Div, Opcode::And, Opcode::CmpLt, Opcode::Shl] {
+            let narrow = m.cost(op, ScalarType::UInt(w));
+            let wide = m.cost(op, ScalarType::UInt(w + 8));
+            prop_assert!(
+                wide.aluts >= narrow.aluts,
+                "{op} ALUTs shrank from {w} to {} bits",
+                w + 8
+            );
+            prop_assert!(wide.regs >= narrow.regs);
+        }
+    }
+
+    #[test]
+    fn latency_and_delay_positive_for_all_ops(w in 1u16..128) {
+        let m = OpCostModel::stratix_v();
+        for op in Opcode::ALL {
+            let ty = ScalarType::UInt(w);
+            prop_assert!(m.latency(op, ty) >= 1);
+            prop_assert!(m.stage_delay_ns(op, ty) > 0.0);
+            prop_assert!(m.op_delay_ns(op, ty) >= 0.0);
+            prop_assert!(
+                (m.stage_delay_ns(op, ty) - m.route_delay_ns() - m.op_delay_ns(op, ty)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_size_for_contiguous(e1 in 10u64..3000, e2 in 10u64..3000) {
+        let m = BandwidthModel::fig10_virtex7();
+        let (small, large) = (e1.min(e2), e1.max(e2));
+        let b_small = m.sustained_gbps(AccessPattern::Contiguous, small * small);
+        let b_large = m.sustained_gbps(AccessPattern::Contiguous, large * large);
+        prop_assert!(b_large >= b_small - 1e-12);
+    }
+
+    #[test]
+    fn rho_is_always_a_fraction(elems in 1u64..100_000_000, stride in 1u64..8192) {
+        for m in [
+            BandwidthModel::fig10_virtex7(),
+            BandwidthModel::dma(4.0e9),
+            BandwidthModel::scaled_to_peak(38.4e9),
+        ] {
+            for pat in [AccessPattern::Contiguous, AccessPattern::Strided { stride }] {
+                let rho = m.rho(pat, elems);
+                prop_assert!(rho > 0.0 && rho <= 1.0, "rho {rho} for {pat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_never_beats_contiguous(elems in 100u64..10_000_000, stride in 100u64..8192) {
+        for m in [BandwidthModel::fig10_virtex7(), BandwidthModel::dma(38.4e9)] {
+            let c = m.sustained_gbps(AccessPattern::Contiguous, elems);
+            let s = m.sustained_gbps(AccessPattern::Strided { stride }, elems);
+            prop_assert!(s <= c + 1e-9, "strided {s} > contiguous {c}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Parallel variant enumeration and costing.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use tytra_cost::{estimate, reconfig_plan, CostReport, ReconfigPlan};
+use tytra_device::TargetDevice;
+use tytra_kernels::EvalKernel;
+use tytra_transform::{enumerate_variants, InnerKind, Variant};
+use tytra_ir::MemForm;
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct ExplorationConfig {
+    /// Lane counts to try (filtered for reshape legality).
+    pub lanes: Vec<u64>,
+    /// Vectorization degrees to try.
+    pub vects: Vec<u32>,
+    /// Memory-execution forms to try.
+    pub forms: Vec<MemForm>,
+    /// Include `seq` inner maps (off by default: HPC kernels pipeline).
+    pub include_seq: bool,
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+}
+
+impl Default for ExplorationConfig {
+    fn default() -> ExplorationConfig {
+        ExplorationConfig {
+            lanes: vec![1, 2, 4, 8, 16, 32],
+            vects: vec![1, 2],
+            forms: vec![MemForm::A, MemForm::B],
+            include_seq: false,
+            workers: 0,
+        }
+    }
+}
+
+/// One costed point of the design space.
+#[derive(Debug, Clone)]
+pub struct EvaluatedVariant {
+    /// The variant.
+    pub variant: Variant,
+    /// The cost model's full report.
+    pub report: CostReport,
+    /// For variants that do not fit: the C6 run-time-reconfiguration
+    /// fallback (Fig 5), when the design is splittable.
+    pub reconfig: Option<ReconfigPlan>,
+}
+
+impl EvaluatedVariant {
+    /// Valid = fits the device.
+    pub fn is_valid(&self) -> bool {
+        self.report.fits
+    }
+}
+
+/// Explore the design space of `kernel` on `dev`: lower and cost every
+/// legal variant, in parallel. Results are sorted by descending EKIT.
+pub fn explore(
+    kernel: &dyn EvalKernel,
+    dev: &TargetDevice,
+    cfg: &ExplorationConfig,
+) -> Vec<EvaluatedVariant> {
+    let ngs = kernel.geometry().size();
+    let mut variants = enumerate_variants(ngs, &cfg.lanes, &cfg.vects, &cfg.forms);
+    if !cfg.include_seq {
+        variants.retain(|v| v.inner == InnerKind::Pipe);
+    }
+
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cfg.workers
+    }
+    .min(variants.len().max(1));
+
+    let (tx, rx) = channel::unbounded::<Variant>();
+    for v in &variants {
+        tx.send(*v).expect("channel open");
+    }
+    drop(tx);
+
+    let results: Mutex<Vec<EvaluatedVariant>> = Mutex::new(Vec::with_capacity(variants.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let results = &results;
+            s.spawn(move || {
+                while let Ok(variant) = rx.recv() {
+                    // Lowering can fail only for illegal variants, which
+                    // enumerate_variants already filtered; costing is
+                    // infallible on lowered modules.
+                    let Ok(module) = kernel.lower_variant(&variant) else { continue };
+                    let Ok(report) = estimate(&module, dev) else { continue };
+                    let reconfig = reconfig_plan(&report, dev);
+                    results.lock().push(EvaluatedVariant { variant, report, reconfig });
+                }
+            });
+        }
+    });
+
+    let mut out = results.into_inner();
+    out.sort_by(|a, b| {
+        b.report
+            .throughput
+            .ekit
+            .total_cmp(&a.report.throughput.ekit)
+            .then_with(|| a.variant.tag().cmp(&b.variant.tag()))
+    });
+    out
+}
+
+/// The guided-optimisation selection: fastest valid variant.
+pub fn select_best(evaluated: &[EvaluatedVariant]) -> Option<&EvaluatedVariant> {
+    evaluated.iter().find(|e| e.is_valid())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_device::{eval_small, stratix_v_gsd8};
+    use tytra_kernels::Sor;
+
+    fn small_cfg() -> ExplorationConfig {
+        ExplorationConfig {
+            lanes: vec![1, 2, 4],
+            vects: vec![1],
+            forms: vec![MemForm::A, MemForm::B],
+            include_seq: false,
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn explores_all_legal_variants() {
+        let sor = Sor::cubic(16, 10);
+        let dev = stratix_v_gsd8();
+        let out = explore(&sor, &dev, &small_cfg());
+        // 3 lanes × 1 vect × 2 forms = 6 points.
+        assert_eq!(out.len(), 6);
+        // Sorted by EKIT descending.
+        for w in out.windows(2) {
+            assert!(w[0].report.throughput.ekit >= w[1].report.throughput.ekit);
+        }
+    }
+
+    #[test]
+    fn best_variant_beats_baseline() {
+        let sor = Sor::cubic(24, 100);
+        let dev = stratix_v_gsd8();
+        let out = explore(&sor, &dev, &small_cfg());
+        let best = select_best(&out).expect("something fits");
+        let baseline = out
+            .iter()
+            .find(|e| e.variant == Variant::baseline())
+            .expect("baseline present");
+        assert!(best.report.throughput.ekit >= baseline.report.throughput.ekit);
+        assert!(best.variant.lanes >= 1);
+    }
+
+    #[test]
+    fn oversized_variants_marked_invalid_on_small_device() {
+        let sor = Sor::cubic(16, 10);
+        let dev = eval_small();
+        let cfg = ExplorationConfig {
+            lanes: vec![1, 16],
+            ..small_cfg()
+        };
+        let out = explore(&sor, &dev, &cfg);
+        let big = out.iter().find(|e| e.variant.lanes == 16).expect("evaluated");
+        assert!(!big.is_valid());
+        let small = out.iter().find(|e| e.variant.lanes == 1).expect("evaluated");
+        assert!(small.is_valid());
+        // select_best skips the invalid one even if it estimated faster.
+        let best = select_best(&out).unwrap();
+        assert!(best.is_valid());
+    }
+
+    #[test]
+    fn exploration_is_deterministic_despite_threads() {
+        let sor = Sor::cubic(16, 10);
+        let dev = stratix_v_gsd8();
+        let a: Vec<String> =
+            explore(&sor, &dev, &small_cfg()).iter().map(|e| e.variant.tag()).collect();
+        let b: Vec<String> =
+            explore(&sor, &dev, &small_cfg()).iter().map(|e| e.variant.tag()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,26 @@
+//! # tytra-dse — design-space exploration
+//!
+//! The use-case the cost model exists for (paper §I): "a compiler that
+//! automatically creates and evaluates design variants for an HPC
+//! kernel". This crate drives it:
+//!
+//! * [`explore()`][explore::explore] — generate every legal variant of a kernel by type
+//!   transformation, lower each to TyTra-IR and cost it, in parallel
+//!   across worker threads;
+//! * [`select_best`] — the guided-optimisation choice: fastest EKIT
+//!   among variants that fit the device and saturate no illegal
+//!   constraint;
+//! * [`lane_sweep`] — the Fig 15 experiment: utilisation per resource,
+//!   throughput and wall identification as lanes scale;
+//! * [`tune`] — the feedback loop the paper's bottleneck output enables:
+//!   repeatedly relax the binding wall until no move helps.
+
+pub mod explore;
+pub mod report;
+pub mod roofline;
+pub mod tuning;
+
+pub use explore::{explore, select_best, EvaluatedVariant, ExplorationConfig};
+pub use report::{lane_sweep, LaneSweepRow};
+pub use roofline::{roofline, RooflinePoint};
+pub use tuning::{tune, TuningStep};

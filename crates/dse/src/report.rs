@@ -1,0 +1,200 @@
+//! The Fig 15 lane-sweep report: per-resource utilisation, bandwidth
+//! pressure, throughput and wall identification as the number of kernel
+//! pipeline lanes grows.
+
+use crate::explore::EvaluatedVariant;
+use tytra_cost::estimate;
+use tytra_device::TargetDevice;
+use tytra_kernels::EvalKernel;
+use tytra_transform::Variant;
+use tytra_cost::Limiter;
+
+/// One row of the Fig 15 table.
+#[derive(Debug, Clone)]
+pub struct LaneSweepRow {
+    /// Lane count.
+    pub lanes: u64,
+    /// Percent utilisation of registers.
+    pub regs_pct: f64,
+    /// Percent utilisation of ALUTs.
+    pub aluts_pct: f64,
+    /// Percent utilisation of BRAM.
+    pub bram_pct: f64,
+    /// Percent utilisation of DSPs.
+    pub dsps_pct: f64,
+    /// DRAM-bandwidth pressure: demand ÷ effective supply, percent.
+    pub gmem_bw_pct: f64,
+    /// Host-bandwidth pressure, percent.
+    pub host_bw_pct: f64,
+    /// EWGT/EKIT: kernel-instance (work-group) executions per second.
+    pub ewgt: f64,
+    /// Whether the variant fits the device.
+    pub fits: bool,
+    /// The binding wall.
+    pub limiter: Limiter,
+}
+
+/// Run the lane sweep of `kernel` on `dev` for the given lane counts.
+/// Illegal reshapes are skipped.
+pub fn lane_sweep(
+    kernel: &dyn EvalKernel,
+    dev: &TargetDevice,
+    lanes: &[u64],
+    base: &Variant,
+) -> Vec<LaneSweepRow> {
+    let mut rows = Vec::new();
+    for &l in lanes {
+        let v = Variant { lanes: l, ..*base };
+        let Ok(module) = kernel.lower_variant(&v) else { continue };
+        let Ok(r) = estimate(&module, dev) else { continue };
+        rows.push(row_from(l, &r));
+    }
+    rows
+}
+
+fn row_from(lanes: u64, r: &tytra_cost::CostReport) -> LaneSweepRow {
+    // Bandwidth pressure: time the link needs ÷ time the datapath needs,
+    // as a percentage (100 % = the wall).
+    let t_comp = r.throughput.t_compute.max(1e-30);
+    let gmem = r.throughput.t_memory / t_comp * 100.0;
+    let host = r.throughput.t_host / t_comp * 100.0;
+    LaneSweepRow {
+        lanes,
+        regs_pct: r.utilization.regs * 100.0,
+        aluts_pct: r.utilization.aluts * 100.0,
+        bram_pct: r.utilization.bram_bits * 100.0,
+        dsps_pct: r.utilization.dsps * 100.0,
+        gmem_bw_pct: gmem,
+        host_bw_pct: host,
+        ewgt: r.throughput.ekit,
+        fits: r.fits,
+        limiter: r.limiter,
+    }
+}
+
+/// Format the sweep as an aligned text table (used by `tybec` and the
+/// fig15 binary).
+pub fn render_table(rows: &[LaneSweepRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:>5} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>12}  {:<6} wall",
+        "lanes", "Regs%", "ALUTs%", "BRAM%", "DSPs%", "GMem-BW%", "Host-BW%", "EWGT/s", "fits"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>5} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>9.1} {:>9.1} {:>12.1}  {:<6} {}",
+            r.lanes,
+            r.regs_pct,
+            r.aluts_pct,
+            r.bram_pct,
+            r.dsps_pct,
+            r.gmem_bw_pct,
+            r.host_bw_pct,
+            r.ewgt,
+            if r.fits { "yes" } else { "NO" },
+            r.limiter
+        );
+    }
+    s
+}
+
+/// Find the lane count at which a predicate first trips — the wall
+/// positions quoted in the paper ("we encounter the computation-wall at
+/// six lanes").
+pub fn first_wall(rows: &[LaneSweepRow], pred: impl Fn(&LaneSweepRow) -> bool) -> Option<u64> {
+    rows.iter().find(|r| pred(r)).map(|r| r.lanes)
+}
+
+/// Summarise a set of evaluated variants (from [`crate::explore()`][crate::explore::explore]) as a
+/// compact leaderboard.
+pub fn render_leaderboard(evaluated: &[EvaluatedVariant], top: usize) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "{:>4} {:<18} {:>12} {:>7}  wall", "#", "variant", "EKIT/s", "fits");
+    for (i, e) in evaluated.iter().take(top).enumerate() {
+        let note = match &e.reconfig {
+            Some(r) => format!(
+                "{} (reconfig x{}: {:.1}/s)",
+                e.report.limiter, r.personalities, r.ekit
+            ),
+            None => e.report.limiter.to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "{:>4} {:<18} {:>12.1} {:>7}  {}",
+            i + 1,
+            e.variant.tag(),
+            e.report.throughput.ekit,
+            if e.report.fits { "yes" } else { "NO" },
+            note
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_device::eval_small;
+    use tytra_kernels::Sor;
+    use tytra_ir::MemForm;
+
+    #[test]
+    fn sweep_reproduces_fig15_wall_ordering() {
+        // Form-B SOR on the eval target: utilisation grows with lanes;
+        // the ALUT (computation) wall must fall between the host wall
+        // (form A, ~4) and the DRAM wall (~16).
+        let sor = Sor::cubic(48, 10);
+        let dev = eval_small();
+        let lanes: Vec<u64> = (0..=4).map(|i| 1u64 << i).collect();
+        let rows = lane_sweep(&sor, &dev, &lanes, &Variant::baseline());
+        assert_eq!(rows.len(), 5);
+        // Monotone resource growth.
+        for w in rows.windows(2) {
+            assert!(w[1].aluts_pct > w[0].aluts_pct);
+        }
+        // The computation wall: ALUTs cross 100 %.
+        let wall = first_wall(&rows, |r| r.aluts_pct > 100.0);
+        assert!(wall.is_some(), "{}", render_table(&rows));
+    }
+
+    #[test]
+    fn ewgt_grows_until_a_wall() {
+        let sor = Sor::cubic(48, 10);
+        let dev = eval_small();
+        let rows = lane_sweep(&sor, &dev, &[1, 2, 4], &Variant::baseline());
+        assert!(rows[1].ewgt > rows[0].ewgt);
+    }
+
+    #[test]
+    fn form_a_shows_host_wall() {
+        let sor = Sor::cubic(48, 10);
+        let dev = eval_small();
+        let base = Variant { form: MemForm::A, ..Variant::baseline() };
+        let rows = lane_sweep(&sor, &dev, &[1, 2, 4, 8], &base);
+        // Host pressure grows relative to compute as lanes shrink the
+        // compute time.
+        assert!(rows.last().unwrap().host_bw_pct > rows[0].host_bw_pct);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let sor = Sor::cubic(16, 1);
+        let dev = eval_small();
+        let rows = lane_sweep(&sor, &dev, &[1, 2], &Variant::baseline());
+        let t = render_table(&rows);
+        assert!(t.contains("EWGT/s"));
+        assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn illegal_lane_counts_are_skipped() {
+        let sor = Sor::cubic(16, 1); // 4096 items
+        let dev = eval_small();
+        let rows = lane_sweep(&sor, &dev, &[1, 3], &Variant::baseline());
+        assert_eq!(rows.len(), 1, "3 does not divide 4096");
+    }
+}

@@ -1,0 +1,158 @@
+//! Roofline view of a design variant.
+//!
+//! The paper points at da Silva et al.'s roofline extension for FPGAs as
+//! "quite relevant and something we are looking into for a more useful
+//! representation of our cost-model" (§I related work). This module is
+//! that representation: for each variant the cost model's parameters
+//! place the design on an (arithmetic intensity, performance) plane with
+//! a compute roof (lanes × vector width × clock ÷ initiation interval)
+//! and a memory roof (effective off-chip bandwidth ÷ bytes per item).
+
+use tytra_cost::{estimate, CostReport};
+use tytra_device::TargetDevice;
+use tytra_ir::{IrError, IrModule};
+
+/// A design variant's roofline placement. "Performance" is work-items
+/// per second (each work-item is `NI` operations, so multiply by NI for
+/// an ops/s view).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Design name.
+    pub design: String,
+    /// Arithmetic intensity: datapath operations per off-chip byte.
+    pub ops_per_byte: f64,
+    /// Compute roof: items/s the datapath can retire.
+    pub compute_roof: f64,
+    /// Memory roof: items/s the off-chip links can feed.
+    pub memory_roof: f64,
+    /// Attainable performance: min of the roofs.
+    pub attainable: f64,
+    /// The ridge intensity where the roofs cross, ops/byte.
+    pub ridge_ops_per_byte: f64,
+    /// True when the design sits left of the ridge (memory-bound).
+    pub memory_bound: bool,
+}
+
+impl RooflinePoint {
+    /// Derive the placement from a cost report.
+    pub fn from_report(r: &CostReport) -> RooflinePoint {
+        let f_hz = r.clock.freq_mhz * 1e6;
+        let lanes = r.params.knl.max(1) as f64 * f64::from(r.params.dv.max(1));
+        let ii = r.params.sched.ii.max(1.0);
+        let ni = r.params.sched.ni.max(1) as f64;
+        let bytes = r.params.bytes_per_item.max(1) as f64;
+
+        let compute_roof = f_hz * lanes / ii;
+        let memory_roof = r.bandwidth.dram_effective / bytes;
+        let ops_per_byte = ni / bytes;
+        // Ridge in ops/byte: intensity at which the byte-fed item rate
+        // equals the datapath item rate.
+        let ridge_ops_per_byte = ni * r.bandwidth.dram_effective / (compute_roof * bytes);
+        RooflinePoint {
+            design: r.design.clone(),
+            ops_per_byte,
+            compute_roof,
+            memory_roof,
+            attainable: compute_roof.min(memory_roof),
+            ridge_ops_per_byte,
+            memory_bound: memory_roof < compute_roof,
+        }
+    }
+}
+
+/// Place a module on the roofline of a target.
+pub fn roofline(m: &IrModule, dev: &TargetDevice) -> Result<RooflinePoint, IrError> {
+    Ok(RooflinePoint::from_report(&estimate(m, dev)?))
+}
+
+/// Render several placements as a text table plus a log-scale sketch.
+pub fn render(points: &[RooflinePoint]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<26} {:>10} {:>14} {:>14} {:>14}  bound",
+        "design", "ops/byte", "compute roof", "memory roof", "attainable"
+    );
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{:<26} {:>10.2} {:>14.3e} {:>14.3e} {:>14.3e}  {}",
+            p.design,
+            p.ops_per_byte,
+            p.compute_roof,
+            p.memory_roof,
+            p.attainable,
+            if p.memory_bound { "memory" } else { "compute" }
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_device::stratix_v_gsd8;
+    use tytra_kernels::{EvalKernel, Hotspot, Sor};
+    use tytra_transform::Variant;
+
+    #[test]
+    fn compute_bound_kernel_sits_under_the_compute_roof() {
+        let sor = Sor::cubic(48, 10);
+        let dev = stratix_v_gsd8();
+        let m = sor.lower_variant(&Variant::baseline()).unwrap();
+        let p = roofline(&m, &dev).unwrap();
+        assert!(!p.memory_bound, "{p:?}");
+        assert!((p.attainable - p.compute_roof).abs() < 1e-6);
+        // 1 lane at ~250 MHz, II = 1 → ~2.5e8 items/s.
+        assert!(p.compute_roof > 2.0e8 && p.compute_roof < 2.6e8, "{}", p.compute_roof);
+    }
+
+    #[test]
+    fn lanes_raise_the_compute_roof_until_memory_binds() {
+        let hs = Hotspot { rows: 512, cols: 512, nki: 100 };
+        let dev = stratix_v_gsd8();
+        let p1 = roofline(&hs.lower_variant(&Variant::baseline()).unwrap(), &dev).unwrap();
+        let p8 = roofline(
+            &hs.lower_variant(&Variant { lanes: 8, ..Variant::baseline() }).unwrap(),
+            &dev,
+        )
+        .unwrap();
+        assert!(p8.compute_roof > 7.0 * p1.compute_roof);
+        assert!(p8.memory_bound, "8 lanes × 36 B/item should hit the memory roof");
+        assert!(!p1.memory_bound);
+        // The memory roof is a property of the traffic, not the lanes.
+        let rel = (p8.memory_roof - p1.memory_roof).abs() / p1.memory_roof;
+        assert!(rel < 0.2, "{} vs {}", p8.memory_roof, p1.memory_roof);
+    }
+
+    #[test]
+    fn roofline_agrees_with_the_limiter() {
+        let hs = Hotspot { rows: 512, cols: 512, nki: 100 };
+        let dev = stratix_v_gsd8();
+        let m = hs.lower_variant(&Variant { lanes: 8, ..Variant::baseline() }).unwrap();
+        let report = estimate(&m, &dev).unwrap();
+        let p = RooflinePoint::from_report(&report);
+        assert_eq!(report.limiter, tytra_cost::Limiter::DramBandwidth);
+        assert!(p.memory_bound);
+    }
+
+    #[test]
+    fn render_lists_all_points() {
+        let sor = Sor::cubic(24, 10);
+        let dev = stratix_v_gsd8();
+        let pts: Vec<RooflinePoint> = [1u64, 4]
+            .iter()
+            .map(|&l| {
+                roofline(
+                    &sor.lower_variant(&Variant { lanes: l, ..Variant::baseline() }).unwrap(),
+                    &dev,
+                )
+                .unwrap()
+            })
+            .collect();
+        let t = render(&pts);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("compute roof"));
+    }
+}

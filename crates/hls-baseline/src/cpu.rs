@@ -1,0 +1,135 @@
+//! The CPU-only baseline: the paper's Fortran LES code compiled with
+//! `gcc -O2` on an Intel i7 quad-core at 1.6 GHz (§VII, single-threaded
+//! kernel loop).
+//!
+//! Runtime model: `items × ops / (IPC × f)` with a cache-capacity
+//! derating once the working set spills the last-level cache — the
+//! effect that makes "FPGA solutions tend to perform much better than
+//! CPU at large dimensions". Energy: a constant load delta on the node
+//! power meter. The model can be cross-checked against a real timed run
+//! of the reference implementation ([`CpuModel::time_reference`]).
+
+use std::collections::HashMap;
+use tytra_kernels::EvalKernel;
+
+/// Calibrated CPU baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Core clock, GHz.
+    pub freq_ghz: f64,
+    /// Sustained integer ops per cycle of the scalar kernel loop.
+    pub ipc: f64,
+    /// Last-level cache capacity, bytes.
+    pub llc_bytes: u64,
+    /// Slowdown factor once the working set spills the LLC.
+    pub spill_factor: f64,
+    /// Watts above idle while the kernel loop runs.
+    pub load_delta_w: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> CpuModel {
+        CpuModel {
+            freq_ghz: 1.6,
+            ipc: 3.0,
+            llc_bytes: 8 << 20,
+            spill_factor: 1.35,
+            load_delta_w: 34.0,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Modelled runtime for `nki` kernel instances of `kernel`, seconds.
+    pub fn runtime_s(&self, kernel: &dyn EvalKernel, nki: u64) -> f64 {
+        let items = kernel.geometry().size() as f64;
+        let ops = kernel.cpu_ops_per_item() as f64;
+        let working_set = self.working_set_bytes(kernel) as f64;
+        let cache = if working_set > self.llc_bytes as f64 {
+            self.spill_factor
+        } else {
+            1.0
+        };
+        items * ops / (self.ipc * self.freq_ghz * 1e9) * cache * nki as f64
+    }
+
+    /// Modelled energy above idle for the run, joules.
+    pub fn energy_j(&self, kernel: &dyn EvalKernel, nki: u64) -> f64 {
+        self.runtime_s(kernel, nki) * self.load_delta_w
+    }
+
+    /// Bytes the kernel touches per instance (inputs + outputs, 4 B
+    /// elements in the CPU build).
+    pub fn working_set_bytes(&self, kernel: &dyn EvalKernel) -> u64 {
+        let def = kernel.kernel_def();
+        let arrays = def.inputs.len() + def.outputs.len();
+        kernel.geometry().size() * arrays as u64 * 4
+    }
+
+    /// Actually run the reference implementation once and time it —
+    /// the optional real-hardware cross-check of the analytic model
+    /// (wall-clock depends on the build profile and machine; only the
+    /// *relative* figures are meaningful).
+    pub fn time_reference(&self, kernel: &dyn EvalKernel) -> (std::time::Duration, HashMap<String, Vec<f64>>) {
+        let inputs = kernel.workload();
+        let t0 = std::time::Instant::now();
+        let (outs, _reds) = kernel.reference(&inputs);
+        (t0.elapsed(), outs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_kernels::Sor;
+
+    #[test]
+    fn runtime_scales_with_grid_and_nki() {
+        let cpu = CpuModel::default();
+        let small = cpu.runtime_s(&Sor::cubic(24, 1000), 1000);
+        let large = cpu.runtime_s(&Sor::cubic(96, 1000), 1000);
+        assert!(large > 50.0 * small, "{small} vs {large}");
+        let one = cpu.runtime_s(&Sor::cubic(24, 1), 1);
+        assert!((small / one - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cache_spill_derates_large_grids() {
+        let cpu = CpuModel::default();
+        // 24³ × 3 arrays × 4 B = 166 KB (fits); 192³ × 12 B = 85 MB
+        // (spills).
+        let fits = cpu.working_set_bytes(&Sor::cubic(24, 1)) < cpu.llc_bytes;
+        let spills = cpu.working_set_bytes(&Sor::cubic(192, 1)) > cpu.llc_bytes;
+        assert!(fits && spills);
+        let per_item_small = cpu.runtime_s(&Sor::cubic(24, 1), 1) / 24f64.powi(3);
+        let per_item_large = cpu.runtime_s(&Sor::cubic(192, 1), 1) / 192f64.powi(3);
+        assert!((per_item_large / per_item_small - cpu.spill_factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_item_time_is_nanoseconds_scale() {
+        let cpu = CpuModel::default();
+        let sor = Sor::cubic(96, 1);
+        let per_item = cpu.runtime_s(&sor, 1) / 96f64.powi(3);
+        // ~20 ops at ~3.5 Gops/s ≈ 6 ns, cache-derated.
+        assert!(per_item > 2e-9 && per_item < 30e-9, "{per_item}");
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let cpu = CpuModel::default();
+        let sor = Sor::cubic(48, 10);
+        let e = cpu.energy_j(&sor, 10);
+        let t = cpu.runtime_s(&sor, 10);
+        assert!((e - t * cpu.load_delta_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_reference_produces_outputs() {
+        let cpu = CpuModel::default();
+        let sor = Sor::cubic(12, 1);
+        let (dt, outs) = cpu.time_reference(&sor);
+        assert!(dt.as_nanos() > 0);
+        assert_eq!(outs["pnew"].len(), 12 * 12 * 12);
+    }
+}

@@ -1,0 +1,29 @@
+//! # tytra-hls-baseline — the comparators of the paper's evaluation
+//!
+//! Three baselines the TyTra flow is measured against in §VI–VII:
+//!
+//! * [`cpu`] — the CPU-only solution (the paper's Fortran LES code,
+//!   `gcc -O2`, Intel i7 quad-core at 1.6 GHz): a calibrated analytic
+//!   timing/energy model plus an optional real timed run of the
+//!   reference implementation;
+//! * [`maxj`] — the conventional-HLS solution (`fpga-maxJ`): pipeline
+//!   parallelism extracted automatically, no architectural exploration,
+//!   host-streamed execution (Form A) — the straightforward port the
+//!   paper shows "may not fully exploit the parallelism and performance
+//!   achievable on an FPGA device";
+//! * [`slow_estimator`] — the SDAccel-style *preliminary estimate* the
+//!   paper times at ≈70 s against the cost model's 0.3 s (§VI-A): a
+//!   deliberately detailed evaluation that elaborates the full netlist,
+//!   prices it at several synthesis corners and walks the kernel
+//!   instance at fine grain;
+//! * [`case_study()`][case_study::case_study] — the §VII three-way comparison (Figs 17, 18).
+
+pub mod case_study;
+pub mod cpu;
+pub mod maxj;
+pub mod slow_estimator;
+
+pub use case_study::{case_study, CaseStudyPoint};
+pub use cpu::CpuModel;
+pub use maxj::maxj_flow;
+pub use slow_estimator::{slow_estimate, SlowEstimate};

@@ -1,0 +1,64 @@
+//! The conventional-HLS flow (`fpga-maxJ` in §VII).
+//!
+//! A Maxeler-style compiler extracts pipeline parallelism automatically
+//! from the kernel body but performs **no architectural exploration**:
+//! one kernel pipeline, scalar lanes, and the straightforward port keeps
+//! the host in the loop — every kernel call streams its arrays over
+//! PCIe (memory-execution Form A). That assignment is the only one
+//! consistent with the published Fig 17 crossovers (see DESIGN.md §6).
+
+use tytra_ir::{IrError, IrModule, MemForm};
+use tytra_kernels::EvalKernel;
+use tytra_transform::{InnerKind, Variant};
+
+/// The variant a conventional HLS flow produces.
+pub fn maxj_variant() -> Variant {
+    Variant { lanes: 1, vect: 1, inner: InnerKind::Pipe, form: MemForm::A }
+}
+
+/// The conventional flow's default kernel build clock, MHz (MaxCompiler
+/// builds DFE kernels at a fixed stream clock unless the user tunes it;
+/// 150 MHz is the stock setting the straightforward port keeps).
+pub const MAXJ_DEFAULT_CLOCK_MHZ: f64 = 150.0;
+
+/// Compile `kernel` the conventional-HLS way.
+pub fn maxj_flow(kernel: &dyn EvalKernel) -> Result<IrModule, IrError> {
+    let mut m = kernel.lower_variant(&maxj_variant())?;
+    m.name = format!("{}_maxj", kernel.name());
+    m.meta.freq_mhz = Some(MAXJ_DEFAULT_CLOCK_MHZ);
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_cost::estimate;
+    use tytra_device::stratix_v_gsd8;
+    use tytra_kernels::Sor;
+
+    #[test]
+    fn maxj_is_single_lane_form_a() {
+        let sor = Sor::cubic(48, 1000);
+        let m = maxj_flow(&sor).unwrap();
+        assert_eq!(m.kernel_lanes(), 1);
+        assert_eq!(m.meta.form, MemForm::A);
+        assert!(m.name.ends_with("_maxj"));
+    }
+
+    #[test]
+    fn tytra_exploration_beats_maxj() {
+        // The §VII headline: the cost-model-guided variant outperforms
+        // the straightforward HLS port.
+        let sor = Sor::cubic(96, 1000);
+        let dev = stratix_v_gsd8();
+        let maxj = estimate(&maxj_flow(&sor).unwrap(), &dev).unwrap();
+        let tytra_variant = Variant { lanes: 4, form: MemForm::B, ..maxj_variant() };
+        let tytra = estimate(&sor.lower_variant(&tytra_variant).unwrap(), &dev).unwrap();
+        assert!(
+            tytra.throughput.ekit > 1.5 * maxj.throughput.ekit,
+            "tytra {} vs maxj {}",
+            tytra.throughput.ekit,
+            maxj.throughput.ekit
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Dataflow-graph extraction and ASAP scheduling of `pipe`/`comb`/`seq`
+//! function bodies.
+//!
+//! The datapath of a kernel pipeline (paper Fig 13) is the def–use graph of
+//! its SSA instructions. Scheduling it ASAP with per-operation latencies
+//! yields the stage of each functional unit, the kernel pipeline depth
+//! `KPD`, and the pass-through delay lines (the `∆` registers of Fig 13)
+//! needed to keep peer operands aligned — all inputs the cost model and the
+//! simulator share.
+//!
+//! Latencies are supplied through the [`LatencyModel`] trait so this crate
+//! stays independent of any device description; `tytra-device` provides a
+//! calibrated implementation and [`UnitLatency`] is a trivial one for tests.
+
+use crate::function::{IrFunction, Stmt};
+use crate::instr::{Instruction, Opcode};
+use crate::types::ScalarType;
+use std::collections::HashMap;
+
+/// Supplies the pipeline latency (in cycles) of a functional unit.
+pub trait LatencyModel {
+    /// Latency of `op` at element type `ty`; must be ≥ 1 for pipelined
+    /// units (a latency of 1 means the result registers at the end of the
+    /// producing stage).
+    fn latency(&self, op: Opcode, ty: ScalarType) -> u32;
+}
+
+/// Every operation takes one cycle — sufficient for structural tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitLatency;
+
+impl LatencyModel for UnitLatency {
+    fn latency(&self, _op: Opcode, _ty: ScalarType) -> u32 {
+        1
+    }
+}
+
+impl<F: Fn(Opcode, ScalarType) -> u32> LatencyModel for F {
+    fn latency(&self, op: Opcode, ty: ScalarType) -> u32 {
+        self(op, ty)
+    }
+}
+
+/// A scheduled node of the dataflow graph (one SSA instruction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfgNode {
+    /// Index of the originating statement in the function body.
+    pub stmt_index: usize,
+    /// The instruction itself (cloned for self-containedness).
+    pub instr: Instruction,
+    /// Cycle at which the instruction's inputs are consumed (ASAP).
+    pub start: u32,
+    /// `start + latency`: cycle at which the result is available.
+    pub finish: u32,
+    /// Indices (into [`Dfg::nodes`]) of producer nodes feeding this one.
+    pub preds: Vec<usize>,
+}
+
+/// The scheduled dataflow graph of one function body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dfg {
+    /// Scheduled nodes, in original statement order.
+    pub nodes: Vec<DfgNode>,
+    /// Pipeline depth of the datapath: the maximum `finish` over all
+    /// nodes (0 for an empty body). This is the paper's `KPD` for a
+    /// single-stage pipe (coarse pipelines add their children's depths).
+    pub depth: u32,
+    /// Total pass-through delay-line register bits: for every value
+    /// consumed later than it is produced, `width × (consume − produce)`
+    /// bits of shift registers (the `∆` chains of Fig 13). Inputs consumed
+    /// at stage s > 0 likewise need s stages of balancing delay.
+    pub delay_line_bits: u64,
+}
+
+impl Dfg {
+    /// Build and ASAP-schedule the dataflow graph of `f`'s instruction
+    /// statements. Offset declarations are stage-0 sources; calls are
+    /// ignored (coarse composition is handled a level up by the cost
+    /// model).
+    pub fn build(f: &IrFunction, lat: &dyn LatencyModel) -> Dfg {
+        // Availability time of every named value: params and offset
+        // streams are ready at cycle 0.
+        let mut avail: HashMap<&str, u32> = HashMap::new();
+        // Producer node index for delay-line and pred accounting.
+        let mut producer: HashMap<&str, usize> = HashMap::new();
+        let mut width_of: HashMap<&str, u16> = HashMap::new();
+        for p in &f.params {
+            avail.insert(p.name.as_str(), 0);
+            width_of.insert(p.name.as_str(), p.ty.bits());
+        }
+        for s in &f.body {
+            if let Stmt::Offset(o) = s {
+                avail.insert(o.dest.as_str(), 0);
+                width_of.insert(o.dest.as_str(), o.ty.bits());
+            }
+        }
+
+        let mut nodes: Vec<DfgNode> = Vec::new();
+        let mut depth = 0u32;
+        let mut delay_bits = 0u64;
+
+        for (si, s) in f.body.iter().enumerate() {
+            let Stmt::Instr(i) = s else { continue };
+            let mut start = 0u32;
+            let mut preds = Vec::new();
+            for o in &i.operands {
+                if let Some(name) = o.name() {
+                    if let Some(&t) = avail.get(name) {
+                        start = start.max(t);
+                    }
+                    if let Some(&pi) = producer.get(name) {
+                        preds.push(pi);
+                    }
+                }
+            }
+            let finish = start + lat.latency(i.op, i.ty).max(1);
+            // Delay lines: every operand produced before `start` must be
+            // carried forward (start − avail) stages at its own width.
+            for o in &i.operands {
+                if let Some(name) = o.name() {
+                    let produced = avail.get(name).copied().unwrap_or(0);
+                    let w = width_of.get(name).copied().unwrap_or(i.ty.bits());
+                    delay_bits += u64::from(start - produced) * u64::from(w);
+                }
+            }
+            let idx = nodes.len();
+            match &i.dest {
+                crate::instr::Dest::Local(n) => {
+                    avail.insert(n.as_str(), finish);
+                    producer.insert(n.as_str(), idx);
+                    width_of.insert(n.as_str(), i.ty.bits());
+                }
+                crate::instr::Dest::Global(_) => {
+                    // Reduction accumulators live outside the pipeline
+                    // schedule (a feedback register at the drain stage).
+                }
+            }
+            depth = depth.max(finish);
+            nodes.push(DfgNode { stmt_index: si, instr: i.clone(), start, finish, preds });
+        }
+        Dfg { nodes, depth, delay_line_bits: delay_bits }
+    }
+
+    /// Nodes on the critical path (each consumes an operand that became
+    /// available exactly at its start and finishes at the graph depth when
+    /// followed transitively). Returns node indices, producer-first.
+    pub fn critical_path(&self) -> Vec<usize> {
+        let Some(last) = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.finish == self.depth)
+            .map(|(i, _)| i)
+            .next_back()
+        else {
+            return Vec::new();
+        };
+        let mut path = vec![last];
+        let mut cur = last;
+        loop {
+            let node = &self.nodes[cur];
+            // A predecessor whose finish equals this node's start keeps
+            // the chain tight.
+            match node.preds.iter().copied().find(|&p| self.nodes[p].finish == node.start) {
+                Some(p) => {
+                    path.push(p);
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// Number of instructions scheduled in each stage-start cycle,
+    /// indexed by cycle. Useful for ILP reporting.
+    pub fn occupancy(&self) -> Vec<u32> {
+        let mut occ = vec![0u32; self.depth as usize + 1];
+        for n in &self.nodes {
+            occ[n.start as usize] += 1;
+        }
+        occ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{IrFunction, OffsetDecl, Param, ParKind};
+    use crate::instr::{Dest, Operand};
+
+    const T: ScalarType = ScalarType::UInt(18);
+
+    fn ins(dest: &str, op: Opcode, operands: Vec<Operand>) -> Stmt {
+        Stmt::Instr(Instruction::new(Dest::Local(dest.into()), op, T, operands))
+    }
+
+    /// d = (a*b) + c — a chain with one balancing delay on c.
+    fn chain_fn() -> IrFunction {
+        let mut f = IrFunction::new("f", ParKind::Pipe);
+        f.params.push(Param::input("a", T));
+        f.params.push(Param::input("b", T));
+        f.params.push(Param::input("c", T));
+        f.body.push(ins("m", Opcode::Mul, vec![Operand::local("a"), Operand::local("b")]));
+        f.body.push(ins("d", Opcode::Add, vec![Operand::local("m"), Operand::local("c")]));
+        f
+    }
+
+    #[test]
+    fn unit_latency_chain_depth() {
+        let dfg = Dfg::build(&chain_fn(), &UnitLatency);
+        assert_eq!(dfg.depth, 2);
+        assert_eq!(dfg.nodes[0].start, 0);
+        assert_eq!(dfg.nodes[0].finish, 1);
+        assert_eq!(dfg.nodes[1].start, 1);
+        assert_eq!(dfg.nodes[1].finish, 2);
+        // c (18 bits) waits one stage for the multiply.
+        assert_eq!(dfg.delay_line_bits, 18);
+    }
+
+    #[test]
+    fn latency_model_closure_is_used() {
+        let lat = |op: Opcode, _ty: ScalarType| if op == Opcode::Mul { 3 } else { 1 };
+        let dfg = Dfg::build(&chain_fn(), &lat);
+        assert_eq!(dfg.depth, 4);
+        assert_eq!(dfg.delay_line_bits, 3 * 18);
+    }
+
+    #[test]
+    fn independent_ops_schedule_in_parallel() {
+        let mut f = IrFunction::new("f", ParKind::Pipe);
+        f.params.push(Param::input("a", T));
+        f.params.push(Param::input("b", T));
+        f.body.push(ins("x", Opcode::Add, vec![Operand::local("a"), Operand::Imm(1)]));
+        f.body.push(ins("y", Opcode::Add, vec![Operand::local("b"), Operand::Imm(2)]));
+        let dfg = Dfg::build(&f, &UnitLatency);
+        assert_eq!(dfg.depth, 1);
+        assert_eq!(dfg.occupancy(), vec![2, 0]);
+        assert_eq!(dfg.delay_line_bits, 0);
+    }
+
+    #[test]
+    fn offsets_are_stage_zero_sources() {
+        let mut f = IrFunction::new("f", ParKind::Pipe);
+        f.params.push(Param::input("p", T));
+        f.body.push(Stmt::Offset(OffsetDecl {
+            dest: "pp1".into(),
+            ty: T,
+            src: "p".into(),
+            offset: 1,
+        }));
+        f.body.push(ins("s", Opcode::Add, vec![Operand::local("p"), Operand::local("pp1")]));
+        let dfg = Dfg::build(&f, &UnitLatency);
+        assert_eq!(dfg.nodes.len(), 1);
+        assert_eq!(dfg.nodes[0].start, 0);
+        assert_eq!(dfg.depth, 1);
+    }
+
+    #[test]
+    fn critical_path_follows_tight_chain() {
+        let dfg = Dfg::build(&chain_fn(), &UnitLatency);
+        assert_eq!(dfg.critical_path(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_body_has_zero_depth() {
+        let f = IrFunction::new("f", ParKind::Pipe);
+        let dfg = Dfg::build(&f, &UnitLatency);
+        assert_eq!(dfg.depth, 0);
+        assert!(dfg.nodes.is_empty());
+        assert!(dfg.critical_path().is_empty());
+    }
+
+    #[test]
+    fn reduction_does_not_extend_local_schedule() {
+        let mut f = IrFunction::new("f", ParKind::Pipe);
+        f.params.push(Param::input("a", T));
+        f.body.push(ins("x", Opcode::Add, vec![Operand::local("a"), Operand::Imm(1)]));
+        f.body.push(Stmt::Instr(Instruction::new(
+            Dest::Global("acc".into()),
+            Opcode::Add,
+            T,
+            vec![Operand::local("x"), Operand::global("acc")],
+        )));
+        let dfg = Dfg::build(&f, &UnitLatency);
+        // The accumulator instruction schedules after x is ready.
+        assert_eq!(dfg.nodes[1].start, 1);
+        assert_eq!(dfg.depth, 2);
+    }
+}

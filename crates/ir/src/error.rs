@@ -1,0 +1,87 @@
+//! Error types shared across the IR crate.
+
+use std::fmt;
+
+/// Any error raised while parsing, building or validating TyTra-IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// Lexical error in a `.tirl` source: unexpected character.
+    Lex {
+        /// 1-based line number.
+        line: u32,
+        /// 1-based column number.
+        col: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Syntactic error in a `.tirl` source.
+    Parse {
+        /// 1-based line number.
+        line: u32,
+        /// 1-based column number.
+        col: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Semantic error found by [`crate::validate()`][crate::validate::validate].
+    Validate(String),
+    /// A name lookup failed (function, memory object, stream, value).
+    Unknown {
+        /// What kind of entity was looked up (e.g. `"function"`).
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The design uses a function-nesting pattern outside the supported
+    /// configuration set of Fig 7.
+    UnsupportedConfig(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Lex { line, col, msg } => {
+                write!(f, "lexical error at {line}:{col}: {msg}")
+            }
+            IrError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            IrError::Validate(msg) => write!(f, "validation error: {msg}"),
+            IrError::Unknown { kind, name } => write!(f, "unknown {kind}: `{name}`"),
+            IrError::UnsupportedConfig(msg) => {
+                write!(f, "unsupported configuration: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = IrError::Lex { line: 3, col: 7, msg: "bad char `$`".into() };
+        assert_eq!(e.to_string(), "lexical error at 3:7: bad char `$`");
+        let e = IrError::Parse { line: 1, col: 1, msg: "expected `define`".into() };
+        assert!(e.to_string().contains("expected `define`"));
+        let e = IrError::Unknown { kind: "function", name: "f9".into() };
+        assert_eq!(e.to_string(), "unknown function: `f9`");
+        let e = IrError::Validate("dup".into());
+        assert!(e.to_string().starts_with("validation error"));
+        let e = IrError::UnsupportedConfig("par inside par".into());
+        assert!(e.to_string().contains("par inside par"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = IrError::Validate("x".into());
+        let b = IrError::Validate("x".into());
+        assert_eq!(a, b);
+    }
+}

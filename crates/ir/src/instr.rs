@@ -1,0 +1,373 @@
+//! SSA instructions of the Compute-IR.
+//!
+//! All computations are expressed as Static Single Assignments over local
+//! values (`%name`) and global reduction accumulators (`@name`), e.g.
+//!
+//! ```text
+//! ui18 %1 = mul ui18 %p_i_p1, %cn2l
+//! ui18 @sorErrAcc = add ui18 %sorErr, @sorErrAcc
+//! ```
+//!
+//! The instruction set is a subset of LLVM-IR arithmetic plus a few
+//! FPGA-friendly primitives (`min`/`max`/`abs`/`select`/`sqrt`). An
+//! instruction writing a global destination is a *reduction* over the
+//! stream (the paper's "reduction operation on global variable").
+
+use crate::types::ScalarType;
+use std::fmt;
+
+/// Operation codes of the Compute-IR instruction set.
+///
+/// Integer and floating-point flavours share opcodes; the instruction's
+/// [`ScalarType`] selects the functional-unit family (an `add` on `f32`
+/// costs as a floating-point adder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opcode {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical/arithmetic shift right (per signedness).
+    Shr,
+    /// Compare equal (1-bit result, carried in the instruction type).
+    CmpEq,
+    /// Compare not-equal.
+    CmpNe,
+    /// Compare less-than.
+    CmpLt,
+    /// Compare less-or-equal.
+    CmpLe,
+    /// Compare greater-than.
+    CmpGt,
+    /// Compare greater-or-equal.
+    CmpGe,
+    /// Two-way multiplexer: `select cond, a, b`.
+    Select,
+    /// Minimum of two operands.
+    Min,
+    /// Maximum of two operands.
+    Max,
+    /// Absolute value.
+    Abs,
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise not.
+    Not,
+    /// Square root (float only in practice; integer isqrt allowed).
+    Sqrt,
+}
+
+impl Opcode {
+    /// All opcodes, for calibration sweeps and property tests.
+    pub const ALL: [Opcode; 23] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::CmpEq,
+        Opcode::CmpNe,
+        Opcode::CmpLt,
+        Opcode::CmpLe,
+        Opcode::CmpGt,
+        Opcode::CmpGe,
+        Opcode::Select,
+        Opcode::Min,
+        Opcode::Max,
+        Opcode::Abs,
+        Opcode::Neg,
+        Opcode::Not,
+        Opcode::Sqrt,
+    ];
+
+    /// Number of operands the opcode takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Opcode::Abs | Opcode::Neg | Opcode::Not | Opcode::Sqrt => 1,
+            Opcode::Select => 3,
+            _ => 2,
+        }
+    }
+
+    /// Mnemonic used in the textual IR.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Rem => "rem",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Shl => "shl",
+            Opcode::Shr => "shr",
+            Opcode::CmpEq => "cmpeq",
+            Opcode::CmpNe => "cmpne",
+            Opcode::CmpLt => "cmplt",
+            Opcode::CmpLe => "cmple",
+            Opcode::CmpGt => "cmpgt",
+            Opcode::CmpGe => "cmpge",
+            Opcode::Select => "select",
+            Opcode::Min => "min",
+            Opcode::Max => "max",
+            Opcode::Abs => "abs",
+            Opcode::Neg => "neg",
+            Opcode::Not => "not",
+            Opcode::Sqrt => "sqrt",
+        }
+    }
+
+    /// Inverse of [`Opcode::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+        Opcode::ALL.iter().copied().find(|o| o.mnemonic() == s)
+    }
+
+    /// Whether the result of the opcode is a comparison flag (cost models
+    /// treat these as 1-bit datapaths regardless of declared width).
+    pub fn is_compare(self) -> bool {
+        matches!(
+            self,
+            Opcode::CmpEq
+                | Opcode::CmpNe
+                | Opcode::CmpLt
+                | Opcode::CmpLe
+                | Opcode::CmpGt
+                | Opcode::CmpGe
+        )
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// An operand of an instruction or call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A local SSA value or streaming port, `%name`.
+    Local(String),
+    /// A global value (reduction accumulator or module-level port),
+    /// `@name`.
+    Global(String),
+    /// An integer immediate.
+    Imm(i64),
+    /// A floating-point immediate.
+    ImmF(f64),
+}
+
+impl Operand {
+    /// Local operand from anything string-like.
+    pub fn local(name: impl Into<String>) -> Operand {
+        Operand::Local(name.into())
+    }
+
+    /// Global operand from anything string-like.
+    pub fn global(name: impl Into<String>) -> Operand {
+        Operand::Global(name.into())
+    }
+
+    /// The referenced name, if the operand is a value reference.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Operand::Local(n) | Operand::Global(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// True if the operand is a compile-time constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Operand::Imm(_) | Operand::ImmF(_))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Local(n) => write!(f, "%{n}"),
+            Operand::Global(n) => write!(f, "@{n}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+            Operand::ImmF(v) => {
+                // Keep a decimal point so the parser can tell float
+                // immediates apart from integer ones.
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// Destination of an instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Dest {
+    /// A fresh local SSA value (`%name`).
+    Local(String),
+    /// A global reduction accumulator (`@name`); the instruction folds its
+    /// first operand into the accumulator once per work-item.
+    Global(String),
+}
+
+impl Dest {
+    /// The destination's bare name.
+    pub fn name(&self) -> &str {
+        match self {
+            Dest::Local(n) | Dest::Global(n) => n,
+        }
+    }
+
+    /// True if this is a reduction accumulator destination.
+    pub fn is_global(&self) -> bool {
+        matches!(self, Dest::Global(_))
+    }
+}
+
+impl fmt::Display for Dest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dest::Local(n) => write!(f, "%{n}"),
+            Dest::Global(n) => write!(f, "@{n}"),
+        }
+    }
+}
+
+/// One SSA instruction: `ty dest = op ty opnd, opnd, ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// Where the result goes.
+    pub dest: Dest,
+    /// The operation.
+    pub op: Opcode,
+    /// Type of the operands and the result.
+    pub ty: ScalarType,
+    /// Operand list; length must equal `op.arity()`.
+    pub operands: Vec<Operand>,
+}
+
+impl Instruction {
+    /// Create an instruction, checking arity in debug builds.
+    pub fn new(dest: Dest, op: Opcode, ty: ScalarType, operands: Vec<Operand>) -> Instruction {
+        debug_assert_eq!(operands.len(), op.arity(), "arity mismatch for {op}");
+        Instruction { dest, op, ty, operands }
+    }
+
+    /// Whether the instruction is a reduction (writes a global
+    /// accumulator).
+    pub fn is_reduction(&self) -> bool {
+        self.dest.is_global()
+    }
+
+    /// Whether any operand is a compile-time constant — synthesis tools
+    /// strength-reduce these (e.g. constant multiply → shift-add network),
+    /// which the synthesis emulator models.
+    pub fn has_const_operand(&self) -> bool {
+        self.operands.iter().any(Operand::is_const)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} = {} {} ", self.ty, self.dest, self.op, self.ty)?;
+        for (i, o) in self.operands.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_semantics() {
+        assert_eq!(Opcode::Add.arity(), 2);
+        assert_eq!(Opcode::Select.arity(), 3);
+        assert_eq!(Opcode::Abs.arity(), 1);
+        assert_eq!(Opcode::Sqrt.arity(), 1);
+    }
+
+    #[test]
+    fn mnemonic_round_trip_all() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("frobnicate"), None);
+    }
+
+    #[test]
+    fn compare_classification() {
+        assert!(Opcode::CmpLt.is_compare());
+        assert!(!Opcode::Min.is_compare());
+    }
+
+    #[test]
+    fn instruction_display() {
+        let i = Instruction::new(
+            Dest::Local("1".into()),
+            Opcode::Mul,
+            ScalarType::UInt(18),
+            vec![Operand::local("p_i_p1"), Operand::local("cn2l")],
+        );
+        assert_eq!(i.to_string(), "ui18 %1 = mul ui18 %p_i_p1, %cn2l");
+        assert!(!i.is_reduction());
+    }
+
+    #[test]
+    fn reduction_display() {
+        let i = Instruction::new(
+            Dest::Global("sorErrAcc".into()),
+            Opcode::Add,
+            ScalarType::UInt(18),
+            vec![Operand::local("sorErr"), Operand::global("sorErrAcc")],
+        );
+        assert_eq!(i.to_string(), "ui18 @sorErrAcc = add ui18 %sorErr, @sorErrAcc");
+        assert!(i.is_reduction());
+    }
+
+    #[test]
+    fn const_operand_detection() {
+        let i = Instruction::new(
+            Dest::Local("x".into()),
+            Opcode::Mul,
+            ScalarType::UInt(32),
+            vec![Operand::local("a"), Operand::Imm(3)],
+        );
+        assert!(i.has_const_operand());
+        assert!(i.operands[1].is_const());
+        assert_eq!(i.operands[0].name(), Some("a"));
+        assert_eq!(i.operands[1].name(), None);
+    }
+
+    #[test]
+    fn float_imm_display_keeps_point() {
+        assert_eq!(Operand::ImmF(2.0).to_string(), "2.0");
+        assert_eq!(Operand::ImmF(0.5).to_string(), "0.5");
+    }
+}

@@ -1,0 +1,54 @@
+//! # TyTra-IR
+//!
+//! The TyTra intermediate representation: a strongly, statically typed,
+//! SSA-based streaming-dataflow IR for expressing FPGA design variants, as
+//! described in section IV of Nabi & Vanderbauwhede, *"A Fast and Accurate
+//! Cost Model for FPGA Design Space Exploration in HPC Applications"*
+//! (IPDPSW 2016).
+//!
+//! A TyTra-IR design has two components:
+//!
+//! * the **Manage-IR** — [`MemObject`]s (anything that can source or sink a
+//!   stream; in software terms, an array in memory) and [`StreamObject`]s
+//!   (the connection between a memory object and a streaming port of a
+//!   processing element, carrying an access-pattern annotation), plus the
+//!   port declarations that bind streams to kernel arguments;
+//! * the **Compute-IR** — a hierarchy of [`IrFunction`]s, each tagged with a
+//!   parallelism keyword ([`ParKind`]): `pipe` (pipeline parallelism), `par`
+//!   (thread parallelism), `seq` (sequential execution) or `comb` (a custom
+//!   single-cycle combinatorial block). Function bodies are SSA
+//!   [`Instruction`]s, stream-[`OffsetDecl`]s and [`Call`]s to child
+//!   functions.
+//!
+//! The textual syntax (`.tirl` files) follows the paper's listings (Figs 12
+//! and 14); [`parse()`][parser::parse] and [`print()`][printer::print] round-trip it. The [`builder`] module
+//! offers a programmatic API. [`config_tree`] extracts the architecture
+//! implied by the function hierarchy (Fig 8) and classifies it against the
+//! design-space abstraction of Fig 5. [`dfg`] builds the dataflow graph that
+//! the cost model schedules and the simulator executes.
+
+pub mod builder;
+pub mod config_tree;
+pub mod dfg;
+pub mod error;
+pub mod function;
+pub mod instr;
+pub mod module;
+pub mod parser;
+pub mod printer;
+pub mod stream;
+pub mod types;
+pub mod validate;
+
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use config_tree::{ConfigClass, ConfigNode, ConfigTree};
+pub use dfg::{Dfg, DfgNode, LatencyModel, UnitLatency};
+pub use error::IrError;
+pub use function::{Call, IrFunction, OffsetDecl, Param, ParKind, PortDir, Stmt};
+pub use instr::{Dest, Instruction, Opcode, Operand};
+pub use module::{ExecMeta, IrModule, MemForm};
+pub use parser::parse;
+pub use printer::print;
+pub use stream::{AccessPattern, AddrSpace, MemObject, PortDecl, StreamDir, StreamObject};
+pub use types::ScalarType;
+pub use validate::validate;

@@ -1,0 +1,276 @@
+//! The top-level IR module: Manage-IR + Compute-IR + execution metadata.
+
+use crate::function::{IrFunction, ParKind};
+use crate::stream::{MemObject, PortDecl, StreamObject};
+use std::fmt;
+
+/// Memory-execution form (section III-5, Fig 6): how the memory hierarchy
+/// is traversed across the `NKI` kernel-instance iterations. The
+/// throughput expressions (Eqs 1–3) differ per form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemForm {
+    /// Form A: every kernel instance transports all `NDRange` data between
+    /// host and device DRAM.
+    A,
+    /// Form B: the host moves data to/from global memory once; iterations
+    /// stream from device DRAM.
+    B,
+    /// Form C: the working set fits in on-chip local memory (BRAM); all
+    /// iterations are compute-bound.
+    C,
+    /// Extension (the paper's tiling future-work note): the index space is
+    /// tiled so that a fraction `1/tiles` of the set is BRAM-resident at a
+    /// time; interpolates between Forms B (`tiles = NGS`) and C
+    /// (`tiles = 1`).
+    Tiled {
+        /// Number of tiles the NDRange is split into.
+        tiles: u32,
+    },
+}
+
+impl MemForm {
+    /// Tag used in the textual IR metadata (`!form = !"B"`).
+    pub fn tag(&self) -> String {
+        match self {
+            MemForm::A => "A".to_string(),
+            MemForm::B => "B".to_string(),
+            MemForm::C => "C".to_string(),
+            MemForm::Tiled { tiles } => format!("T{tiles}"),
+        }
+    }
+
+    /// Parse a metadata tag.
+    pub fn from_tag(s: &str) -> Option<MemForm> {
+        match s {
+            "A" => Some(MemForm::A),
+            "B" => Some(MemForm::B),
+            "C" => Some(MemForm::C),
+            _ => {
+                let n: u32 = s.strip_prefix('T')?.parse().ok()?;
+                (n > 0).then_some(MemForm::Tiled { tiles: n })
+            }
+        }
+    }
+}
+
+impl fmt::Display for MemForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
+
+/// Execution metadata attached to a module: the kernel-instance geometry
+/// of the OpenCL-style execution model (section III-3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecMeta {
+    /// The NDRange: global size per dimension. The paper's `NGS` is the
+    /// product.
+    pub ndrange: Vec<u64>,
+    /// `NKI`: how many times the kernel instance executes over all `NGS`
+    /// work-items (e.g. 1000 SOR iterations).
+    pub nki: u64,
+    /// The memory-execution form.
+    pub form: MemForm,
+    /// Optional clock constraint in MHz; when absent the cost model's
+    /// frequency estimator decides `FD`.
+    pub freq_mhz: Option<f64>,
+    /// `DV`: degree of vectorization per lane — how many elements each
+    /// pipeline lane consumes per cycle (Table I). 1 for scalar lanes.
+    pub vect: u32,
+}
+
+impl ExecMeta {
+    /// `NGS`: global size of work-items in the NDRange.
+    pub fn global_size(&self) -> u64 {
+        self.ndrange.iter().product::<u64>().max(1)
+    }
+}
+
+impl Default for ExecMeta {
+    fn default() -> ExecMeta {
+        ExecMeta { ndrange: vec![1], nki: 1, form: MemForm::B, freq_mhz: None, vect: 1 }
+    }
+}
+
+/// A complete TyTra-IR design variant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IrModule {
+    /// Module (design) name.
+    pub name: String,
+    /// Manage-IR memory objects.
+    pub mems: Vec<MemObject>,
+    /// Manage-IR stream objects.
+    pub streams: Vec<StreamObject>,
+    /// Compute-IR port declarations binding streams to kernel arguments.
+    pub ports: Vec<PortDecl>,
+    /// Compute-IR functions, including `main`.
+    pub functions: Vec<IrFunction>,
+    /// Execution metadata.
+    pub meta: ExecMeta,
+}
+
+impl IrModule {
+    /// New empty module with the given name.
+    pub fn new(name: impl Into<String>) -> IrModule {
+        IrModule { name: name.into(), ..Default::default() }
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&IrFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// The entry function, conventionally `main`.
+    pub fn main(&self) -> Option<&IrFunction> {
+        self.function("main")
+    }
+
+    /// Look up a memory object.
+    pub fn mem(&self, name: &str) -> Option<&MemObject> {
+        self.mems.iter().find(|m| m.name == name)
+    }
+
+    /// Look up a stream object.
+    pub fn stream(&self, name: &str) -> Option<&StreamObject> {
+        self.streams.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a port declaration by its qualified name.
+    pub fn port(&self, name: &str) -> Option<&PortDecl> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Total SSA instruction count over every function (static count; the
+    /// per-PE `NI` of the throughput model is computed per configuration by
+    /// the cost crate).
+    pub fn total_instructions(&self) -> u64 {
+        self.functions.iter().map(IrFunction::n_instructions).sum()
+    }
+
+    /// Number of parallel kernel lanes, `KNL`: the replication factor of
+    /// pipeline lanes. Derived from `par` functions: the number of calls
+    /// inside each `par` body, multiplied down the call chain from `main`.
+    /// A design with no `par` level has one lane.
+    pub fn kernel_lanes(&self) -> u64 {
+        fn lanes_of(m: &IrModule, fname: &str) -> u64 {
+            let Some(f) = m.function(fname) else { return 1 };
+            match f.kind {
+                ParKind::Par => {
+                    // Each call is a lane; nested structure multiplies.
+                    f.calls().map(|c| lanes_of(m, &c.callee)).sum::<u64>().max(1)
+                }
+                _ => {
+                    // Pipeline/seq: lanes do not multiply across peers;
+                    // take the max replication among children.
+                    f.calls().map(|c| lanes_of(m, &c.callee)).max().unwrap_or(1)
+                }
+            }
+        }
+        // `main` is a plain dispatcher: its single call's subtree decides.
+        let Some(main) = self.main() else { return 1 };
+        main.calls().map(|c| lanes_of(self, &c.callee)).max().unwrap_or(1)
+    }
+
+    /// Iterate over the functions reachable from `main` in call order
+    /// (preorder). Unreachable functions are excluded.
+    pub fn reachable_functions(&self) -> Vec<&IrFunction> {
+        let mut out = Vec::new();
+        let mut stack = vec!["main"];
+        let mut seen: Vec<&str> = Vec::new();
+        while let Some(name) = stack.pop() {
+            if seen.contains(&name) {
+                continue;
+            }
+            seen.push(name);
+            if let Some(f) = self.function(name) {
+                out.push(f);
+                // Push in reverse so preorder visits calls left-to-right.
+                let callees: Vec<&str> =
+                    f.calls().map(|c| c.callee.as_str()).collect();
+                for c in callees.into_iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{Call, Stmt};
+    use crate::instr::Operand;
+
+    fn call(f: &str, kind: ParKind) -> Stmt {
+        Stmt::Call(Call { callee: f.into(), args: vec![Operand::local("p")], kind })
+    }
+
+    /// main -> f1(par) -> 4 × f0(pipe)
+    fn four_lane() -> IrModule {
+        let mut m = IrModule::new("sor4");
+        let f0 = IrFunction::new("f0", ParKind::Pipe);
+        let mut f1 = IrFunction::new("f1", ParKind::Par);
+        for _ in 0..4 {
+            f1.body.push(call("f0", ParKind::Pipe));
+        }
+        let mut main = IrFunction::new("main", ParKind::Seq);
+        main.body.push(call("f1", ParKind::Par));
+        m.functions = vec![f0, f1, main];
+        m
+    }
+
+    #[test]
+    fn memform_tags_round_trip() {
+        for f in [MemForm::A, MemForm::B, MemForm::C, MemForm::Tiled { tiles: 8 }] {
+            assert_eq!(MemForm::from_tag(&f.tag()), Some(f));
+        }
+        assert_eq!(MemForm::from_tag("D"), None);
+        assert_eq!(MemForm::from_tag("T0"), None);
+        assert_eq!(MemForm::from_tag("Tx"), None);
+    }
+
+    #[test]
+    fn global_size_is_ndrange_product() {
+        let meta = ExecMeta { ndrange: vec![24, 24, 24], nki: 1000, form: MemForm::B, freq_mhz: None, vect: 1 };
+        assert_eq!(meta.global_size(), 13824);
+        let empty = ExecMeta { ndrange: vec![], ..ExecMeta::default() };
+        assert_eq!(empty.global_size(), 1);
+    }
+
+    #[test]
+    fn kernel_lanes_single_pipe_is_one() {
+        let mut m = IrModule::new("sor1");
+        let f0 = IrFunction::new("f0", ParKind::Pipe);
+        let mut main = IrFunction::new("main", ParKind::Seq);
+        main.body.push(call("f0", ParKind::Pipe));
+        m.functions = vec![f0, main];
+        assert_eq!(m.kernel_lanes(), 1);
+    }
+
+    #[test]
+    fn kernel_lanes_counts_par_replication() {
+        assert_eq!(four_lane().kernel_lanes(), 4);
+    }
+
+    #[test]
+    fn kernel_lanes_empty_module_is_one() {
+        assert_eq!(IrModule::new("x").kernel_lanes(), 1);
+    }
+
+    #[test]
+    fn reachable_functions_preorder_and_dedup() {
+        let m = four_lane();
+        let names: Vec<&str> = m.reachable_functions().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["main", "f1", "f0"]);
+    }
+
+    #[test]
+    fn lookups() {
+        let m = four_lane();
+        assert!(m.function("f1").is_some());
+        assert!(m.main().is_some());
+        assert!(m.function("zzz").is_none());
+        assert_eq!(m.total_instructions(), 0);
+    }
+}

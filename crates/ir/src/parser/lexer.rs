@@ -1,0 +1,361 @@
+//! Tokenizer for the `.tirl` textual IR.
+
+use crate::error::{IrError, Result};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column of the first character.
+    pub col: u32,
+}
+
+/// Token payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `%name` — local value / object reference.
+    Percent(String),
+    /// `@name` — global / function reference; may contain dots
+    /// (`main.p`).
+    At(String),
+    /// Bare identifier or keyword (`define`, `pipe`, `add`, `ui18`, ...).
+    Ident(String),
+    /// Integer literal, including explicit `+`/`-` signs.
+    Int(i64),
+    /// Float literal (contains a `.` or exponent).
+    Float(f64),
+    /// Double-quoted string contents.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!`
+    Bang,
+}
+
+impl TokenKind {
+    /// Short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Percent(n) => format!("%{n}"),
+            TokenKind::At(n) => format!("@{n}"),
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Int(v) => format!("integer {v}"),
+            TokenKind::Float(v) => format!("float {v}"),
+            TokenKind::Str(s) => format!("\"{s}\""),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Bang => "`!`".into(),
+        }
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Tokenize a `.tirl` source. Comments run from `;` to end of line;
+/// whitespace (including newlines) separates tokens.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! bump {
+        ($c:expr) => {{
+            if $c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                chars.next();
+                bump!(c);
+            }
+            ';' => {
+                // Comment to end of line.
+                while let Some(&c2) = chars.peek() {
+                    chars.next();
+                    bump!(c2);
+                    if c2 == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' | ')' | '{' | '}' | ',' | '=' | '!' => {
+                chars.next();
+                bump!(c);
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    ',' => TokenKind::Comma,
+                    '=' => TokenKind::Eq,
+                    _ => TokenKind::Bang,
+                };
+                out.push(Token { kind, line: tl, col: tc });
+            }
+            '"' => {
+                chars.next();
+                bump!(c);
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(&c2) = chars.peek() {
+                    chars.next();
+                    bump!(c2);
+                    if c2 == '"' {
+                        closed = true;
+                        break;
+                    }
+                    if c2 == '\n' {
+                        break;
+                    }
+                    s.push(c2);
+                }
+                if !closed {
+                    return Err(IrError::Lex {
+                        line: tl,
+                        col: tc,
+                        msg: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Token { kind: TokenKind::Str(s), line: tl, col: tc });
+            }
+            '%' | '@' => {
+                let sigil = c;
+                chars.next();
+                bump!(c);
+                let mut name = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if is_name_char(c2) {
+                        name.push(c2);
+                        chars.next();
+                        bump!(c2);
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(IrError::Lex {
+                        line: tl,
+                        col: tc,
+                        msg: format!("`{sigil}` must be followed by a name"),
+                    });
+                }
+                let kind = if sigil == '%' {
+                    TokenKind::Percent(name)
+                } else {
+                    TokenKind::At(name)
+                };
+                out.push(Token { kind, line: tl, col: tc });
+            }
+            '+' | '-' | '0'..='9' => {
+                let mut text = String::new();
+                let mut is_float = false;
+                if c == '+' || c == '-' {
+                    text.push(c);
+                    chars.next();
+                    bump!(c);
+                    if !matches!(chars.peek(), Some(d) if d.is_ascii_digit()) {
+                        return Err(IrError::Lex {
+                            line: tl,
+                            col: tc,
+                            msg: format!("`{c}` must begin a number"),
+                        });
+                    }
+                }
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_digit() {
+                        text.push(c2);
+                        chars.next();
+                        bump!(c2);
+                    } else if c2 == '.' && !is_float {
+                        // Only a digit after the dot makes it a float
+                        // (names cannot start mid-number).
+                        is_float = true;
+                        text.push(c2);
+                        chars.next();
+                        bump!(c2);
+                    } else if (c2 == 'e' || c2 == 'E') && is_float {
+                        text.push(c2);
+                        chars.next();
+                        bump!(c2);
+                        if let Some(&c3) = chars.peek() {
+                            if c3 == '+' || c3 == '-' {
+                                text.push(c3);
+                                chars.next();
+                                bump!(c3);
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_float {
+                    let v: f64 = text.parse().map_err(|_| IrError::Lex {
+                        line: tl,
+                        col: tc,
+                        msg: format!("bad float literal `{text}`"),
+                    })?;
+                    TokenKind::Float(v)
+                } else {
+                    let v: i64 = text.parse().map_err(|_| IrError::Lex {
+                        line: tl,
+                        col: tc,
+                        msg: format!("bad integer literal `{text}`"),
+                    })?;
+                    TokenKind::Int(v)
+                };
+                out.push(Token { kind, line: tl, col: tc });
+            }
+            c2 if c2.is_ascii_alphabetic() || c2 == '_' => {
+                let mut name = String::new();
+                while let Some(&c3) = chars.peek() {
+                    if c3.is_ascii_alphanumeric() || c3 == '_' {
+                        name.push(c3);
+                        chars.next();
+                        bump!(c3);
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { kind: TokenKind::Ident(name), line: tl, col: tc });
+            }
+            other => {
+                return Err(IrError::Lex {
+                    line: tl,
+                    col: tc,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_basic_instruction() {
+        let k = kinds("ui18 %1 = mul ui18 %p, %cn2l");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("ui18".into()),
+                TokenKind::Percent("1".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("mul".into()),
+                TokenKind::Ident("ui18".into()),
+                TokenKind::Percent("p".into()),
+                TokenKind::Comma,
+                TokenKind::Percent("cn2l".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_offsets_and_signs() {
+        let k = kinds("!offset, !+1 !-150");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Bang,
+                TokenKind::Ident("offset".into()),
+                TokenKind::Comma,
+                TokenKind::Bang,
+                TokenKind::Int(1),
+                TokenKind::Bang,
+                TokenKind::Int(-150),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_and_dotted_names() {
+        let k = kinds("@main.p = !\"istream\"");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::At("main.p".into()),
+                TokenKind::Eq,
+                TokenKind::Bang,
+                TokenKind::Str("istream".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let toks = lex("; a comment\n  add ; trailing\nmul").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[0].col, 3);
+        assert_eq!(toks[1].line, 3);
+        assert_eq!(toks[1].col, 1);
+    }
+
+    #[test]
+    fn floats_with_exponents() {
+        assert_eq!(kinds("!220.5"), vec![TokenKind::Bang, TokenKind::Float(220.5)]);
+        assert_eq!(kinds("1.5e3"), vec![TokenKind::Float(1500.0)]);
+        assert_eq!(kinds("2.0e-1"), vec![TokenKind::Float(0.2)]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(matches!(lex("!\"CONT"), Err(IrError::Lex { .. })));
+    }
+
+    #[test]
+    fn bare_sigil_is_error() {
+        assert!(matches!(lex("% "), Err(IrError::Lex { .. })));
+        assert!(matches!(lex("@,"), Err(IrError::Lex { .. })));
+    }
+
+    #[test]
+    fn stray_character_is_error() {
+        let e = lex("add $ mul").unwrap_err();
+        match e {
+            IrError::Lex { line, col, .. } => {
+                assert_eq!((line, col), (1, 5));
+            }
+            other => panic!("expected lex error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sign_without_digit_is_error() {
+        assert!(matches!(lex("+ x"), Err(IrError::Lex { .. })));
+    }
+}

@@ -1,0 +1,288 @@
+//! Manage-IR: memory objects, stream objects and port declarations.
+//!
+//! The Manage-IR separates the pure dataflow architecture operating on data
+//! streams (Compute-IR) from the control and peripheral logic that creates
+//! those streams. A [`MemObject`] abstracts any entity that can source or
+//! sink a stream (usually an array in a level of the OpenCL-style memory
+//! hierarchy of Fig 4); a [`StreamObject`] connects a memory object to a
+//! streaming port, carrying the access-pattern annotation that the
+//! sustained-bandwidth model costs (section V-C).
+
+use crate::types::ScalarType;
+use std::fmt;
+
+/// OpenCL-style memory hierarchy level, following the numbering of Fig 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrSpace {
+    /// `addrSpace(0)` — private memory (registers inside the PE).
+    Private,
+    /// `addrSpace(1)` — global memory (device DRAM).
+    Global,
+    /// `addrSpace(2)` — local memory (on-chip block RAMs).
+    Local,
+    /// `addrSpace(3)` — constant memory (DRAM, read-only).
+    Constant,
+    /// Vendor/extension space with its raw number (the paper's listings
+    /// use e.g. `addrSpace(12)` for stream-port bindings).
+    Other(u8),
+}
+
+impl AddrSpace {
+    /// Numeric encoding used in the textual IR.
+    pub fn number(self) -> u8 {
+        match self {
+            AddrSpace::Private => 0,
+            AddrSpace::Global => 1,
+            AddrSpace::Local => 2,
+            AddrSpace::Constant => 3,
+            AddrSpace::Other(n) => n,
+        }
+    }
+
+    /// Decode from the numeric encoding.
+    pub fn from_number(n: u8) -> AddrSpace {
+        match n {
+            0 => AddrSpace::Private,
+            1 => AddrSpace::Global,
+            2 => AddrSpace::Local,
+            3 => AddrSpace::Constant,
+            n => AddrSpace::Other(n),
+        }
+    }
+
+    /// Whether streams from this space traverse the off-chip DRAM link
+    /// (and are therefore subject to the sustained-bandwidth model).
+    pub fn is_offchip(self) -> bool {
+        matches!(self, AddrSpace::Global | AddrSpace::Constant)
+    }
+}
+
+impl fmt::Display for AddrSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "addrSpace({})", self.number())
+    }
+}
+
+/// Streaming data pattern of a stream object (section III-6): the paper's
+/// prototype models contiguous access and constant-stride access. The
+/// authors report that fixed-stride and true random access sustain nearly
+/// identical bandwidth, so `Strided` doubles as the random-access cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Unit-stride, burst-friendly access (`!"CONT"`).
+    Contiguous,
+    /// Constant-stride access with the given stride in elements
+    /// (`!"STRIDED", !<stride>`).
+    Strided {
+        /// Stride between consecutive accesses, in elements.
+        stride: u64,
+    },
+}
+
+impl AccessPattern {
+    /// Tag string used in the textual IR.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AccessPattern::Contiguous => "CONT",
+            AccessPattern::Strided { .. } => "STRIDED",
+        }
+    }
+}
+
+/// Direction of a stream with respect to the processing element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamDir {
+    /// Memory → PE (an `istream` port reads it).
+    Read,
+    /// PE → memory (an `ostream` port writes it).
+    Write,
+}
+
+/// A Manage-IR memory object:
+///
+/// ```text
+/// %mem_p = memobj addrSpace(1) ui18, !size, !27000
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemObject {
+    /// Object name (without `%`).
+    pub name: String,
+    /// Which memory-hierarchy level holds it.
+    pub space: AddrSpace,
+    /// Element type.
+    pub elem_ty: ScalarType,
+    /// Number of elements.
+    pub len: u64,
+}
+
+impl MemObject {
+    /// Total footprint in bytes (elements × element bytes).
+    pub fn bytes(&self) -> u64 {
+        self.len * u64::from(self.elem_ty.bytes())
+    }
+
+    /// Total footprint in bits (used for on-chip BRAM accounting).
+    pub fn bits(&self) -> u64 {
+        self.len * u64::from(self.elem_ty.bits())
+    }
+}
+
+impl fmt::Display for MemObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "%{} = memobj {} {}, !size, !{}",
+            self.name, self.space, self.elem_ty, self.len
+        )
+    }
+}
+
+/// A Manage-IR stream object:
+///
+/// ```text
+/// %strobj_p = streamobj %mem_p, !read, !"CONT"
+/// %strobj_q = streamobj %mem_q, !write, !"STRIDED", !96
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamObject {
+    /// Stream name (without `%`).
+    pub name: String,
+    /// Backing memory object name.
+    pub mem: String,
+    /// Direction with respect to the PE.
+    pub dir: StreamDir,
+    /// Access pattern over the backing memory.
+    pub pattern: AccessPattern,
+}
+
+impl fmt::Display for StreamObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = match self.dir {
+            StreamDir::Read => "read",
+            StreamDir::Write => "write",
+        };
+        write!(f, "%{} = streamobj %{}, !{}, !\"{}\"", self.name, self.mem, dir, self.pattern.tag())?;
+        if let AccessPattern::Strided { stride } = self.pattern {
+            write!(f, ", !{stride}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A Compute-IR port declaration binding a stream object to a kernel
+/// argument (the paper's Fig 12, line 2):
+///
+/// ```text
+/// @main.p = addrSpace(12) ui18, !"istream", !"CONT", !0, !"strobj_p"
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortDecl {
+    /// Qualified port name, e.g. `main.p` (without `@`).
+    pub name: String,
+    /// Address space annotation (the paper uses a vendor space for ports).
+    pub space: AddrSpace,
+    /// Element type.
+    pub ty: ScalarType,
+    /// Direction: `istream` or `ostream`.
+    pub dir: StreamDir,
+    /// Access pattern restated at the port.
+    pub pattern: AccessPattern,
+    /// Base offset annotation (`!0` in the listings).
+    pub base_offset: i64,
+    /// Name of the backing [`StreamObject`].
+    pub stream: String,
+}
+
+impl PortDecl {
+    /// The unqualified argument name (`p` for `main.p`).
+    pub fn arg_name(&self) -> &str {
+        self.name.rsplit('.').next().unwrap_or(&self.name)
+    }
+}
+
+impl fmt::Display for PortDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = match self.dir {
+            StreamDir::Read => "istream",
+            StreamDir::Write => "ostream",
+        };
+        write!(
+            f,
+            "@{} = {} {}, !\"{}\", !\"{}\", !{}, !\"{}\"",
+            self.name, self.space, self.ty, dir, self.pattern.tag(), self.base_offset, self.stream
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addrspace_numbering_matches_fig4() {
+        assert_eq!(AddrSpace::Private.number(), 0);
+        assert_eq!(AddrSpace::Global.number(), 1);
+        assert_eq!(AddrSpace::Local.number(), 2);
+        assert_eq!(AddrSpace::Constant.number(), 3);
+        assert_eq!(AddrSpace::from_number(2), AddrSpace::Local);
+        assert_eq!(AddrSpace::from_number(12), AddrSpace::Other(12));
+        assert_eq!(AddrSpace::Other(12).number(), 12);
+    }
+
+    #[test]
+    fn offchip_classification() {
+        assert!(AddrSpace::Global.is_offchip());
+        assert!(AddrSpace::Constant.is_offchip());
+        assert!(!AddrSpace::Local.is_offchip());
+        assert!(!AddrSpace::Private.is_offchip());
+    }
+
+    #[test]
+    fn memobject_footprints() {
+        let m = MemObject {
+            name: "mem_p".into(),
+            space: AddrSpace::Global,
+            elem_ty: ScalarType::UInt(18),
+            len: 300,
+        };
+        assert_eq!(m.bits(), 5400);
+        assert_eq!(m.bytes(), 900);
+        assert_eq!(m.to_string(), "%mem_p = memobj addrSpace(1) ui18, !size, !300");
+    }
+
+    #[test]
+    fn streamobject_display_contiguous_and_strided() {
+        let s = StreamObject {
+            name: "strobj_p".into(),
+            mem: "mem_p".into(),
+            dir: StreamDir::Read,
+            pattern: AccessPattern::Contiguous,
+        };
+        assert_eq!(s.to_string(), "%strobj_p = streamobj %mem_p, !read, !\"CONT\"");
+        let s = StreamObject {
+            name: "s2".into(),
+            mem: "m2".into(),
+            dir: StreamDir::Write,
+            pattern: AccessPattern::Strided { stride: 96 },
+        };
+        assert_eq!(s.to_string(), "%s2 = streamobj %m2, !write, !\"STRIDED\", !96");
+    }
+
+    #[test]
+    fn port_decl_matches_paper_listing_shape() {
+        let p = PortDecl {
+            name: "main.p".into(),
+            space: AddrSpace::Other(12),
+            ty: ScalarType::UInt(18),
+            dir: StreamDir::Read,
+            pattern: AccessPattern::Contiguous,
+            base_offset: 0,
+            stream: "strobj_p".into(),
+        };
+        assert_eq!(
+            p.to_string(),
+            "@main.p = addrSpace(12) ui18, !\"istream\", !\"CONT\", !0, !\"strobj_p\""
+        );
+        assert_eq!(p.arg_name(), "p");
+    }
+}

@@ -1,0 +1,138 @@
+//! Scalar types of the TyTra-IR.
+//!
+//! The IR is strongly and statically typed. Following the paper's listings,
+//! unsigned integers are written `ui<W>` (e.g. `ui18` — the 18-bit words of
+//! the SOR kernel, matching the Stratix-V M20K/DSP native widths), signed
+//! integers `si<W>`, and IEEE-754 floats `f32`/`f64`.
+
+use std::fmt;
+
+/// A scalar value type carried by a stream or produced by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarType {
+    /// Unsigned integer of the given bit width (`ui<W>`).
+    UInt(u16),
+    /// Signed two's-complement integer of the given bit width (`si<W>`).
+    Int(u16),
+    /// IEEE-754 binary float; width must be 32 or 64 (`f32` / `f64`).
+    Float(u16),
+}
+
+impl ScalarType {
+    /// Bit width of the type.
+    #[inline]
+    pub fn bits(self) -> u16 {
+        match self {
+            ScalarType::UInt(w) | ScalarType::Int(w) | ScalarType::Float(w) => w,
+        }
+    }
+
+    /// Width in bytes, rounded up to the next whole byte. This is the
+    /// footprint of one element when streamed over a byte-addressed link
+    /// (host DMA or DRAM burst), i.e. the `NWPT` word size.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        u32::from(self.bits()).div_ceil(8)
+    }
+
+    /// True for `f32`/`f64`.
+    #[inline]
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::Float(_))
+    }
+
+    /// True for `ui*`/`si*`.
+    #[inline]
+    pub fn is_int(self) -> bool {
+        !self.is_float()
+    }
+
+    /// True for signed integer types.
+    #[inline]
+    pub fn is_signed(self) -> bool {
+        matches!(self, ScalarType::Int(_) | ScalarType::Float(_))
+    }
+
+    /// Whether the width is legal: integers 1..=128 bits, floats 32/64.
+    pub fn is_valid(self) -> bool {
+        match self {
+            ScalarType::UInt(w) | ScalarType::Int(w) => (1..=128).contains(&w),
+            ScalarType::Float(w) => w == 32 || w == 64,
+        }
+    }
+
+    /// Parse a type token such as `ui18`, `si32` or `f32`.
+    pub fn parse_token(tok: &str) -> Option<ScalarType> {
+        let (ctor, digits): (fn(u16) -> ScalarType, &str) = if let Some(r) = tok.strip_prefix("ui")
+        {
+            (ScalarType::UInt, r)
+        } else if let Some(r) = tok.strip_prefix("si") {
+            (ScalarType::Int, r)
+        } else if let Some(r) = tok.strip_prefix('f') {
+            (ScalarType::Float, r)
+        } else {
+            return None;
+        };
+        let w: u16 = digits.parse().ok()?;
+        let t = ctor(w);
+        t.is_valid().then_some(t)
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarType::UInt(w) => write!(f, "ui{w}"),
+            ScalarType::Int(w) => write!(f, "si{w}"),
+            ScalarType::Float(w) => write!(f, "f{w}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_bytes() {
+        assert_eq!(ScalarType::UInt(18).bits(), 18);
+        assert_eq!(ScalarType::UInt(18).bytes(), 3);
+        assert_eq!(ScalarType::Int(32).bytes(), 4);
+        assert_eq!(ScalarType::Float(64).bytes(), 8);
+        assert_eq!(ScalarType::UInt(1).bytes(), 1);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for t in [
+            ScalarType::UInt(18),
+            ScalarType::Int(7),
+            ScalarType::UInt(64),
+            ScalarType::Float(32),
+            ScalarType::Float(64),
+        ] {
+            assert_eq!(ScalarType::parse_token(&t.to_string()), Some(t));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_tokens() {
+        assert_eq!(ScalarType::parse_token("u18"), None);
+        assert_eq!(ScalarType::parse_token("ui0"), None);
+        assert_eq!(ScalarType::parse_token("ui300"), None);
+        assert_eq!(ScalarType::parse_token("f16"), None);
+        assert_eq!(ScalarType::parse_token("f"), None);
+        assert_eq!(ScalarType::parse_token("int"), None);
+        assert_eq!(ScalarType::parse_token(""), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(ScalarType::Float(32).is_float());
+        assert!(!ScalarType::Float(32).is_int());
+        assert!(ScalarType::UInt(8).is_int());
+        assert!(!ScalarType::UInt(8).is_signed());
+        assert!(ScalarType::Int(8).is_signed());
+        assert!(ScalarType::Float(64).is_signed());
+    }
+}

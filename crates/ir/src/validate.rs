@@ -1,0 +1,523 @@
+//! Semantic validation of TyTra-IR modules.
+//!
+//! Checks performed:
+//!
+//! * name uniqueness (functions, memory objects, streams, ports, params);
+//! * SSA discipline: every local destination is assigned exactly once per
+//!   function and every operand is defined before use (params, earlier
+//!   statements, or global accumulators);
+//! * type agreement: offset streams carry the type of their source; ports
+//!   restate the element type of their backing stream's memory object;
+//! * structural rules per [`ParKind`]: `par` bodies contain only calls;
+//!   `comb` bodies contain only single-cycle instructions (no offsets, no
+//!   calls, no reductions); `pipe` bodies may mix instructions, offsets and
+//!   calls to `pipe`/`comb` children;
+//! * call-site kind annotations agree with the callee's declared kind, the
+//!   callee exists, arity matches, and the call graph is acyclic;
+//! * the module has a `main` entry that only calls;
+//! * NDRange metadata is non-degenerate.
+
+use crate::error::{IrError, Result};
+use crate::function::{IrFunction, ParKind, Stmt};
+use crate::instr::Operand;
+use crate::module::IrModule;
+use std::collections::{HashMap, HashSet};
+
+/// Validate a module; returns the first violation found.
+pub fn validate(m: &IrModule) -> Result<()> {
+    check_unique_names(m)?;
+    check_manage_ir(m)?;
+    for f in &m.functions {
+        check_function(m, f)?;
+    }
+    check_main(m)?;
+    check_call_graph(m)?;
+    check_meta(m)?;
+    Ok(())
+}
+
+fn dup_check<'a, I: Iterator<Item = &'a str>>(what: &str, names: I) -> Result<()> {
+    let mut seen = HashSet::new();
+    for n in names {
+        if !seen.insert(n) {
+            return Err(IrError::Validate(format!("duplicate {what} name `{n}`")));
+        }
+    }
+    Ok(())
+}
+
+fn check_unique_names(m: &IrModule) -> Result<()> {
+    dup_check("function", m.functions.iter().map(|f| f.name.as_str()))?;
+    dup_check("memory object", m.mems.iter().map(|x| x.name.as_str()))?;
+    dup_check("stream object", m.streams.iter().map(|x| x.name.as_str()))?;
+    dup_check("port", m.ports.iter().map(|x| x.name.as_str()))?;
+    Ok(())
+}
+
+fn check_manage_ir(m: &IrModule) -> Result<()> {
+    for s in &m.streams {
+        if m.mem(&s.mem).is_none() {
+            return Err(IrError::Unknown { kind: "memory object", name: s.mem.clone() });
+        }
+    }
+    for p in &m.ports {
+        let Some(s) = m.stream(&p.stream) else {
+            return Err(IrError::Unknown { kind: "stream object", name: p.stream.clone() });
+        };
+        if s.dir != p.dir {
+            return Err(IrError::Validate(format!(
+                "port `{}` direction disagrees with stream `{}`",
+                p.name, s.name
+            )));
+        }
+        let mem = m.mem(&s.mem).expect("checked above");
+        if mem.elem_ty != p.ty {
+            return Err(IrError::Validate(format!(
+                "port `{}` type {} disagrees with memory `{}` element type {}",
+                p.name, p.ty, mem.name, mem.elem_ty
+            )));
+        }
+        if s.pattern != p.pattern {
+            return Err(IrError::Validate(format!(
+                "port `{}` access pattern disagrees with stream `{}` (the port restates the                  stream's pattern)",
+                p.name, s.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn check_function(m: &IrModule, f: &IrFunction) -> Result<()> {
+    dup_check(
+        &format!("parameter in `{}`", f.name),
+        f.params.iter().map(|p| p.name.as_str()),
+    )?;
+
+    // Structural rules per kind.
+    match f.kind {
+        ParKind::Par => {
+            if f.body.iter().any(|s| !matches!(s, Stmt::Call(_))) {
+                return Err(IrError::Validate(format!(
+                    "`par` function `{}` may contain only calls",
+                    f.name
+                )));
+            }
+            if f.body.is_empty() {
+                return Err(IrError::Validate(format!(
+                    "`par` function `{}` has no lanes",
+                    f.name
+                )));
+            }
+        }
+        ParKind::Comb => {
+            for s in &f.body {
+                match s {
+                    Stmt::Instr(i) if !i.is_reduction() => {}
+                    Stmt::Instr(_) => {
+                        return Err(IrError::Validate(format!(
+                            "`comb` function `{}` may not contain reductions",
+                            f.name
+                        )))
+                    }
+                    _ => {
+                        return Err(IrError::Validate(format!(
+                            "`comb` function `{}` may contain only instructions",
+                            f.name
+                        )))
+                    }
+                }
+            }
+        }
+        ParKind::Pipe | ParKind::Seq => {}
+    }
+
+    // SSA + def-before-use.
+    let mut defined: HashSet<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
+    for s in &f.body {
+        match s {
+            Stmt::Offset(o) => {
+                if !defined.contains(o.src.as_str()) {
+                    return Err(IrError::Validate(format!(
+                        "offset `{}` in `{}` uses undefined stream `{}`",
+                        o.dest, f.name, o.src
+                    )));
+                }
+                if let Some(p) = f.param(&o.src) {
+                    if p.ty != o.ty {
+                        return Err(IrError::Validate(format!(
+                            "offset `{}` type {} disagrees with stream `{}` type {}",
+                            o.dest, o.ty, o.src, p.ty
+                        )));
+                    }
+                }
+                if !defined.insert(o.dest.as_str()) {
+                    return Err(IrError::Validate(format!(
+                        "SSA violation: `{}` assigned twice in `{}`",
+                        o.dest, f.name
+                    )));
+                }
+            }
+            Stmt::Instr(i) => {
+                if i.operands.len() != i.op.arity() {
+                    return Err(IrError::Validate(format!(
+                        "`{}` in `{}`: {} expects {} operands, got {}",
+                        i.dest,
+                        f.name,
+                        i.op,
+                        i.op.arity(),
+                        i.operands.len()
+                    )));
+                }
+                for (k, o) in i.operands.iter().enumerate() {
+                    match o {
+                        Operand::Local(n)
+                            if !defined.contains(n.as_str()) => {
+                                return Err(IrError::Validate(format!(
+                                    "instruction `{}` in `{}` uses undefined value `%{}`",
+                                    i.dest, f.name, n
+                                )));
+                            }
+                        Operand::Global(n)
+                            // A global read is only legal as the
+                            // accumulator of a reduction into the same
+                            // global.
+                            if !(i.is_reduction() && i.dest.name() == n) => {
+                                return Err(IrError::Validate(format!(
+                                    "instruction `{}` in `{}` reads global `@{}` outside a reduction",
+                                    i.dest, f.name, n
+                                )));
+                            }
+                        Operand::ImmF(_) if i.ty.is_int() => {
+                            return Err(IrError::Validate(format!(
+                                "instruction `{}` in `{}`: float immediate as operand {} of integer op",
+                                i.dest,
+                                f.name,
+                                k + 1
+                            )));
+                        }
+                        _ => {}
+                    }
+                }
+                match &i.dest {
+                    crate::instr::Dest::Local(n) => {
+                        if !defined.insert(n.as_str()) {
+                            return Err(IrError::Validate(format!(
+                                "SSA violation: `{}` assigned twice in `{}`",
+                                n, f.name
+                            )));
+                        }
+                    }
+                    crate::instr::Dest::Global(_) => {
+                        // Reductions may legitimately accumulate more than
+                        // once (they are stateful by design); nothing to
+                        // record in the local scope.
+                    }
+                }
+            }
+            Stmt::Call(c) => {
+                let Some(callee) = m.function(&c.callee) else {
+                    return Err(IrError::Unknown { kind: "function", name: c.callee.clone() });
+                };
+                if callee.kind != c.kind {
+                    return Err(IrError::Validate(format!(
+                        "call to `{}` in `{}` annotated `{}` but callee is `{}`",
+                        c.callee,
+                        f.name,
+                        c.kind,
+                        callee.kind
+                    )));
+                }
+                if !c.args.is_empty() && c.args.len() != callee.params.len() {
+                    return Err(IrError::Validate(format!(
+                        "call to `{}` in `{}` passes {} args, callee declares {} params",
+                        c.callee,
+                        f.name,
+                        c.args.len(),
+                        callee.params.len()
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_main(m: &IrModule) -> Result<()> {
+    let Some(main) = m.main() else {
+        return Err(IrError::Validate("module has no `main` function".into()));
+    };
+    if main.instrs().next().is_some() || main.offsets().next().is_some() {
+        return Err(IrError::Validate(
+            "`main` must only dispatch calls (no instructions or offsets)".into(),
+        ));
+    }
+    if main.calls().next().is_none() {
+        return Err(IrError::Validate("`main` dispatches nothing".into()));
+    }
+    Ok(())
+}
+
+fn check_call_graph(m: &IrModule) -> Result<()> {
+    // DFS cycle detection from every function (also catches cycles in
+    // unreachable components).
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Visiting,
+        Done,
+    }
+    fn dfs<'a>(
+        m: &'a IrModule,
+        name: &'a str,
+        state: &mut HashMap<&'a str, State>,
+    ) -> Result<()> {
+        match state.get(name) {
+            Some(State::Visiting) => {
+                return Err(IrError::Validate(format!(
+                    "recursive call cycle through `{name}`"
+                )))
+            }
+            Some(State::Done) => return Ok(()),
+            None => {}
+        }
+        state.insert(name, State::Visiting);
+        if let Some(f) = m.function(name) {
+            for c in f.calls() {
+                dfs(m, &c.callee, state)?;
+            }
+        }
+        state.insert(name, State::Done);
+        Ok(())
+    }
+    let mut state = HashMap::new();
+    for f in &m.functions {
+        dfs(m, &f.name, &mut state)?;
+    }
+    Ok(())
+}
+
+fn check_meta(m: &IrModule) -> Result<()> {
+    if m.meta.ndrange.contains(&0) {
+        return Err(IrError::Validate("NDRange contains a zero dimension".into()));
+    }
+    if m.meta.nki == 0 {
+        return Err(IrError::Validate("NKI must be at least 1".into()));
+    }
+    if let Some(f) = m.meta.freq_mhz {
+        if !(f.is_finite() && f > 0.0) {
+            return Err(IrError::Validate("frequency constraint must be positive".into()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::function::{Call, OffsetDecl, Param};
+    use crate::instr::{Dest, Instruction, Opcode};
+    use crate::types::ScalarType;
+
+    const T: ScalarType = ScalarType::UInt(18);
+
+    fn valid_module() -> IrModule {
+        let mut b = ModuleBuilder::new("m");
+        b.global_input("p", T, 64);
+        b.global_output("q", T, 64);
+        {
+            let f = b.function("f0", ParKind::Pipe);
+            f.input("p", T);
+            f.output("q", T);
+            let a = f.offset("p", T, 1);
+            let p = f.arg("p");
+            let s = f.instr(Opcode::Add, T, vec![a, p]);
+            f.write_out("q", s);
+        }
+        b.main_calls("f0");
+        b.ndrange(&[64]);
+        b.finish_unchecked()
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        assert!(validate(&valid_module()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let mut m = valid_module();
+        m.functions.push(IrFunction::new("f0", ParKind::Pipe));
+        let e = validate(&m).unwrap_err();
+        assert!(e.to_string().contains("duplicate function"));
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let mut m = valid_module();
+        m.functions.retain(|f| f.name != "main");
+        assert!(validate(&m).unwrap_err().to_string().contains("no `main`"));
+    }
+
+    #[test]
+    fn undefined_operand_rejected() {
+        let mut m = valid_module();
+        let f0 = m.functions.iter_mut().find(|f| f.name == "f0").unwrap();
+        f0.body.push(Stmt::Instr(Instruction::new(
+            Dest::Local("z".into()),
+            Opcode::Add,
+            T,
+            vec![Operand::local("ghost"), Operand::Imm(1)],
+        )));
+        assert!(validate(&m).unwrap_err().to_string().contains("undefined value"));
+    }
+
+    #[test]
+    fn double_assignment_rejected() {
+        let mut m = valid_module();
+        let f0 = m.functions.iter_mut().find(|f| f.name == "f0").unwrap();
+        let dup = Instruction::new(
+            Dest::Local("d".into()),
+            Opcode::Add,
+            T,
+            vec![Operand::local("p"), Operand::Imm(1)],
+        );
+        f0.body.push(Stmt::Instr(dup.clone()));
+        f0.body.push(Stmt::Instr(dup));
+        assert!(validate(&m).unwrap_err().to_string().contains("SSA violation"));
+    }
+
+    #[test]
+    fn par_with_instructions_rejected() {
+        let mut m = valid_module();
+        let mut par = IrFunction::new("lanes", ParKind::Par);
+        par.params.push(Param::input("p", T));
+        par.body.push(Stmt::Instr(Instruction::new(
+            Dest::Local("x".into()),
+            Opcode::Add,
+            T,
+            vec![Operand::local("p"), Operand::Imm(1)],
+        )));
+        m.functions.push(par);
+        assert!(validate(&m).unwrap_err().to_string().contains("only calls"));
+    }
+
+    #[test]
+    fn empty_par_rejected() {
+        let mut m = valid_module();
+        m.functions.push(IrFunction::new("lanes", ParKind::Par));
+        assert!(validate(&m).unwrap_err().to_string().contains("no lanes"));
+    }
+
+    #[test]
+    fn comb_with_offset_rejected() {
+        let mut m = valid_module();
+        let mut comb = IrFunction::new("cmb", ParKind::Comb);
+        comb.params.push(Param::input("p", T));
+        comb.body.push(Stmt::Offset(OffsetDecl {
+            dest: "o".into(),
+            ty: T,
+            src: "p".into(),
+            offset: 1,
+        }));
+        m.functions.push(comb);
+        assert!(validate(&m).unwrap_err().to_string().contains("only instructions"));
+    }
+
+    #[test]
+    fn call_kind_mismatch_rejected() {
+        let mut m = valid_module();
+        let main = m.functions.iter_mut().find(|f| f.name == "main").unwrap();
+        if let Stmt::Call(c) = &mut main.body[0] {
+            c.kind = ParKind::Par;
+        }
+        assert!(validate(&m).unwrap_err().to_string().contains("annotated"));
+    }
+
+    #[test]
+    fn unknown_callee_rejected() {
+        let mut m = valid_module();
+        let main = m.functions.iter_mut().find(|f| f.name == "main").unwrap();
+        main.body.push(Stmt::Call(Call {
+            callee: "ghost".into(),
+            args: vec![],
+            kind: ParKind::Pipe,
+        }));
+        assert_eq!(
+            validate(&m).unwrap_err(),
+            IrError::Unknown { kind: "function", name: "ghost".into() }
+        );
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let mut m = valid_module();
+        let mut rec = IrFunction::new("r", ParKind::Pipe);
+        rec.body.push(Stmt::Call(Call { callee: "r".into(), args: vec![], kind: ParKind::Pipe }));
+        m.functions.push(rec);
+        assert!(validate(&m).unwrap_err().to_string().contains("recursive"));
+    }
+
+    #[test]
+    fn zero_ndrange_rejected() {
+        let mut m = valid_module();
+        m.meta.ndrange = vec![16, 0];
+        assert!(validate(&m).unwrap_err().to_string().contains("zero dimension"));
+    }
+
+    #[test]
+    fn zero_nki_rejected() {
+        let mut m = valid_module();
+        m.meta.nki = 0;
+        assert!(validate(&m).unwrap_err().to_string().contains("NKI"));
+    }
+
+    #[test]
+    fn float_imm_in_integer_op_rejected() {
+        let mut m = valid_module();
+        let f0 = m.functions.iter_mut().find(|f| f.name == "f0").unwrap();
+        f0.body.push(Stmt::Instr(Instruction::new(
+            Dest::Local("fz".into()),
+            Opcode::Mul,
+            T,
+            vec![Operand::local("p"), Operand::ImmF(0.5)],
+        )));
+        assert!(validate(&m).unwrap_err().to_string().contains("float immediate"));
+    }
+
+    #[test]
+    fn stream_with_missing_mem_rejected() {
+        let mut m = valid_module();
+        m.streams[0].mem = "ghost".into();
+        assert_eq!(
+            validate(&m).unwrap_err(),
+            IrError::Unknown { kind: "memory object", name: "ghost".into() }
+        );
+    }
+
+    #[test]
+    fn port_pattern_mismatch_rejected() {
+        let mut m = valid_module();
+        m.ports[0].pattern = crate::stream::AccessPattern::Strided { stride: 7 };
+        assert!(validate(&m).unwrap_err().to_string().contains("access pattern"));
+    }
+
+    #[test]
+    fn port_type_mismatch_rejected() {
+        let mut m = valid_module();
+        m.ports[0].ty = ScalarType::UInt(32);
+        assert!(validate(&m).unwrap_err().to_string().contains("disagrees with memory"));
+    }
+
+    #[test]
+    fn global_read_outside_reduction_rejected() {
+        let mut m = valid_module();
+        let f0 = m.functions.iter_mut().find(|f| f.name == "f0").unwrap();
+        f0.body.push(Stmt::Instr(Instruction::new(
+            Dest::Local("g".into()),
+            Opcode::Add,
+            T,
+            vec![Operand::global("acc"), Operand::Imm(1)],
+        )));
+        assert!(validate(&m).unwrap_err().to_string().contains("outside a reduction"));
+    }
+}

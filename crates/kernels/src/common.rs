@@ -1,0 +1,110 @@
+//! Shared helpers: deterministic workload generation and width-masked
+//! integer arithmetic matching the hardware datapath.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tytra_ir::ScalarType;
+
+/// Deterministic array of non-negative integers in `[0, max)`, stored as
+/// f64 (the exchange format of the reference evaluators).
+pub fn seeded_array(seed: u64, n: usize, max: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x006b_6572_6e65_6c73);
+    (0..n).map(|_| rng.random_range(0..max) as f64).collect()
+}
+
+/// Width-masked integer arithmetic helper mirroring the hardware
+/// semantics (wrap modulo 2^w, sign-extend for signed types).
+#[derive(Debug, Clone, Copy)]
+pub struct IntOps {
+    ty: ScalarType,
+}
+
+impl IntOps {
+    /// Ops at the given type.
+    pub fn new(ty: ScalarType) -> IntOps {
+        IntOps { ty }
+    }
+
+    /// Mask a raw value into the type's range.
+    pub fn mask(&self, v: i128) -> i128 {
+        let w = u32::from(self.ty.bits()).min(63);
+        let modulus: i128 = 1i128 << w;
+        let r = v.rem_euclid(modulus);
+        if self.ty.is_signed() && r >= modulus / 2 {
+            r - modulus
+        } else {
+            r
+        }
+    }
+
+    /// Masked add.
+    pub fn add(&self, a: f64, b: f64) -> f64 {
+        self.mask(a as i128 + b as i128) as f64
+    }
+
+    /// Masked subtract.
+    pub fn sub(&self, a: f64, b: f64) -> f64 {
+        self.mask(a as i128 - b as i128) as f64
+    }
+
+    /// Masked multiply.
+    pub fn mul(&self, a: f64, b: f64) -> f64 {
+        self.mask(a as i128 * b as i128) as f64
+    }
+
+    /// Masked absolute value.
+    pub fn abs(&self, a: f64) -> f64 {
+        self.mask((a as i128).abs()) as f64
+    }
+}
+
+/// Read a flat 2-D array with zero outside the range — the stream-offset
+/// boundary semantics.
+#[inline]
+pub fn at(data: &[f64], idx: i64) -> f64 {
+    if idx >= 0 && (idx as usize) < data.len() {
+        data[idx as usize]
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_arrays_are_deterministic_and_bounded() {
+        let a = seeded_array(42, 1000, 100);
+        let b = seeded_array(42, 1000, 100);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0.0..100.0).contains(&v)));
+        let c = seeded_array(43, 1000, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn masked_ops_wrap_at_width() {
+        let ops = IntOps::new(ScalarType::UInt(8));
+        assert_eq!(ops.add(200.0, 100.0), 44.0);
+        assert_eq!(ops.mul(16.0, 16.0), 0.0);
+        assert_eq!(ops.sub(3.0, 5.0), 254.0);
+    }
+
+    #[test]
+    fn signed_masking() {
+        let ops = IntOps::new(ScalarType::Int(8));
+        assert_eq!(ops.add(100.0, 100.0), -56.0);
+        assert_eq!(ops.abs(-5.0), 5.0);
+        assert_eq!(ops.sub(0.0, 128.0), -128.0);
+    }
+
+    #[test]
+    fn boundary_reads_are_zero() {
+        let d = [1.0, 2.0, 3.0];
+        assert_eq!(at(&d, -1), 0.0);
+        assert_eq!(at(&d, 0), 1.0);
+        assert_eq!(at(&d, 2), 3.0);
+        assert_eq!(at(&d, 3), 0.0);
+    }
+}

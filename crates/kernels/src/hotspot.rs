@@ -1,0 +1,173 @@
+//! The Rodinia Hotspot kernel (paper §VI: "used to estimate processor
+//! temperature based on an architectural floorplan and simulated power
+//! measurements").
+//!
+//! Per grid cell, the new temperature is the old one plus weighted
+//! differences with the four cardinal neighbours plus the local power
+//! dissipation:
+//!
+//! ```text
+//! t_new = t + cN*t[n] + cS*t[s] + cE*t[e] + cW*t[w] + cC*t + cP*pwr
+//! ```
+//!
+//! Integer version: ui32 data on a `rows × cols` grid with per-cell
+//! *coefficient streams* (the floorplan makes conductances
+//! space-dependent), so the six multiplies are genuine variable×variable
+//! products — 2 DSPs each at 32 bits, the 12-DSP row of Table II. The
+//! row stencil (±cols with cols = 512) makes the offset window
+//! `(2·512 + 1) × 32 = 32.8 Kbit` estimated vs `2·512 × 32 = 32.7 Kbit`
+//! synthesised — Table II's BRAM row.
+
+use crate::common::{at, seeded_array, IntOps};
+use crate::EvalKernel;
+use std::collections::HashMap;
+use tytra_ir::ScalarType;
+use tytra_transform::lower::Geometry;
+use tytra_transform::{Expr, KernelDef};
+
+/// The Hotspot kernel on a `rows × cols` floorplan grid.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    /// Grid rows.
+    pub rows: u64,
+    /// Grid columns (the row-stencil offset).
+    pub cols: u64,
+    /// Time-step iterations.
+    pub nki: u64,
+}
+
+impl Default for Hotspot {
+    fn default() -> Hotspot {
+        Hotspot { rows: 512, cols: 512, nki: 100 }
+    }
+}
+
+const TY: ScalarType = ScalarType::UInt(32);
+
+impl EvalKernel for Hotspot {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn kernel_def(&self) -> KernelDef {
+        let c = self.cols as i64;
+        let term = |coef: &str, off: i64| Expr::mul(Expr::arg(coef), Expr::off("t", off));
+        let sum = Expr::add(
+            Expr::add(
+                Expr::add(term("cN", -c), term("cS", c)),
+                Expr::add(term("cE", 1), term("cW", -1)),
+            ),
+            Expr::add(
+                Expr::mul(Expr::arg("cC"), Expr::arg("t")),
+                Expr::mul(Expr::arg("cP"), Expr::arg("pwr")),
+            ),
+        );
+        let tnew = Expr::add(Expr::arg("t"), sum);
+        KernelDef {
+            name: "hotspot".into(),
+            elem_ty: TY,
+            inputs: vec![
+                "t".into(),
+                "pwr".into(),
+                "cN".into(),
+                "cS".into(),
+                "cE".into(),
+                "cW".into(),
+                "cC".into(),
+                "cP".into(),
+            ],
+            outputs: vec![("tnew".into(), tnew)],
+            reductions: vec![],
+        }
+    }
+
+    fn geometry(&self) -> Geometry {
+        Geometry { ndrange: vec![self.rows, self.cols], nki: self.nki }
+    }
+
+    fn workload(&self) -> HashMap<String, Vec<f64>> {
+        let n = (self.rows * self.cols) as usize;
+        let mut w = HashMap::new();
+        w.insert("t".to_string(), seeded_array(0x74, n, 4096));
+        w.insert("pwr".to_string(), seeded_array(0x70, n, 256));
+        for (i, c) in ["cN", "cS", "cE", "cW", "cC", "cP"].iter().enumerate() {
+            w.insert(c.to_string(), seeded_array(0xC0 + i as u64, n, 8));
+        }
+        w
+    }
+
+    fn reference(
+        &self,
+        inputs: &HashMap<String, Vec<f64>>,
+    ) -> (HashMap<String, Vec<f64>>, HashMap<String, f64>) {
+        let ops = IntOps::new(TY);
+        let t = &inputs["t"];
+        let n = (self.rows * self.cols) as usize;
+        let c = self.cols as i64;
+        let mut tnew = vec![0.0; n];
+        for idx in 0..n {
+            let i = idx as i64;
+            let tn = ops.mul(inputs["cN"][idx], at(t, i - c));
+            let ts = ops.mul(inputs["cS"][idx], at(t, i + c));
+            let te = ops.mul(inputs["cE"][idx], at(t, i + 1));
+            let tw = ops.mul(inputs["cW"][idx], at(t, i - 1));
+            let tc = ops.mul(inputs["cC"][idx], t[idx]);
+            let tp = ops.mul(inputs["cP"][idx], inputs["pwr"][idx]);
+            let sum = ops.add(ops.add(ops.add(tn, ts), ops.add(te, tw)), ops.add(tc, tp));
+            tnew[idx] = ops.add(t[idx], sum);
+        }
+        let mut outs = HashMap::new();
+        outs.insert("tnew".to_string(), tnew);
+        (outs, HashMap::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_ir::Opcode;
+    use tytra_transform::Variant;
+
+    #[test]
+    fn kernel_has_six_variable_multiplies() {
+        let hs = Hotspot::default();
+        let m = hs.lower_variant(&Variant::baseline()).unwrap();
+        let f0 = m.function("f0").unwrap();
+        let muls: Vec<_> = f0.instrs().filter(|i| i.op == Opcode::Mul).collect();
+        assert_eq!(muls.len(), 6);
+        assert!(muls.iter().all(|i| !i.has_const_operand()), "all variable");
+    }
+
+    #[test]
+    fn offset_window_matches_table2_bram_row() {
+        let hs = Hotspot::default();
+        let m = hs.lower_variant(&Variant::baseline()).unwrap();
+        let f0 = m.function("f0").unwrap();
+        // ±512 on a ui32 stream: estimator window (1024+1)×32 = 32800.
+        assert_eq!(f0.offset_window("t"), 1024);
+        assert_eq!((f0.offset_window("t") + 1) * 32, 32_800);
+    }
+
+    #[test]
+    fn geometry_is_512_square() {
+        let hs = Hotspot::default();
+        assert_eq!(hs.geometry().size(), 262_144);
+    }
+
+    #[test]
+    fn reference_interior_cell_hand_check() {
+        let hs = Hotspot { rows: 4, cols: 4, nki: 1 };
+        let n = 16;
+        let mut w: HashMap<String, Vec<f64>> = HashMap::new();
+        w.insert("t".into(), (0..n).map(|i| i as f64).collect());
+        w.insert("pwr".into(), vec![2.0; n as usize]);
+        for c in ["cN", "cS", "cE", "cW", "cC", "cP"] {
+            w.insert(c.into(), vec![1.0; n as usize]);
+        }
+        let (outs, _) = hs.reference(&w);
+        // Cell 5: n=1, s=9, e=6, w=4, c=5, p=2 → sum 27, t_new 32.
+        assert_eq!(outs["tnew"][5], 32.0);
+        // Corner cell 0: n,w out of range (0), s=4, e=1, c=0, p=2 → 7.
+        assert_eq!(outs["tnew"][0], 7.0);
+    }
+}

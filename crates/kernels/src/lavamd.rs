@@ -1,0 +1,190 @@
+//! The Rodinia LavaMD kernel (paper §VI: "calculates particle potential
+//! and relocation due to mutual forces between particles within a large
+//! 3D space").
+//!
+//! Streamed integer form: particles are ordered by box; each work-item
+//! computes its interaction with the six nearest stream neighbours
+//! (offsets ±1, ±2, ±3):
+//!
+//! ```text
+//! for o in {±1, ±2, ±3}:
+//!   dx = x[o] − x;  dy = y[o] − y;  dz = z[o] − z
+//!   d2 = dx² + dy² + dz²
+//!   v += q[o] * d2
+//! pot = v * SCALE;  disp = (v − q) * SCALE
+//! ```
+//!
+//! ui18 data; the 6 × 4 distance/charge products plus the two output
+//! scalings make 26 genuine 18-bit multiplies — the 26-DSP estimate of
+//! Table II, which the toolchain's opportunistic DSP pairing brings down
+//! to 23. No row-sized offsets, so BRAM is zero (Table II's LavaMD row).
+
+use crate::common::{at, seeded_array, IntOps};
+use crate::EvalKernel;
+use std::collections::HashMap;
+use tytra_ir::{Opcode, ScalarType};
+use tytra_transform::lower::Geometry;
+use tytra_transform::{Expr, KernelDef, Reduction};
+
+/// The LavaMD kernel over `n_particles` stream-ordered particles.
+#[derive(Debug, Clone)]
+pub struct LavaMd {
+    /// Particles in the stream.
+    pub n_particles: u64,
+    /// Force-evaluation iterations.
+    pub nki: u64,
+}
+
+impl Default for LavaMd {
+    fn default() -> LavaMd {
+        LavaMd { n_particles: 65_536, nki: 10 }
+    }
+}
+
+const TY: ScalarType = ScalarType::UInt(18);
+/// Output scaling factor (variable in the real code; a stream here).
+const NEIGHBOURS: [i64; 6] = [1, -1, 2, -2, 3, -3];
+
+impl EvalKernel for LavaMd {
+    fn name(&self) -> &'static str {
+        "lavamd"
+    }
+
+    fn kernel_def(&self) -> KernelDef {
+        // v = Σ_o q[o] · ((x[o]−x)² + (y[o]−y)² + (z[o]−z)²)
+        let mut v: Option<Expr> = None;
+        for &o in &NEIGHBOURS {
+            let sq = |axis: &str| {
+                let d = Expr::sub(Expr::off(axis, o), Expr::arg(axis));
+                Expr::mul(d.clone(), d)
+            };
+            let d2 = Expr::add(Expr::add(sq("x"), sq("y")), sq("z"));
+            let term = Expr::mul(Expr::off("q", o), d2);
+            v = Some(match v {
+                None => term,
+                Some(acc) => Expr::add(acc, term),
+            });
+        }
+        let v = v.expect("six neighbours");
+        let pot = Expr::mul(v.clone(), Expr::arg("s"));
+        let disp = Expr::mul(Expr::sub(v.clone(), Expr::arg("q")), Expr::arg("s"));
+        KernelDef {
+            name: "lavamd".into(),
+            elem_ty: TY,
+            inputs: vec!["x".into(), "y".into(), "z".into(), "q".into(), "s".into()],
+            outputs: vec![("pot".into(), pot), ("disp".into(), disp)],
+            reductions: vec![Reduction {
+                acc: "potAcc".into(),
+                op: Opcode::Add,
+                value: v,
+            }],
+        }
+    }
+
+    fn geometry(&self) -> Geometry {
+        Geometry { ndrange: vec![self.n_particles], nki: self.nki }
+    }
+
+    fn workload(&self) -> HashMap<String, Vec<f64>> {
+        let n = self.n_particles as usize;
+        let mut w = HashMap::new();
+        w.insert("x".to_string(), seeded_array(0x78, n, 64));
+        w.insert("y".to_string(), seeded_array(0x79, n, 64));
+        w.insert("z".to_string(), seeded_array(0x7A, n, 64));
+        w.insert("q".to_string(), seeded_array(0x71, n, 16));
+        w.insert("s".to_string(), seeded_array(0x73, n, 4));
+        w
+    }
+
+    fn reference(
+        &self,
+        inputs: &HashMap<String, Vec<f64>>,
+    ) -> (HashMap<String, Vec<f64>>, HashMap<String, f64>) {
+        let ops = IntOps::new(TY);
+        let n = self.n_particles as usize;
+        let (x, y, z) = (&inputs["x"], &inputs["y"], &inputs["z"]);
+        let (q, s) = (&inputs["q"], &inputs["s"]);
+        let mut pot = vec![0.0; n];
+        let mut disp = vec![0.0; n];
+        let mut pot_acc = 0.0;
+        for idx in 0..n {
+            let i = idx as i64;
+            let mut v = 0.0;
+            for &o in &NEIGHBOURS {
+                let dx = ops.sub(at(x, i + o), x[idx]);
+                let dy = ops.sub(at(y, i + o), y[idx]);
+                let dz = ops.sub(at(z, i + o), z[idx]);
+                let d2 = ops.add(ops.add(ops.mul(dx, dx), ops.mul(dy, dy)), ops.mul(dz, dz));
+                v = ops.add(v, ops.mul(at(q, i + o), d2));
+            }
+            pot[idx] = ops.mul(v, s[idx]);
+            disp[idx] = ops.mul(ops.sub(v, q[idx]), s[idx]);
+            pot_acc = ops.add(pot_acc, v);
+        }
+        let mut outs = HashMap::new();
+        outs.insert("pot".to_string(), pot);
+        outs.insert("disp".to_string(), disp);
+        let mut reds = HashMap::new();
+        reds.insert("potAcc".to_string(), pot_acc);
+        (outs, reds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_transform::Variant;
+
+    #[test]
+    fn twenty_six_variable_multiplies() {
+        let md = LavaMd::default();
+        let m = md.lower_variant(&Variant::baseline()).unwrap();
+        let f0 = m.function("f0").unwrap();
+        let muls = f0
+            .instrs()
+            .filter(|i| i.op == Opcode::Mul && !i.has_const_operand())
+            .count();
+        assert_eq!(muls, 26, "6 neighbours × (3 squares + 1 charge) + 2 scalings");
+    }
+
+    #[test]
+    fn no_row_sized_offsets_means_no_bram() {
+        let md = LavaMd::default();
+        let m = md.lower_variant(&Variant::baseline()).unwrap();
+        let f0 = m.function("f0").unwrap();
+        // Largest window is ±3 → 7 elements of 18 bits = 126 bits, below
+        // the register-spill threshold.
+        for src in f0.offset_sources() {
+            assert!(f0.offset_window(src) <= 6, "window for {src}");
+        }
+    }
+
+    #[test]
+    fn reference_hand_check_tiny() {
+        let md = LavaMd { n_particles: 4, nki: 1 };
+        let mut w: HashMap<String, Vec<f64>> = HashMap::new();
+        // All particles on a line, unit spacing in x.
+        w.insert("x".into(), vec![0.0, 1.0, 2.0, 3.0]);
+        w.insert("y".into(), vec![0.0; 4]);
+        w.insert("z".into(), vec![0.0; 4]);
+        w.insert("q".into(), vec![1.0; 4]);
+        w.insert("s".into(), vec![1.0; 4]);
+        let (outs, reds) = md.reference(&w);
+        // Particle 1: neighbours at x = 2,0,3,(−1→0),(4→0),(−2→0):
+        // d² = 1,1,4,1,1,4 with q = 1,1,1,0,0,0... boundary reads give
+        // x=0,q=0 ⇒ terms: o=+1: d²=1 q=1 → 1; o=−1: d²=1 q=1 → 1;
+        // o=+2: d²=4 q=1 → 4; o=−2: x=0 ⇒ d=−1 d²=1, q=0 → 0;
+        // o=+3: x=0 ⇒ d=−1, d²=1, q=0 → 0; o=−3: same → 0. v = 6.
+        assert_eq!(outs["pot"][1], 6.0);
+        assert_eq!(outs["disp"][1], 5.0);
+        assert!(reds["potAcc"] > 0.0);
+    }
+
+    #[test]
+    fn workload_shapes() {
+        let md = LavaMd::default();
+        let w = md.workload();
+        assert_eq!(w["x"].len(), 65_536);
+        assert_eq!(w.len(), 5);
+    }
+}

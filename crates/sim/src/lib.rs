@@ -1,0 +1,44 @@
+//! # tytra-sim — the virtual FPGA substrate
+//!
+//! This crate stands in for the hardware and vendor toolchain the paper's
+//! "actual" numbers came from (Quartus synthesis of the generated HDL on a
+//! Stratix-V Maia DFE, and on-board execution). See DESIGN.md §2 for the
+//! substitution argument. It provides:
+//!
+//! * [`netlist`] — elaboration of a TyTra-IR design into a netlist of
+//!   physical components (functional units, offset FIFOs, delay lines,
+//!   stream controllers, sequencer FSMs);
+//! * [`synth`] — the **synthesis emulator**: a component-level resource
+//!   and timing model, deliberately more detailed than — and parameterised
+//!   independently from — the cost model's fitted curves (strength
+//!   reduction of constant multiplies, DSP pairing, shift-register
+//!   packing of delay lines, control-set overhead, seeded place-and-route
+//!   variance). Its output is the "actual" column of Table II;
+//! * [`cycle`] — the **cycle-level simulator**: pipeline fill/drain,
+//!   offset priming, DRAM burst arbitration and refresh — the "actual"
+//!   cycles-per-kernel-instance and runtime;
+//! * [`memory`] — a mechanistic DRAM/host-DMA model that *re-measures*
+//!   the Fig 10 sustained-bandwidth curve from first principles;
+//! * [`exec`] — a functional interpreter executing the datapath over real
+//!   data, validating that a design variant computes what the reference
+//!   kernel computes;
+//! * [`power`] — the power-meter emulation behind the Fig 18 energy
+//!   comparison;
+//! * [`host`] — whole-application orchestration (Forms A/B/C), producing
+//!   a [`RunResult`] comparable against [`tytra_cost::CostReport`].
+
+pub mod cycle;
+pub mod exec;
+pub mod host;
+pub mod memory;
+pub mod netlist;
+pub mod power;
+pub mod rng;
+pub mod synth;
+
+pub use cycle::{simulate_instance, CycleStats};
+pub use exec::{execute_application, execute_module, ExecInputs, ExecOutputs, Value};
+pub use host::{run_application, RunResult};
+pub use memory::DramModel;
+pub use netlist::{Component, ComponentKind, Netlist};
+pub use synth::{synthesize, SynthesisResult};

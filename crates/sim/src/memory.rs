@@ -1,0 +1,172 @@
+//! Mechanistic DRAM / DMA-link model.
+//!
+//! The device crate embeds the paper's *measured* Fig 10 curve as the
+//! cost model's calibration input. This module models the same link from
+//! first principles — per-transfer setup, burst pipelining, row activates
+//! on non-contiguous access, periodic refresh — and is what the
+//! cycle-level simulator charges for traffic. Re-running the STREAM-style
+//! benchmark against it regenerates a Fig 10-shaped curve, closing the
+//! loop between the empirical and mechanistic views.
+
+use tytra_ir::AccessPattern;
+
+/// A DDR3-class memory channel behind a streaming DMA engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramModel {
+    /// Peak (pin) bandwidth, bytes/s.
+    pub peak_bytes_per_s: f64,
+    /// Fixed per-kernel-transfer setup charge, seconds (descriptor
+    /// programming, OpenCL runtime dispatch — the baseline SDAccel path
+    /// the paper benchmarks carries a hefty one).
+    pub transfer_setup_s: f64,
+    /// Per-request controller overhead for non-burst (strided/random)
+    /// accesses, seconds — dominated by the runtime's single-beat
+    /// request path.
+    pub request_overhead_s: f64,
+    /// Burst length in bytes for contiguous streaming.
+    pub burst_bytes: f64,
+    /// Dead time between bursts (bank turnaround, arbitration), seconds.
+    pub burst_gap_s: f64,
+    /// Fraction of time lost to refresh.
+    pub refresh_loss: f64,
+}
+
+impl DramModel {
+    /// Parameters reproducing the Fig 10 baseline (unoptimised SDAccel
+    /// path on DDR3-1333).
+    pub fn fig10_baseline() -> DramModel {
+        DramModel {
+            peak_bytes_per_s: 10.7e9,
+            // The unoptimised SDAccel path pays an OpenCL kernel-launch
+            // plus buffer-map round-trip per transfer — the effect that
+            // pins the measured curve at 0.3 Gbps for 100×100 arrays.
+            transfer_setup_s: 1.0e-3,
+            request_overhead_s: 450.0e-9,
+            burst_bytes: 512.0,
+            // The baseline path re-arbitrates through the runtime between
+            // bursts; the dead time caps a lone stream at ~0.79 GB/s —
+            // the measured 6.3 Gbps plateau.
+            burst_gap_s: 600.0e-9,
+            refresh_loss: 0.031,
+        }
+    }
+
+    /// A vendor-optimised streaming controller (Maxeler-style): same
+    /// DRAM, but bursts chain back-to-back with only bank-turnaround
+    /// dead time. This is what the cycle simulator charges for kernel
+    /// streams on DMA-class links.
+    pub fn streaming(peak_bytes_per_s: f64) -> DramModel {
+        DramModel {
+            peak_bytes_per_s,
+            transfer_setup_s: 8.0e-6,
+            burst_gap_s: 120.0e-9,
+            ..DramModel::fig10_baseline()
+        }
+    }
+
+    /// Scale the *unoptimised* baseline to a different pin bandwidth,
+    /// keeping controller behaviour.
+    pub fn scaled_to_peak(peak_bytes_per_s: f64) -> DramModel {
+        DramModel { peak_bytes_per_s, ..DramModel::fig10_baseline() }
+    }
+
+    /// Time to move `total_bytes` with the given access pattern
+    /// (`elem_bytes` sized elements), seconds.
+    pub fn transfer_time_s(
+        &self,
+        pattern: AccessPattern,
+        total_bytes: f64,
+        elem_bytes: f64,
+    ) -> f64 {
+        if total_bytes <= 0.0 {
+            return 0.0;
+        }
+        let busy = match pattern {
+            AccessPattern::Contiguous => {
+                let bursts = (total_bytes / self.burst_bytes).ceil();
+                total_bytes / self.peak_bytes_per_s + bursts * self.burst_gap_s
+            }
+            AccessPattern::Strided { .. } => {
+                // Every element is its own request: controller overhead
+                // plus a full row cycle dominates.
+                let n = (total_bytes / elem_bytes).ceil();
+                n * (self.request_overhead_s + elem_bytes / self.peak_bytes_per_s)
+            }
+        };
+        (self.transfer_setup_s + busy) / (1.0 - self.refresh_loss)
+    }
+
+    /// Sustained bandwidth in Gbps for the STREAM-style benchmark over a
+    /// square array of `side × side` elements of `elem_bytes` each.
+    pub fn sustained_gbps(&self, pattern: AccessPattern, side: u64, elem_bytes: f64) -> f64 {
+        let total = (side * side) as f64 * elem_bytes;
+        let t = self.transfer_time_s(pattern, total, elem_bytes);
+        total / t * 8.0 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CONT: AccessPattern = AccessPattern::Contiguous;
+    const STRIDED: AccessPattern = AccessPattern::Strided { stride: 2000 };
+
+    #[test]
+    fn contiguous_curve_rises_then_plateaus() {
+        let m = DramModel::fig10_baseline();
+        let small = m.sustained_gbps(CONT, 100, 4.0);
+        let mid = m.sustained_gbps(CONT, 1000, 4.0);
+        let large = m.sustained_gbps(CONT, 5000, 4.0);
+        assert!(small < mid && mid < large, "{small} {mid} {large}");
+        // Plateau: 5000 → 6000 gains little.
+        let larger = m.sustained_gbps(CONT, 6000, 4.0);
+        assert!((larger - large) / large < 0.05);
+    }
+
+    #[test]
+    fn qualitative_match_to_fig10_magnitudes() {
+        // The mechanistic model should land in the same decade as the
+        // measured calibration: small contiguous transfers well under
+        // 1 Gbps-scale efficiency... (the measured 0.3 Gbps at side 100),
+        // large ones within a factor ~3 of the 6.3 Gbps plateau.
+        let m = DramModel::fig10_baseline();
+        let small = m.sustained_gbps(CONT, 100, 4.0);
+        assert!(small < 10.0, "small transfers are setup-dominated: {small}");
+        let large = m.sustained_gbps(CONT, 6000, 4.0);
+        assert!(large > 2.0 && large < 30.0, "{large}");
+    }
+
+    #[test]
+    fn contiguity_gap_is_two_orders_of_magnitude() {
+        let m = DramModel::fig10_baseline();
+        let cont = m.sustained_gbps(CONT, 4000, 4.0);
+        let strided = m.sustained_gbps(STRIDED, 4000, 4.0);
+        assert!(cont / strided > 50.0, "gap {}×", cont / strided);
+        // Strided lands near the measured 0.07 Gbps decade.
+        assert!(strided > 0.005 && strided < 0.5, "{strided}");
+    }
+
+    #[test]
+    fn strided_is_size_insensitive() {
+        let m = DramModel::fig10_baseline();
+        let a = m.sustained_gbps(STRIDED, 2000, 4.0);
+        let b = m.sustained_gbps(STRIDED, 6000, 4.0);
+        assert!((a - b).abs() / a < 0.05);
+    }
+
+    #[test]
+    fn zero_transfer_takes_no_time() {
+        let m = DramModel::fig10_baseline();
+        assert_eq!(m.transfer_time_s(CONT, 0.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn refresh_loss_inflates_time() {
+        let mut m = DramModel::fig10_baseline();
+        let t0 = m.transfer_time_s(CONT, 1e6, 4.0);
+        m.refresh_loss = 0.0;
+        let t1 = m.transfer_time_s(CONT, 1e6, 4.0);
+        assert!(t0 > t1);
+    }
+}

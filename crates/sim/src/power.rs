@@ -1,0 +1,85 @@
+//! Power-meter emulation (paper §VII, Fig 18).
+//!
+//! The paper notes the increase in node power over idle for CPU-only and
+//! CPU+FPGA solutions on a physical power meter. We reconstruct that
+//! reading from the device power model, the synthesized resources, the
+//! achieved clock and the exercised link bandwidth.
+
+use crate::cycle::CycleStats;
+use crate::synth::SynthesisResult;
+use tytra_device::TargetDevice;
+
+/// One power-meter observation for an FPGA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReading {
+    /// Watts above idle attributed to the accelerator.
+    pub delta_watts: f64,
+    /// Joules above idle for the whole run.
+    pub delta_energy_j: f64,
+}
+
+/// Meter a run: `runtime_s` of execution with the design's resources at
+/// the achieved clock, moving data at the simulator's achieved rate.
+pub fn meter(
+    dev: &TargetDevice,
+    synth: &SynthesisResult,
+    cycles: &CycleStats,
+    runtime_s: f64,
+) -> PowerReading {
+    let io_gbytes = cycles.achieved_bytes_per_s / 1e9;
+    let w = dev.power.delta_watts(&synth.resources, synth.fmax_mhz, io_gbytes);
+    PowerReading { delta_watts: w, delta_energy_j: w * runtime_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_device::{stratix_v_gsd8, ResourceVector};
+
+    fn fake_synth(aluts: u64) -> SynthesisResult {
+        SynthesisResult {
+            resources: ResourceVector::new(aluts, aluts * 2, 1 << 16, 8),
+            fmax_mhz: 200.0,
+            dsps_saved: 0,
+            regs_packed: 0,
+        }
+    }
+
+    fn fake_cycles(bw: f64) -> CycleStats {
+        CycleStats {
+            prime_cycles: 0,
+            fill_cycles: 10,
+            stream_cycles: 1000,
+            stall_cycles: 0,
+            refresh_cycles: 0,
+            drain_cycles: 10,
+            total: 1020,
+            achieved_bytes_per_s: bw,
+        }
+    }
+
+    #[test]
+    fn bigger_designs_draw_more() {
+        let dev = stratix_v_gsd8();
+        let small = meter(&dev, &fake_synth(1_000), &fake_cycles(0.0), 1.0);
+        let large = meter(&dev, &fake_synth(100_000), &fake_cycles(0.0), 1.0);
+        assert!(large.delta_watts > small.delta_watts);
+    }
+
+    #[test]
+    fn energy_scales_with_runtime() {
+        let dev = stratix_v_gsd8();
+        let a = meter(&dev, &fake_synth(10_000), &fake_cycles(1e9), 1.0);
+        let b = meter(&dev, &fake_synth(10_000), &fake_cycles(1e9), 2.0);
+        assert!((b.delta_energy_j - 2.0 * a.delta_energy_j).abs() < 1e-9);
+        assert_eq!(a.delta_watts, b.delta_watts);
+    }
+
+    #[test]
+    fn io_traffic_costs_power() {
+        let dev = stratix_v_gsd8();
+        let idle_link = meter(&dev, &fake_synth(10_000), &fake_cycles(0.0), 1.0);
+        let busy_link = meter(&dev, &fake_synth(10_000), &fake_cycles(10e9), 1.0);
+        assert!(busy_link.delta_watts > idle_link.delta_watts + 5.0);
+    }
+}

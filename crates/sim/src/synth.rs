@@ -1,0 +1,369 @@
+//! The synthesis emulator — our stand-in for the vendor toolchain
+//! (Quartus / Vivado) that produced the paper's "actual" resource counts
+//! and achieved clocks.
+//!
+//! It prices the elaborated [`Netlist`] with a **component-level model
+//! parameterised independently from the cost model's fitted curves**, so
+//! estimate-vs-actual comparisons (Table II) exercise a genuine gap:
+//!
+//! * **carry-chain packing** — adders/subtractors occupy ALM pairs:
+//!   `ceil(w/2)·2 + 4` ALUTs rather than the model's smooth `w + 2`;
+//! * **strength reduction** — a multiply by a compile-time constant
+//!   becomes a shift-add network (`popcount(c) − 1` adders), freeing the
+//!   DSP the cost model booked;
+//! * **DSP pairing** — variable-precision DSP blocks host two
+//!   half-width products; synthesis pairs eligible multipliers,
+//!   occasionally beating the estimate (the LavaMD −13 % DSP error);
+//! * **shift-register extraction** — delay lines above 16 stages retire
+//!   into LUT-based shift registers (fewer flip-flops, a few more
+//!   ALUTs);
+//! * **offset FIFOs** allocate the bare window (the cost model books one
+//!   extra in-flight element — the 5418 vs 5400 Table II discrepancy);
+//! * **control-set overhead** — a fixed percentage of registers gains
+//!   enable/reset logic;
+//! * **place-and-route variance** — a deterministic, design-seeded ±1.5 %
+//!   perturbation of ALUTs/registers and ±3 % of achieved clock.
+
+use crate::netlist::{ComponentKind, Netlist};
+use crate::rng::rng_for;
+use rand::RngExt;
+use tytra_device::{ResourceVector, TargetDevice};
+use tytra_ir::{IrError, IrModule, Opcode, ScalarType};
+
+/// Output of the virtual toolchain run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisResult {
+    /// "Actual" resource usage after synthesis, packing and P&R.
+    pub resources: ResourceVector,
+    /// Achieved clock after place-and-route, MHz.
+    pub fmax_mhz: f64,
+    /// DSPs saved by pairing + strength reduction (reporting aid).
+    pub dsps_saved: u64,
+    /// Registers retired into shift-register LUTs.
+    pub regs_packed: u64,
+}
+
+/// Run the virtual toolchain over a design.
+pub fn synthesize(m: &IrModule, dev: &TargetDevice) -> Result<SynthesisResult, IrError> {
+    let netlist = Netlist::elaborate(m, dev)?;
+    Ok(synthesize_netlist(&netlist, m, dev))
+}
+
+/// Price an already-elaborated netlist.
+pub fn synthesize_netlist(
+    netlist: &Netlist,
+    m: &IrModule,
+    dev: &TargetDevice,
+) -> SynthesisResult {
+    let mut r = ResourceVector::ZERO;
+    let mut dsps_saved = 0u64;
+    let mut regs_packed = 0u64;
+    let mut pairable_dsp_muls = 0u64;
+
+    for c in &netlist.components {
+        match &c.kind {
+            ComponentKind::FunctionalUnit { op, ty, const_operand, latency } => {
+                let (fu, saved_dsp) = fu_cost(dev, *op, *ty, *const_operand, *latency);
+                dsps_saved += saved_dsp;
+                if *op == Opcode::Mul
+                    && const_operand.is_none()
+                    && ty.is_int()
+                    && ty.bits() <= 18
+                {
+                    pairable_dsp_muls += 1;
+                }
+                r += fu;
+            }
+            ComponentKind::DelayLine { bits } => {
+                // Shift-register extraction: chains deeper than 16 bits'
+                // worth per tap retire into MLAB-based SRLs at roughly a
+                // quarter of the flip-flops plus pointer logic.
+                if *bits > 256 {
+                    let packed = bits * 3 / 4;
+                    regs_packed += packed;
+                    r += ResourceVector::new(bits / 8 + 4, bits - packed, 0, 0);
+                } else {
+                    r += ResourceVector::new(0, *bits, 0, 0);
+                }
+            }
+            ComponentKind::OffsetBuffer { window, width } => {
+                let bits = window * u64::from(*width);
+                if bits <= 128 {
+                    r += ResourceVector::new(6, bits, 0, 0);
+                } else {
+                    // Bare window in BRAM + pointer/valid logic.
+                    r += ResourceVector::new(14, 24, bits, 0);
+                }
+            }
+            ComponentKind::StreamController => {
+                // Address counter, burst splitter, response tracker.
+                r += ResourceVector::new(38, 52, 0, 0);
+            }
+            ComponentKind::LaneGlue => {
+                r += ResourceVector::new(27, 8, 0, 0);
+            }
+            ComponentKind::Sequencer { n_instrs } => {
+                r += ResourceVector::new(66, 44, n_instrs * 32, 0);
+            }
+            ComponentKind::CombOutputReg { width } => {
+                r += ResourceVector::new(0, u64::from(*width), 0, 0);
+            }
+            ComponentKind::LocalMemory { bits } => {
+                r += ResourceVector::new(2, 0, *bits, 0);
+            }
+        }
+    }
+
+    // DSP pairing: two 18-bit products can share one variable-precision
+    // block when their operands land in the same timing window;
+    // empirically the packer manages roughly one pairing per eight
+    // eligible products (the LavaMD 26 → 23 DSP effect of Table II).
+    let paired = pairable_dsp_muls / 8;
+    r.dsps = r.dsps.saturating_sub(paired);
+    dsps_saved += paired;
+
+    // Control-set overhead: ~2 % of registers gain dedicated
+    // enable/reset ALUTs.
+    r.aluts += r.regs / 50;
+
+    // Deterministic P&R variance.
+    let mut rng = rng_for(&netlist.design, 0xA11A);
+    let jitter = |v: u64, rng: &mut rand::rngs::StdRng| -> u64 {
+        let f: f64 = rng.random_range(-0.015..0.015);
+        ((v as f64) * (1.0 + f)).round().max(0.0) as u64
+    };
+    r.aluts = jitter(r.aluts, &mut rng);
+    r.regs = jitter(r.regs, &mut rng);
+
+    // Achieved clock: stage-delay-limited like the estimate, but with
+    // its own congestion curve and P&R jitter.
+    let mut worst_ns: f64 = 0.0;
+    for c in &netlist.components {
+        if let ComponentKind::FunctionalUnit { op, ty, latency, .. } = &c.kind {
+            let d = if *latency == 0 {
+                // comb FU: chained delay handled approximately by pricing
+                // each op fully (pessimistic by the chain's routing
+                // share).
+                dev.ops.stage_delay_ns(*op, *ty)
+            } else {
+                dev.ops.stage_delay_ns(*op, *ty)
+            };
+            worst_ns = worst_ns.max(d);
+        }
+    }
+    let util = r.max_utilization(&dev.capacity).min(1.0);
+    // Quadratic congestion: gentler than the model at mid-utilisation,
+    // harsher near full.
+    let congestion = 1.0 - 0.45 * util * util;
+    let base = if worst_ns > 0.0 {
+        (1000.0 / worst_ns).min(dev.fmax_mhz)
+    } else {
+        dev.fmax_mhz
+    };
+    let fjit: f64 = rng.random_range(-0.03..0.03);
+    let fmax = (base * congestion * (1.0 + fjit)).max(1.0);
+    let fmax = match m.meta.freq_mhz {
+        Some(c) => fmax.min(c),
+        None => fmax,
+    };
+
+    SynthesisResult { resources: r, fmax_mhz: fmax, dsps_saved, regs_packed }
+}
+
+/// Price a lone functional unit with the toolchain's component model —
+/// the virtual equivalent of the paper's one-off synthesis benchmark
+/// runs that produced the Fig 9 calibration points.
+pub fn synth_fu_probe(dev: &TargetDevice, op: Opcode, ty: ScalarType) -> ResourceVector {
+    fu_cost(dev, op, ty, None, dev.ops.latency(op, ty)).0
+}
+
+/// Component-level functional-unit pricing (independent of
+/// `OpCostModel`'s fitted curves).
+fn fu_cost(
+    dev: &TargetDevice,
+    op: Opcode,
+    ty: ScalarType,
+    const_operand: Option<i64>,
+    latency: u32,
+) -> (ResourceVector, u64) {
+    let w = u64::from(ty.bits());
+    let lat = u64::from(latency.max(1));
+    if ty.is_float() {
+        // FP cores come from the vendor IP library; the calibration
+        // curves *are* the library data, so synthesis matches them
+        // (plus pipeline registers).
+        return (dev.ops.cost(op, ty), 0);
+    }
+    let regs = if latency == 0 { 0 } else { w * lat };
+    let packed_adder = |w: u64| w.div_ceil(2) * 2 + 4;
+    match op {
+        Opcode::Add | Opcode::Sub => (ResourceVector::new(packed_adder(w), regs, 0, 0), 0),
+        Opcode::Mul => {
+            if let Some(c) = const_operand {
+                // Strength reduction: shift-add network over the set bits
+                // of the constant.
+                let ones = c.unsigned_abs().count_ones() as u64;
+                let adders = ones.saturating_sub(1);
+                let aluts = adders * packed_adder(w) + 2;
+                // Booked DSP freed.
+                (ResourceVector::new(aluts, regs, 0, 0), estimate_mul_dsps(dev, ty))
+            } else {
+                (dev.ops.cost(op, ty) + ResourceVector::new(3, 0, 0, 0), 0)
+            }
+        }
+        Opcode::Div | Opcode::Rem => {
+            // Radix-2 restoring array: w stages of packed add/sub plus
+            // quotient selection — close to (but not exactly) the fitted
+            // quadratic: 652 ALUTs at 24 bits against the model's 654,
+            // the paper's Fig 9 anecdote.
+            let aluts = w * w + 7 * w / 2 - 8;
+            (ResourceVector::new(aluts, regs, 0, 0), 0)
+        }
+        Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Not => {
+            // Packs two bits per ALUT, plus const folding: an op with a
+            // constant folds to wires when the constant is 0/identity.
+            let aluts = match const_operand {
+                Some(0) => 0,
+                _ => w.div_ceil(2),
+            };
+            (ResourceVector::new(aluts, regs, 0, 0), 0)
+        }
+        Opcode::Shl | Opcode::Shr => {
+            let aluts = match const_operand {
+                // Constant shift is wiring.
+                Some(_) => 0,
+                None => {
+                    let levels = 64 - w.leading_zeros() as u64;
+                    w * levels / 2 + 4
+                }
+            };
+            (ResourceVector::new(aluts, regs, 0, 0), 0)
+        }
+        Opcode::CmpEq | Opcode::CmpNe | Opcode::CmpLt | Opcode::CmpLe | Opcode::CmpGt
+        | Opcode::CmpGe => (ResourceVector::new(w / 2 + 4, lat, 0, 0), 0),
+        Opcode::Select => (ResourceVector::new(w.div_ceil(2) + 2, regs, 0, 0), 0),
+        Opcode::Min | Opcode::Max => {
+            (ResourceVector::new(packed_adder(w) / 2 + w + 2, regs, 0, 0), 0)
+        }
+        Opcode::Abs | Opcode::Neg => (ResourceVector::new(packed_adder(w), regs, 0, 0), 0),
+        Opcode::Sqrt => {
+            let aluts = w * (w + 2) / 2 + 12;
+            (ResourceVector::new(aluts, regs, 0, 0), 0)
+        }
+    }
+}
+
+fn estimate_mul_dsps(dev: &TargetDevice, ty: ScalarType) -> u64 {
+    dev.ops.cost(Opcode::Mul, ty).dsps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_cost::estimate;
+    use tytra_device::stratix_v_gsd8;
+    use tytra_ir::{ModuleBuilder, ParKind};
+
+    const T: ScalarType = ScalarType::UInt(18);
+
+    fn stencil(mul_by_const: bool) -> IrModule {
+        let mut b = ModuleBuilder::new(if mul_by_const { "sc" } else { "sv" });
+        b.global_input("p", T, 27_000);
+        b.global_input("w", T, 27_000);
+        b.global_output("q", T, 27_000);
+        {
+            let f = b.function("f0", ParKind::Pipe);
+            f.input("p", T);
+            f.input("w", T);
+            f.output("q", T);
+            let a = f.offset("p", T, 150);
+            let c = f.offset("p", T, -150);
+            let s = f.instr(Opcode::Add, T, vec![a, c]);
+            let wgt = if mul_by_const {
+                f.instr(Opcode::Mul, T, vec![s, f.imm(5)])
+            } else {
+                let warg = f.arg("w");
+                f.instr(Opcode::Mul, T, vec![s, warg])
+            };
+            f.write_out("q", wgt);
+        }
+        b.main_calls("f0");
+        b.ndrange(&[27_000]).nki(100);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn actuals_are_close_to_estimates_but_not_equal() {
+        let m = stencil(false);
+        let dev = stratix_v_gsd8();
+        let est = estimate(&m, &dev).unwrap();
+        let act = synthesize(&m, &dev).unwrap();
+        let err = est.resources.total.pct_error_vs(&act.resources);
+        // Table II regime: single-digit errors, not identity.
+        assert!(err[0].abs() < 15.0, "ALUT error {err:?}");
+        assert!(err[1].abs() < 15.0, "REG error {err:?}");
+        assert!(err[2].abs() < 2.0, "BRAM error {err:?}");
+        assert_ne!(est.resources.total.aluts, act.resources.aluts);
+    }
+
+    #[test]
+    fn offset_window_discrepancy_matches_table2() {
+        let m = stencil(false);
+        let dev = stratix_v_gsd8();
+        let est = estimate(&m, &dev).unwrap();
+        let act = synthesize(&m, &dev).unwrap();
+        assert_eq!(est.resources.breakdown.offset_buffers.bram_bits, 301 * 18);
+        assert_eq!(act.resources.bram_bits, 300 * 18);
+    }
+
+    #[test]
+    fn strength_reduction_frees_dsp() {
+        let dev = stratix_v_gsd8();
+        let var = synthesize(&stencil(false), &dev).unwrap();
+        let cst = synthesize(&stencil(true), &dev).unwrap();
+        assert_eq!(var.resources.dsps, 1);
+        assert_eq!(cst.resources.dsps, 0, "const multiply strength-reduced");
+        assert!(cst.dsps_saved >= 1);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let m = stencil(false);
+        let dev = stratix_v_gsd8();
+        let a = synthesize(&m, &dev).unwrap();
+        let b = synthesize(&m, &dev).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fmax_is_plausible_and_jittered() {
+        let m = stencil(false);
+        let dev = stratix_v_gsd8();
+        let act = synthesize(&m, &dev).unwrap();
+        assert!(act.fmax_mhz > 100.0 && act.fmax_mhz <= dev.fmax_mhz * 1.03);
+    }
+
+    #[test]
+    fn deep_delay_lines_get_packed() {
+        let mut b = ModuleBuilder::new("deep");
+        b.global_input("x", ScalarType::UInt(32), 4096);
+        b.global_output("y", ScalarType::UInt(32), 4096);
+        {
+            let f = b.function("f0", ParKind::Pipe);
+            f.input("x", ScalarType::UInt(32));
+            f.output("y", ScalarType::UInt(32));
+            let x = f.arg("x");
+            // A divide makes a long chain, forcing x to be delayed many
+            // cycles for the final add.
+            let d = f.instr(Opcode::Div, ScalarType::UInt(32), vec![x.clone(), x.clone()]);
+            let s = f.instr(Opcode::Add, ScalarType::UInt(32), vec![d, x]);
+            f.write_out("y", s);
+        }
+        b.main_calls("f0");
+        b.ndrange(&[4096]);
+        let m = b.finish().unwrap();
+        let dev = stratix_v_gsd8();
+        let act = synthesize(&m, &dev).unwrap();
+        assert!(act.regs_packed > 0, "long delay line should retire into SRLs");
+    }
+}

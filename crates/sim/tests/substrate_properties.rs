@@ -1,0 +1,134 @@
+//! Properties of the virtual substrate: the simulator's cycle count is
+//! bounded below by the work, the toolchain's jitter is bounded, and
+//! estimate-vs-actual stays in a sane band over randomised designs.
+
+use proptest::prelude::*;
+use tytra_cost::estimate;
+use tytra_device::stratix_v_gsd8;
+use tytra_ir::{IrModule, MemForm, ModuleBuilder, Opcode, ParKind, ScalarType};
+use tytra_sim::{run_application, simulate_instance, synthesize};
+
+fn module(width: u16, n_ops: usize, lanes: u64, ngs: u64, window: i64) -> IrModule {
+    let t = ScalarType::UInt(width);
+    let mut b = ModuleBuilder::new(format!("s_w{width}_n{n_ops}_l{lanes}_o{window}"));
+    if lanes > 1 {
+        for l in 0..lanes {
+            b.global_input(&format!("x{l}"), t, ngs / lanes);
+            b.global_output(&format!("y{l}"), t, ngs / lanes);
+        }
+    } else {
+        b.global_input("x", t, ngs);
+        b.global_output("y", t, ngs);
+    }
+    {
+        let f = b.function("f0", ParKind::Pipe);
+        f.input("x", t);
+        f.output("y", t);
+        let mut cur = if window > 0 {
+            f.offset("x", t, window)
+        } else {
+            f.arg("x")
+        };
+        for k in 0..n_ops {
+            let op = [Opcode::Add, Opcode::Mul, Opcode::Xor][k % 3];
+            let x = f.arg("x");
+            cur = f.instr(op, t, vec![cur, x]);
+        }
+        f.write_out("y", cur);
+    }
+    if lanes > 1 {
+        let f = b.function("f1", ParKind::Par);
+        for _ in 0..lanes {
+            f.call("f0", vec![], ParKind::Pipe);
+        }
+        b.main_calls("f1");
+    } else {
+        b.main_calls("f0");
+    }
+    b.ndrange(&[ngs]).nki(3).form(MemForm::B);
+    b.finish().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn simulated_cycles_bounded_below_by_the_work(
+        n_ops in 1usize..6,
+        lanes_pow in 0u32..3,
+        npow in 10u32..16,
+        window in 0i64..64,
+    ) {
+        let lanes = 1u64 << lanes_pow;
+        let m = module(18, n_ops, lanes, 1 << npow, window);
+        let dev = stratix_v_gsd8();
+        let s = simulate_instance(&m, &dev, 200.0).unwrap();
+        // At best one item per lane per cycle (priming can overlap the
+        // link and go faster than one element per cycle).
+        let floor = (1u64 << npow) / lanes;
+        prop_assert!(s.total >= floor, "{} < {floor}", s.total);
+        // And within 2× of the floor when nothing stalls hard.
+        if s.stall_cycles == 0 {
+            prop_assert!(s.total < floor * 2 + 4096, "{} vs {floor}", s.total);
+        }
+    }
+
+    #[test]
+    fn synthesis_jitter_is_bounded(
+        n_ops in 1usize..8,
+        width in 8u16..40,
+    ) {
+        // Window 48 keeps the offset buffer decisively above the
+        // register-spill threshold on both the estimator's and the
+        // toolchain's accounting (a straddle at the boundary is a real
+        // but uninteresting divergence).
+        let m = module(width, n_ops, 1, 4096, 48);
+        let dev = stratix_v_gsd8();
+        let est = estimate(&m, &dev).unwrap();
+        let act = synthesize(&m, &dev).unwrap();
+        let e = est.resources.total.pct_error_vs(&act.resources);
+        prop_assert!(e[0].abs() < 40.0, "ALUT {e:?}");
+        prop_assert!(e[1].abs() < 40.0, "REG {e:?}");
+        // BRAM differs by exactly the one in-flight element: ≤ 1/window.
+        prop_assert!(e[2].abs() <= 100.0 / 48.0 + 0.01, "BRAM {e:?}");
+        prop_assert!(act.fmax_mhz > 50.0 && act.fmax_mhz < dev.fmax_mhz * 1.05);
+    }
+
+    #[test]
+    fn cpki_estimate_tracks_simulation(
+        n_ops in 1usize..6,
+        npow in 12u32..17,
+    ) {
+        let m = module(18, n_ops, 1, 1 << npow, 16);
+        let dev = stratix_v_gsd8();
+        let est = estimate(&m, &dev).unwrap();
+        let run = run_application(&m, &dev).unwrap();
+        let err = (est.throughput.cpki - run.cpki() as f64).abs() / run.cpki() as f64;
+        prop_assert!(err < 0.10, "CPKI err {err} (est {} vs {})", est.throughput.cpki, run.cpki());
+    }
+
+    #[test]
+    fn determinism_under_repetition(
+        n_ops in 1usize..5,
+        width in 8u16..33,
+    ) {
+        let m = module(width, n_ops, 2, 1 << 12, 4);
+        let dev = stratix_v_gsd8();
+        let a = run_application(&m, &dev).unwrap();
+        let b = run_application(&m, &dev).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_lanes_never_slow_the_device_side(
+        n_ops in 1usize..5,
+        npow in 12u32..16,
+    ) {
+        let dev = stratix_v_gsd8();
+        let m1 = module(18, n_ops, 1, 1 << npow, 0);
+        let m4 = module(18, n_ops, 4, 1 << npow, 0);
+        let s1 = simulate_instance(&m1, &dev, 200.0).unwrap();
+        let s4 = simulate_instance(&m4, &dev, 200.0).unwrap();
+        prop_assert!(s4.total <= s1.total, "{} > {}", s4.total, s1.total);
+    }
+}

@@ -1,0 +1,379 @@
+//! A C/Fortran-flavoured surface syntax for kernel expressions — the
+//! paper's closing future-work item ("eventually, we plan to evolve our
+//! flow to include legacy code written in languages typically used for
+//! scientific computing like Fortran or C"), in miniature: the
+//! *expression* sublanguage those kernels are written in, parsed into
+//! [`Expr`].
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! expr    := ternary
+//! ternary := or ('?' expr ':' expr)?
+//! or      := and ('|' and)*
+//! and     := cmp ('&' cmp)*
+//! cmp     := shift (('=='|'!='|'<'|'<='|'>'|'>=') shift)?
+//! shift   := sum (('<<'|'>>') sum)*
+//! sum     := term (('+'|'-') term)*
+//! term    := unary (('*'|'/'|'%') unary)*
+//! unary   := ('-'|'!') unary | atom
+//! atom    := number | ident | ident '[' 'i' (('+'|'-') number)? ']'
+//!          | ident '(' expr (',' expr)* ')' | '(' expr ')'
+//! ```
+//!
+//! `name` is the current element of stream `name`; `name[i+3]` is a
+//! stencil neighbour; `min/max/abs/sqrt` are intrinsic calls. Floats
+//! contain a `.`.
+//!
+//! ```
+//! use tytra_transform::cexpr::parse_expr;
+//! let e = parse_expr("cn1*(p[i+1] + p[i-1]) - rhs").unwrap();
+//! assert_eq!(e.n_ops(), 3);
+//! ```
+
+use crate::expr::Expr;
+use tytra_ir::Opcode;
+
+/// Parse a C-flavoured expression into an [`Expr`].
+pub fn parse_expr(src: &str) -> Result<Expr, String> {
+    let mut p = P { src: src.as_bytes(), pos: 0 };
+    let e = p.ternary()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(format!("trailing input at byte {}: `{}`", p.pos, &src[p.pos..]));
+    }
+    Ok(e)
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            // Do not let `<` eat the front of `<<` or `<=`.
+            if (s == "<" || s == ">") && self.src.get(self.pos + 1).is_some_and(|&c| {
+                c == b'=' || c == self.src[self.pos]
+            }) {
+                return false;
+            }
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ternary(&mut self) -> Result<Expr, String> {
+        let cond = self.or()?;
+        if self.eat("?") {
+            let a = self.ternary()?;
+            if !self.eat(":") {
+                return Err("expected `:` in ternary".into());
+            }
+            let b = self.ternary()?;
+            return Ok(Expr::Sel(Box::new(cond), Box::new(a), Box::new(b)));
+        }
+        Ok(cond)
+    }
+
+    fn or(&mut self) -> Result<Expr, String> {
+        let mut e = self.and()?;
+        loop {
+            if self.eat("^") {
+                e = Expr::bin(Opcode::Xor, e, self.and()?);
+            } else if self.eat("|") {
+                e = Expr::bin(Opcode::Or, e, self.and()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn and(&mut self) -> Result<Expr, String> {
+        let mut e = self.cmp()?;
+        while self.eat("&") {
+            e = Expr::bin(Opcode::And, e, self.cmp()?);
+        }
+        Ok(e)
+    }
+
+    fn cmp(&mut self) -> Result<Expr, String> {
+        let e = self.shift()?;
+        for (tok, op) in [
+            ("==", Opcode::CmpEq),
+            ("!=", Opcode::CmpNe),
+            ("<=", Opcode::CmpLe),
+            (">=", Opcode::CmpGe),
+            ("<", Opcode::CmpLt),
+            (">", Opcode::CmpGt),
+        ] {
+            if self.eat(tok) {
+                return Ok(Expr::bin(op, e, self.shift()?));
+            }
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, String> {
+        let mut e = self.sum()?;
+        loop {
+            if self.eat("<<") {
+                e = Expr::bin(Opcode::Shl, e, self.sum()?);
+            } else if self.eat(">>") {
+                e = Expr::bin(Opcode::Shr, e, self.sum()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn sum(&mut self) -> Result<Expr, String> {
+        let mut e = self.term()?;
+        loop {
+            if self.eat("+") {
+                e = Expr::add(e, self.term()?);
+            } else if self.eat("-") {
+                e = Expr::sub(e, self.term()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, String> {
+        let mut e = self.unary()?;
+        loop {
+            if self.eat("*") {
+                e = Expr::mul(e, self.unary()?);
+            } else if self.eat("/") {
+                e = Expr::bin(Opcode::Div, e, self.unary()?);
+            } else if self.eat("%") {
+                e = Expr::bin(Opcode::Rem, e, self.unary()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, String> {
+        if self.eat("-") {
+            return Ok(Expr::Un(Opcode::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat("!") {
+            return Ok(Expr::Un(Opcode::Not, Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, String> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.ternary()?;
+                if !self.eat(")") {
+                    return Err("expected `)`".into());
+                }
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() => self.number(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.ident_or_call(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(char::from), self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Expr, String> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(&c) = self.src.get(self.pos) {
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else if c == b'.' && !is_float {
+                is_float = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        if is_float {
+            text.parse::<f64>().map(Expr::ConstF).map_err(|e| e.to_string())
+        } else {
+            text.parse::<i64>().map(Expr::ConstI).map_err(|e| e.to_string())
+        }
+    }
+
+    fn ident_or_call(&mut self) -> Result<Expr, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&c) = self.src.get(self.pos) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let name = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        // Intrinsic call?
+        if self.peek() == Some(b'(') {
+            let op = match name {
+                "min" => Opcode::Min,
+                "max" => Opcode::Max,
+                "abs" => Opcode::Abs,
+                "sqrt" => Opcode::Sqrt,
+                other => return Err(format!("unknown intrinsic `{other}`")),
+            };
+            self.pos += 1; // '('
+            let first = self.ternary()?;
+            let e = if op.arity() == 2 {
+                if !self.eat(",") {
+                    return Err(format!("`{name}` takes two arguments"));
+                }
+                let second = self.ternary()?;
+                Expr::bin(op, first, second)
+            } else {
+                Expr::Un(op, Box::new(first))
+            };
+            if !self.eat(")") {
+                return Err("expected `)` after intrinsic arguments".into());
+            }
+            return Ok(e);
+        }
+        // Stencil subscript?
+        if self.peek() == Some(b'[') {
+            self.pos += 1; // '['
+            if !self.eat("i") {
+                return Err("subscripts must be of the form [i±k]".into());
+            }
+            let mut off: i64 = 0;
+            if self.eat("+") {
+                off = self.int()?;
+            } else if self.eat("-") {
+                off = -self.int()?;
+            }
+            if !self.eat("]") {
+                return Err("expected `]`".into());
+            }
+            return Ok(if off == 0 { Expr::arg(name) } else { Expr::off(name, off) });
+        }
+        Ok(Expr::arg(name))
+    }
+
+    fn int(&mut self) -> Result<i64, String> {
+        match self.number()? {
+            Expr::ConstI(v) => Ok(v),
+            _ => Err("expected an integer".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use tytra_ir::ScalarType;
+
+    fn eval(src: &str, p: &[f64], rhs: &[f64], at: usize) -> f64 {
+        let e = parse_expr(src).unwrap();
+        let k = crate::expr::KernelDef {
+            name: "t".into(),
+            elem_ty: ScalarType::UInt(18),
+            inputs: vec!["p".into(), "rhs".into(), "cn1".into()],
+            outputs: vec![("y".into(), e)],
+            reductions: vec![],
+        };
+        let mut w = HashMap::new();
+        w.insert("p".to_string(), p.to_vec());
+        w.insert("rhs".to_string(), rhs.to_vec());
+        w.insert("cn1".to_string(), vec![3.0; p.len()]);
+        let (outs, _) = k.eval_reference(&w, p.len()).unwrap();
+        outs["y"][at]
+    }
+
+    #[test]
+    fn parses_the_sor_update() {
+        let e = parse_expr("cn1*(p[i+1] + p[i-1]) - rhs").unwrap();
+        assert_eq!(e.n_ops(), 3);
+        let offs = {
+            let mut v = Vec::new();
+            e.offsets(&mut v);
+            v
+        };
+        assert!(offs.contains(&("p".to_string(), 1)));
+        assert!(offs.contains(&("p".to_string(), -1)));
+    }
+
+    #[test]
+    fn precedence_and_parentheses() {
+        let p = [2.0, 3.0, 5.0, 7.0];
+        let r = [1.0; 4];
+        assert_eq!(eval("p + 2 * 3", &p, &r, 1), 9.0);
+        assert_eq!(eval("(p + 2) * 3", &p, &r, 1), 15.0);
+        assert_eq!(eval("p - 1 - 1", &p, &r, 2), 3.0, "left associative");
+        assert_eq!(eval("2 << 2", &p, &r, 0), 8.0);
+        assert_eq!(eval("p < 4 ? 100 : 200", &p, &r, 1), 100.0);
+        assert_eq!(eval("p < 4 ? 100 : 200", &p, &r, 2), 200.0);
+    }
+
+    #[test]
+    fn subscripts_and_intrinsics() {
+        let p = [10.0, 20.0, 30.0, 40.0];
+        let r = [0.0; 4];
+        assert_eq!(eval("p[i+1] - p[i-1]", &p, &r, 1), 20.0);
+        assert_eq!(eval("p[i]", &p, &r, 3), 40.0);
+        assert_eq!(eval("max(p, 25)", &p, &r, 1), 25.0);
+        assert_eq!(eval("min(p, 25)", &p, &r, 3), 25.0);
+        // ui18 semantics: keep the operand positive (unsigned abs is
+        // the identity on wrapped values).
+        assert_eq!(eval("abs(100 - p)", &p, &r, 0), 90.0);
+        assert_eq!(eval("sqrt(p[i+2])", &p, &r, 1), 6.0, "integer isqrt of 40");
+    }
+
+    #[test]
+    fn float_literals() {
+        let e = parse_expr("p * 0.5 + 1.25").unwrap();
+        match e {
+            Expr::Bin(Opcode::Add, _, b) => assert_eq!(*b, Expr::ConstF(1.25)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("p +").is_err());
+        assert!(parse_expr("(p").is_err());
+        assert!(parse_expr("p[j]").is_err());
+        assert!(parse_expr("foo(p)").is_err());
+        assert!(parse_expr("min(p)").is_err());
+        assert!(parse_expr("p ? 1").is_err());
+        assert!(parse_expr("p 5").is_err());
+    }
+
+    #[test]
+    fn full_sor_kernel_from_legacy_syntax() {
+        // The paper's SOR update transcribed from its Fortran form.
+        let src = "2*(3*p[i+1] + 3*p[i-1] + 5*p[i+30] + 5*p[i-30] \
+                   + 9*p[i+900] + 9*p[i-900]) - rhs - p";
+        let e = parse_expr(src).unwrap();
+        assert_eq!(e.n_ops(), 14, "7 muls + 5 adds + 2 subs");
+        let mut offs = Vec::new();
+        e.offsets(&mut offs);
+        assert_eq!(offs.len(), 6);
+    }
+}

@@ -1,0 +1,204 @@
+//! Shaped vectors and the order-preserving `reshapeTo` transformation.
+//!
+//! In the paper, `pps : Vect (im*jm*km) t` is reshaped to
+//! `Vect km (Vect (im*jm) t)`; dependent types prove the reshape is
+//! order- and size-preserving. Here the same invariants are enforced at
+//! construction (`reshape_to` fails unless the new shape's product
+//! equals the old) and checked by property tests in [`crate::proofs`].
+
+use std::fmt;
+
+/// The shape of a vector: dimension sizes, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<u64>);
+
+impl Shape {
+    /// 1-D shape of the given length.
+    pub fn flat(n: u64) -> Shape {
+        Shape(vec![n])
+    }
+
+    /// Total element count (product of dimensions).
+    pub fn size(&self) -> u64 {
+        self.0.iter().product()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The outermost dimension — the lane count after a
+    /// `reshapeTo lanes` transformation.
+    pub fn outer(&self) -> u64 {
+        self.0.first().copied().unwrap_or(1)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dims: Vec<String> = self.0.iter().map(u64::to_string).collect();
+        write!(f, "[{}]", dims.join("×"))
+    }
+}
+
+/// A shaped vector: flat storage (row-major) + a [`Shape`] view over it.
+/// Reshaping never copies or reorders — it only changes the view, which
+/// is exactly why the transformation is correct by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vect<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T> Vect<T> {
+    /// Build from flat data.
+    pub fn from_flat(data: Vec<T>) -> Vect<T> {
+        let n = data.len() as u64;
+        Vect { shape: Shape::flat(n), data }
+    }
+
+    /// Build with an explicit shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shape's product does not match the data length.
+    pub fn with_shape(data: Vec<T>, shape: Shape) -> Result<Vect<T>, String> {
+        if shape.size() != data.len() as u64 {
+            return Err(format!(
+                "shape {shape} does not cover {} elements",
+                data.len()
+            ));
+        }
+        Ok(Vect { shape, data })
+    }
+
+    /// The paper's `reshapeTo`: view the same elements with a new shape.
+    /// Order and size preserving by construction.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the new shape's product differs from the current size.
+    pub fn reshape_to(self, dims: &[u64]) -> Result<Vect<T>, String> {
+        let new = Shape(dims.to_vec());
+        if new.size() != self.shape.size() {
+            return Err(format!(
+                "reshape {} -> {} changes size ({} vs {})",
+                self.shape,
+                new,
+                self.shape.size(),
+                new.size()
+            ));
+        }
+        Ok(Vect { shape: new, data: self.data })
+    }
+
+    /// Split the outermost dimension into `lanes` equal chunks — the
+    /// `reshapeTo L` used to create parallel lanes. Requires divisibility
+    /// (the order-preserving condition of the paper's ref. \[14\]).
+    pub fn split_lanes(self, lanes: u64) -> Result<Vect<T>, String> {
+        let n = self.shape.size();
+        if lanes == 0 || !n.is_multiple_of(lanes) {
+            return Err(format!("{lanes} lanes do not divide {n} elements"));
+        }
+        self.reshape_to(&[lanes, n / lanes])
+    }
+
+    /// Current shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Flat element view, in order.
+    pub fn flat(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consume into flat data.
+    pub fn into_flat(self) -> Vec<T> {
+        self.data
+    }
+
+    /// The `l`-th lane's slice after a 2-D reshape.
+    pub fn lane(&self, l: u64) -> Option<&[T]> {
+        if self.shape.rank() != 2 {
+            return None;
+        }
+        let lanes = self.shape.0[0];
+        let per = self.shape.0[1] as usize;
+        if l >= lanes {
+            return None;
+        }
+        let start = l as usize * per;
+        Some(&self.data[start..start + per])
+    }
+
+    /// Map elementwise, preserving shape (the functional `map`).
+    pub fn map<U>(self, f: impl FnMut(T) -> U) -> Vect<U> {
+        let shape = self.shape.clone();
+        Vect { shape, data: self.data.into_iter().map(f).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_preserves_order_and_size() {
+        let v = Vect::from_flat((0..24).collect::<Vec<i32>>());
+        let v2 = v.clone().reshape_to(&[4, 6]).unwrap();
+        assert_eq!(v2.shape(), &Shape(vec![4, 6]));
+        assert_eq!(v2.flat(), v.flat());
+        let v3 = v2.reshape_to(&[2, 3, 4]).unwrap();
+        assert_eq!(v3.flat(), v.flat());
+    }
+
+    #[test]
+    fn reshape_rejects_size_change() {
+        let v = Vect::from_flat((0..10).collect::<Vec<i32>>());
+        assert!(v.reshape_to(&[3, 3]).is_err());
+    }
+
+    #[test]
+    fn split_lanes_requires_divisibility() {
+        let v = Vect::from_flat((0..12).collect::<Vec<i32>>());
+        assert!(v.clone().split_lanes(5).is_err());
+        assert!(v.clone().split_lanes(0).is_err());
+        let l = v.split_lanes(4).unwrap();
+        assert_eq!(l.shape(), &Shape(vec![4, 3]));
+        assert_eq!(l.lane(0).unwrap(), &[0, 1, 2]);
+        assert_eq!(l.lane(3).unwrap(), &[9, 10, 11]);
+        assert!(l.lane(4).is_none());
+    }
+
+    #[test]
+    fn lane_requires_rank_two() {
+        let v = Vect::from_flat((0..12).collect::<Vec<i32>>());
+        assert!(v.lane(0).is_none());
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let v = Vect::from_flat((0..6).collect::<Vec<i32>>()).reshape_to(&[2, 3]).unwrap();
+        let m = v.map(|x| x * 2);
+        assert_eq!(m.shape(), &Shape(vec![2, 3]));
+        assert_eq!(m.flat(), &[0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn with_shape_checks_product() {
+        assert!(Vect::with_shape(vec![1, 2, 3], Shape(vec![2, 2])).is_err());
+        assert!(Vect::with_shape(vec![1, 2, 3, 4], Shape(vec![2, 2])).is_ok());
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let s = Shape(vec![3, 4, 5]);
+        assert_eq!(s.size(), 60);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.outer(), 3);
+        assert_eq!(s.to_string(), "[3×4×5]");
+        assert_eq!(Shape(vec![]).outer(), 1);
+    }
+}

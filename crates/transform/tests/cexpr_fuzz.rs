@@ -1,0 +1,112 @@
+//! Robustness and round-trip properties of the C-flavoured expression
+//! front end.
+
+use proptest::prelude::*;
+use tytra_transform::cexpr::parse_expr;
+use tytra_transform::Expr;
+use tytra_ir::Opcode;
+
+/// Render an [`Expr`] back into surface syntax (fully parenthesised).
+fn render(e: &Expr) -> String {
+    match e {
+        Expr::Arg(n) => n.clone(),
+        Expr::OffsetArg(n, o) if *o >= 0 => format!("{n}[i+{o}]"),
+        Expr::OffsetArg(n, o) => format!("{n}[i-{}]", -o),
+        Expr::ConstI(v) if *v < 0 => format!("(0 - {})", -v),
+        Expr::ConstI(v) => v.to_string(),
+        Expr::ConstF(v) => format!("{v:?}"),
+        Expr::Un(Opcode::Neg, a) => format!("(-{})", render(a)),
+        Expr::Un(Opcode::Not, a) => format!("(!{})", render(a)),
+        Expr::Un(Opcode::Abs, a) => format!("abs({})", render(a)),
+        Expr::Un(Opcode::Sqrt, a) => format!("sqrt({})", render(a)),
+        Expr::Un(_, a) => render(a),
+        Expr::Sel(c, a, b) => {
+            format!("(({}) ? ({}) : ({}))", render(c), render(a), render(b))
+        }
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                Opcode::Add => "+",
+                Opcode::Sub => "-",
+                Opcode::Mul => "*",
+                Opcode::Div => "/",
+                Opcode::Rem => "%",
+                Opcode::And => "&",
+                Opcode::Or => "|",
+                Opcode::Xor => "^",
+                Opcode::Shl => "<<",
+                Opcode::Shr => ">>",
+                Opcode::CmpEq => "==",
+                Opcode::CmpNe => "!=",
+                Opcode::CmpLt => "<",
+                Opcode::CmpLe => "<=",
+                Opcode::CmpGt => ">",
+                Opcode::CmpGe => ">=",
+                Opcode::Min => return format!("min({}, {})", render(a), render(b)),
+                Opcode::Max => return format!("max({}, {})", render(a), render(b)),
+                _ => "+",
+            };
+            format!("({} {} {})", render(a), sym, render(b))
+        }
+    }
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::arg("p")),
+        Just(Expr::arg("rhs")),
+        (-8i64..=8).prop_filter("non-zero", |o| *o != 0).prop_map(|o| Expr::off("p", o)),
+        (0i64..1000).prop_map(Expr::ConstI),
+    ];
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..12).prop_map(|(a, b, k)| {
+                let op = [
+                    Opcode::Add,
+                    Opcode::Sub,
+                    Opcode::Mul,
+                    Opcode::Div,
+                    Opcode::And,
+                    Opcode::Or,
+                    Opcode::Xor,
+                    Opcode::Shl,
+                    Opcode::CmpLt,
+                    Opcode::CmpGe,
+                    Opcode::Min,
+                    Opcode::Max,
+                ][k];
+                Expr::bin(op, a, b)
+            }),
+            (inner.clone(), 0usize..3).prop_map(|(a, k)| {
+                let op = [Opcode::Neg, Opcode::Not, Opcode::Abs][k];
+                Expr::Un(op, Box::new(a))
+            }),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| Expr::Sel(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parser_never_panics_on_noise(s in ".{0,120}") {
+        let _ = parse_expr(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_expression_alphabet(
+        s in "[a-z0-9+*/()\\[\\]<>=?:!&|^ .%-]{0,120}"
+    ) {
+        let _ = parse_expr(&s);
+    }
+
+    #[test]
+    fn rendered_expressions_parse_back_equal(e in arb_expr(3)) {
+        let text = render(&e);
+        let back = parse_expr(&text)
+            .unwrap_or_else(|err| panic!("`{text}` failed to re-parse: {err}"));
+        prop_assert_eq!(back, e, "surface: {}", text);
+    }
+}

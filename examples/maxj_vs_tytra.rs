@@ -1,0 +1,44 @@
+//! The §VII case study: CPU-only vs the conventional-HLS port
+//! (`fpga-maxJ`) vs the cost-model-guided variant (`fpga-tytra`) across
+//! grid sizes — the data behind the paper's Figs 17 and 18.
+//!
+//! ```sh
+//! cargo run --release --example maxj_vs_tytra
+//! ```
+
+use tytra::device::stratix_v_gsd8;
+use tytra::hls_baseline::case_study;
+
+fn main() {
+    let dev = stratix_v_gsd8();
+    let points = case_study(&[24, 48, 96, 144, 192], 1000, &dev).expect("case study runs");
+
+    println!("SOR, 1000 kernel iterations, {}\n", dev.name);
+    println!(
+        "{:>5} | {:>8} {:>10} {:>11} | {:>8} {:>10} {:>11}",
+        "side", "cpu", "fpga-maxJ", "fpga-tytra", "cpu", "fpga-maxJ", "fpga-tytra"
+    );
+    println!("{:>5} | {:^32} | {:^32}", "", "runtime (normalised)", "delta energy (normalised)");
+    println!("{}", "-".repeat(75));
+    for p in &points {
+        let (rc, rm, rt) = p.runtime_normalized();
+        let (ec, em, et) = p.energy_normalized();
+        println!(
+            "{:>5} | {:>8.2} {:>10.2} {:>11.2} | {:>8.2} {:>10.2} {:>11.2}",
+            p.side, rc, rm, rt, ec, em, et
+        );
+    }
+
+    let best_rt = points.iter().map(|p| p.maxj_s / p.tytra_s).fold(0.0f64, f64::max);
+    let best_cpu = points.iter().map(|p| p.cpu_s / p.tytra_s).fold(0.0f64, f64::max);
+    let best_e = points.iter().map(|p| p.cpu_j / p.tytra_j).fold(0.0f64, f64::max);
+    println!(
+        "\nfpga-tytra: up to {best_rt:.1}x faster than fpga-maxJ (paper: 3.9x), \
+         {best_cpu:.1}x faster than cpu (paper: 2.6x),\n\
+         and up to {best_e:.1}x more power-efficient than cpu (paper: 11x)."
+    );
+    println!(
+        "Note the reversal at 24³ — per-stream overheads of the 4-lane variant \
+         dominate small grids, exactly as §VII reports."
+    );
+}

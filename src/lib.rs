@@ -1,0 +1,23 @@
+//! # TyTra — FPGA cost modelling and design-space exploration
+//!
+//! Facade crate re-exporting the whole TyTra workspace: the IR
+//! ([`ir`]), device descriptions ([`device`]), the cost model ([`cost`]),
+//! the virtual-FPGA substrate ([`sim`]), the functional front-end
+//! ([`transform`]), the evaluation kernels ([`kernels`]), the
+//! design-space-exploration engine ([`dse`]), the conventional-HLS
+//! baseline ([`hls_baseline`]) and the Verilog emitter ([`codegen`]).
+//!
+//! This workspace is a from-scratch Rust reproduction of Nabi &
+//! Vanderbauwhede, *"A Fast and Accurate Cost Model for FPGA Design Space
+//! Exploration in HPC Applications"*, IPDPSW 2016. See `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use tytra_codegen as codegen;
+pub use tytra_cost as cost;
+pub use tytra_device as device;
+pub use tytra_dse as dse;
+pub use tytra_hls_baseline as hls_baseline;
+pub use tytra_ir as ir;
+pub use tytra_kernels as kernels;
+pub use tytra_sim as sim;
+pub use tytra_transform as transform;

@@ -1,0 +1,143 @@
+//! End-to-end integration over the SOR kernel: front-end lowering →
+//! cost model → virtual toolchain → cycle simulation, plus semantic
+//! equivalence of the lowered datapath against the reference CPU code
+//! under lane-splitting reshapes.
+
+use tytra::cost::estimate;
+use tytra::device::stratix_v_gsd8;
+use tytra::kernels::{EvalKernel, Sor};
+use tytra::sim::{execute_module, run_application, synthesize, ExecInputs};
+use tytra::transform::Variant;
+
+#[test]
+fn estimate_synthesize_simulate_agree_on_sor() {
+    let sor = Sor::cubic(24, 10);
+    let dev = stratix_v_gsd8();
+    let m = sor.lower_variant(&Variant::baseline()).unwrap();
+
+    let est = estimate(&m, &dev).unwrap();
+    let act = synthesize(&m, &dev).unwrap();
+    let run = run_application(&m, &dev).unwrap();
+
+    // Resource agreement in the Table II regime.
+    let err = est.resources.total.pct_error_vs(&act.resources);
+    assert!(err[0].abs() < 15.0, "ALUT {err:?}");
+    assert!(err[1].abs() < 15.0, "REG {err:?}");
+    assert!(err[2].abs() < 2.0, "BRAM {err:?}");
+    assert_eq!(est.resources.total.dsps, act.resources.dsps);
+
+    // Throughput agreement.
+    let cpki_err = (est.throughput.cpki - run.cpki() as f64) / run.cpki() as f64;
+    assert!(cpki_err.abs() < 0.06, "CPKI err {cpki_err}");
+
+    // Clock agreement within P&R jitter + congestion differences.
+    let f_err = (est.clock.freq_mhz - run.freq_mhz) / run.freq_mhz;
+    assert!(f_err.abs() < 0.15, "clock err {f_err}");
+}
+
+#[test]
+fn lowered_sor_computes_the_reference_answer() {
+    let sor = Sor::cubic(12, 1);
+    let m = sor.lower_variant(&Variant::baseline()).unwrap();
+    let workload = sor.workload();
+    let n = sor.geometry().size() as usize;
+
+    let mut inputs = ExecInputs::default();
+    for (k, v) in &workload {
+        inputs.set(k.clone(), v.clone());
+    }
+    let hw = execute_module(&m, &inputs, n).unwrap();
+    let (sw, sw_reds) = sor.reference(&workload);
+
+    assert_eq!(hw.arrays["pnew"], sw["pnew"]);
+    assert_eq!(hw.reductions["sorErrAcc"], sw_reds["sorErrAcc"]);
+}
+
+#[test]
+fn lane_split_preserves_semantics() {
+    // The order-preserving reshape: running each lane's chunk through
+    // the lane pipeline must equal the flat run, away from chunk
+    // boundaries (the per-lane hardware sees zeros beyond its chunk —
+    // the halo the host-side splitter feeds in production).
+    let sor = Sor::cubic(12, 1);
+    let n = sor.geometry().size() as usize;
+    let workload = sor.workload();
+    let (sw, _) = sor.reference(&workload);
+
+    let lanes = 4usize;
+    let m4 = sor.lower_variant(&Variant { lanes: lanes as u64, ..Variant::baseline() }).unwrap();
+    let per = n / lanes;
+    let halo = 12 * 12; // one plane of look-ahead/behind
+    for l in 0..lanes {
+        let lo = l * per;
+        let hi = lo + per;
+        let mut inputs = ExecInputs::default();
+        for (k, v) in &workload {
+            inputs.set(k.clone(), v[lo..hi].to_vec());
+        }
+        let hw = execute_module(&m4, &inputs, per).unwrap();
+        let got = &hw.arrays["pnew"];
+        // Interior (away from the chunk's halo) must match the flat run.
+        for i in halo..(per - halo) {
+            assert_eq!(
+                got[i],
+                sw["pnew"][lo + i],
+                "lane {l}, item {i}: split run diverged from flat run"
+            );
+        }
+    }
+}
+
+#[test]
+fn host_orchestrated_multi_lane_run_equals_the_flat_run() {
+    // The executable `mappar (mappipe f) ∘ reshapeTo ≡ map f` law: the
+    // host splits arrays into lane chunks with stencil halos; the
+    // reassembled output is identical to the single-lane run on every
+    // element (not just chunk interiors).
+    let sor = Sor::cubic(12, 1);
+    let n = sor.geometry().size() as usize;
+    let workload = sor.workload();
+    let mut inputs = tytra::sim::ExecInputs::default();
+    for (k, v) in &workload {
+        inputs.set(k.clone(), v.clone());
+    }
+
+    let flat = {
+        let m = sor.lower_variant(&Variant::baseline()).unwrap();
+        tytra::sim::execute_module(&m, &inputs, n).unwrap()
+    };
+    let m4 = sor.lower_variant(&Variant { lanes: 4, ..Variant::baseline() }).unwrap();
+    let halo = 12 * 12; // one k-plane: the largest stencil offset
+    let split = tytra::sim::execute_application(&m4, &inputs, n, halo).unwrap();
+
+    assert_eq!(split.arrays["pnew"], flat.arrays["pnew"]);
+}
+
+#[test]
+fn four_lane_variant_runs_faster_and_costs_more() {
+    let sor = Sor::cubic(48, 100);
+    let dev = stratix_v_gsd8();
+    let m1 = sor.lower_variant(&Variant::baseline()).unwrap();
+    let m4 = sor.lower_variant(&Variant { lanes: 4, ..Variant::baseline() }).unwrap();
+
+    let r1 = run_application(&m1, &dev).unwrap();
+    let r4 = run_application(&m4, &dev).unwrap();
+    assert!(r4.t_total_s < r1.t_total_s / 2.0, "{} vs {}", r4.t_total_s, r1.t_total_s);
+
+    let s1 = synthesize(&m1, &dev).unwrap();
+    let s4 = synthesize(&m4, &dev).unwrap();
+    assert!(s4.resources.aluts > 3 * s1.resources.aluts);
+}
+
+#[test]
+fn textual_round_trip_preserves_cost() {
+    let sor = Sor::cubic(24, 10);
+    let dev = stratix_v_gsd8();
+    let m = sor.lower_variant(&Variant::baseline()).unwrap();
+    let m2 = tytra::ir::parse(&tytra::ir::print(&m)).unwrap();
+    assert_eq!(m, m2);
+    let a = estimate(&m, &dev).unwrap();
+    let b = estimate(&m2, &dev).unwrap();
+    assert_eq!(a.resources.total, b.resources.total);
+    assert_eq!(a.throughput.cpki, b.throughput.cpki);
+}

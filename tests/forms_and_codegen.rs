@@ -1,0 +1,94 @@
+//! Memory-execution forms end to end (cost model *and* simulator must
+//! order them the same way), plus code generation over every kernel ×
+//! variant combination.
+
+use tytra::codegen::{check, emit_design, emit_maxj_wrapper};
+use tytra::cost::estimate;
+use tytra::device::stratix_v_gsd8;
+use tytra::ir::MemForm;
+use tytra::kernels::{EvalKernel, Hotspot, LavaMd, Sor};
+use tytra::sim::run_application;
+use tytra::transform::Variant;
+
+#[test]
+fn forms_order_consistently_in_model_and_simulator() {
+    // Form A (host every call) < Form B (staged) < Form C (on-chip) in
+    // throughput, for a kernel whose working set fits BRAM.
+    let sor = Sor::cubic(16, 100); // 4096 items × 3 B × 3 arrays ≈ 37 KB
+    let dev = stratix_v_gsd8();
+    let mut ekit = Vec::new();
+    let mut sim_t = Vec::new();
+    for form in [MemForm::A, MemForm::B, MemForm::C] {
+        let m = sor.lower_variant(&Variant { form, ..Variant::baseline() }).unwrap();
+        ekit.push(estimate(&m, &dev).unwrap().throughput.ekit);
+        sim_t.push(run_application(&m, &dev).unwrap().t_total_s);
+    }
+    assert!(ekit[0] < ekit[1], "model: A {} < B {}", ekit[0], ekit[1]);
+    assert!(ekit[1] <= ekit[2], "model: B {} <= C {}", ekit[1], ekit[2]);
+    assert!(sim_t[0] > sim_t[1], "sim: A {} > B {}", sim_t[0], sim_t[1]);
+    assert!(sim_t[1] >= sim_t[2] * 0.99, "sim: B {} >= C {}", sim_t[1], sim_t[2]);
+}
+
+#[test]
+fn tiled_form_costs_between_b_and_c_when_memory_bound() {
+    // Hotspot moves 9 × 4-byte words per item — with 8 lanes the DRAM
+    // term binds, giving tiling something to win.
+    let hs = Hotspot { rows: 512, cols: 512, nki: 100 };
+    let dev = stratix_v_gsd8();
+    let base = Variant { lanes: 8, ..Variant::baseline() };
+    let b = estimate(&hs.lower_variant(&base).unwrap(), &dev).unwrap();
+    assert_eq!(b.limiter, tytra::cost::Limiter::DramBandwidth, "premise: B is memory-bound");
+    let tiled = {
+        let v = Variant { form: MemForm::Tiled { tiles: 8 }, ..base };
+        estimate(&hs.lower_variant(&v).unwrap(), &dev).unwrap()
+    };
+    assert!(
+        tiled.throughput.ekit > b.throughput.ekit,
+        "tiling should relieve the DRAM wall: {} vs {}",
+        tiled.throughput.ekit,
+        b.throughput.ekit
+    );
+}
+
+#[test]
+fn codegen_emits_checked_hdl_for_every_kernel_and_lane_count() {
+    let dev = stratix_v_gsd8();
+    let kernels: Vec<Box<dyn EvalKernel>> = vec![
+        Box::new(Sor::cubic(16, 1)),
+        Box::new(Hotspot { rows: 32, cols: 32, nki: 1 }),
+        Box::new(LavaMd { n_particles: 1024, nki: 1 }),
+    ];
+    for k in &kernels {
+        for lanes in [1u64, 4] {
+            let v = Variant { lanes, ..Variant::baseline() };
+            let m = k.lower_variant(&v).unwrap();
+            let hdl = emit_design(&m, &dev)
+                .unwrap_or_else(|e| panic!("{} x{lanes}: {e}", k.name()));
+            check(&hdl).unwrap_or_else(|errs| {
+                panic!("{} x{lanes}: {} structural errors: {errs:?}", k.name(), errs.len())
+            });
+            // Lane instances present.
+            for l in 1..=if lanes > 1 { lanes } else { 0 } {
+                assert!(hdl.contains(&format!("lane{l} (")), "{} lane {l}", k.name());
+            }
+            let wrapper = emit_maxj_wrapper(&m);
+            assert!(wrapper.contains("extends Kernel"));
+            // One io.input per read port.
+            let reads =
+                m.ports.iter().filter(|p| p.dir == tytra::ir::StreamDir::Read).count();
+            assert_eq!(wrapper.matches("io.input(").count(), reads, "{}", k.name());
+        }
+    }
+}
+
+#[test]
+fn hdl_scales_with_design_size() {
+    let dev = stratix_v_gsd8();
+    let sor = Sor::cubic(16, 1);
+    let m1 = sor.lower_variant(&Variant::baseline()).unwrap();
+    let m4 = sor.lower_variant(&Variant { lanes: 4, ..Variant::baseline() }).unwrap();
+    let h1 = emit_design(&m1, &dev).unwrap();
+    let h4 = emit_design(&m4, &dev).unwrap();
+    assert!(h4.len() > h1.len());
+    assert_eq!(h4.matches("tytra_f0 lane").count(), 4);
+}

@@ -1,0 +1,151 @@
+//! Textual IR round-trip properties across crates: shipped assets
+//! parse; printed modules re-parse to equal modules; randomised
+//! builder-generated designs survive the round trip.
+
+use proptest::prelude::*;
+use tytra::ir::{parse, print, MemForm, ModuleBuilder, Opcode, ParKind, ScalarType};
+
+#[test]
+fn shipped_assets_parse_and_round_trip() {
+    for asset in [
+        "assets/sor_c2.tirl",
+        "assets/sor_c1_4lane.tirl",
+        "assets/hotspot_c2.tirl",
+        "assets/lavamd_c2.tirl",
+    ] {
+        let src = std::fs::read_to_string(asset).unwrap_or_else(|e| panic!("{asset}: {e}"));
+        let m = parse(&src).unwrap_or_else(|e| panic!("{asset}: {e}"));
+        let m2 = parse(&print(&m)).unwrap();
+        assert_eq!(m, m2, "{asset}");
+    }
+}
+
+#[test]
+fn asset_matches_kernel_library_lowering() {
+    use tytra::kernels::{EvalKernel, Sor};
+    use tytra::transform::Variant;
+    let src = std::fs::read_to_string("assets/sor_c2.tirl").unwrap();
+    let from_file = parse(&src).unwrap();
+    let from_library = Sor::default().lower_variant(&Variant::baseline()).unwrap();
+    assert_eq!(from_file, from_library, "regenerate assets with `cargo run -p tytra-cli --example gen_assets`");
+}
+
+/// Strategy: a random but well-formed module exercising pipes, offsets,
+/// reductions, strided arrays, vectorization, every memory form and
+/// lane replication.
+fn arb_module() -> impl Strategy<Value = tytra::ir::IrModule> {
+    (
+        1u16..4,                                  // type selector
+        proptest::collection::vec((0usize..6, -64i64..64), 1..6), // op picks
+        0u32..3,                                  // lanes power
+        prop_oneof![
+            Just(MemForm::A),
+            Just(MemForm::B),
+            Just(MemForm::C),
+            (2u32..9).prop_map(|t| MemForm::Tiled { tiles: t }),
+        ],
+        1u64..64,
+        proptest::option::of(1i64..48),           // optional stencil window
+        any::<bool>(),                            // reduction?
+        any::<bool>(),                            // strided input?
+        prop_oneof![Just(1u32), Just(2u32), Just(4u32)], // DV
+    )
+        .prop_map(|(tysel, ops, lanes_pow, form, nd, window, reduce, strided, dv)| {
+            let ty = match tysel {
+                1 => ScalarType::UInt(18),
+                2 => ScalarType::Int(32),
+                _ => ScalarType::UInt(24),
+            };
+            let lanes = 1u64 << lanes_pow;
+            let n = nd * lanes * u64::from(dv) * 8;
+            let mut b = ModuleBuilder::new("prop");
+            let declare = |b: &mut ModuleBuilder, name: &str, len, out: bool| {
+                use tytra::ir::{AccessPattern, StreamDir};
+                if form == MemForm::C {
+                    b.local_array(name, ty, len, if out { StreamDir::Write } else { StreamDir::Read });
+                } else if out {
+                    b.global_output(name, ty, len);
+                } else if strided {
+                    b.global_array(name, ty, len, StreamDir::Read, AccessPattern::Strided { stride: 64 });
+                } else {
+                    b.global_input(name, ty, len);
+                }
+            };
+            if lanes > 1 {
+                for l in 0..lanes {
+                    declare(&mut b, &format!("x{l}"), n / lanes, false);
+                    declare(&mut b, &format!("y{l}"), n / lanes, true);
+                }
+            } else {
+                declare(&mut b, "x", n, false);
+                declare(&mut b, "y", n, true);
+            }
+            {
+                let f = b.function("f0", ParKind::Pipe);
+                f.input("x", ty);
+                f.output("y", ty);
+                let mut cur = match window {
+                    Some(w) => {
+                        let fwd = f.offset("x", ty, w);
+                        let bwd = f.offset("x", ty, -w);
+                        f.instr(Opcode::Add, ty, vec![fwd, bwd])
+                    }
+                    None => f.arg("x"),
+                };
+                for (sel, imm) in ops {
+                    let op = [
+                        Opcode::Add,
+                        Opcode::Mul,
+                        Opcode::Xor,
+                        Opcode::Max,
+                        Opcode::Shr,
+                        Opcode::CmpLt,
+                    ][sel];
+                    let imm = if op == Opcode::Shr { imm.rem_euclid(16) } else { imm };
+                    cur = f.instr(op, ty, vec![cur, tytra::ir::Operand::Imm(imm)]);
+                }
+                if reduce {
+                    f.reduce("acc", Opcode::Add, ty, cur.clone());
+                }
+                f.write_out("y", cur);
+            }
+            if lanes > 1 {
+                let f = b.function("f1", ParKind::Par);
+                for _ in 0..lanes {
+                    f.call("f0", vec![], ParKind::Pipe);
+                }
+                b.main_calls("f1");
+            } else {
+                b.main_calls("f0");
+            }
+            b.ndrange(&[n]).nki(3).form(form).vect(dv);
+            b.finish().expect("generated module is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn printed_modules_reparse_identically(m in arb_module()) {
+        let text = print(&m);
+        let m2 = parse(&text).expect("canonical text parses");
+        prop_assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn printing_is_stable(m in arb_module()) {
+        let once = print(&m);
+        let twice = print(&parse(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn random_modules_cost_without_panicking(m in arb_module()) {
+        let dev = tytra::device::stratix_v_gsd8();
+        let r = tytra::cost::estimate(&m, &dev).expect("estimable");
+        prop_assert!(r.throughput.ekit.is_finite());
+        prop_assert!(r.resources.total.aluts > 0);
+        prop_assert!(r.clock.freq_mhz >= 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-cutting variant/target coverage: `seq` inner maps (the C4
+//! corner of the Fig 5 design space), vectorization (`DV`), the
+//! estimated power report against the simulator's power meter, and
+//! target portability (Virtex-7 as well as Stratix-V).
+
+use tytra::cost::estimate;
+use tytra::device::{stratix_v_gsd8, virtex7_adm7v3};
+use tytra::kernels::{all_kernels, EvalKernel, Sor};
+use tytra::sim::{execute_module, run_application, synthesize, ExecInputs};
+use tytra::transform::{InnerKind, Variant};
+
+#[test]
+fn seq_variant_is_slower_but_smaller() {
+    let sor = Sor::cubic(24, 10);
+    let dev = stratix_v_gsd8();
+    let pipe = estimate(&sor.lower_variant(&Variant::baseline()).unwrap(), &dev).unwrap();
+    let seq_v = Variant { inner: InnerKind::Seq, ..Variant::baseline() };
+    let seq = estimate(&sor.lower_variant(&seq_v).unwrap(), &dev).unwrap();
+    // One shared FU set beats one FU per instruction…
+    assert!(seq.resources.total.aluts < pipe.resources.total.aluts);
+    // …at NI× the initiation interval.
+    assert!(seq.params.sched.ii > 10.0);
+    assert!(seq.throughput.ekit < pipe.throughput.ekit / 5.0);
+    assert_eq!(format!("{:?}", seq.class), "C4Sequential");
+}
+
+#[test]
+fn seq_variant_computes_the_same_answer() {
+    let sor = Sor::cubic(10, 1);
+    let n = 1000;
+    let w = sor.workload();
+    let seq_v = Variant { inner: InnerKind::Seq, ..Variant::baseline() };
+    let m = sor.lower_variant(&seq_v).unwrap();
+    let mut inputs = ExecInputs::default();
+    for (k, v) in &w {
+        inputs.set(k.clone(), v.clone());
+    }
+    let hw = execute_module(&m, &inputs, n).unwrap();
+    let (sw, _) = sor.reference(&w);
+    assert_eq!(hw.arrays["pnew"], sw["pnew"]);
+}
+
+#[test]
+fn vectorization_halves_compute_time_and_doubles_datapath() {
+    let sor = Sor::cubic(48, 10);
+    let dev = stratix_v_gsd8();
+    let v1 = estimate(&sor.lower_variant(&Variant::baseline()).unwrap(), &dev).unwrap();
+    let v2_variant = Variant { vect: 2, ..Variant::baseline() };
+    let v2 = estimate(&sor.lower_variant(&v2_variant).unwrap(), &dev).unwrap();
+    let speed = v1.throughput.t_compute / v2.throughput.t_compute;
+    // Within a fraction of a percent: the doubled datapath derates the
+    // clock slightly through the congestion model.
+    assert!((speed - 2.0).abs() < 0.01, "{speed}");
+    let growth = v2.resources.breakdown.datapath.aluts as f64
+        / v1.resources.breakdown.datapath.aluts as f64;
+    assert!((growth - 2.0).abs() < 1e-9, "{growth}");
+    // The simulator sees the same shape.
+    let s1 = run_application(&sor.lower_variant(&Variant::baseline()).unwrap(), &dev).unwrap();
+    let s2 = run_application(&sor.lower_variant(&v2_variant).unwrap(), &dev).unwrap();
+    assert!(s2.cpki() < s1.cpki());
+}
+
+#[test]
+fn estimated_power_tracks_the_simulators_meter() {
+    let dev = stratix_v_gsd8();
+    for k in all_kernels() {
+        let m = k.lower_variant(&Variant::baseline()).unwrap();
+        let est = estimate(&m, &dev).unwrap();
+        let run = run_application(&m, &dev).unwrap();
+        assert!(est.power_w > 0.0);
+        let rel = (est.power_w - run.power.delta_watts).abs() / run.power.delta_watts;
+        assert!(
+            rel < 0.25,
+            "{}: estimated {} W vs metered {} W",
+            k.name(),
+            est.power_w,
+            run.power.delta_watts
+        );
+        // Energy composes.
+        assert!((est.total_energy_j() - est.power_w * est.total_runtime_s()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn kernels_port_to_the_virtex_target() {
+    // Target portability (paper Fig 2: "one-time input for each unique
+    // FPGA target"): the same designs cost and synthesize on the
+    // Virtex-7 board, with its 36 Kb BRAM granularity and Fig 10 DRAM
+    // calibration.
+    let dev = virtex7_adm7v3();
+    for k in all_kernels() {
+        let m = k.lower_variant(&Variant::baseline()).unwrap();
+        let est = estimate(&m, &dev).unwrap();
+        let act = synthesize(&m, &dev).unwrap();
+        assert!(est.fits, "{} must fit a 690T", k.name());
+        let e = est.resources.total.pct_error_vs(&act.resources);
+        assert!(e[0].abs() < 15.0, "{}: {e:?}", k.name());
+        assert!(e[2].abs() < 2.0, "{}: {e:?}", k.name());
+    }
+    // The Fig 10 baseline makes the Virtex DRAM far less effective than
+    // the Maxeler-optimised Stratix path for the same design.
+    let sor = Sor::cubic(48, 10);
+    let m = sor.lower_variant(&Variant::baseline()).unwrap();
+    let on_virtex = estimate(&m, &dev).unwrap();
+    let on_stratix = estimate(&m, &stratix_v_gsd8()).unwrap();
+    assert!(on_virtex.bandwidth.dram_effective < on_stratix.bandwidth.dram_effective / 3.0);
+}
+
+#[test]
+fn power_grows_with_lanes() {
+    let sor = Sor::cubic(48, 10);
+    let dev = stratix_v_gsd8();
+    let p1 = estimate(&sor.lower_variant(&Variant::baseline()).unwrap(), &dev).unwrap().power_w;
+    let p8 = estimate(
+        &sor.lower_variant(&Variant { lanes: 8, ..Variant::baseline() }).unwrap(),
+        &dev,
+    )
+    .unwrap()
+    .power_w;
+    assert!(p8 > p1);
+}
