@@ -39,12 +39,9 @@ fn bench_variant_sweep(c: &mut Criterion) {
     // Costing a whole 16-variant sweep — what the DSE pays per kernel.
     let sor = Sor::cubic(48, 10);
     let dev = stratix_v_gsd8();
-    let variants: Vec<_> = [1u64, 2, 4, 8]
-        .iter()
-        .map(|&l| Variant { lanes: l, ..Variant::baseline() })
-        .collect();
-    let modules: Vec<_> =
-        variants.iter().map(|v| sor.lower_variant(v).expect("lowers")).collect();
+    let variants: Vec<_> =
+        [1u64, 2, 4, 8].iter().map(|&l| Variant { lanes: l, ..Variant::baseline() }).collect();
+    let modules: Vec<_> = variants.iter().map(|v| sor.lower_variant(v).expect("lowers")).collect();
 
     c.bench_function("cost_model/4_variant_sweep", |b| {
         b.iter(|| {

@@ -11,9 +11,7 @@ fn bench_fig09(c: &mut Criterion) {
 }
 
 fn bench_fig10(c: &mut Criterion) {
-    c.bench_function("figures/fig10_bandwidth", |b| {
-        b.iter(|| tytra_bench::fig10::run().len())
-    });
+    c.bench_function("figures/fig10_bandwidth", |b| b.iter(|| tytra_bench::fig10::run().len()));
 }
 
 fn bench_fig15(c: &mut Criterion) {
@@ -38,12 +36,5 @@ fn bench_fig17_18(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig09,
-    bench_fig10,
-    bench_fig15,
-    bench_table2,
-    bench_fig17_18
-);
+criterion_group!(benches, bench_fig09, bench_fig10, bench_fig15, bench_table2, bench_fig17_18);
 criterion_main!(benches);

@@ -47,7 +47,12 @@ const CONFIGS: [ConfigRow; 4] = [
     ("no strength-red.", CostOptions::without_strength_reduction),
 ];
 
-fn row(kernel: &dyn EvalKernel, variant: &Variant, label: &'static str, opts: CostOptions) -> AblationRow {
+fn row(
+    kernel: &dyn EvalKernel,
+    variant: &Variant,
+    label: &'static str,
+    opts: CostOptions,
+) -> AblationRow {
     let m = kernel.lower_variant(variant).expect("lowers");
     row_module(&m, kernel.name().to_string(), label, opts)
 }

@@ -47,10 +47,8 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let t = table(
-            &["a", "bbbb"],
-            &[vec!["1".into(), "2".into()], vec!["100".into(), "x".into()]],
-        );
+        let t =
+            table(&["a", "bbbb"], &[vec!["1".into(), "2".into()], vec!["100".into(), "x".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("a"));

@@ -28,8 +28,7 @@ pub struct Fig10Row {
 }
 
 /// The paper's x-axis points.
-pub const SIDES: [u64; 12] =
-    [100, 500, 800, 1000, 1500, 2000, 2500, 3000, 4000, 4500, 5000, 6000];
+pub const SIDES: [u64; 12] = [100, 500, 800, 1000, 1500, 2000, 2500, 3000, 4000, 4500, 5000, 6000];
 
 /// Run the sweep.
 pub fn run() -> Vec<Fig10Row> {

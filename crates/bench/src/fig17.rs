@@ -28,9 +28,8 @@ pub fn render() -> String {
 
 /// Render pre-computed points (shared with fig18's binary).
 pub fn render_points(points: &[CaseStudyPoint]) -> String {
-    let mut s = String::from(
-        "== Fig 17: SOR runtime vs grid size, normalised to CPU (nmaxp = 1000) ==\n",
-    );
+    let mut s =
+        String::from("== Fig 17: SOR runtime vs grid size, normalised to CPU (nmaxp = 1000) ==\n");
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -50,8 +49,7 @@ pub fn render_points(points: &[CaseStudyPoint]) -> String {
         &["side", "cpu", "fpga-maxJ", "fpga-tytra", "cpu[s]", "maxJ[s]", "tytra[s]"],
         &rows,
     ));
-    let best_vs_maxj =
-        points.iter().map(|p| p.maxj_s / p.tytra_s).fold(0.0f64, f64::max);
+    let best_vs_maxj = points.iter().map(|p| p.maxj_s / p.tytra_s).fold(0.0f64, f64::max);
     let best_vs_cpu = points.iter().map(|p| p.cpu_s / p.tytra_s).fold(0.0f64, f64::max);
     s.push_str(&format!(
         "tytra best: {best_vs_maxj:.1}x over maxJ (paper: 3.9x), {best_vs_cpu:.1}x over cpu (paper: 2.6x)\n",

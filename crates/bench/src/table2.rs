@@ -41,8 +41,7 @@ pub fn row_for(kernel: &dyn EvalKernel) -> Table2Row {
     let act = synthesize(&m, &dev).expect("synthesize");
     let run = run_application(&m, &dev).expect("simulate");
     let errors_pct = est.resources.total.pct_error_vs(&act.resources);
-    let cpki_error_pct =
-        (est.throughput.cpki - run.cpki() as f64) / run.cpki() as f64 * 100.0;
+    let cpki_error_pct = (est.throughput.cpki - run.cpki() as f64) / run.cpki() as f64 * 100.0;
     Table2Row {
         kernel: kernel.name().to_string(),
         estimated: est.resources.total,
@@ -94,10 +93,7 @@ pub fn render() -> String {
             emit::pct(r.cpki_error_pct),
         ]);
     }
-    s.push_str(&emit::table(
-        &["kernel", "", "ALUT", "REG", "BRAM(bits)", "DSP", "CPKI"],
-        &rows,
-    ));
+    s.push_str(&emit::table(&["kernel", "", "ALUT", "REG", "BRAM(bits)", "DSP", "CPKI"], &rows));
     s
 }
 

@@ -12,6 +12,7 @@
 //! tybec dse    <sor|hotspot|lavamd> [--target <name>] [--lanes N,N,...]
 //! tybec roofline <sor|hotspot|lavamd> [--target <name>] [--lanes N,N,...]
 //! tybec exec   <design.tirl> [--items N] [--seed S]   run the datapath functionally
+//! tybec lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
 //! ```
 //!
 //! Targets: `stratix-v-gsd8` (default), `virtex7-adm7v3`, `eval-small`.
@@ -25,7 +26,7 @@ use tytra_kernels::{EvalKernel, Hotspot, LavaMd, Sor};
 use tytra_sim::{run_application, synthesize};
 use tytra_transform::Variant;
 
-const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse> <input> [options]
+const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint> <input> [options]
   cost   <design.tirl> [--target <name>]
   actual <design.tirl> [--target <name>]
   hdl    <design.tirl> [--target <name>] [-o <out.v>] [--wrapper] [--check]
@@ -33,6 +34,7 @@ const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse> <input> [options]
   dse    <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...]
   roofline <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...]
   exec   <design.tirl> [--items N] [--seed S]
+  lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
 targets: stratix-v-gsd8 (default) | virtex7-adm7v3 | eval-small";
 
 fn main() -> ExitCode {
@@ -59,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "dse" => cmd_dse(rest),
         "roofline" => cmd_roofline(rest),
         "exec" => cmd_exec(rest),
+        "lint" => cmd_lint(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -91,6 +94,35 @@ fn load_module(args: &[String]) -> Result<tytra_ir::IrModule, String> {
         .ok_or("expected a .tirl input file")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     tytra_ir::parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `tybec lint`: parse *without* validating, then run validation and the
+/// six `tirlint` passes through one diagnostic sink. Exit policy: any
+/// error-severity diagnostic fails; warnings fail only under
+/// `--deny-warnings`.
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".tirl"))
+        .ok_or("expected a .tirl input file")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let m = tytra_ir::parse_unvalidated(&src).map_err(|e| format!("{path}: {e}"))?;
+    let dev = target_of(args)?;
+    let report = tytra_lint::lint(&m, &dev);
+    if has_flag(args, "--json") {
+        print!("{}", tytra_lint::render_json(&report, path));
+    } else {
+        print!("{}", tytra_lint::render_text(&report, path));
+    }
+    let errors = report.errors();
+    let warnings = report.warnings();
+    if errors > 0 {
+        return Err(format!("{path}: {errors} lint error(s)"));
+    }
+    if has_flag(args, "--deny-warnings") && warnings > 0 {
+        return Err(format!("{path}: {warnings} warning(s) denied by --deny-warnings"));
+    }
+    Ok(())
 }
 
 fn cmd_cost(args: &[String]) -> Result<(), String> {
@@ -136,9 +168,8 @@ fn cmd_hdl(args: &[String]) -> Result<(), String> {
     let dev = target_of(args)?;
     let hdl = emit_design(&m, &dev).map_err(|e| e.to_string())?;
     if has_flag(args, "--check") {
-        check(&hdl).map_err(|errs| {
-            errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n")
-        })?;
+        check(&hdl)
+            .map_err(|errs| errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n"))?;
         eprintln!("structural check: ok");
     }
     match flag_value(args, "-o") {

@@ -162,3 +162,72 @@ fn dse_rejects_unknown_kernel() {
     assert!(!o.status.success());
     assert!(stderr(&o).contains("unknown kernel"));
 }
+
+#[test]
+fn lint_runs_all_passes_over_every_asset() {
+    for asset in [
+        "assets/sor_c2.tirl",
+        "assets/sor_c1_4lane.tirl",
+        "assets/hotspot_c2.tirl",
+        "assets/lavamd_c2.tirl",
+    ] {
+        let o = tybec(&["lint", asset]);
+        assert!(o.status.success(), "{asset}: {}", stderr(&o));
+        let out = stdout(&o);
+        assert!(out.contains("0 errors") || out.contains("clean"), "{asset}:\n{out}");
+    }
+}
+
+#[test]
+fn lint_reports_validation_and_exits_nonzero_on_errors() {
+    let o = tybec(&["lint", "crates/lint/tests/fixtures/tl1003.tirl"]);
+    assert!(!o.status.success(), "out-of-range offset is an error");
+    let out = stdout(&o);
+    assert!(out.contains("error[TL1003]"), "{out}");
+    assert!(out.contains("--> crates/lint/tests/fixtures/tl1003.tirl:21:"), "{out}");
+    assert!(out.contains("= help:"), "{out}");
+}
+
+#[test]
+fn lint_deny_warnings_flips_the_exit_code() {
+    let fixture = "crates/lint/tests/fixtures/tl1001.tirl";
+    let ok = tybec(&["lint", fixture]);
+    assert!(ok.status.success(), "warnings alone must not fail: {}", stderr(&ok));
+    assert!(stdout(&ok).contains("warning[TL1001]"));
+    let deny = tybec(&["lint", fixture, "--deny-warnings"]);
+    assert!(!deny.status.success(), "--deny-warnings must fail on warnings");
+    assert!(stderr(&deny).contains("denied by --deny-warnings"));
+}
+
+#[test]
+fn lint_json_is_machine_readable() {
+    let o = tybec(&["lint", "crates/lint/tests/fixtures/tl1004.tirl", "--json"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.trim_start().starts_with('{'), "{out}");
+    assert!(out.contains("\"code\": \"TL1004\""), "{out}");
+    assert!(out.contains("\"module\": \"fix_tl1004\""), "{out}");
+    assert!(out.contains("\"line\": 17"), "{out}");
+}
+
+#[test]
+fn lint_surfaces_validator_codes_with_spans() {
+    // A structurally invalid design: lint must report the TL00xx codes
+    // (with anchors) and fail, with TL1xxx passes suppressed.
+    let dir = std::env::temp_dir().join("tybec_lint_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("invalid.tirl");
+    std::fs::write(
+        &path,
+        "!module = !\"bad\"\n!ndrange = !{4}\n!nki = !1\n!form = !\"B\"\n\n\
+         define void @f0(ui18 %a, out ui18 %o) pipe {\n  ui18 %t1 = add ui18 %zzz, 1\n  \
+         ui18 %o__out = or ui18 %t1, 0\n}\n\ndefine void @main() {\n  call @f0(%a, %o) pipe\n}\n",
+    )
+    .unwrap();
+    let o = tybec(&["lint", path.to_str().unwrap()]);
+    assert!(!o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("error[TL0010]"), "{out}");
+    assert!(out.contains(":7:"), "span should anchor line 7:\n{out}");
+    assert!(!out.contains("TL10"), "lint passes must be suppressed:\n{out}");
+}

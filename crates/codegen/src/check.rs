@@ -48,10 +48,31 @@ impl fmt::Display for CheckError {
     }
 }
 
+// Note: `clk` and `rst` are ordinary identifiers, not keywords — the
+// emitter declares them as ports like any other signal, and listing them
+// here would hide genuine undeclared-identifier defects.
 const KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "inout", "wire", "reg", "assign", "always",
-    "posedge", "negedge", "begin", "end", "if", "else", "for", "integer", "parameter",
-    "localparam", "generate", "endgenerate", "clk", "rst",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "posedge",
+    "negedge",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "for",
+    "integer",
+    "parameter",
+    "localparam",
+    "generate",
+    "endgenerate",
 ];
 
 /// Run the structural check over a Verilog source.
@@ -148,7 +169,10 @@ pub fn check(src: &str) -> Result<(), Vec<CheckError>> {
                 _ => {
                     if current.is_some()
                         && defined_or_primitive(t)
-                        && tokens.get(k + 1).map(|n| !KEYWORDS.contains(&n.as_str())).unwrap_or(false)
+                        && tokens
+                            .get(k + 1)
+                            .map(|n| !KEYWORDS.contains(&n.as_str()))
+                            .unwrap_or(false)
                         && line.contains('(')
                         && (t.starts_with("tytra_"))
                     {
@@ -274,12 +298,39 @@ endmodule
 
     #[test]
     fn rejects_unknown_instance_type() {
-        let bad = "module tytra_m (input clk);\n  tytra_ghost g (\n    .clk(clk)\n  );\nendmodule\n";
+        let bad =
+            "module tytra_m (input clk);\n  tytra_ghost g (\n    .clk(clk)\n  );\nendmodule\n";
         let errs = check(bad).unwrap_err();
         assert!(errs.iter().any(|e| matches!(
             e,
             CheckError::UnknownModuleType { ty, .. } if ty == "tytra_ghost"
         )));
+    }
+
+    #[test]
+    fn undeclared_clk_and_rst_are_reported() {
+        // `clk`/`rst` are ordinary identifiers: using them without a port
+        // or net declaration is an error like any other.
+        let bad = "module m (input x, output y);\n  always @(posedge clk) begin\n    \
+                   if (rst) ghost <= x;\n  end\nendmodule\n";
+        let errs = check(bad).unwrap_err();
+        for ident in ["clk", "rst"] {
+            assert!(
+                errs.iter().any(|e| matches!(
+                    e,
+                    CheckError::UndeclaredIdentifier { ident: i, .. } if i == ident
+                )),
+                "`{ident}` should be reported: {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn declared_clk_and_rst_are_accepted() {
+        let good = "module m (\n  input clk,\n  input rst,\n  input x,\n  output y\n);\n  \
+                    reg y;\n  always @(posedge clk) begin\n    if (rst) y <= 1'b0;\n    \
+                    else y <= x;\n  end\nendmodule\n";
+        check(good).unwrap_or_else(|e| panic!("{e:?}"));
     }
 
     #[test]

@@ -44,11 +44,7 @@ pub fn emit_maxj_wrapper(m: &IrModule) -> String {
             }
         }
     }
-    let _ = writeln!(
-        s,
-        "        // Custom HDL insertion point: tytra_{}_cu",
-        ident(&m.name)
-    );
+    let _ = writeln!(s, "        // Custom HDL insertion point: tytra_{}_cu", ident(&m.name));
     for p in &m.ports {
         if p.dir == StreamDir::Write {
             let _ = writeln!(

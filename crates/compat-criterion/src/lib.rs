@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/builder surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`criterion_group!`] and
+//! [`criterion_main!`] — backed by a plain wall-clock timer: a short
+//! warm-up, then a fixed measurement window, then a one-line
+//! median-per-iteration report. No statistics engine, no plotting; the
+//! numbers are indicative, the API is the point.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises its setup closure. The stub runs one
+/// setup per iteration regardless — `PerIteration` semantics, the only
+/// batch size our benches use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small batches (treated as `PerIteration`).
+    SmallInput,
+    /// Large batches (treated as `PerIteration`).
+    LargeInput,
+}
+
+/// Per-benchmark measurement state handed to the closure.
+pub struct Bencher {
+    /// Iterations actually executed in the measurement window.
+    iters: u64,
+    /// Total measured time.
+    elapsed: Duration,
+    /// Measurement window budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher { iters: 0, elapsed: Duration::ZERO, budget }
+    }
+
+    /// Time `routine` repeatedly until the window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        std_black_box(routine());
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            std_black_box(routine());
+            self.iters += 1;
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        let start = Instant::now();
+        let mut spent = Duration::ZERO;
+        while spent < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            spent += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() > self.budget * 4 {
+                break; // setup-dominated: don't spin forever
+            }
+        }
+        self.elapsed = spent;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no iterations)");
+            return;
+        }
+        let per = self.elapsed.as_secs_f64() / self.iters as f64;
+        println!("{name:<40} {:>12.3} µs/iter  ({} iters)", per * 1e6, self.iters);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep benches quick: the stub is for API compatibility and
+        // smoke-timing, not statistics.
+        Criterion { budget: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group (a labelled namespace in this stub).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's window is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let mut b = Bencher::new(self.parent.budget);
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a group function running each target, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("batched", |b| b.iter_batched(|| 21, |x| x * 2, BatchSize::PerIteration));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { budget: Duration::from_millis(5) };
+        quick(&mut c);
+    }
+}

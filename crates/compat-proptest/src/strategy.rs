@@ -1,0 +1,394 @@
+//! The [`Strategy`] trait, its combinators, and primitive strategies
+//! (ranges, tuples, regex-subset string patterns).
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe core (`generate`) plus sized combinators, mirroring the
+/// parts of proptest's trait the workspace uses.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `f`, resampling otherwise. `whence`
+    /// names the predicate in the panic raised if resampling stalls.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, f }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, and `recurse`
+    /// wraps a strategy for depth-`d` values into one for depth `d + 1`.
+    /// `depth` bounds nesting; the size-tuning parameters of the real
+    /// crate are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            current = Union::new(vec![base.clone(), recurse(current).boxed()]).boxed();
+        }
+        current
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Type-erased, cheaply cloneable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy yielding one fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among strategies sharing a value type; backs
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the candidate strategies (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "Union of zero strategies");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Union<T> {
+        Union { options: self.options.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() as usize) % self.options.len();
+        self.options[i].generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}): predicate rejected 10000 consecutive samples", self.whence);
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (*self.start() as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategies: `"pattern" : Strategy<Value = String>`.
+// Supported syntax — the subset the workspace's tests use: atoms `.`
+// (any printable ASCII), `[...]` character classes with ranges and
+// escapes, literal/escaped characters; quantifiers `{n}`, `{a,b}`, `*`,
+// `+`, `?` (starred forms capped at 8 repeats).
+// ---------------------------------------------------------------------
+
+enum Atom {
+    /// `.` — printable ASCII (0x20..=0x7E).
+    Any,
+    /// `[...]` class or single literal, expanded to its members.
+    Set(Vec<char>),
+}
+
+struct Unit {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<Unit> {
+    let chars: Vec<char> = pat.chars().collect();
+    let len = chars.len();
+    let mut i = 0;
+    let mut units = Vec::new();
+    while i < len {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                i += 1;
+                assert!(i < len && chars[i] != '^', "negated classes unsupported: {pat}");
+                let mut set = Vec::new();
+                while i < len && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        let e = unescape(chars[i]);
+                        i += 1;
+                        e
+                    } else {
+                        let c = chars[i];
+                        i += 1;
+                        c
+                    };
+                    if i + 1 < len && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1; // '-'
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            let e = unescape(chars[i]);
+                            i += 1;
+                            e
+                        } else {
+                            let h = chars[i];
+                            i += 1;
+                            h
+                        };
+                        assert!(c <= hi, "inverted class range in {pat}");
+                        for x in c as u32..=hi as u32 {
+                            set.push(char::from_u32(x).expect("valid range char"));
+                        }
+                    } else {
+                        set.push(c);
+                    }
+                }
+                assert!(i < len, "unterminated class in {pat}");
+                i += 1; // ']'
+                Atom::Set(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                Atom::Set(vec![c])
+            }
+            other => {
+                i += 1;
+                Atom::Set(vec![other])
+            }
+        };
+        let (min, max) = if i < len {
+            match chars[i] {
+                '{' => {
+                    i += 1;
+                    let mut lo = 0usize;
+                    while chars[i].is_ascii_digit() {
+                        lo = lo * 10 + chars[i] as usize - '0' as usize;
+                        i += 1;
+                    }
+                    let hi = if chars[i] == ',' {
+                        i += 1;
+                        let mut h = 0usize;
+                        while chars[i].is_ascii_digit() {
+                            h = h * 10 + chars[i] as usize - '0' as usize;
+                            i += 1;
+                        }
+                        h
+                    } else {
+                        lo
+                    };
+                    assert_eq!(chars[i], '}', "bad quantifier in {pat}");
+                    i += 1;
+                    (lo, hi)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        units.push(Unit { atom, min, max });
+    }
+    units
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let units = parse_pattern(self);
+        let mut out = String::new();
+        for u in &units {
+            let n = rng.usize_in(u.min, u.max);
+            for _ in 0..n {
+                out.push(match &u.atom {
+                    Atom::Any => (0x20 + (rng.next_u64() % 0x5F) as u8) as char,
+                    Atom::Set(set) => set[(rng.next_u64() as usize) % set.len()],
+                });
+            }
+        }
+        out
+    }
+}

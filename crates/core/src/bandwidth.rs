@@ -118,9 +118,7 @@ pub fn assess(m: &IrModule, dev: &TargetDevice) -> BandwidthBreakdown {
     let host_sum = if total_elems == 0 {
         0.0
     } else {
-        dev.host_link
-            .bw
-            .sustained_bytes_per_s(AccessPattern::Contiguous, total_elems)
+        dev.host_link.bw.sustained_bytes_per_s(AccessPattern::Contiguous, total_elems)
     };
     let (host_effective, rho_h) = aggregate(&dev.host_link, host_sum, total_elems == 0);
 

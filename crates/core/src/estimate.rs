@@ -43,13 +43,9 @@ pub fn estimate_with(
     let limiter = bottleneck::limiter(&tput);
     // Estimated delta power: the device power model over the estimated
     // resources, clock and the bandwidth the run actually exercises.
-    let exercised_gbytes = if tput.t_instance > 0.0 {
-        params.total_bytes() / tput.t_instance / 1e9
-    } else {
-        0.0
-    };
-    let power_w =
-        dev.power.delta_watts(&resources.total, clock.freq_mhz, exercised_gbytes);
+    let exercised_gbytes =
+        if tput.t_instance > 0.0 { params.total_bytes() / tput.t_instance / 1e9 } else { 0.0 };
+    let power_w = dev.power.delta_watts(&resources.total, clock.freq_mhz, exercised_gbytes);
     Ok(assemble(
         m.name.clone(),
         dev.name.clone(),

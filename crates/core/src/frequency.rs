@@ -32,11 +32,7 @@ pub fn estimate_clock(
     visit(m, dev, tree, &mut worst)?;
     let util = used.max_utilization(&dev.capacity).min(1.0);
     let freq = dev.clock_mhz(worst.0, util, m.meta.freq_mhz);
-    Ok(ClockEstimate {
-        freq_mhz: freq,
-        max_stage_delay_ns: worst.0,
-        limiting_function: worst.1,
-    })
+    Ok(ClockEstimate { freq_mhz: freq, max_stage_delay_ns: worst.0, limiting_function: worst.1 })
 }
 
 fn visit(
@@ -202,12 +198,7 @@ mod tests {
         let dev = stratix_v_gsd8();
         let tree = config_tree::extract(&m).unwrap();
         let lo = estimate_clock(&m, &dev, &tree.root, &ResourceVector::ZERO).unwrap();
-        let nearly_full = ResourceVector::new(
-            dev.capacity.aluts * 9 / 10,
-            0,
-            0,
-            0,
-        );
+        let nearly_full = ResourceVector::new(dev.capacity.aluts * 9 / 10, 0, 0, 0);
         let hi = estimate_clock(&m, &dev, &tree.root, &nearly_full).unwrap();
         assert!(hi.freq_mhz < lo.freq_mhz);
     }

@@ -94,11 +94,12 @@ impl CostParams {
         // Per-lane port sets: a KNL-lane design declares KNL× the ports of
         // the distinct arrays; normalise to per-work-item traffic.
         let lanes_div = knl.max(1);
-        let (nwpt_words, bytes_per_item) = if offchip_ports.is_multiple_of(lanes_div) && offchip_ports > 0 {
-            (offchip_ports / lanes_div, bytes / lanes_div)
-        } else {
-            (offchip_ports, bytes)
-        };
+        let (nwpt_words, bytes_per_item) =
+            if offchip_ports.is_multiple_of(lanes_div) && offchip_ports > 0 {
+                (offchip_ports / lanes_div, bytes / lanes_div)
+            } else {
+                (offchip_ports, bytes)
+            };
 
         // Noff: the largest forward look-ahead over all reachable pipes.
         let mut noff = 0u64;

@@ -90,9 +90,9 @@ pub fn plan_with(
     let per_pass_items = p.items_per_lane() * p.sched.ii / fd;
     // Between passes the intermediate stream round-trips DRAM.
     let elem_bytes = (p.bytes_per_item / p.nwpt_words.max(1)).max(1) as f64;
-    let staging = (passes - 1.0) * 2.0 * p.ngs as f64 * elem_bytes
-        / bw.dram_effective.max(1.0);
-    let t_instance = passes * (t_swap_s + per_pass_fill + per_pass_items) + staging
+    let staging = (passes - 1.0) * 2.0 * p.ngs as f64 * elem_bytes / bw.dram_effective.max(1.0);
+    let t_instance = passes * (t_swap_s + per_pass_fill + per_pass_items)
+        + staging
         + report.throughput.t_host
         + report.throughput.t_overhead;
     let resident = report.throughput.t_instance;

@@ -70,7 +70,11 @@ impl CostReport {
         use std::fmt::Write;
         let _ = writeln!(s, "design   : {}", self.design);
         let _ = writeln!(s, "target   : {}", self.target);
-        let _ = writeln!(s, "config   : {:?}, {} lane(s), DV={}", self.class, self.params.knl, self.params.dv);
+        let _ = writeln!(
+            s,
+            "config   : {:?}, {} lane(s), DV={}",
+            self.class, self.params.knl, self.params.dv
+        );
         let _ = writeln!(
             s,
             "resources: {} ({})",

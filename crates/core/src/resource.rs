@@ -108,17 +108,16 @@ pub fn estimate_resources_with(
 
     // Module-level: stream control per off-chip stream.
     if opts.structural_resources {
-    for p in &m.ports {
-        let offchip = m
-            .stream(&p.stream)
-            .and_then(|s| m.mem(&s.mem))
-            .map(|mem| mem.space.is_offchip())
-            .unwrap_or(true);
-        if offchip {
-            acc.control +=
-                ResourceVector::new(STREAM_CTRL_ALUTS, STREAM_CTRL_REGS, 0, 0);
+        for p in &m.ports {
+            let offchip = m
+                .stream(&p.stream)
+                .and_then(|s| m.mem(&s.mem))
+                .map(|mem| mem.space.is_offchip())
+                .unwrap_or(true);
+            if offchip {
+                acc.control += ResourceVector::new(STREAM_CTRL_ALUTS, STREAM_CTRL_REGS, 0, 0);
+            }
         }
-    }
     }
     // Local memory objects are BRAM-resident.
     for mem in &m.mems {
@@ -200,11 +199,8 @@ fn pipe_cost(
     let _ = m;
     // Functional units, one per instruction per vector slot.
     for i in f.instrs() {
-        let fu = if opts.strength_reduction {
-            fu_estimate(dev, i)
-        } else {
-            dev.ops.cost(i.op, i.ty)
-        };
+        let fu =
+            if opts.strength_reduction { fu_estimate(dev, i) } else { dev.ops.cost(i.op, i.ty) };
         acc.datapath += fu * dv;
     }
     // Delay lines from the ASAP schedule. Long chains retire into
@@ -222,11 +218,8 @@ fn pipe_cost(
     // (max_pos − min_neg + 1) wide (see module docs).
     for src in f.offset_sources() {
         let window = f.offset_window(src) + 1;
-        let width = f
-            .offsets()
-            .find(|o| o.src == src)
-            .map(|o| u64::from(o.ty.bits()))
-            .unwrap_or(18);
+        let width =
+            f.offsets().find(|o| o.src == src).map(|o| u64::from(o.ty.bits())).unwrap_or(18);
         let bits = window * width * dv;
         if bits <= OFFSET_REG_SPILL_BITS {
             acc.offset_buffers += ResourceVector::new(4, bits, 0, 0);
@@ -236,8 +229,7 @@ fn pipe_cost(
         }
     }
     // Port glue.
-    acc.control +=
-        ResourceVector::new(PORT_GLUE_ALUTS * f.params.len() as u64, 0, 0, 0);
+    acc.control += ResourceVector::new(PORT_GLUE_ALUTS * f.params.len() as u64, 0, 0, 0);
 }
 
 fn comb_cost(
@@ -251,7 +243,8 @@ fn comb_cost(
     for i in f.instrs() {
         // Combinational block: LUT cost only, no internal pipeline
         // registers.
-        let c = if opts.strength_reduction { fu_estimate(dev, i) } else { dev.ops.cost(i.op, i.ty) };
+        let c =
+            if opts.strength_reduction { fu_estimate(dev, i) } else { dev.ops.cost(i.op, i.ty) };
         acc.datapath += ResourceVector::new(c.aluts, 0, 0, c.dsps) * dv;
         out_width = out_width.max(u64::from(i.ty.bits()));
     }

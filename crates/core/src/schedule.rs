@@ -25,7 +25,11 @@ pub struct PipelineSchedule {
 
 /// Schedule the module's configuration tree with the device's latency
 /// calibration.
-pub fn schedule(m: &IrModule, dev: &TargetDevice, tree: &ConfigNode) -> Result<PipelineSchedule, IrError> {
+pub fn schedule(
+    m: &IrModule,
+    dev: &TargetDevice,
+    tree: &ConfigNode,
+) -> Result<PipelineSchedule, IrError> {
     let lane = lane_subtree(tree);
     let (kpd, delay_bits) = depth_of(m, dev, lane)?;
     let ni = lane.subtree_instrs();
@@ -51,11 +55,7 @@ pub fn lane_subtree(tree: &ConfigNode) -> &ConfigNode {
 }
 
 /// Recursive pipeline depth + delay-line bits of a subtree.
-fn depth_of(
-    m: &IrModule,
-    dev: &TargetDevice,
-    node: &ConfigNode,
-) -> Result<(u32, u64), IrError> {
+fn depth_of(m: &IrModule, dev: &TargetDevice, node: &ConfigNode) -> Result<(u32, u64), IrError> {
     let f = m
         .function(&node.function)
         .ok_or_else(|| IrError::Unknown { kind: "function", name: node.function.clone() })?;

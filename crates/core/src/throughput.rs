@@ -159,12 +159,7 @@ mod tests {
             bytes_per_item: 16,
             noff: 900,
             noff_bytes: 2700,
-            sched: PipelineSchedule {
-                kpd: 20,
-                ii: 1.0,
-                ni: 30,
-                delay_line_bits_per_lane: 500,
-            },
+            sched: PipelineSchedule { kpd: 20, ii: 1.0, ni: 30, delay_line_bits_per_lane: 500 },
             knl,
             dv: 1,
             form,

@@ -3,7 +3,7 @@
 //! knobs in the right direction, and the EKIT terms compose.
 
 use proptest::prelude::*;
-use tytra_cost::{estimate, CostOptions, estimate_with};
+use tytra_cost::{estimate, estimate_with, CostOptions};
 use tytra_device::stratix_v_gsd8;
 use tytra_ir::{IrModule, MemForm, ModuleBuilder, Opcode, ParKind, ScalarType};
 

@@ -75,9 +75,7 @@ impl BandwidthModel {
         let base = BandwidthModel::fig10_virtex7();
         let k = peak_bytes_per_s / base.peak_bytes_per_s;
         let scale = |t: &PiecewiseLinear| {
-            PiecewiseLinear::new(
-                t.breakpoints().iter().map(|&(x, y)| (x, y * k)).collect(),
-            )
+            PiecewiseLinear::new(t.breakpoints().iter().map(|&(x, y)| (x, y * k)).collect())
         };
         BandwidthModel {
             peak_bytes_per_s,
@@ -106,8 +104,7 @@ impl BandwidthModel {
             (4000.0, 0.78),
             (6000.0, 0.78),
         ];
-        let table: Vec<(f64, f64)> =
-            eff.iter().map(|&(x, e)| (x, e * peak_gbps)).collect();
+        let table: Vec<(f64, f64)> = eff.iter().map(|&(x, e)| (x, e * peak_gbps)).collect();
         // Strided kernel access is latency-bound (one request per
         // element), so it does not scale with pin bandwidth: keep the
         // measured absolute figures.

@@ -68,12 +68,8 @@ impl OpCostModel {
         // DSP elements: one variable-precision slice handles 18×18; wider
         // products tile (Fig 9's mul-DSP staircase, reaching 8 at 64
         // bits).
-        let mul_dsps = PiecewiseLinear::new(vec![
-            (1.0, 1.0),
-            (19.0, 2.0),
-            (37.0, 4.0),
-            (55.0, 8.0),
-        ]);
+        let mul_dsps =
+            PiecewiseLinear::new(vec![(1.0, 1.0), (19.0, 2.0), (37.0, 4.0), (55.0, 8.0)]);
         OpCostModel {
             div_aluts: PolyFit::fit(&div_points, 2),
             mul_aluts,

@@ -12,12 +12,7 @@ use crate::target::{LinkSpec, TargetDevice};
 pub fn stratix_v_gsd8() -> TargetDevice {
     TargetDevice {
         name: "stratix-v-gsd8 (Maxeler Maia DFE)".into(),
-        capacity: ResourceVector::new(
-            524_800,
-            1_049_600,
-            2567 * 20_480,
-            1963,
-        ),
+        capacity: ResourceVector::new(524_800, 1_049_600, 2567 * 20_480, 1963),
         bram_block_bits: 20_480,
         fmax_mhz: 250.0,
         // PCIe gen2 ×8: 4 GB/s peak per direction, DMA-engine driven.
@@ -38,12 +33,7 @@ pub fn stratix_v_gsd8() -> TargetDevice {
 pub fn virtex7_adm7v3() -> TargetDevice {
     TargetDevice {
         name: "virtex-7-690t (Alpha-Data ADM-PCIE-7V3)".into(),
-        capacity: ResourceVector::new(
-            433_200,
-            866_400,
-            1470 * 36_864,
-            3600,
-        ),
+        capacity: ResourceVector::new(433_200, 866_400, 1470 * 36_864, 3600),
         bram_block_bits: 36_864,
         fmax_mhz: 220.0,
         // PCIe gen3 ×8: ~7.9 GB/s peak, DMA-engine driven.
@@ -69,12 +59,7 @@ pub fn eval_small() -> TargetDevice {
         name: "eval-small (fig-15 sweep target)".into(),
         // ~6.4 integer SOR lanes' worth of ALUTs; plentiful registers,
         // BRAM and DSPs so only the ALUT (computation) wall binds.
-        capacity: ResourceVector::new(
-            3_400,
-            26_000,
-            512 * 20_480,
-            64,
-        ),
+        capacity: ResourceVector::new(3_400, 26_000, 512 * 20_480, 64),
         bram_block_bits: 20_480,
         // The figure's walls are stated against a 150 MHz build clock.
         fmax_mhz: 150.0,
@@ -115,10 +100,7 @@ mod tests {
     #[test]
     fn fig10_calibration_attached_to_virtex_dram() {
         let d = virtex7_adm7v3();
-        let gbps = d
-            .dram_link
-            .bw
-            .sustained_gbps(tytra_ir::AccessPattern::Contiguous, 6000 * 6000);
+        let gbps = d.dram_link.bw.sustained_gbps(tytra_ir::AccessPattern::Contiguous, 6000 * 6000);
         assert!((gbps - 6.3).abs() < 1e-9);
     }
 

@@ -40,12 +40,7 @@ impl PowerModel {
 
     /// Delta power (W above idle) of a design using `used` resources at
     /// `freq_mhz`, exercising `io_gbytes_per_s` of link bandwidth.
-    pub fn delta_watts(
-        &self,
-        used: &ResourceVector,
-        freq_mhz: f64,
-        io_gbytes_per_s: f64,
-    ) -> f64 {
+    pub fn delta_watts(&self, used: &ResourceVector, freq_mhz: f64, io_gbytes_per_s: f64) -> f64 {
         let dyn_uw = (used.aluts as f64 * self.alut_uw_per_mhz
             + used.regs as f64 * self.reg_uw_per_mhz
             + used.dsps as f64 * self.dsp_uw_per_mhz

@@ -24,8 +24,7 @@ pub struct ResourceVector {
 
 impl ResourceVector {
     /// The zero vector.
-    pub const ZERO: ResourceVector =
-        ResourceVector { aluts: 0, regs: 0, bram_bits: 0, dsps: 0 };
+    pub const ZERO: ResourceVector = ResourceVector { aluts: 0, regs: 0, bram_bits: 0, dsps: 0 };
 
     /// Construct from the four axes.
     pub const fn new(aluts: u64, regs: u64, bram_bits: u64, dsps: u64) -> ResourceVector {

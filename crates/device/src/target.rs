@@ -35,11 +35,7 @@ impl LinkSpec {
     /// Link behind a DMA engine / optimised streaming controller (see
     /// [`BandwidthModel::dma`]).
     pub fn dma(peak_bytes_per_s: f64, stream_setup_us: f64) -> LinkSpec {
-        LinkSpec {
-            peak_bytes_per_s,
-            bw: BandwidthModel::dma(peak_bytes_per_s),
-            stream_setup_us,
-        }
+        LinkSpec { peak_bytes_per_s, bw: BandwidthModel::dma(peak_bytes_per_s), stream_setup_us }
     }
 }
 
@@ -87,12 +83,14 @@ impl TargetDevice {
 
     /// Clock estimate for a design with the given worst stage delay and
     /// peak utilisation fraction, honouring an optional user constraint.
-    pub fn clock_mhz(&self, max_stage_delay_ns: f64, peak_util: f64, constraint_mhz: Option<f64>) -> f64 {
-        let stage_limit = if max_stage_delay_ns > 0.0 {
-            1000.0 / max_stage_delay_ns
-        } else {
-            f64::INFINITY
-        };
+    pub fn clock_mhz(
+        &self,
+        max_stage_delay_ns: f64,
+        peak_util: f64,
+        constraint_mhz: Option<f64>,
+    ) -> f64 {
+        let stage_limit =
+            if max_stage_delay_ns > 0.0 { 1000.0 / max_stage_delay_ns } else { f64::INFINITY };
         let derated = self.fmax_mhz * (1.0 - self.util_derate * peak_util.clamp(0.0, 1.0));
         let f = stage_limit.min(derated).max(1.0);
         match constraint_mhz {

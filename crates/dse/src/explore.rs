@@ -4,9 +4,9 @@ use crossbeam::channel;
 use parking_lot::Mutex;
 use tytra_cost::{estimate, reconfig_plan, CostReport, ReconfigPlan};
 use tytra_device::TargetDevice;
+use tytra_ir::MemForm;
 use tytra_kernels::EvalKernel;
 use tytra_transform::{enumerate_variants, InnerKind, Variant};
-use tytra_ir::MemForm;
 
 /// What to sweep.
 #[derive(Debug, Clone)]
@@ -150,10 +150,8 @@ mod tests {
         let dev = stratix_v_gsd8();
         let out = explore(&sor, &dev, &small_cfg());
         let best = select_best(&out).expect("something fits");
-        let baseline = out
-            .iter()
-            .find(|e| e.variant == Variant::baseline())
-            .expect("baseline present");
+        let baseline =
+            out.iter().find(|e| e.variant == Variant::baseline()).expect("baseline present");
         assert!(best.report.throughput.ekit >= baseline.report.throughput.ekit);
         assert!(best.variant.lanes >= 1);
     }
@@ -162,10 +160,7 @@ mod tests {
     fn oversized_variants_marked_invalid_on_small_device() {
         let sor = Sor::cubic(16, 10);
         let dev = eval_small();
-        let cfg = ExplorationConfig {
-            lanes: vec![1, 16],
-            ..small_cfg()
-        };
+        let cfg = ExplorationConfig { lanes: vec![1, 16], ..small_cfg() };
         let out = explore(&sor, &dev, &cfg);
         let big = out.iter().find(|e| e.variant.lanes == 16).expect("evaluated");
         assert!(!big.is_valid());

@@ -4,10 +4,10 @@
 
 use crate::explore::EvaluatedVariant;
 use tytra_cost::estimate;
+use tytra_cost::Limiter;
 use tytra_device::TargetDevice;
 use tytra_kernels::EvalKernel;
 use tytra_transform::Variant;
-use tytra_cost::Limiter;
 
 /// One row of the Fig 15 table.
 #[derive(Debug, Clone)]
@@ -116,10 +116,9 @@ pub fn render_leaderboard(evaluated: &[EvaluatedVariant], top: usize) -> String 
     let _ = writeln!(s, "{:>4} {:<18} {:>12} {:>7}  wall", "#", "variant", "EKIT/s", "fits");
     for (i, e) in evaluated.iter().take(top).enumerate() {
         let note = match &e.reconfig {
-            Some(r) => format!(
-                "{} (reconfig x{}: {:.1}/s)",
-                e.report.limiter, r.personalities, r.ekit
-            ),
+            Some(r) => {
+                format!("{} (reconfig x{}: {:.1}/s)", e.report.limiter, r.personalities, r.ekit)
+            }
             None => e.report.limiter.to_string(),
         };
         let _ = writeln!(
@@ -139,8 +138,8 @@ pub fn render_leaderboard(evaluated: &[EvaluatedVariant], top: usize) -> String 
 mod tests {
     use super::*;
     use tytra_device::eval_small;
-    use tytra_kernels::Sor;
     use tytra_ir::MemForm;
+    use tytra_kernels::Sor;
 
     #[test]
     fn sweep_reproduces_fig15_wall_ordering() {

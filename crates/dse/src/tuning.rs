@@ -16,8 +16,8 @@
 
 use tytra_cost::{estimate, CostReport, Limiter};
 use tytra_device::TargetDevice;
-use tytra_kernels::EvalKernel;
 use tytra_ir::MemForm;
+use tytra_kernels::EvalKernel;
 use tytra_transform::Variant;
 
 /// One step of the tuning trajectory.
@@ -66,8 +66,8 @@ pub fn tune(
             });
             return trajectory;
         };
-        let improved = next_report.fits
-            && next_report.throughput.ekit > report.throughput.ekit * 1.001;
+        let improved =
+            next_report.fits && next_report.throughput.ekit > report.throughput.ekit * 1.001;
         trajectory.push(TuningStep {
             variant: current,
             ekit: report.throughput.ekit,
@@ -108,7 +108,9 @@ fn next_move(
             next.is_legal(ngs).then_some((next, "double lanes"))
         }
         Limiter::HostBandwidth => match v.form {
-            MemForm::A => Some((Variant { form: MemForm::B, ..*v }, "stage in device DRAM (Form B)")),
+            MemForm::A => {
+                Some((Variant { form: MemForm::B, ..*v }, "stage in device DRAM (Form B)"))
+            }
             _ => None,
         },
         Limiter::DramBandwidth => {
@@ -170,10 +172,7 @@ mod tests {
         let dev = stratix_v_gsd8();
         let steps = tune(&sor, &dev, Variant::baseline(), 10);
         // At least one doubling before any wall.
-        assert!(
-            steps.iter().any(|s| s.action == Some("double lanes")),
-            "{steps:#?}"
-        );
+        assert!(steps.iter().any(|s| s.action == Some("double lanes")), "{steps:#?}");
         // Final variant has more lanes than baseline.
         assert!(steps.last().unwrap().variant.lanes > 1);
     }

@@ -108,10 +108,7 @@ mod tests {
             assert!(tytra < maxj, "side {}: tytra {tytra} vs maxj {maxj}", p.side);
         }
         // Up to ~4× over maxJ (the paper reports 3.9×).
-        let best = points
-            .iter()
-            .map(|p| p.maxj_s / p.tytra_s)
-            .fold(0.0f64, f64::max);
+        let best = points.iter().map(|p| p.maxj_s / p.tytra_s).fold(0.0f64, f64::max);
         assert!(best > 2.0 && best < 8.0, "best tytra-vs-maxj {best}");
     }
 

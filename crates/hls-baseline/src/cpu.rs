@@ -45,11 +45,7 @@ impl CpuModel {
         let items = kernel.geometry().size() as f64;
         let ops = kernel.cpu_ops_per_item() as f64;
         let working_set = self.working_set_bytes(kernel) as f64;
-        let cache = if working_set > self.llc_bytes as f64 {
-            self.spill_factor
-        } else {
-            1.0
-        };
+        let cache = if working_set > self.llc_bytes as f64 { self.spill_factor } else { 1.0 };
         items * ops / (self.ipc * self.freq_ghz * 1e9) * cache * nki as f64
     }
 
@@ -70,7 +66,10 @@ impl CpuModel {
     /// the optional real-hardware cross-check of the analytic model
     /// (wall-clock depends on the build profile and machine; only the
     /// *relative* figures are meaningful).
-    pub fn time_reference(&self, kernel: &dyn EvalKernel) -> (std::time::Duration, HashMap<String, Vec<f64>>) {
+    pub fn time_reference(
+        &self,
+        kernel: &dyn EvalKernel,
+    ) -> (std::time::Duration, HashMap<String, Vec<f64>>) {
         let inputs = kernel.workload();
         let t0 = std::time::Instant::now();
         let (outs, _reds) = kernel.reference(&inputs);

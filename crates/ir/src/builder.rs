@@ -26,8 +26,9 @@
 //! assert_eq!(module.functions.len(), 2);
 //! ```
 
+use crate::diag::SrcLoc;
 use crate::error::Result;
-use crate::function::{Call, IrFunction, OffsetDecl, Param, ParKind, Stmt};
+use crate::function::{Call, IrFunction, OffsetDecl, ParKind, Param, Stmt};
 use crate::instr::{Dest, Instruction, Opcode, Operand};
 use crate::module::{IrModule, MemForm};
 use crate::stream::{AccessPattern, AddrSpace, MemObject, PortDecl, StreamDir, StreamObject};
@@ -84,6 +85,7 @@ impl FunctionBuilder {
             ty,
             src: src.to_string(),
             offset,
+            span: SrcLoc::none(),
         }));
         Operand::Local(dest)
     }
@@ -135,11 +137,7 @@ impl FunctionBuilder {
     /// this is a wire, realised as a 1-input `or` with zero so that the
     /// value appears as a named SSA assignment to the port.
     pub fn write_out(&mut self, port: &str, value: Operand) {
-        let ty = self
-            .func
-            .param(port)
-            .map(|p| p.ty)
-            .expect("write_out: undeclared output port");
+        let ty = self.func.param(port).map(|p| p.ty).expect("write_out: undeclared output port");
         self.func.body.push(Stmt::Instr(Instruction::new(
             Dest::Local(format!("{port}__out")),
             Opcode::Or,
@@ -150,7 +148,12 @@ impl FunctionBuilder {
 
     /// Append a call to a child function.
     pub fn call(&mut self, callee: &str, args: Vec<Operand>, kind: ParKind) -> &mut Self {
-        self.func.body.push(Stmt::Call(Call { callee: callee.to_string(), args, kind }));
+        self.func.body.push(Stmt::Call(Call {
+            callee: callee.to_string(),
+            args,
+            kind,
+            span: SrcLoc::none(),
+        }));
         self
     }
 }
@@ -208,6 +211,7 @@ impl ModuleBuilder {
             space: AddrSpace::Local,
             elem_ty: ty,
             len,
+            span: SrcLoc::none(),
         });
         self.push_stream_port(name, ty, dir, AccessPattern::Contiguous, &mem);
         self
@@ -227,6 +231,7 @@ impl ModuleBuilder {
             space: AddrSpace::Global,
             elem_ty: ty,
             len,
+            span: SrcLoc::none(),
         });
         self.push_stream_port(name, ty, dir, pattern, &mem);
         self
@@ -246,6 +251,7 @@ impl ModuleBuilder {
             mem: mem.to_string(),
             dir,
             pattern,
+            span: SrcLoc::none(),
         });
         self.module.ports.push(PortDecl {
             name: format!("main.{name}"),
@@ -255,6 +261,7 @@ impl ModuleBuilder {
             pattern,
             base_offset: 0,
             stream,
+            span: SrcLoc::none(),
         });
     }
 
@@ -282,7 +289,12 @@ impl ModuleBuilder {
             _ => Vec::new(),
         };
         let mut main = IrFunction::new("main", ParKind::Seq);
-        main.body.push(Stmt::Call(Call { callee: callee.to_string(), args, kind }));
+        main.body.push(Stmt::Call(Call {
+            callee: callee.to_string(),
+            args,
+            kind,
+            span: SrcLoc::none(),
+        }));
         self.pending.push(main);
         self
     }

@@ -104,9 +104,7 @@ pub struct ConfigTree {
 /// the supported set of Fig 7 (e.g. `par` directly inside `par`, or a
 /// `seq` node below the root dispatcher).
 pub fn extract(m: &IrModule) -> Result<ConfigTree> {
-    let main = m
-        .main()
-        .ok_or_else(|| IrError::Validate("module has no `main` function".into()))?;
+    let main = m.main().ok_or_else(|| IrError::Validate("module has no `main` function".into()))?;
     let mut roots: Vec<ConfigNode> = Vec::new();
     for c in main.calls() {
         roots.push(build_node(m, &c.callee, 0)?);
@@ -223,7 +221,7 @@ mod tests {
     }
 
     fn call(f: &str, kind: ParKind) -> Stmt {
-        Stmt::Call(Call { callee: f.into(), args: vec![], kind })
+        Stmt::Call(Call { callee: f.into(), args: vec![], kind, span: crate::diag::SrcLoc::none() })
     }
 
     fn module_with(functions: Vec<IrFunction>) -> IrModule {
@@ -262,11 +260,8 @@ mod tests {
         for _ in 0..4 {
             f1.body.push(call("f0", ParKind::Pipe));
         }
-        let m = module_with(vec![
-            pipe_with_instrs("f0", 5),
-            f1,
-            main_dispatching("f1", ParKind::Par),
-        ]);
+        let m =
+            module_with(vec![pipe_with_instrs("f0", 5), f1, main_dispatching("f1", ParKind::Par)]);
         let t = extract(&m).unwrap();
         assert_eq!(t.class, ConfigClass::C1ParallelPipes);
         assert_eq!(t.lanes, 4);
@@ -369,11 +364,8 @@ mod tests {
     fn outline_is_indented() {
         let mut f1 = IrFunction::new("f1", ParKind::Par);
         f1.body.push(call("f0", ParKind::Pipe));
-        let m = module_with(vec![
-            pipe_with_instrs("f0", 2),
-            f1,
-            main_dispatching("f1", ParKind::Par),
-        ]);
+        let m =
+            module_with(vec![pipe_with_instrs("f0", 2), f1, main_dispatching("f1", ParKind::Par)]);
         let t = extract(&m).unwrap();
         let o = t.root.outline();
         assert!(o.starts_with("par f1 [0 instrs]\n"));

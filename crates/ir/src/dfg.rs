@@ -187,7 +187,7 @@ impl Dfg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::function::{IrFunction, OffsetDecl, Param, ParKind};
+    use crate::function::{IrFunction, OffsetDecl, ParKind, Param};
     use crate::instr::{Dest, Operand};
 
     const T: ScalarType = ScalarType::UInt(18);
@@ -249,6 +249,7 @@ mod tests {
             ty: T,
             src: "p".into(),
             offset: 1,
+            span: crate::diag::SrcLoc::none(),
         }));
         f.body.push(ins("s", Opcode::Add, vec![Operand::local("p"), Operand::local("pp1")]));
         let dfg = Dfg::build(&f, &UnitLatency);

@@ -1,0 +1,269 @@
+//! Source locations and structured diagnostics.
+//!
+//! IR entities carry an optional [`Span`] (recorded by the parser, absent
+//! for programmatically built modules) wrapped in a [`SrcLoc`].
+//! Validation and the lint passes report through [`Diagnostic`]s pushed
+//! into a [`DiagSink`], so one run can surface *every* problem with a
+//! stable code, a severity and a source position, instead of stopping at
+//! the first error.
+
+use std::fmt;
+
+/// A 1-based source position in a `.tirl` file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Line number, 1-based.
+    pub line: u32,
+    /// Column number, 1-based.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An optional source location attached to an IR entity.
+///
+/// Equality is deliberately *transparent*: two `SrcLoc`s always compare
+/// equal, so a parsed module and its print/re-parse image stay
+/// structurally equal even though positions shift. Spans are provenance,
+/// not semantics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SrcLoc(pub Option<Span>);
+
+impl SrcLoc {
+    /// No recorded location (programmatically built IR).
+    pub const fn none() -> SrcLoc {
+        SrcLoc(None)
+    }
+
+    /// Location at the given 1-based line and column.
+    pub fn at(line: u32, col: u32) -> SrcLoc {
+        SrcLoc(Some(Span { line, col }))
+    }
+
+    /// The span, if one was recorded.
+    pub fn get(&self) -> Option<Span> {
+        self.0
+    }
+}
+
+impl PartialEq for SrcLoc {
+    fn eq(&self, _other: &SrcLoc) -> bool {
+        true // provenance only; see type docs
+    }
+}
+
+impl Eq for SrcLoc {}
+
+impl std::hash::Hash for SrcLoc {
+    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {
+        // Nothing: must stay consistent with the transparent equality.
+    }
+}
+
+impl From<Span> for SrcLoc {
+    fn from(s: Span) -> SrcLoc {
+        SrcLoc(Some(s))
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note; never affects exit status.
+    Info,
+    /// Suspicious but not necessarily wrong; fails under `--deny-warnings`.
+    Warn,
+    /// Definitely wrong; the design is rejected.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in rendered output (`error:`, `warning:`,
+    /// `info:`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One reported problem: a stable code (`TLxxxx`), severity, message,
+/// optional source position and optional fix hint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code, e.g. `TL0003` (validation) or `TL1005`
+    /// (lint). Codes are never reused or renumbered.
+    pub code: &'static str,
+    /// Seriousness.
+    pub severity: Severity,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Where in the source the problem is, when known.
+    pub span: Option<Span>,
+    /// A suggested fix or mitigation, when one exists.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// New error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+            hint: None,
+        }
+    }
+
+    /// New warning diagnostic.
+    pub fn warn(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warn,
+            message: message.into(),
+            span: None,
+            hint: None,
+        }
+    }
+
+    /// New informational diagnostic.
+    pub fn info(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Info,
+            message: message.into(),
+            span: None,
+            hint: None,
+        }
+    }
+
+    /// Attach a source location.
+    pub fn with_loc(mut self, loc: SrcLoc) -> Diagnostic {
+        self.span = loc.get();
+        self
+    }
+
+    /// Attach an explicit span.
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach a fix hint.
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Diagnostic {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(s) = self.span {
+            write!(f, " (at {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Collector that validation and lint passes push [`Diagnostic`]s into.
+#[derive(Debug, Default)]
+pub struct DiagSink {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagSink {
+    /// New empty sink.
+    pub fn new() -> DiagSink {
+        DiagSink::default()
+    }
+
+    /// Record a diagnostic.
+    pub fn emit(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// All diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Consume the sink, yielding its diagnostics.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+
+    /// True when nothing has been reported.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of diagnostics at exactly the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// True if any error-severity diagnostic was reported.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srcloc_equality_is_transparent() {
+        assert_eq!(SrcLoc::at(3, 7), SrcLoc::none());
+        assert_eq!(SrcLoc::at(1, 1), SrcLoc::at(99, 2));
+        assert_eq!(SrcLoc::at(4, 5).get(), Some(Span { line: 4, col: 5 }));
+        assert_eq!(SrcLoc::none().get(), None);
+    }
+
+    #[test]
+    fn severity_orders_info_warn_error() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Warn.label(), "warning");
+    }
+
+    #[test]
+    fn diagnostic_builders_and_display() {
+        let d = Diagnostic::warn("TL1001", "stream `q` is never consumed")
+            .with_span(Span { line: 12, col: 3 })
+            .with_hint("remove the stream or wire it to a port");
+        assert_eq!(d.code, "TL1001");
+        assert_eq!(d.severity, Severity::Warn);
+        assert_eq!(d.span, Some(Span { line: 12, col: 3 }));
+        assert_eq!(d.to_string(), "warning[TL1001]: stream `q` is never consumed (at 12:3)");
+    }
+
+    #[test]
+    fn sink_counts_by_severity() {
+        let mut sink = DiagSink::new();
+        assert!(sink.is_empty());
+        sink.emit(Diagnostic::error("TL0001", "a"));
+        sink.emit(Diagnostic::warn("TL1002", "b"));
+        sink.emit(Diagnostic::warn("TL1003", "c"));
+        sink.emit(Diagnostic::info("TL1006", "d"));
+        assert_eq!(sink.count(Severity::Error), 1);
+        assert_eq!(sink.count(Severity::Warn), 2);
+        assert_eq!(sink.count(Severity::Info), 1);
+        assert!(sink.has_errors());
+        assert_eq!(sink.diagnostics().len(), 4);
+    }
+}

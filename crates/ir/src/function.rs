@@ -7,6 +7,7 @@
 //! kinds span the FPGA design space of Fig 5 (the supported subset is
 //! Fig 7).
 
+use crate::diag::SrcLoc;
 use crate::instr::{Instruction, Operand};
 use crate::types::ScalarType;
 use std::fmt;
@@ -110,6 +111,8 @@ pub struct OffsetDecl {
     pub src: String,
     /// Offset in work-items; positive looks ahead, negative behind.
     pub offset: i64,
+    /// Source location of the declaration (equality-transparent).
+    pub span: SrcLoc,
 }
 
 impl fmt::Display for OffsetDecl {
@@ -133,6 +136,8 @@ pub struct Call {
     /// Parallelism kind annotation on the call site; must agree with the
     /// callee's declared kind.
     pub kind: ParKind,
+    /// Source location of the call site (equality-transparent).
+    pub span: SrcLoc,
 }
 
 impl fmt::Display for Call {
@@ -196,12 +201,36 @@ pub struct IrFunction {
     pub params: Vec<Param>,
     /// Body statements in program order.
     pub body: Vec<Stmt>,
+    /// Source location of the function header (equality-transparent).
+    pub span: SrcLoc,
 }
 
 impl IrFunction {
     /// New empty function.
     pub fn new(name: impl Into<String>, kind: ParKind) -> IrFunction {
-        IrFunction { name: name.into(), kind, params: Vec::new(), body: Vec::new() }
+        IrFunction {
+            name: name.into(),
+            kind,
+            params: Vec::new(),
+            body: Vec::new(),
+            span: SrcLoc::none(),
+        }
+    }
+
+    /// Source location of a body statement, falling back to the function
+    /// header's when the statement carries none.
+    pub fn stmt_loc(&self, index: usize) -> SrcLoc {
+        let loc = match self.body.get(index) {
+            Some(Stmt::Instr(i)) => i.span,
+            Some(Stmt::Offset(o)) => o.span,
+            Some(Stmt::Call(c)) => c.span,
+            None => SrcLoc::none(),
+        };
+        if loc.get().is_some() {
+            loc
+        } else {
+            self.span
+        }
     }
 
     /// Iterator over the SSA instructions (not offsets or calls).
@@ -276,12 +305,14 @@ mod tests {
             ty: ScalarType::UInt(18),
             src: "p".into(),
             offset: 1,
+            span: SrcLoc::none(),
         }));
         f.body.push(Stmt::Offset(OffsetDecl {
             dest: "pin1".into(),
             ty: ScalarType::UInt(18),
             src: "p".into(),
             offset: -150,
+            span: SrcLoc::none(),
         }));
         f.body.push(Stmt::Instr(Instruction::new(
             Dest::Local("1".into()),
@@ -317,6 +348,7 @@ mod tests {
             callee: "g".into(),
             args: vec![],
             kind: ParKind::Comb,
+            span: SrcLoc::none(),
         }));
         assert_eq!(f.n_instructions(), 1);
         assert_eq!(f.calls().count(), 1);
@@ -328,7 +360,12 @@ mod tests {
         let f = sample();
         let o = f.offsets().next().unwrap();
         assert_eq!(o.to_string(), "ui18 %pip1 = ui18 %p, !offset, !+1");
-        let c = Call { callee: "f0".into(), args: vec![Operand::local("p")], kind: ParKind::Pipe };
+        let c = Call {
+            callee: "f0".into(),
+            args: vec![Operand::local("p")],
+            kind: ParKind::Pipe,
+            span: SrcLoc::none(),
+        };
         assert_eq!(c.to_string(), "call @f0(%p) pipe");
     }
 

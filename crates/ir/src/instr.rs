@@ -13,6 +13,7 @@
 //! instruction writing a global destination is a *reduction* over the
 //! stream (the paper's "reduction operation on global variable").
 
+use crate::diag::SrcLoc;
 use crate::types::ScalarType;
 use std::fmt;
 
@@ -265,13 +266,21 @@ pub struct Instruction {
     pub ty: ScalarType,
     /// Operand list; length must equal `op.arity()`.
     pub operands: Vec<Operand>,
+    /// Source location of the instruction (equality-transparent).
+    pub span: SrcLoc,
 }
 
 impl Instruction {
     /// Create an instruction, checking arity in debug builds.
     pub fn new(dest: Dest, op: Opcode, ty: ScalarType, operands: Vec<Operand>) -> Instruction {
         debug_assert_eq!(operands.len(), op.arity(), "arity mismatch for {op}");
-        Instruction { dest, op, ty, operands }
+        Instruction { dest, op, ty, operands, span: SrcLoc::none() }
+    }
+
+    /// Same instruction with a source location recorded.
+    pub fn with_span(mut self, span: SrcLoc) -> Instruction {
+        self.span = span;
+        self
     }
 
     /// Whether the instruction is a reduction (writes a global

@@ -30,6 +30,7 @@
 pub mod builder;
 pub mod config_tree;
 pub mod dfg;
+pub mod diag;
 pub mod error;
 pub mod function;
 pub mod instr;
@@ -43,12 +44,13 @@ pub mod validate;
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use config_tree::{ConfigClass, ConfigNode, ConfigTree};
 pub use dfg::{Dfg, DfgNode, LatencyModel, UnitLatency};
+pub use diag::{DiagSink, Diagnostic, Severity, Span, SrcLoc};
 pub use error::IrError;
-pub use function::{Call, IrFunction, OffsetDecl, Param, ParKind, PortDir, Stmt};
+pub use function::{Call, IrFunction, OffsetDecl, ParKind, Param, PortDir, Stmt};
 pub use instr::{Dest, Instruction, Opcode, Operand};
 pub use module::{ExecMeta, IrModule, MemForm};
-pub use parser::parse;
+pub use parser::{parse, parse_unvalidated};
 pub use printer::print;
 pub use stream::{AccessPattern, AddrSpace, MemObject, PortDecl, StreamDir, StreamObject};
 pub use types::ScalarType;
-pub use validate::validate;
+pub use validate::{validate, validate_into};

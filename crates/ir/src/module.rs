@@ -185,8 +185,7 @@ impl IrModule {
             if let Some(f) = self.function(name) {
                 out.push(f);
                 // Push in reverse so preorder visits calls left-to-right.
-                let callees: Vec<&str> =
-                    f.calls().map(|c| c.callee.as_str()).collect();
+                let callees: Vec<&str> = f.calls().map(|c| c.callee.as_str()).collect();
                 for c in callees.into_iter().rev() {
                     stack.push(c);
                 }
@@ -203,7 +202,12 @@ mod tests {
     use crate::instr::Operand;
 
     fn call(f: &str, kind: ParKind) -> Stmt {
-        Stmt::Call(Call { callee: f.into(), args: vec![Operand::local("p")], kind })
+        Stmt::Call(Call {
+            callee: f.into(),
+            args: vec![Operand::local("p")],
+            kind,
+            span: crate::diag::SrcLoc::none(),
+        })
     }
 
     /// main -> f1(par) -> 4 × f0(pipe)
@@ -232,7 +236,13 @@ mod tests {
 
     #[test]
     fn global_size_is_ndrange_product() {
-        let meta = ExecMeta { ndrange: vec![24, 24, 24], nki: 1000, form: MemForm::B, freq_mhz: None, vect: 1 };
+        let meta = ExecMeta {
+            ndrange: vec![24, 24, 24],
+            nki: 1000,
+            form: MemForm::B,
+            freq_mhz: None,
+            vect: 1,
+        };
         assert_eq!(meta.global_size(), 13824);
         let empty = ExecMeta { ndrange: vec![], ..ExecMeta::default() };
         assert_eq!(empty.global_size(), 1);

@@ -167,11 +167,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         msg: format!("`{sigil}` must be followed by a name"),
                     });
                 }
-                let kind = if sigil == '%' {
-                    TokenKind::Percent(name)
-                } else {
-                    TokenKind::At(name)
-                };
+                let kind =
+                    if sigil == '%' { TokenKind::Percent(name) } else { TokenKind::At(name) };
                 out.push(Token { kind, line: tl, col: tc });
             }
             '+' | '-' | '0'..='9' => {

@@ -5,8 +5,9 @@
 
 pub mod lexer;
 
+use crate::diag::SrcLoc;
 use crate::error::{IrError, Result};
-use crate::function::{Call, IrFunction, OffsetDecl, Param, ParKind, PortDir, Stmt};
+use crate::function::{Call, IrFunction, OffsetDecl, ParKind, Param, PortDir, Stmt};
 use crate::instr::{Dest, Instruction, Opcode, Operand};
 use crate::module::{IrModule, MemForm};
 use crate::stream::{AccessPattern, AddrSpace, MemObject, PortDecl, StreamDir, StreamObject};
@@ -53,6 +54,13 @@ impl Parser {
     fn err(&self, msg: impl Into<String>) -> IrError {
         let (line, col) = self.here();
         IrError::Parse { line, col, msg: msg.into() }
+    }
+
+    /// Source location of the *next* token, recorded onto the entity a
+    /// declaration parse is about to produce.
+    fn loc_here(&self) -> SrcLoc {
+        let (line, col) = self.here();
+        SrcLoc::at(line, col)
     }
 
     fn next(&mut self) -> Result<TokenKind> {
@@ -165,10 +173,9 @@ impl Parser {
                     m.functions.push(f);
                 }
                 other => {
-                    return Err(self.err(format!(
-                        "expected a declaration, found {}",
-                        other.describe()
-                    )))
+                    return Err(
+                        self.err(format!("expected a declaration, found {}", other.describe()))
+                    )
                 }
             }
         }
@@ -241,6 +248,7 @@ impl Parser {
     /// `%m = memobj addrSpace(1) ui18, !size, !N`
     /// `%s = streamobj %m, !read, !"CONT"[, !stride]`
     fn manage_decl(&mut self, m: &mut IrModule) -> Result<()> {
+        let loc = self.loc_here();
         let name = self.percent()?;
         self.expect(&TokenKind::Eq)?;
         let kw = self.ident()?;
@@ -259,7 +267,7 @@ impl Parser {
                 if len < 0 {
                     return Err(self.err("memobj size must be non-negative"));
                 }
-                m.mems.push(MemObject { name, space, elem_ty: ty, len: len as u64 });
+                m.mems.push(MemObject { name, space, elem_ty: ty, len: len as u64, span: loc });
             }
             "streamobj" => {
                 let mem = self.percent()?;
@@ -269,16 +277,16 @@ impl Parser {
                     "read" => StreamDir::Read,
                     "write" => StreamDir::Write,
                     other => {
-                        return Err(
-                            self.err(format!("expected `read` or `write`, found `{other}`"))
-                        )
+                        return Err(self.err(format!("expected `read` or `write`, found `{other}`")))
                     }
                 };
                 self.expect(&TokenKind::Comma)?;
                 let pattern = self.pattern()?;
-                m.streams.push(StreamObject { name, mem, dir, pattern });
+                m.streams.push(StreamObject { name, mem, dir, pattern, span: loc });
             }
-            other => return Err(self.err(format!("expected `memobj` or `streamobj`, found `{other}`"))),
+            other => {
+                return Err(self.err(format!("expected `memobj` or `streamobj`, found `{other}`")))
+            }
         }
         Ok(())
     }
@@ -305,6 +313,7 @@ impl Parser {
     /// For strided ports the stride is recovered from the named stream
     /// object (which must have been declared earlier).
     fn port_decl(&mut self, m: &mut IrModule) -> Result<()> {
+        let loc = self.loc_here();
         let name = match self.next()? {
             TokenKind::At(n) => n,
             other => {
@@ -319,9 +328,7 @@ impl Parser {
         let dir = match self.bang_str()?.as_str() {
             "istream" => StreamDir::Read,
             "ostream" => StreamDir::Write,
-            other => {
-                return Err(self.err(format!("expected `istream`/`ostream`, found `{other}`")))
-            }
+            other => return Err(self.err(format!("expected `istream`/`ostream`, found `{other}`"))),
         };
         self.expect(&TokenKind::Comma)?;
         let pattern_tag = self.bang_str()?;
@@ -342,12 +349,13 @@ impl Parser {
                 })?,
             other => return Err(self.err(format!("unknown access pattern `{other}`"))),
         };
-        m.ports.push(PortDecl { name, space, ty, dir, pattern, base_offset, stream });
+        m.ports.push(PortDecl { name, space, ty, dir, pattern, base_offset, stream, span: loc });
         Ok(())
     }
 
     /// `define void @name(params) [kind] { stmts }`
     fn function(&mut self) -> Result<IrFunction> {
+        let loc = self.loc_here();
         let kw = self.ident()?;
         debug_assert_eq!(kw, "define");
         let ret = self.ident()?;
@@ -397,7 +405,7 @@ impl Parser {
             body.push(self.stmt()?);
         }
         self.expect(&TokenKind::RBrace)?;
-        Ok(IrFunction { name, kind, params, body })
+        Ok(IrFunction { name, kind, params, body, span: loc })
     }
 
     fn stmt(&mut self) -> Result<Stmt> {
@@ -413,6 +421,7 @@ impl Parser {
 
     /// `call @f(args) kind`
     fn call_stmt(&mut self) -> Result<Stmt> {
+        let loc = self.loc_here();
         let kw = self.ident()?;
         debug_assert_eq!(kw, "call");
         let callee = match self.next()? {
@@ -436,7 +445,7 @@ impl Parser {
         let kindkw = self.ident()?;
         let kind = ParKind::from_keyword(&kindkw)
             .ok_or_else(|| self.err(format!("`{kindkw}` is not a parallelism keyword")))?;
-        Ok(Stmt::Call(Call { callee, args, kind }))
+        Ok(Stmt::Call(Call { callee, args, kind, span: loc }))
     }
 
     /// Either an offset declaration or an instruction:
@@ -447,6 +456,7 @@ impl Parser {
     /// ui18 @acc = add ui18 %x, @acc
     /// ```
     fn assign_stmt(&mut self) -> Result<Stmt> {
+        let loc = self.loc_here();
         let ty = self.scalar_type()?;
         let dest = match self.next()? {
             TokenKind::Percent(n) => Dest::Local(n),
@@ -479,11 +489,9 @@ impl Parser {
             let off = self.bang_int()?;
             let dest = match dest {
                 Dest::Local(n) => n,
-                Dest::Global(_) => {
-                    return Err(self.err("offset streams cannot target globals"))
-                }
+                Dest::Global(_) => return Err(self.err("offset streams cannot target globals")),
             };
-            return Ok(Stmt::Offset(OffsetDecl { dest, ty, src, offset: off }));
+            return Ok(Stmt::Offset(OffsetDecl { dest, ty, src, offset: off, span: loc }));
         }
         let mnemonic = self.ident()?;
         let op = Opcode::from_mnemonic(&mnemonic)
@@ -506,7 +514,7 @@ impl Parser {
                 operands.len()
             )));
         }
-        Ok(Stmt::Instr(Instruction { dest, op, ty, operands }))
+        Ok(Stmt::Instr(Instruction { dest, op, ty, operands, span: loc }))
     }
 
     fn operand(&mut self) -> Result<Operand> {

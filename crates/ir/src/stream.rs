@@ -8,6 +8,7 @@
 //! streaming port, carrying the access-pattern annotation that the
 //! sustained-bandwidth model costs (section V-C).
 
+use crate::diag::SrcLoc;
 use crate::types::ScalarType;
 use std::fmt;
 
@@ -113,6 +114,8 @@ pub struct MemObject {
     pub elem_ty: ScalarType,
     /// Number of elements.
     pub len: u64,
+    /// Source location of the declaration (equality-transparent).
+    pub span: SrcLoc,
 }
 
 impl MemObject {
@@ -129,11 +132,7 @@ impl MemObject {
 
 impl fmt::Display for MemObject {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "%{} = memobj {} {}, !size, !{}",
-            self.name, self.space, self.elem_ty, self.len
-        )
+        write!(f, "%{} = memobj {} {}, !size, !{}", self.name, self.space, self.elem_ty, self.len)
     }
 }
 
@@ -153,6 +152,8 @@ pub struct StreamObject {
     pub dir: StreamDir,
     /// Access pattern over the backing memory.
     pub pattern: AccessPattern,
+    /// Source location of the declaration (equality-transparent).
+    pub span: SrcLoc,
 }
 
 impl fmt::Display for StreamObject {
@@ -161,7 +162,14 @@ impl fmt::Display for StreamObject {
             StreamDir::Read => "read",
             StreamDir::Write => "write",
         };
-        write!(f, "%{} = streamobj %{}, !{}, !\"{}\"", self.name, self.mem, dir, self.pattern.tag())?;
+        write!(
+            f,
+            "%{} = streamobj %{}, !{}, !\"{}\"",
+            self.name,
+            self.mem,
+            dir,
+            self.pattern.tag()
+        )?;
         if let AccessPattern::Strided { stride } = self.pattern {
             write!(f, ", !{stride}")?;
         }
@@ -191,6 +199,8 @@ pub struct PortDecl {
     pub base_offset: i64,
     /// Name of the backing [`StreamObject`].
     pub stream: String,
+    /// Source location of the declaration (equality-transparent).
+    pub span: SrcLoc,
 }
 
 impl PortDecl {
@@ -209,7 +219,13 @@ impl fmt::Display for PortDecl {
         write!(
             f,
             "@{} = {} {}, !\"{}\", !\"{}\", !{}, !\"{}\"",
-            self.name, self.space, self.ty, dir, self.pattern.tag(), self.base_offset, self.stream
+            self.name,
+            self.space,
+            self.ty,
+            dir,
+            self.pattern.tag(),
+            self.base_offset,
+            self.stream
         )
     }
 }
@@ -244,6 +260,7 @@ mod tests {
             space: AddrSpace::Global,
             elem_ty: ScalarType::UInt(18),
             len: 300,
+            span: SrcLoc::none(),
         };
         assert_eq!(m.bits(), 5400);
         assert_eq!(m.bytes(), 900);
@@ -257,6 +274,7 @@ mod tests {
             mem: "mem_p".into(),
             dir: StreamDir::Read,
             pattern: AccessPattern::Contiguous,
+            span: SrcLoc::none(),
         };
         assert_eq!(s.to_string(), "%strobj_p = streamobj %mem_p, !read, !\"CONT\"");
         let s = StreamObject {
@@ -264,6 +282,7 @@ mod tests {
             mem: "m2".into(),
             dir: StreamDir::Write,
             pattern: AccessPattern::Strided { stride: 96 },
+            span: SrcLoc::none(),
         };
         assert_eq!(s.to_string(), "%s2 = streamobj %m2, !write, !\"STRIDED\", !96");
     }
@@ -278,6 +297,7 @@ mod tests {
             pattern: AccessPattern::Contiguous,
             base_offset: 0,
             stream: "strobj_p".into(),
+            span: SrcLoc::none(),
         };
         assert_eq!(
             p.to_string(),

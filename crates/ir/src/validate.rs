@@ -16,7 +16,38 @@
 //!   callee exists, arity matches, and the call graph is acyclic;
 //! * the module has a `main` entry that only calls;
 //! * NDRange metadata is non-degenerate.
+//!
+//! Two entry points: [`validate`] keeps the original fail-fast contract
+//! (the first violation as an [`IrError`]), while [`validate_into`]
+//! collects *every* violation as a [`Diagnostic`] with a stable `TL00xx`
+//! code and a source span — this is what `tybec lint` drives.
+//!
+//! Validation diagnostic codes:
+//!
+//! | code   | violation                                             |
+//! |--------|-------------------------------------------------------|
+//! | TL0001 | duplicate name (function/mem/stream/port/parameter)   |
+//! | TL0002 | reference to an unknown entity                        |
+//! | TL0003 | port direction disagrees with its stream              |
+//! | TL0004 | port type disagrees with the backing memory           |
+//! | TL0005 | port access pattern disagrees with its stream         |
+//! | TL0006 | `par` function contains a non-call statement          |
+//! | TL0007 | `par` function has no lanes                           |
+//! | TL0008 | `comb` function contains a reduction                  |
+//! | TL0009 | `comb` function contains an offset or call            |
+//! | TL0010 | use of an undefined value or stream                   |
+//! | TL0011 | SSA violation: local assigned twice                   |
+//! | TL0012 | offset type disagrees with its source stream          |
+//! | TL0013 | instruction operand count != opcode arity             |
+//! | TL0014 | global read outside a reduction                       |
+//! | TL0015 | float immediate as operand of an integer op           |
+//! | TL0016 | call kind annotation disagrees with callee            |
+//! | TL0017 | call argument count disagrees with callee params      |
+//! | TL0018 | `main` missing or malformed                           |
+//! | TL0019 | recursive call cycle                                  |
+//! | TL0020 | degenerate execution metadata (NDRange/NKI/freq)      |
 
+use crate::diag::{DiagSink, Diagnostic, SrcLoc};
 use crate::error::{IrError, Result};
 use crate::function::{IrFunction, ParKind, Stmt};
 use crate::instr::Operand;
@@ -25,105 +56,153 @@ use std::collections::{HashMap, HashSet};
 
 /// Validate a module; returns the first violation found.
 pub fn validate(m: &IrModule) -> Result<()> {
-    check_unique_names(m)?;
-    check_manage_ir(m)?;
-    for f in &m.functions {
-        check_function(m, f)?;
+    let mut sink = DiagSink::new();
+    match validate_into(m, &mut sink) {
+        Some(first) => Err(first),
+        None => Ok(()),
     }
-    check_main(m)?;
-    check_call_graph(m)?;
-    check_meta(m)?;
-    Ok(())
 }
 
-fn dup_check<'a, I: Iterator<Item = &'a str>>(what: &str, names: I) -> Result<()> {
+/// Validate a module, emitting *every* violation into `sink` as `TL00xx`
+/// diagnostics. Returns the first violation as an [`IrError`] (the same
+/// error [`validate`] fails with), or `None` when the module is clean.
+pub fn validate_into(m: &IrModule, sink: &mut DiagSink) -> Option<IrError> {
+    let mut ctx = Ctx { sink, first: None };
+    check_unique_names(m, &mut ctx);
+    check_manage_ir(m, &mut ctx);
+    for f in &m.functions {
+        check_function(m, f, &mut ctx);
+    }
+    check_main(m, &mut ctx);
+    check_call_graph(m, &mut ctx);
+    check_meta(m, &mut ctx);
+    ctx.first
+}
+
+/// Shared state of one validation run: the sink receiving all
+/// diagnostics, plus the first violation for the fail-fast API.
+struct Ctx<'s> {
+    sink: &'s mut DiagSink,
+    first: Option<IrError>,
+}
+
+impl Ctx<'_> {
+    /// Report a violation whose [`IrError`] form is `Validate(msg)`.
+    fn invalid(&mut self, code: &'static str, loc: SrcLoc, msg: String) {
+        if self.first.is_none() {
+            self.first = Some(IrError::Validate(msg.clone()));
+        }
+        self.sink.emit(Diagnostic::error(code, msg).with_loc(loc));
+    }
+
+    /// Report a dangling reference (`IrError::Unknown`).
+    fn unknown(&mut self, loc: SrcLoc, kind: &'static str, name: &str) {
+        if self.first.is_none() {
+            self.first = Some(IrError::Unknown { kind, name: name.to_string() });
+        }
+        self.sink
+            .emit(Diagnostic::error("TL0002", format!("unknown {kind} `{name}`")).with_loc(loc));
+    }
+}
+
+fn dup_check<'a, I: Iterator<Item = (&'a str, SrcLoc)>>(what: &str, names: I, ctx: &mut Ctx<'_>) {
     let mut seen = HashSet::new();
-    for n in names {
+    for (n, loc) in names {
         if !seen.insert(n) {
-            return Err(IrError::Validate(format!("duplicate {what} name `{n}`")));
+            ctx.invalid("TL0001", loc, format!("duplicate {what} name `{n}`"));
         }
     }
-    Ok(())
 }
 
-fn check_unique_names(m: &IrModule) -> Result<()> {
-    dup_check("function", m.functions.iter().map(|f| f.name.as_str()))?;
-    dup_check("memory object", m.mems.iter().map(|x| x.name.as_str()))?;
-    dup_check("stream object", m.streams.iter().map(|x| x.name.as_str()))?;
-    dup_check("port", m.ports.iter().map(|x| x.name.as_str()))?;
-    Ok(())
+fn check_unique_names(m: &IrModule, ctx: &mut Ctx<'_>) {
+    dup_check("function", m.functions.iter().map(|f| (f.name.as_str(), f.span)), ctx);
+    dup_check("memory object", m.mems.iter().map(|x| (x.name.as_str(), x.span)), ctx);
+    dup_check("stream object", m.streams.iter().map(|x| (x.name.as_str(), x.span)), ctx);
+    dup_check("port", m.ports.iter().map(|x| (x.name.as_str(), x.span)), ctx);
 }
 
-fn check_manage_ir(m: &IrModule) -> Result<()> {
+fn check_manage_ir(m: &IrModule, ctx: &mut Ctx<'_>) {
     for s in &m.streams {
         if m.mem(&s.mem).is_none() {
-            return Err(IrError::Unknown { kind: "memory object", name: s.mem.clone() });
+            ctx.unknown(s.span, "memory object", &s.mem);
         }
     }
     for p in &m.ports {
         let Some(s) = m.stream(&p.stream) else {
-            return Err(IrError::Unknown { kind: "stream object", name: p.stream.clone() });
+            ctx.unknown(p.span, "stream object", &p.stream);
+            continue;
         };
         if s.dir != p.dir {
-            return Err(IrError::Validate(format!(
-                "port `{}` direction disagrees with stream `{}`",
-                p.name, s.name
-            )));
+            ctx.invalid(
+                "TL0003",
+                p.span,
+                format!("port `{}` direction disagrees with stream `{}`", p.name, s.name),
+            );
         }
-        let mem = m.mem(&s.mem).expect("checked above");
+        let Some(mem) = m.mem(&s.mem) else {
+            continue; // dangling stream already reported above
+        };
         if mem.elem_ty != p.ty {
-            return Err(IrError::Validate(format!(
-                "port `{}` type {} disagrees with memory `{}` element type {}",
-                p.name, p.ty, mem.name, mem.elem_ty
-            )));
+            ctx.invalid(
+                "TL0004",
+                p.span,
+                format!(
+                    "port `{}` type {} disagrees with memory `{}` element type {}",
+                    p.name, p.ty, mem.name, mem.elem_ty
+                ),
+            );
         }
         if s.pattern != p.pattern {
-            return Err(IrError::Validate(format!(
-                "port `{}` access pattern disagrees with stream `{}` (the port restates the                  stream's pattern)",
-                p.name, s.name
-            )));
+            ctx.invalid(
+                "TL0005",
+                p.span,
+                format!(
+                    "port `{}` access pattern disagrees with stream `{}` (the port restates the stream's pattern)",
+                    p.name, s.name
+                ),
+            );
         }
     }
-    Ok(())
 }
 
-fn check_function(m: &IrModule, f: &IrFunction) -> Result<()> {
+fn check_function(m: &IrModule, f: &IrFunction, ctx: &mut Ctx<'_>) {
     dup_check(
         &format!("parameter in `{}`", f.name),
-        f.params.iter().map(|p| p.name.as_str()),
-    )?;
+        f.params.iter().map(|p| (p.name.as_str(), f.span)),
+        ctx,
+    );
 
     // Structural rules per kind.
     match f.kind {
         ParKind::Par => {
             if f.body.iter().any(|s| !matches!(s, Stmt::Call(_))) {
-                return Err(IrError::Validate(format!(
-                    "`par` function `{}` may contain only calls",
-                    f.name
-                )));
+                ctx.invalid(
+                    "TL0006",
+                    f.span,
+                    format!("`par` function `{}` may contain only calls", f.name),
+                );
             }
             if f.body.is_empty() {
-                return Err(IrError::Validate(format!(
-                    "`par` function `{}` has no lanes",
-                    f.name
-                )));
+                ctx.invalid("TL0007", f.span, format!("`par` function `{}` has no lanes", f.name));
             }
         }
         ParKind::Comb => {
             for s in &f.body {
                 match s {
                     Stmt::Instr(i) if !i.is_reduction() => {}
-                    Stmt::Instr(_) => {
-                        return Err(IrError::Validate(format!(
-                            "`comb` function `{}` may not contain reductions",
-                            f.name
-                        )))
+                    Stmt::Instr(i) => {
+                        ctx.invalid(
+                            "TL0008",
+                            i.span,
+                            format!("`comb` function `{}` may not contain reductions", f.name),
+                        );
                     }
                     _ => {
-                        return Err(IrError::Validate(format!(
-                            "`comb` function `{}` may contain only instructions",
-                            f.name
-                        )))
+                        ctx.invalid(
+                            "TL0009",
+                            f.span,
+                            format!("`comb` function `{}` may contain only instructions", f.name),
+                        );
                     }
                 }
             }
@@ -137,63 +216,88 @@ fn check_function(m: &IrModule, f: &IrFunction) -> Result<()> {
         match s {
             Stmt::Offset(o) => {
                 if !defined.contains(o.src.as_str()) {
-                    return Err(IrError::Validate(format!(
-                        "offset `{}` in `{}` uses undefined stream `{}`",
-                        o.dest, f.name, o.src
-                    )));
+                    ctx.invalid(
+                        "TL0010",
+                        o.span,
+                        format!(
+                            "offset `{}` in `{}` uses undefined stream `{}`",
+                            o.dest, f.name, o.src
+                        ),
+                    );
                 }
                 if let Some(p) = f.param(&o.src) {
                     if p.ty != o.ty {
-                        return Err(IrError::Validate(format!(
-                            "offset `{}` type {} disagrees with stream `{}` type {}",
-                            o.dest, o.ty, o.src, p.ty
-                        )));
+                        ctx.invalid(
+                            "TL0012",
+                            o.span,
+                            format!(
+                                "offset `{}` type {} disagrees with stream `{}` type {}",
+                                o.dest, o.ty, o.src, p.ty
+                            ),
+                        );
                     }
                 }
                 if !defined.insert(o.dest.as_str()) {
-                    return Err(IrError::Validate(format!(
-                        "SSA violation: `{}` assigned twice in `{}`",
-                        o.dest, f.name
-                    )));
+                    ctx.invalid(
+                        "TL0011",
+                        o.span,
+                        format!("SSA violation: `{}` assigned twice in `{}`", o.dest, f.name),
+                    );
                 }
             }
             Stmt::Instr(i) => {
                 if i.operands.len() != i.op.arity() {
-                    return Err(IrError::Validate(format!(
-                        "`{}` in `{}`: {} expects {} operands, got {}",
-                        i.dest,
-                        f.name,
-                        i.op,
-                        i.op.arity(),
-                        i.operands.len()
-                    )));
+                    ctx.invalid(
+                        "TL0013",
+                        i.span,
+                        format!(
+                            "`{}` in `{}`: {} expects {} operands, got {}",
+                            i.dest,
+                            f.name,
+                            i.op,
+                            i.op.arity(),
+                            i.operands.len()
+                        ),
+                    );
                 }
                 for (k, o) in i.operands.iter().enumerate() {
                     match o {
                         Operand::Local(n)
                             if !defined.contains(n.as_str()) => {
-                                return Err(IrError::Validate(format!(
-                                    "instruction `{}` in `{}` uses undefined value `%{}`",
-                                    i.dest, f.name, n
-                                )));
+                                ctx.invalid(
+                                    "TL0010",
+                                    i.span,
+                                    format!(
+                                        "instruction `{}` in `{}` uses undefined value `%{}`",
+                                        i.dest, f.name, n
+                                    ),
+                                );
                             }
                         Operand::Global(n)
                             // A global read is only legal as the
                             // accumulator of a reduction into the same
                             // global.
                             if !(i.is_reduction() && i.dest.name() == n) => {
-                                return Err(IrError::Validate(format!(
-                                    "instruction `{}` in `{}` reads global `@{}` outside a reduction",
-                                    i.dest, f.name, n
-                                )));
+                                ctx.invalid(
+                                    "TL0014",
+                                    i.span,
+                                    format!(
+                                        "instruction `{}` in `{}` reads global `@{}` outside a reduction",
+                                        i.dest, f.name, n
+                                    ),
+                                );
                             }
                         Operand::ImmF(_) if i.ty.is_int() => {
-                            return Err(IrError::Validate(format!(
-                                "instruction `{}` in `{}`: float immediate as operand {} of integer op",
-                                i.dest,
-                                f.name,
-                                k + 1
-                            )));
+                            ctx.invalid(
+                                "TL0015",
+                                i.span,
+                                format!(
+                                    "instruction `{}` in `{}`: float immediate as operand {} of integer op",
+                                    i.dest,
+                                    f.name,
+                                    k + 1
+                                ),
+                            );
                         }
                         _ => {}
                     }
@@ -201,10 +305,11 @@ fn check_function(m: &IrModule, f: &IrFunction) -> Result<()> {
                 match &i.dest {
                     crate::instr::Dest::Local(n) => {
                         if !defined.insert(n.as_str()) {
-                            return Err(IrError::Validate(format!(
-                                "SSA violation: `{}` assigned twice in `{}`",
-                                n, f.name
-                            )));
+                            ctx.invalid(
+                                "TL0011",
+                                i.span,
+                                format!("SSA violation: `{}` assigned twice in `{}`", n, f.name),
+                            );
                         }
                     }
                     crate::instr::Dest::Global(_) => {
@@ -216,50 +321,58 @@ fn check_function(m: &IrModule, f: &IrFunction) -> Result<()> {
             }
             Stmt::Call(c) => {
                 let Some(callee) = m.function(&c.callee) else {
-                    return Err(IrError::Unknown { kind: "function", name: c.callee.clone() });
+                    ctx.unknown(c.span, "function", &c.callee);
+                    continue;
                 };
                 if callee.kind != c.kind {
-                    return Err(IrError::Validate(format!(
-                        "call to `{}` in `{}` annotated `{}` but callee is `{}`",
-                        c.callee,
-                        f.name,
-                        c.kind,
-                        callee.kind
-                    )));
+                    ctx.invalid(
+                        "TL0016",
+                        c.span,
+                        format!(
+                            "call to `{}` in `{}` annotated `{}` but callee is `{}`",
+                            c.callee, f.name, c.kind, callee.kind
+                        ),
+                    );
                 }
                 if !c.args.is_empty() && c.args.len() != callee.params.len() {
-                    return Err(IrError::Validate(format!(
-                        "call to `{}` in `{}` passes {} args, callee declares {} params",
-                        c.callee,
-                        f.name,
-                        c.args.len(),
-                        callee.params.len()
-                    )));
+                    ctx.invalid(
+                        "TL0017",
+                        c.span,
+                        format!(
+                            "call to `{}` in `{}` passes {} args, callee declares {} params",
+                            c.callee,
+                            f.name,
+                            c.args.len(),
+                            callee.params.len()
+                        ),
+                    );
                 }
             }
         }
     }
-    Ok(())
 }
 
-fn check_main(m: &IrModule) -> Result<()> {
+fn check_main(m: &IrModule, ctx: &mut Ctx<'_>) {
     let Some(main) = m.main() else {
-        return Err(IrError::Validate("module has no `main` function".into()));
+        ctx.invalid("TL0018", SrcLoc::none(), "module has no `main` function".into());
+        return;
     };
     if main.instrs().next().is_some() || main.offsets().next().is_some() {
-        return Err(IrError::Validate(
+        ctx.invalid(
+            "TL0018",
+            main.span,
             "`main` must only dispatch calls (no instructions or offsets)".into(),
-        ));
+        );
     }
     if main.calls().next().is_none() {
-        return Err(IrError::Validate("`main` dispatches nothing".into()));
+        ctx.invalid("TL0018", main.span, "`main` dispatches nothing".into());
     }
-    Ok(())
 }
 
-fn check_call_graph(m: &IrModule) -> Result<()> {
+fn check_call_graph(m: &IrModule, ctx: &mut Ctx<'_>) {
     // DFS cycle detection from every function (also catches cycles in
-    // unreachable components).
+    // unreachable components). Each cycle is reported once, at the first
+    // function the walk re-enters.
     #[derive(Clone, Copy, PartialEq)]
     enum State {
         Visiting,
@@ -269,45 +382,43 @@ fn check_call_graph(m: &IrModule) -> Result<()> {
         m: &'a IrModule,
         name: &'a str,
         state: &mut HashMap<&'a str, State>,
-    ) -> Result<()> {
+        ctx: &mut Ctx<'_>,
+    ) {
         match state.get(name) {
             Some(State::Visiting) => {
-                return Err(IrError::Validate(format!(
-                    "recursive call cycle through `{name}`"
-                )))
+                let loc = m.function(name).map(|f| f.span).unwrap_or(SrcLoc::none());
+                ctx.invalid("TL0019", loc, format!("recursive call cycle through `{name}`"));
+                return;
             }
-            Some(State::Done) => return Ok(()),
+            Some(State::Done) => return,
             None => {}
         }
         state.insert(name, State::Visiting);
         if let Some(f) = m.function(name) {
             for c in f.calls() {
-                dfs(m, &c.callee, state)?;
+                dfs(m, &c.callee, state, ctx);
             }
         }
         state.insert(name, State::Done);
-        Ok(())
     }
     let mut state = HashMap::new();
     for f in &m.functions {
-        dfs(m, &f.name, &mut state)?;
+        dfs(m, &f.name, &mut state, ctx);
     }
-    Ok(())
 }
 
-fn check_meta(m: &IrModule) -> Result<()> {
+fn check_meta(m: &IrModule, ctx: &mut Ctx<'_>) {
     if m.meta.ndrange.contains(&0) {
-        return Err(IrError::Validate("NDRange contains a zero dimension".into()));
+        ctx.invalid("TL0020", SrcLoc::none(), "NDRange contains a zero dimension".into());
     }
     if m.meta.nki == 0 {
-        return Err(IrError::Validate("NKI must be at least 1".into()));
+        ctx.invalid("TL0020", SrcLoc::none(), "NKI must be at least 1".into());
     }
     if let Some(f) = m.meta.freq_mhz {
         if !(f.is_finite() && f > 0.0) {
-            return Err(IrError::Validate("frequency constraint must be positive".into()));
+            ctx.invalid("TL0020", SrcLoc::none(), "frequency constraint must be positive".into());
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -338,9 +449,17 @@ mod tests {
         b.finish_unchecked()
     }
 
+    /// The `TL00xx` codes a module's violations produce, in order.
+    fn codes_of(m: &IrModule) -> Vec<&'static str> {
+        let mut sink = DiagSink::new();
+        validate_into(m, &mut sink);
+        sink.diagnostics().iter().map(|d| d.code).collect()
+    }
+
     #[test]
     fn valid_module_passes() {
         assert!(validate(&valid_module()).is_ok());
+        assert!(codes_of(&valid_module()).is_empty());
     }
 
     #[test]
@@ -349,6 +468,7 @@ mod tests {
         m.functions.push(IrFunction::new("f0", ParKind::Pipe));
         let e = validate(&m).unwrap_err();
         assert!(e.to_string().contains("duplicate function"));
+        assert!(codes_of(&m).contains(&"TL0001"));
     }
 
     #[test]
@@ -356,6 +476,7 @@ mod tests {
         let mut m = valid_module();
         m.functions.retain(|f| f.name != "main");
         assert!(validate(&m).unwrap_err().to_string().contains("no `main`"));
+        assert!(codes_of(&m).contains(&"TL0018"));
     }
 
     #[test]
@@ -369,6 +490,7 @@ mod tests {
             vec![Operand::local("ghost"), Operand::Imm(1)],
         )));
         assert!(validate(&m).unwrap_err().to_string().contains("undefined value"));
+        assert_eq!(codes_of(&m), vec!["TL0010"]);
     }
 
     #[test]
@@ -384,6 +506,7 @@ mod tests {
         f0.body.push(Stmt::Instr(dup.clone()));
         f0.body.push(Stmt::Instr(dup));
         assert!(validate(&m).unwrap_err().to_string().contains("SSA violation"));
+        assert_eq!(codes_of(&m), vec!["TL0011"]);
     }
 
     #[test]
@@ -399,6 +522,7 @@ mod tests {
         )));
         m.functions.push(par);
         assert!(validate(&m).unwrap_err().to_string().contains("only calls"));
+        assert_eq!(codes_of(&m), vec!["TL0006"]);
     }
 
     #[test]
@@ -406,6 +530,7 @@ mod tests {
         let mut m = valid_module();
         m.functions.push(IrFunction::new("lanes", ParKind::Par));
         assert!(validate(&m).unwrap_err().to_string().contains("no lanes"));
+        assert_eq!(codes_of(&m), vec!["TL0007"]);
     }
 
     #[test]
@@ -418,9 +543,27 @@ mod tests {
             ty: T,
             src: "p".into(),
             offset: 1,
+            span: SrcLoc::none(),
         }));
         m.functions.push(comb);
         assert!(validate(&m).unwrap_err().to_string().contains("only instructions"));
+        assert_eq!(codes_of(&m), vec!["TL0009"]);
+    }
+
+    #[test]
+    fn comb_with_reduction_rejected() {
+        let mut m = valid_module();
+        let mut comb = IrFunction::new("cmb", ParKind::Comb);
+        comb.params.push(Param::input("p", T));
+        comb.body.push(Stmt::Instr(Instruction::new(
+            Dest::Global("acc".into()),
+            Opcode::Add,
+            T,
+            vec![Operand::local("p"), Operand::global("acc")],
+        )));
+        m.functions.push(comb);
+        assert!(validate(&m).unwrap_err().to_string().contains("reductions"));
+        assert_eq!(codes_of(&m), vec!["TL0008"]);
     }
 
     #[test]
@@ -431,6 +574,18 @@ mod tests {
             c.kind = ParKind::Par;
         }
         assert!(validate(&m).unwrap_err().to_string().contains("annotated"));
+        assert_eq!(codes_of(&m), vec!["TL0016"]);
+    }
+
+    #[test]
+    fn call_arity_mismatch_rejected() {
+        let mut m = valid_module();
+        let main = m.functions.iter_mut().find(|f| f.name == "main").unwrap();
+        if let Stmt::Call(c) = &mut main.body[0] {
+            c.args.push(Operand::local("extra"));
+        }
+        assert!(validate(&m).unwrap_err().to_string().contains("passes"));
+        assert_eq!(codes_of(&m), vec!["TL0017"]);
     }
 
     #[test]
@@ -441,20 +596,28 @@ mod tests {
             callee: "ghost".into(),
             args: vec![],
             kind: ParKind::Pipe,
+            span: SrcLoc::none(),
         }));
         assert_eq!(
             validate(&m).unwrap_err(),
             IrError::Unknown { kind: "function", name: "ghost".into() }
         );
+        assert_eq!(codes_of(&m), vec!["TL0002"]);
     }
 
     #[test]
     fn recursion_rejected() {
         let mut m = valid_module();
         let mut rec = IrFunction::new("r", ParKind::Pipe);
-        rec.body.push(Stmt::Call(Call { callee: "r".into(), args: vec![], kind: ParKind::Pipe }));
+        rec.body.push(Stmt::Call(Call {
+            callee: "r".into(),
+            args: vec![],
+            kind: ParKind::Pipe,
+            span: SrcLoc::none(),
+        }));
         m.functions.push(rec);
         assert!(validate(&m).unwrap_err().to_string().contains("recursive"));
+        assert_eq!(codes_of(&m), vec!["TL0019"]);
     }
 
     #[test]
@@ -462,6 +625,7 @@ mod tests {
         let mut m = valid_module();
         m.meta.ndrange = vec![16, 0];
         assert!(validate(&m).unwrap_err().to_string().contains("zero dimension"));
+        assert_eq!(codes_of(&m), vec!["TL0020"]);
     }
 
     #[test]
@@ -469,6 +633,7 @@ mod tests {
         let mut m = valid_module();
         m.meta.nki = 0;
         assert!(validate(&m).unwrap_err().to_string().contains("NKI"));
+        assert_eq!(codes_of(&m), vec!["TL0020"]);
     }
 
     #[test]
@@ -482,6 +647,7 @@ mod tests {
             vec![Operand::local("p"), Operand::ImmF(0.5)],
         )));
         assert!(validate(&m).unwrap_err().to_string().contains("float immediate"));
+        assert_eq!(codes_of(&m), vec!["TL0015"]);
     }
 
     #[test]
@@ -492,13 +658,18 @@ mod tests {
             validate(&m).unwrap_err(),
             IrError::Unknown { kind: "memory object", name: "ghost".into() }
         );
+        assert!(codes_of(&m).contains(&"TL0002"));
     }
 
     #[test]
     fn port_pattern_mismatch_rejected() {
         let mut m = valid_module();
         m.ports[0].pattern = crate::stream::AccessPattern::Strided { stride: 7 };
-        assert!(validate(&m).unwrap_err().to_string().contains("access pattern"));
+        let e = validate(&m).unwrap_err().to_string();
+        assert!(e.contains("access pattern"));
+        // The once-mangled message reads cleanly: no doubled spaces.
+        assert!(!e.contains("  "), "message contains a run of spaces: {e}");
+        assert_eq!(codes_of(&m), vec!["TL0005"]);
     }
 
     #[test]
@@ -506,6 +677,15 @@ mod tests {
         let mut m = valid_module();
         m.ports[0].ty = ScalarType::UInt(32);
         assert!(validate(&m).unwrap_err().to_string().contains("disagrees with memory"));
+        assert_eq!(codes_of(&m), vec!["TL0004"]);
+    }
+
+    #[test]
+    fn port_direction_mismatch_rejected() {
+        let mut m = valid_module();
+        m.ports[0].dir = crate::stream::StreamDir::Write;
+        assert!(validate(&m).unwrap_err().to_string().contains("direction"));
+        assert!(codes_of(&m).contains(&"TL0003"));
     }
 
     #[test]
@@ -519,5 +699,61 @@ mod tests {
             vec![Operand::global("acc"), Operand::Imm(1)],
         )));
         assert!(validate(&m).unwrap_err().to_string().contains("outside a reduction"));
+        assert_eq!(codes_of(&m), vec!["TL0014"]);
+    }
+
+    #[test]
+    fn undefined_offset_source_rejected() {
+        let mut m = valid_module();
+        let f0 = m.functions.iter_mut().find(|f| f.name == "f0").unwrap();
+        f0.body.push(Stmt::Offset(OffsetDecl {
+            dest: "late".into(),
+            ty: T,
+            src: "nosuch".into(),
+            offset: 2,
+            span: SrcLoc::none(),
+        }));
+        assert!(validate(&m).unwrap_err().to_string().contains("undefined stream"));
+        assert_eq!(codes_of(&m), vec!["TL0010"]);
+    }
+
+    #[test]
+    fn sink_collects_multiple_violations() {
+        let mut m = valid_module();
+        m.meta.nki = 0; // TL0020
+        m.meta.ndrange = vec![0]; // TL0020
+        let f0 = m.functions.iter_mut().find(|f| f.name == "f0").unwrap();
+        f0.body.push(Stmt::Instr(Instruction::new(
+            Dest::Local("z".into()),
+            Opcode::Add,
+            T,
+            vec![Operand::local("ghost"), Operand::Imm(1)],
+        ))); // TL0010
+        let codes = codes_of(&m);
+        assert_eq!(codes, vec!["TL0010", "TL0020", "TL0020"]);
+        // Fail-fast API still reports the first in traversal order.
+        assert!(validate(&m).unwrap_err().to_string().contains("undefined value"));
+    }
+
+    #[test]
+    fn parsed_module_diagnostics_carry_spans() {
+        let src = "\
+!module = !\"bad\"
+!ndrange = !{8}
+define void @main() seq {
+  call @f0() pipe
+}
+define void @f0(ui18 %p, out ui18 %q) pipe {
+  ui18 %x = add ui18 %p, %ghost
+  ui18 %q__out = or ui18 %x, 0
+}
+";
+        let m = crate::parser::parse_unvalidated(src).unwrap();
+        let mut sink = DiagSink::new();
+        validate_into(&m, &mut sink);
+        let d = &sink.diagnostics()[0];
+        assert_eq!(d.code, "TL0010");
+        let span = d.span.expect("parsed statements carry spans");
+        assert_eq!(span.line, 7);
     }
 }

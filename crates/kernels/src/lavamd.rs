@@ -73,11 +73,7 @@ impl EvalKernel for LavaMd {
             elem_ty: TY,
             inputs: vec!["x".into(), "y".into(), "z".into(), "q".into(), "s".into()],
             outputs: vec![("pot".into(), pot), ("disp".into(), disp)],
-            reductions: vec![Reduction {
-                acc: "potAcc".into(),
-                op: Opcode::Add,
-                value: v,
-            }],
+            reductions: vec![Reduction { acc: "potAcc".into(), op: Opcode::Add, value: v }],
         }
     }
 
@@ -140,10 +136,7 @@ mod tests {
         let md = LavaMd::default();
         let m = md.lower_variant(&Variant::baseline()).unwrap();
         let f0 = m.function("f0").unwrap();
-        let muls = f0
-            .instrs()
-            .filter(|i| i.op == Opcode::Mul && !i.has_const_operand())
-            .count();
+        let muls = f0.instrs().filter(|i| i.op == Opcode::Mul && !i.has_const_operand()).count();
         assert_eq!(muls, 26, "6 neighbours × (3 squares + 1 charge) + 2 scalings");
     }
 

@@ -37,8 +37,8 @@ pub use triad::StreamTriad;
 
 use std::collections::HashMap;
 use tytra_ir::{IrError, IrModule};
-use tytra_transform::{lower, KernelDef, Variant};
 use tytra_transform::lower::Geometry;
+use tytra_transform::{lower, KernelDef, Variant};
 
 /// Common interface over the three evaluation kernels. `Sync` so sweep
 /// drivers can cost variants from worker threads.
@@ -85,11 +85,7 @@ pub trait EvalKernel: Sync {
 
 /// All three kernels, boxed, for sweep drivers.
 pub fn all_kernels() -> Vec<Box<dyn EvalKernel>> {
-    vec![
-        Box::new(Sor::default()),
-        Box::new(Hotspot::default()),
-        Box::new(LavaMd::default()),
-    ]
+    vec![Box::new(Sor::default()), Box::new(Hotspot::default()), Box::new(LavaMd::default())]
 }
 
 #[cfg(test)]
@@ -132,7 +128,8 @@ mod tests {
                 assert_eq!(r.len(), arr.len(), "{}::{name}", k.name());
                 for i in 0..arr.len() {
                     assert_eq!(
-                        r[i], arr[i],
+                        r[i],
+                        arr[i],
                         "{}::{name}[{i}] reference {} vs front-end {}",
                         k.name(),
                         r[i],

@@ -82,10 +82,7 @@ impl Sor {
         );
         let omega = Expr::ConstF(1.45);
         let reltmp = Expr::sub(
-            Expr::mul(
-                omega,
-                Expr::sub(Expr::mul(sum, Expr::ConstF(0.65)), Expr::arg("rhs")),
-            ),
+            Expr::mul(omega, Expr::sub(Expr::mul(sum, Expr::ConstF(0.65)), Expr::arg("rhs"))),
             Expr::arg("p"),
         );
         let pnew = Expr::add(reltmp.clone(), Expr::arg("p"));

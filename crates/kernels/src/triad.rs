@@ -108,11 +108,9 @@ mod tests {
         let t = StreamTriad { n: 1 << 22, nki: 10 };
         let dev = virtex7_adm7v3();
         let e1 = estimate(&t.lower_variant(&Variant::baseline()).unwrap(), &dev).unwrap();
-        let e8 = estimate(
-            &t.lower_variant(&Variant { lanes: 8, ..Variant::baseline() }).unwrap(),
-            &dev,
-        )
-        .unwrap();
+        let e8 =
+            estimate(&t.lower_variant(&Variant { lanes: 8, ..Variant::baseline() }).unwrap(), &dev)
+                .unwrap();
         let gain = e8.throughput.ekit / e1.throughput.ekit;
         assert!(gain < 4.0, "8 lanes bought {gain}x on a memory-bound kernel");
         assert_eq!(e8.limiter, Limiter::DramBandwidth);

@@ -1,0 +1,77 @@
+//! Rustc-style text rendering of a [`LintReport`].
+
+use crate::LintReport;
+use std::fmt::Write as _;
+
+/// Render `report` as human-readable text, one rustc-style block per
+/// diagnostic followed by a summary line. `path` is the file the spans
+/// refer to (shown in `--> path:line:col` anchors).
+pub fn render_text(report: &LintReport, path: &str) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity.label(), d.code, d.message);
+        if let Some(sp) = d.span {
+            let _ = writeln!(out, "  --> {}:{}:{}", path, sp.line, sp.col);
+        }
+        if let Some(h) = &d.hint {
+            let _ = writeln!(out, "  = help: {h}");
+        }
+    }
+    let errors = report.errors();
+    let warnings = report.warnings();
+    if report.diagnostics.is_empty() {
+        let _ = writeln!(out, "{path}: clean ({} passes, no diagnostics)", crate::registry().len());
+    } else {
+        let _ = writeln!(
+            out,
+            "{path}: {errors} error{}, {warnings} warning{}",
+            plural(errors),
+            plural(warnings)
+        );
+    }
+    if !report.cost_evaluated {
+        let _ = writeln!(out, "note: cost model not evaluated; feasibility lints were skipped");
+    }
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_ir::{Diagnostic, Span};
+
+    fn report(diags: Vec<Diagnostic>) -> LintReport {
+        LintReport {
+            module: "m".into(),
+            target: "t".into(),
+            diagnostics: diags,
+            cost_evaluated: true,
+        }
+    }
+
+    #[test]
+    fn clean_report_renders_summary_only() {
+        let txt = render_text(&report(vec![]), "x.tirl");
+        assert!(txt.contains("x.tirl: clean"));
+    }
+
+    #[test]
+    fn diagnostic_block_has_anchor_and_help() {
+        let d = Diagnostic::warn("TL1001", "input port `%u` of `@f0` is never read")
+            .with_span(Span { line: 21, col: 1 })
+            .with_hint("remove the parameter");
+        let txt = render_text(&report(vec![d]), "a/b.tirl");
+        assert!(txt.contains("warning[TL1001]: input port `%u` of `@f0` is never read"));
+        assert!(txt.contains("  --> a/b.tirl:21:1"));
+        assert!(txt.contains("  = help: remove the parameter"));
+        assert!(txt.contains("a/b.tirl: 0 errors, 1 warning"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Seeded-defect fixtures: one `.tirl` design per lint code, each
+//! structurally valid, each tripping exactly its own pass — with the
+//! diagnostic anchored to the expected source line.
+
+use tytra_device::stratix_v_gsd8;
+use tytra_ir::Severity;
+use tytra_lint::{lint, LintReport};
+
+fn lint_fixture(name: &str) -> LintReport {
+    let path = format!("{}/tests/fixtures/{}", env!("CARGO_MANIFEST_DIR"), name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let m = tytra_ir::parse(&src).expect("fixture must be structurally valid");
+    let r = lint(&m, &stratix_v_gsd8());
+    assert!(r.cost_evaluated, "{name}: cost model should evaluate valid fixtures");
+    r
+}
+
+/// `(code, line)` pairs for diagnostics that carry a span, plus bare
+/// codes for those that do not.
+fn anchored(r: &LintReport) -> Vec<(&'static str, Option<u32>)> {
+    r.diagnostics.iter().map(|d| (d.code, d.span.map(|s| s.line))).collect()
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let r = lint_fixture("clean.tirl");
+    assert!(r.diagnostics.is_empty(), "unexpected diagnostics: {:?}", r.diagnostics);
+}
+
+#[test]
+fn tl1001_unread_input_port() {
+    let r = lint_fixture("tl1001.tirl");
+    assert_eq!(anchored(&r), vec![("TL1001", Some(18))], "{:?}", r.diagnostics);
+    assert_eq!(r.errors(), 0);
+    assert!(r.diagnostics[0].message.contains("`%u`"));
+}
+
+#[test]
+fn tl1002_dead_value_and_uncalled_function() {
+    let r = lint_fixture("tl1002.tirl");
+    assert_eq!(
+        anchored(&r),
+        vec![("TL1002", Some(17)), ("TL1002", Some(21))],
+        "{:?}",
+        r.diagnostics
+    );
+    assert!(r.diagnostics.iter().any(|d| d.message.contains("`%dead`")));
+    assert!(r.diagnostics.iter().any(|d| d.message.contains("`@g0`")));
+}
+
+#[test]
+fn tl1003_offset_out_of_range_and_wide_window() {
+    let r = lint_fixture("tl1003.tirl");
+    assert_eq!(
+        anchored(&r),
+        vec![("TL1003", Some(21)), ("TL1003", Some(19))],
+        "{:?}",
+        r.diagnostics
+    );
+    assert_eq!(r.diagnostics[0].severity, Severity::Error);
+    assert_eq!(r.diagnostics[1].severity, Severity::Warn);
+    assert!(r.diagnostics[0].message.contains("!+300"));
+    assert!(r.diagnostics[1].message.contains("260"));
+}
+
+#[test]
+fn tl1004_reduction_never_reads_accumulator() {
+    let r = lint_fixture("tl1004.tirl");
+    assert_eq!(anchored(&r), vec![("TL1004", Some(17))], "{:?}", r.diagnostics);
+    assert!(r.diagnostics[0].message.contains("`@acc`"));
+    assert_eq!(r.errors(), 0);
+}
+
+#[test]
+fn tl1005_design_does_not_fit() {
+    let r = lint_fixture("tl1005.tirl");
+    let codes = r.codes();
+    assert!(codes.contains(&"TL1005"), "{:?}", r.diagnostics);
+    assert!(codes.iter().all(|c| *c == "TL1005"), "{:?}", r.diagnostics);
+    let d = &r.diagnostics[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.span.is_none(), "feasibility is a whole-module verdict");
+    assert!(d.message.contains("BRAM"));
+}
+
+#[test]
+fn tl1006_memory_bound_advisory() {
+    let r = lint_fixture("tl1006.tirl");
+    let codes = r.codes();
+    assert!(codes.contains(&"TL1006"), "{:?}", r.diagnostics);
+    assert!(codes.iter().all(|c| *c == "TL1006"), "{:?}", r.diagnostics);
+    let d = &r.diagnostics[0];
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.hint.as_deref().unwrap_or("").contains("Form B/C"));
+}
+
+#[test]
+fn assets_lint_clean_of_errors() {
+    let dir = format!("{}/../../assets", env!("CARGO_MANIFEST_DIR"));
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("assets dir") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("tirl") {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).unwrap();
+        let m = tytra_ir::parse(&src).expect("asset parses");
+        let r = lint(&m, &stratix_v_gsd8());
+        assert!(r.cost_evaluated, "{}: cost model should evaluate", path.display());
+        assert_eq!(r.errors(), 0, "{}: {:?}", path.display(), r.diagnostics);
+    }
+    assert_eq!(seen, 4, "expected the four reference designs");
+}

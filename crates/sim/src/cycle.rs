@@ -93,9 +93,9 @@ pub fn simulate_with_params(
 
     let offchip = !matches!(p.form, MemForm::C) && p.bytes_per_item > 0;
     let supply = if offchip { aggregate / f_hz } else { f64::INFINITY }; // bytes/cycle
-    // Bytes one "group item" moves (all lanes × vector slots consume and
-    // produce together), and the byte rate the full-speed datapath
-    // demands per cycle.
+                                                                         // Bytes one "group item" moves (all lanes × vector slots consume and
+                                                                         // produce together), and the byte rate the full-speed datapath
+                                                                         // demands per cycle.
     let group_bytes = (p.knl.max(1) * u64::from(p.dv.max(1)) * p.bytes_per_item) as f64;
     let demand_rate = group_bytes / p.sched.ii.max(1.0);
 
@@ -154,9 +154,7 @@ pub fn simulate_with_params(
             // Memory-bound: drain the fifo, then advance at link rate.
             let delivered = chunk as f64 * supply + fifo;
             let consumable_items = delivered / group_bytes;
-            let progressed = consumable_items
-                .min(items_left)
-                .min(chunk as f64 * rate_per_cycle);
+            let progressed = consumable_items.min(items_left).min(chunk as f64 * rate_per_cycle);
             items_done += progressed;
             fifo = (delivered - progressed * group_bytes).clamp(0.0, fifo_cap);
             let ideal = chunk as f64 * rate_per_cycle;
@@ -178,11 +176,7 @@ pub fn simulate_with_params(
 
     let stream_cycles = cycles;
     let total = prime_cycles + fill_cycles + stream_cycles + drain_cycles;
-    let achieved = if total > 0 && offchip {
-        p.total_bytes() / (total as f64 / f_hz)
-    } else {
-        0.0
-    };
+    let achieved = if total > 0 && offchip { p.total_bytes() / (total as f64 / f_hz) } else { 0.0 };
 
     CycleStats {
         prime_cycles,
@@ -265,7 +259,12 @@ mod tests {
         let est = estimate(&m, &dev).unwrap();
         let sim = simulate_instance(&m, &dev, est.clock.freq_mhz).unwrap();
         let err = (est.throughput.cpki - sim.total as f64) / sim.total as f64 * 100.0;
-        assert!(err.abs() < 6.0, "CPKI error {err}% (est {} vs sim {})", est.throughput.cpki, sim.total);
+        assert!(
+            err.abs() < 6.0,
+            "CPKI error {err}% (est {} vs sim {})",
+            est.throughput.cpki,
+            sim.total
+        );
         assert_ne!(est.throughput.cpki as u64, sim.total, "simulation adds drain/refresh detail");
     }
 
@@ -274,10 +273,7 @@ mod tests {
         let m = kernel(1, 4096, false, MemForm::B);
         let dev = stratix_v_gsd8();
         let s = simulate_instance(&m, &dev, 200.0).unwrap();
-        assert_eq!(
-            s.total,
-            s.prime_cycles + s.fill_cycles + s.stream_cycles + s.drain_cycles
-        );
+        assert_eq!(s.total, s.prime_cycles + s.fill_cycles + s.stream_cycles + s.drain_cycles);
         assert!(s.prime_cycles > 0, "stencil must prime");
         assert!(s.fill_cycles > 0);
         assert_eq!(s.fill_cycles, s.drain_cycles);

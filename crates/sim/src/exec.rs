@@ -80,11 +80,7 @@ pub struct ExecOutputs {
 ///
 /// `inputs` supplies one array per input parameter of the lane function;
 /// all arrays must have length ≥ `n`.
-pub fn execute_module(
-    m: &IrModule,
-    inputs: &ExecInputs,
-    n: usize,
-) -> Result<ExecOutputs, IrError> {
+pub fn execute_module(m: &IrModule, inputs: &ExecInputs, n: usize) -> Result<ExecOutputs, IrError> {
     let tree = config_tree::extract(m)?;
     // The lane function: descend par → first child; coarse pipes execute
     // child pipes in sequence (each stage feeding the next is not yet
@@ -93,9 +89,10 @@ pub fn execute_module(
     let lane = {
         let mut node = &tree.root;
         while node.kind == ParKind::Par {
-            node = node.children.first().ok_or_else(|| {
-                IrError::Validate("par node with no lanes at execution".into())
-            })?;
+            node = node
+                .children
+                .first()
+                .ok_or_else(|| IrError::Validate("par node with no lanes at execution".into()))?;
         }
         node
     };
@@ -134,9 +131,7 @@ pub fn execute_application(
         return execute_module(m, inputs, n);
     }
     if !n.is_multiple_of(lanes) {
-        return Err(IrError::Validate(format!(
-            "{lanes} lanes do not divide {n} work-items"
-        )));
+        return Err(IrError::Validate(format!("{lanes} lanes do not divide {n} work-items")));
     }
     let per = n / lanes;
     let mut combined = ExecOutputs::default();
@@ -152,10 +147,7 @@ pub fn execute_application(
         }
         let lane_out = execute_module(m, &lane_inputs, ext_hi - ext_lo)?;
         for (name, arr) in &lane_out.arrays {
-            let slot = combined
-                .arrays
-                .entry(name.clone())
-                .or_insert_with(|| vec![0.0; n]);
+            let slot = combined.arrays.entry(name.clone()).or_insert_with(|| vec![0.0; n]);
             slot[lo..hi].copy_from_slice(&arr[lead..lead + per]);
         }
         for (acc, v) in &lane_out.reductions {
@@ -173,10 +165,7 @@ pub fn execute_application(
 
 /// The pipe functions of a (possibly coarse) pipeline, in dataflow
 /// order.
-fn collect_pipeline<'m>(
-    m: &'m IrModule,
-    root: &str,
-) -> Result<Vec<&'m IrFunction>, IrError> {
+fn collect_pipeline<'m>(m: &'m IrModule, root: &str) -> Result<Vec<&'m IrFunction>, IrError> {
     let f = m
         .function(root)
         .ok_or_else(|| IrError::Unknown { kind: "function", name: root.to_string() })?;
@@ -229,8 +218,9 @@ fn exec_function(
         for s in &f.body {
             match s {
                 Stmt::Offset(o) => {
-                    let src_data = arrays.get(o.src.as_str()).ok_or_else(|| {
-                        IrError::Unknown { kind: "offset source array", name: o.src.clone() }
+                    let src_data = arrays.get(o.src.as_str()).ok_or_else(|| IrError::Unknown {
+                        kind: "offset source array",
+                        name: o.src.clone(),
                     })?;
                     let j = idx as i64 + o.offset;
                     let raw = if j >= 0 && (j as usize) < src_data.len() {

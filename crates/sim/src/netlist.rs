@@ -2,10 +2,8 @@
 //! components — the structure the synthesis emulator prices and the
 //! Verilog emitter mirrors (paper Fig 11, "Generate Core(s)" onwards).
 
-use tytra_ir::{
-    config_tree, ConfigNode, Dfg, IrError, IrModule, Opcode, ParKind, ScalarType,
-};
 use tytra_device::TargetDevice;
+use tytra_ir::{config_tree, ConfigNode, Dfg, IrError, IrModule, Opcode, ParKind, ScalarType};
 
 /// What a component physically is.
 #[derive(Debug, Clone, PartialEq)]
@@ -164,11 +162,8 @@ fn elaborate_node(
                 }
                 for src in f.offset_sources() {
                     let window = f.offset_window(src);
-                    let width = f
-                        .offsets()
-                        .find(|o| o.src == src)
-                        .map(|o| o.ty.bits())
-                        .unwrap_or(18);
+                    let width =
+                        f.offsets().find(|o| o.src == src).map(|o| o.ty.bits()).unwrap_or(18);
                     out.push(Component {
                         function: f.name.clone(),
                         kind: ComponentKind::OffsetBuffer { window, width },

@@ -50,11 +50,7 @@ pub fn synthesize(m: &IrModule, dev: &TargetDevice) -> Result<SynthesisResult, I
 }
 
 /// Price an already-elaborated netlist.
-pub fn synthesize_netlist(
-    netlist: &Netlist,
-    m: &IrModule,
-    dev: &TargetDevice,
-) -> SynthesisResult {
+pub fn synthesize_netlist(netlist: &Netlist, m: &IrModule, dev: &TargetDevice) -> SynthesisResult {
     let mut r = ResourceVector::ZERO;
     let mut dsps_saved = 0u64;
     let mut regs_packed = 0u64;
@@ -65,11 +61,7 @@ pub fn synthesize_netlist(
             ComponentKind::FunctionalUnit { op, ty, const_operand, latency } => {
                 let (fu, saved_dsp) = fu_cost(dev, *op, *ty, *const_operand, *latency);
                 dsps_saved += saved_dsp;
-                if *op == Opcode::Mul
-                    && const_operand.is_none()
-                    && ty.is_int()
-                    && ty.bits() <= 18
-                {
+                if *op == Opcode::Mul && const_operand.is_none() && ty.is_int() && ty.bits() <= 18 {
                     pairable_dsp_muls += 1;
                 }
                 r += fu;
@@ -155,11 +147,7 @@ pub fn synthesize_netlist(
     // Quadratic congestion: gentler than the model at mid-utilisation,
     // harsher near full.
     let congestion = 1.0 - 0.45 * util * util;
-    let base = if worst_ns > 0.0 {
-        (1000.0 / worst_ns).min(dev.fmax_mhz)
-    } else {
-        dev.fmax_mhz
-    };
+    let base = if worst_ns > 0.0 { (1000.0 / worst_ns).min(dev.fmax_mhz) } else { dev.fmax_mhz };
     let fjit: f64 = rng.random_range(-0.03..0.03);
     let fmax = (base * congestion * (1.0 + fjit)).max(1.0);
     let fmax = match m.meta.freq_mhz {
@@ -239,7 +227,11 @@ fn fu_cost(
             };
             (ResourceVector::new(aluts, regs, 0, 0), 0)
         }
-        Opcode::CmpEq | Opcode::CmpNe | Opcode::CmpLt | Opcode::CmpLe | Opcode::CmpGt
+        Opcode::CmpEq
+        | Opcode::CmpNe
+        | Opcode::CmpLt
+        | Opcode::CmpLe
+        | Opcode::CmpGt
         | Opcode::CmpGe => (ResourceVector::new(w / 2 + 4, lat, 0, 0), 0),
         Opcode::Select => (ResourceVector::new(w.div_ceil(2) + 2, regs, 0, 0), 0),
         Opcode::Min | Opcode::Max => {

@@ -24,11 +24,7 @@ fn module(width: u16, n_ops: usize, lanes: u64, ngs: u64, window: i64) -> IrModu
         let f = b.function("f0", ParKind::Pipe);
         f.input("x", t);
         f.output("y", t);
-        let mut cur = if window > 0 {
-            f.offset("x", t, window)
-        } else {
-            f.arg("x")
-        };
+        let mut cur = if window > 0 { f.offset("x", t, window) } else { f.arg("x") };
         for k in 0..n_ops {
             let op = [Opcode::Add, Opcode::Mul, Opcode::Xor][k % 3];
             let x = f.arg("x");

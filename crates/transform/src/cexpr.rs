@@ -66,9 +66,9 @@ impl<'a> P<'a> {
         self.skip_ws();
         if self.src[self.pos..].starts_with(s.as_bytes()) {
             // Do not let `<` eat the front of `<<` or `<=`.
-            if (s == "<" || s == ">") && self.src.get(self.pos + 1).is_some_and(|&c| {
-                c == b'=' || c == self.src[self.pos]
-            }) {
+            if (s == "<" || s == ">")
+                && self.src.get(self.pos + 1).is_some_and(|&c| c == b'=' || c == self.src[self.pos])
+            {
                 return false;
             }
             self.pos += s.len();

@@ -83,10 +83,9 @@ impl Expr {
     /// All distinct (input, offset) pairs with offset ≠ 0.
     pub fn offsets(&self, acc: &mut Vec<(String, i64)>) {
         match self {
-            Expr::OffsetArg(n, o) if *o != 0
-                && !acc.contains(&(n.clone(), *o)) => {
-                    acc.push((n.clone(), *o));
-                }
+            Expr::OffsetArg(n, o) if *o != 0 && !acc.contains(&(n.clone(), *o)) => {
+                acc.push((n.clone(), *o));
+            }
             Expr::Bin(_, a, b) => {
                 a.offsets(acc);
                 b.offsets(acc);
@@ -300,10 +299,7 @@ mod tests {
 
     fn simple_kernel() -> KernelDef {
         // q[i] = (p[i-1] + p[i+1]) * 3; errAcc += q[i] - p[i]
-        let e = Expr::mul(
-            Expr::add(Expr::off("p", -1), Expr::off("p", 1)),
-            Expr::ConstI(3),
-        );
+        let e = Expr::mul(Expr::add(Expr::off("p", -1), Expr::off("p", 1)), Expr::ConstI(3));
         KernelDef {
             name: "simple".into(),
             elem_ty: T,
@@ -394,11 +390,7 @@ mod tests {
             elem_ty: T,
             inputs: vec!["x".into()],
             outputs: vec![("y".into(), Expr::arg("x"))],
-            reductions: vec![Reduction {
-                acc: "m".into(),
-                op: Opcode::Max,
-                value: Expr::arg("x"),
-            }],
+            reductions: vec![Reduction { acc: "m".into(), op: Opcode::Max, value: Expr::arg("x") }],
         };
         let mut inputs = HashMap::new();
         inputs.insert("x".to_string(), vec![3.0, 9.0, 4.0]);

@@ -53,8 +53,7 @@ pub fn lower(kernel: &KernelDef, geom: &Geometry, variant: &Variant) -> Result<I
 
     // Manage-IR: one array set per lane (Fig 14's p0..p3), or a single
     // set for the baseline.
-    let lane_suffix =
-        |l: u64| if lanes > 1 { l.to_string() } else { String::new() };
+    let lane_suffix = |l: u64| if lanes > 1 { l.to_string() } else { String::new() };
     for l in 0..lanes {
         let sfx = lane_suffix(l);
         for name in &kernel.inputs {
@@ -110,10 +109,7 @@ pub fn lower(kernel: &KernelDef, geom: &Geometry, variant: &Variant) -> Result<I
         b.main_calls("f0");
     }
 
-    b.ndrange(&geom.ndrange)
-        .nki(geom.nki)
-        .form(variant.form)
-        .vect(variant.vect);
+    b.ndrange(&geom.ndrange).nki(geom.nki).form(variant.form).vect(variant.vect);
     b.finish()
 }
 
@@ -152,10 +148,9 @@ fn emit(
     match e {
         Expr::Arg(n) => Operand::Local(n.clone()),
         Expr::OffsetArg(n, 0) => Operand::Local(n.clone()),
-        Expr::OffsetArg(n, off) => offsets
-            .get(&(n.clone(), *off))
-            .cloned()
-            .unwrap_or_else(|| Operand::Local(n.clone())),
+        Expr::OffsetArg(n, off) => {
+            offsets.get(&(n.clone(), *off)).cloned().unwrap_or_else(|| Operand::Local(n.clone()))
+        }
         Expr::ConstI(v) => Operand::Imm(*v),
         Expr::ConstF(v) => Operand::ImmF(*v),
         Expr::Bin(..) | Expr::Un(..) | Expr::Sel(..) => {
@@ -196,10 +191,7 @@ mod tests {
     const T: ScalarType = ScalarType::UInt(18);
 
     fn stencil_kernel() -> KernelDef {
-        let e = Expr::mul(
-            Expr::add(Expr::off("p", -1), Expr::off("p", 1)),
-            Expr::ConstI(3),
-        );
+        let e = Expr::mul(Expr::add(Expr::off("p", -1), Expr::off("p", 1)), Expr::ConstI(3));
         KernelDef {
             name: "st".into(),
             elem_ty: T,

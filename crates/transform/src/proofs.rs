@@ -27,11 +27,7 @@ pub fn reshape_preserves_order<T: Clone + PartialEq>(v: &Vect<T>, dims: &[u64]) 
 }
 
 /// Law 2: `map f ∘ reshape = reshape ∘ map f`.
-pub fn map_commutes_with_reshape<T, U>(
-    v: Vect<T>,
-    dims: &[u64],
-    f: impl Fn(T) -> U + Copy,
-) -> bool
+pub fn map_commutes_with_reshape<T, U>(v: Vect<T>, dims: &[u64], f: impl Fn(T) -> U + Copy) -> bool
 where
     T: Clone,
     U: PartialEq,

@@ -65,10 +65,7 @@ impl<T> Vect<T> {
     /// Fails when the shape's product does not match the data length.
     pub fn with_shape(data: Vec<T>, shape: Shape) -> Result<Vect<T>, String> {
         if shape.size() != data.len() as u64 {
-            return Err(format!(
-                "shape {shape} does not cover {} elements",
-                data.len()
-            ));
+            return Err(format!("shape {shape} does not cover {} elements", data.len()));
         }
         Ok(Vect { shape, data })
     }

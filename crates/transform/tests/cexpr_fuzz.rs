@@ -2,9 +2,9 @@
 //! front end.
 
 use proptest::prelude::*;
+use tytra_ir::Opcode;
 use tytra_transform::cexpr::parse_expr;
 use tytra_transform::Expr;
-use tytra_ir::Opcode;
 
 /// Render an [`Expr`] back into surface syntax (fully parenthesised).
 fn render(e: &Expr) -> String {
@@ -80,8 +80,11 @@ fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
                 let op = [Opcode::Neg, Opcode::Not, Opcode::Abs][k];
                 Expr::Un(op, Box::new(a))
             }),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| Expr::Sel(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::Sel(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
     .boxed()

@@ -22,11 +22,18 @@ fn main() {
     let synth = synthesize(&module, &dev).expect("virtual toolchain");
     let run = run_application(&module, &dev).expect("cycle simulation");
 
-    println!("Hotspot ({} work-items, {} instructions per PE)", module.meta.global_size(), est.params.sched.ni);
+    println!(
+        "Hotspot ({} work-items, {} instructions per PE)",
+        module.meta.global_size(),
+        est.params.sched.ni
+    );
     println!("  estimated: {}", est.resources.total);
     println!("  actual   : {}", synth.resources);
     let e = est.resources.total.pct_error_vs(&synth.resources);
-    println!("  % error  : ALUT {:+.1}  REG {:+.1}  BRAM {:+.1}  DSP {:+.1}", e[0], e[1], e[2], e[3]);
+    println!(
+        "  % error  : ALUT {:+.1}  REG {:+.1}  BRAM {:+.1}  DSP {:+.1}",
+        e[0], e[1], e[2], e[3]
+    );
     println!(
         "  CPKI     : est {:.0} vs simulated {} ({:+.2} %)",
         est.throughput.cpki,
@@ -37,8 +44,7 @@ fn main() {
         "  BRAM note: the ±512-row stencil window books (2·512+1)×32 = {} bits\n\
          \x20            estimated vs 2·512×32 = {} bits synthesised — the same\n\
          \x20            off-by-one-element the paper's Table II shows for SOR.",
-        est.resources.breakdown.offset_buffers.bram_bits,
-        synth.resources.bram_bits
+        est.resources.breakdown.offset_buffers.bram_bits, synth.resources.bram_bits
     );
     println!("  limiter  : {} — {}", est.limiter, est.limiter.tuning_hint());
 }

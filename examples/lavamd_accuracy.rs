@@ -44,10 +44,7 @@ fn main() {
         let h = &hw.arrays[name];
         mismatches += arr.iter().zip(h).filter(|(a, b)| a != b).count();
     }
-    println!(
-        "functional     : {} outputs × {n} items compared, {mismatches} mismatches",
-        sw.len()
-    );
+    println!("functional     : {} outputs × {n} items compared, {mismatches} mismatches", sw.len());
     assert_eq!(mismatches, 0, "hardware datapath must equal the reference");
     println!(
         "reduction      : potAcc = {} (hardware) vs {} (reference)",

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-679602e638856f9a.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-679602e638856f9a: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-2fcdaea384def09e.d: tests/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-2fcdaea384def09e: tests/accuracy.rs
+
+tests/accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accuracy-e54ff978127d771c.d: tests/accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccuracy-e54ff978127d771c.rmeta: tests/accuracy.rs Cargo.toml
+
+tests/accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

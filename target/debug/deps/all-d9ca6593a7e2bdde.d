@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-d9ca6593a7e2bdde.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-d9ca6593a7e2bdde: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

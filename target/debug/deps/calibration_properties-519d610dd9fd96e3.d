@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_properties-519d610dd9fd96e3.d: crates/device/tests/calibration_properties.rs
+
+/root/repo/target/debug/deps/calibration_properties-519d610dd9fd96e3: crates/device/tests/calibration_properties.rs
+
+crates/device/tests/calibration_properties.rs:

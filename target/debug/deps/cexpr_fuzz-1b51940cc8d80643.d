@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cexpr_fuzz-1b51940cc8d80643.d: crates/transform/tests/cexpr_fuzz.rs
+
+/root/repo/target/debug/deps/cexpr_fuzz-1b51940cc8d80643: crates/transform/tests/cexpr_fuzz.rs
+
+crates/transform/tests/cexpr_fuzz.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-2d6e426a9584bdd0.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-2d6e426a9584bdd0: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_tybec=/root/repo/target/debug/tybec
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/cli

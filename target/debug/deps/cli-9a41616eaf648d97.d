@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-9a41616eaf648d97.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-9a41616eaf648d97: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_tybec=/root/repo/target/debug/tybec
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/cli

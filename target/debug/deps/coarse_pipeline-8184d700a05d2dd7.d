@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coarse_pipeline-8184d700a05d2dd7.d: tests/coarse_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoarse_pipeline-8184d700a05d2dd7.rmeta: tests/coarse_pipeline.rs Cargo.toml
+
+tests/coarse_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

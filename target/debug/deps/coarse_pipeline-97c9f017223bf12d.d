@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coarse_pipeline-97c9f017223bf12d.d: tests/coarse_pipeline.rs
+
+/root/repo/target/debug/deps/coarse_pipeline-97c9f017223bf12d: tests/coarse_pipeline.rs
+
+tests/coarse_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/comb_blocks-9af07c281ad3f52b.d: tests/comb_blocks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomb_blocks-9af07c281ad3f52b.rmeta: tests/comb_blocks.rs Cargo.toml
+
+tests/comb_blocks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comb_blocks-a676bf6b4c6b3c88.d: tests/comb_blocks.rs
+
+/root/repo/target/debug/deps/comb_blocks-a676bf6b4c6b3c88: tests/comb_blocks.rs
+
+tests/comb_blocks.rs:

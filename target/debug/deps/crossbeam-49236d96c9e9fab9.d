@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-49236d96c9e9fab9.d: crates/compat-crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-49236d96c9e9fab9.rlib: crates/compat-crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-49236d96c9e9fab9.rmeta: crates/compat-crossbeam/src/lib.rs
+
+crates/compat-crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-c503c4ac88e4d438.d: crates/compat-crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-c503c4ac88e4d438.rmeta: crates/compat-crossbeam/src/lib.rs Cargo.toml
+
+crates/compat-crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

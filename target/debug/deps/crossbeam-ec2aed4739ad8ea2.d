@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-ec2aed4739ad8ea2.d: crates/compat-crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-ec2aed4739ad8ea2: crates/compat-crossbeam/src/lib.rs
+
+crates/compat-crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dse_pipeline-1204ed621385066a.d: tests/dse_pipeline.rs
+
+/root/repo/target/debug/deps/dse_pipeline-1204ed621385066a: tests/dse_pipeline.rs
+
+tests/dse_pipeline.rs:

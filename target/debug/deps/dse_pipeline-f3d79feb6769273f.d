@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dse_pipeline-f3d79feb6769273f.d: tests/dse_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdse_pipeline-f3d79feb6769273f.rmeta: tests/dse_pipeline.rs Cargo.toml
+
+tests/dse_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_sor-a08bef6160c1d871.d: tests/end_to_end_sor.rs
+
+/root/repo/target/debug/deps/end_to_end_sor-a08bef6160c1d871: tests/end_to_end_sor.rs
+
+tests/end_to_end_sor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec_semantics-f7a3f0d00c4aa8c4.d: tests/exec_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec_semantics-f7a3f0d00c4aa8c4.rmeta: tests/exec_semantics.rs Cargo.toml
+
+tests/exec_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

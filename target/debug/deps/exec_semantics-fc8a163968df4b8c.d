@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_semantics-fc8a163968df4b8c.d: tests/exec_semantics.rs
+
+/root/repo/target/debug/deps/exec_semantics-fc8a163968df4b8c: tests/exec_semantics.rs
+
+tests/exec_semantics.rs:

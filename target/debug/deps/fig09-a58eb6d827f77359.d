@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-a58eb6d827f77359.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-a58eb6d827f77359: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

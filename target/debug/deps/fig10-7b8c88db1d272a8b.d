@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-7b8c88db1d272a8b.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-7b8c88db1d272a8b: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

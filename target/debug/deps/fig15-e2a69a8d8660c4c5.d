@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-e2a69a8d8660c4c5.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-e2a69a8d8660c4c5: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-65c4e72cb8a89e69.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-65c4e72cb8a89e69: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-831d236e1786e969.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-831d236e1786e969: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

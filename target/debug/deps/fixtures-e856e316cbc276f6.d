@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixtures-e856e316cbc276f6.d: crates/lint/tests/fixtures.rs
+
+/root/repo/target/debug/deps/fixtures-e856e316cbc276f6: crates/lint/tests/fixtures.rs
+
+crates/lint/tests/fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forms_and_codegen-6b73bffe94d20f5c.d: tests/forms_and_codegen.rs
+
+/root/repo/target/debug/deps/forms_and_codegen-6b73bffe94d20f5c: tests/forms_and_codegen.rs
+
+tests/forms_and_codegen.rs:

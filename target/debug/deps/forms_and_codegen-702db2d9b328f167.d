@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forms_and_codegen-702db2d9b328f167.d: tests/forms_and_codegen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforms_and_codegen-702db2d9b328f167.rmeta: tests/forms_and_codegen.rs Cargo.toml
+
+tests/forms_and_codegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

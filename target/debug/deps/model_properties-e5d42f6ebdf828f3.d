@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-e5d42f6ebdf828f3.d: crates/core/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-e5d42f6ebdf828f3: crates/core/tests/model_properties.rs
+
+crates/core/tests/model_properties.rs:

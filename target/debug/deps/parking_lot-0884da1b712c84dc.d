@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-0884da1b712c84dc.d: crates/compat-parking-lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-0884da1b712c84dc.rlib: crates/compat-parking-lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-0884da1b712c84dc.rmeta: crates/compat-parking-lot/src/lib.rs
+
+crates/compat-parking-lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-4984182fb769202d.d: crates/compat-parking-lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-4984182fb769202d.rmeta: crates/compat-parking-lot/src/lib.rs Cargo.toml
+
+crates/compat-parking-lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

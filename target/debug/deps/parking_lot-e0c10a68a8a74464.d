@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-e0c10a68a8a74464.d: crates/compat-parking-lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-e0c10a68a8a74464: crates/compat-parking-lot/src/lib.rs
+
+crates/compat-parking-lot/src/lib.rs:

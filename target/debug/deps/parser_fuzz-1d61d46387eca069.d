@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_fuzz-1d61d46387eca069.d: crates/ir/tests/parser_fuzz.rs
+
+/root/repo/target/debug/deps/parser_fuzz-1d61d46387eca069: crates/ir/tests/parser_fuzz.rs
+
+crates/ir/tests/parser_fuzz.rs:

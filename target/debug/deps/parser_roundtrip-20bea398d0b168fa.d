@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_roundtrip-20bea398d0b168fa.d: tests/parser_roundtrip.rs
+
+/root/repo/target/debug/deps/parser_roundtrip-20bea398d0b168fa: tests/parser_roundtrip.rs
+
+tests/parser_roundtrip.rs:

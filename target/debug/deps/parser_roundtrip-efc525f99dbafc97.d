@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_roundtrip-efc525f99dbafc97.d: tests/parser_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_roundtrip-efc525f99dbafc97.rmeta: tests/parser_roundtrip.rs Cargo.toml
+
+tests/parser_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-cdb6e7826c6b49fc.d: crates/compat-proptest/src/lib.rs crates/compat-proptest/src/strategy.rs crates/compat-proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-cdb6e7826c6b49fc.rlib: crates/compat-proptest/src/lib.rs crates/compat-proptest/src/strategy.rs crates/compat-proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-cdb6e7826c6b49fc.rmeta: crates/compat-proptest/src/lib.rs crates/compat-proptest/src/strategy.rs crates/compat-proptest/src/test_runner.rs
+
+crates/compat-proptest/src/lib.rs:
+crates/compat-proptest/src/strategy.rs:
+crates/compat-proptest/src/test_runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-6be7224635d7d75f.d: crates/compat-rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6be7224635d7d75f.rlib: crates/compat-rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6be7224635d7d75f.rmeta: crates/compat-rand/src/lib.rs
+
+crates/compat-rand/src/lib.rs:

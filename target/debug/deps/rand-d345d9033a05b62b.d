@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d345d9033a05b62b.d: crates/compat-rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-d345d9033a05b62b: crates/compat-rand/src/lib.rs
+
+crates/compat-rand/src/lib.rs:

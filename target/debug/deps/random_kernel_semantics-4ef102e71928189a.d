@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_kernel_semantics-4ef102e71928189a.d: tests/random_kernel_semantics.rs
+
+/root/repo/target/debug/deps/random_kernel_semantics-4ef102e71928189a: tests/random_kernel_semantics.rs
+
+tests/random_kernel_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_kernel_semantics-af91815a72f990ff.d: tests/random_kernel_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_kernel_semantics-af91815a72f990ff.rmeta: tests/random_kernel_semantics.rs Cargo.toml
+
+tests/random_kernel_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup-398ce87cd8ad1086.d: crates/bench/src/bin/speedup.rs
+
+/root/repo/target/debug/deps/speedup-398ce87cd8ad1086: crates/bench/src/bin/speedup.rs
+
+crates/bench/src/bin/speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-c825a6093ff7bfcf.d: crates/sim/tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/substrate_properties-c825a6093ff7bfcf: crates/sim/tests/substrate_properties.rs
+
+crates/sim/tests/substrate_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-192a64a1d8e91a31.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-192a64a1d8e91a31: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tybec-770528205d9137cf.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/tybec-770528205d9137cf: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

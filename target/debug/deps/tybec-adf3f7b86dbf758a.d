@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tybec-adf3f7b86dbf758a.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/tybec-adf3f7b86dbf758a: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

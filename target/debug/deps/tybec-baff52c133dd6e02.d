@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tybec-baff52c133dd6e02.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/tybec-baff52c133dd6e02: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

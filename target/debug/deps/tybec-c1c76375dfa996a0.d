@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tybec-c1c76375dfa996a0.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/tybec-c1c76375dfa996a0: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tytra-14c76451a525202d.d: src/lib.rs
+
+/root/repo/target/debug/deps/tytra-14c76451a525202d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tytra-89c3f84189bc7f86.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtytra-89c3f84189bc7f86.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtytra-89c3f84189bc7f86.rmeta: src/lib.rs
+
+src/lib.rs:

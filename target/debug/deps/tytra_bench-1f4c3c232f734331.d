@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tytra_bench-1f4c3c232f734331.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/emit.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig15.rs crates/bench/src/fig17.rs crates/bench/src/fig18.rs crates/bench/src/speedup.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/libtytra_bench-1f4c3c232f734331.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/emit.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig15.rs crates/bench/src/fig17.rs crates/bench/src/fig18.rs crates/bench/src/speedup.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/libtytra_bench-1f4c3c232f734331.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/emit.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig15.rs crates/bench/src/fig17.rs crates/bench/src/fig18.rs crates/bench/src/speedup.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/emit.rs:
+crates/bench/src/fig09.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig15.rs:
+crates/bench/src/fig17.rs:
+crates/bench/src/fig18.rs:
+crates/bench/src/speedup.rs:
+crates/bench/src/table2.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tytra_bench-787154e01c92a909.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/emit.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig15.rs crates/bench/src/fig17.rs crates/bench/src/fig18.rs crates/bench/src/speedup.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/tytra_bench-787154e01c92a909: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/emit.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig15.rs crates/bench/src/fig17.rs crates/bench/src/fig18.rs crates/bench/src/speedup.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/emit.rs:
+crates/bench/src/fig09.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig15.rs:
+crates/bench/src/fig17.rs:
+crates/bench/src/fig18.rs:
+crates/bench/src/speedup.rs:
+crates/bench/src/table2.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tytra_codegen-a91b5dc108e74089.d: crates/codegen/src/lib.rs crates/codegen/src/check.rs crates/codegen/src/verilog.rs crates/codegen/src/wrapper.rs
+
+/root/repo/target/debug/deps/tytra_codegen-a91b5dc108e74089: crates/codegen/src/lib.rs crates/codegen/src/check.rs crates/codegen/src/verilog.rs crates/codegen/src/wrapper.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/check.rs:
+crates/codegen/src/verilog.rs:
+crates/codegen/src/wrapper.rs:

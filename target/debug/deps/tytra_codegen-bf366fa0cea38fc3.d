@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tytra_codegen-bf366fa0cea38fc3.d: crates/codegen/src/lib.rs crates/codegen/src/check.rs crates/codegen/src/verilog.rs crates/codegen/src/wrapper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtytra_codegen-bf366fa0cea38fc3.rmeta: crates/codegen/src/lib.rs crates/codegen/src/check.rs crates/codegen/src/verilog.rs crates/codegen/src/wrapper.rs Cargo.toml
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/check.rs:
+crates/codegen/src/verilog.rs:
+crates/codegen/src/wrapper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

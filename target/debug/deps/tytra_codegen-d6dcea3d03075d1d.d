@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tytra_codegen-d6dcea3d03075d1d.d: crates/codegen/src/lib.rs crates/codegen/src/check.rs crates/codegen/src/verilog.rs crates/codegen/src/wrapper.rs
+
+/root/repo/target/debug/deps/libtytra_codegen-d6dcea3d03075d1d.rlib: crates/codegen/src/lib.rs crates/codegen/src/check.rs crates/codegen/src/verilog.rs crates/codegen/src/wrapper.rs
+
+/root/repo/target/debug/deps/libtytra_codegen-d6dcea3d03075d1d.rmeta: crates/codegen/src/lib.rs crates/codegen/src/check.rs crates/codegen/src/verilog.rs crates/codegen/src/wrapper.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/check.rs:
+crates/codegen/src/verilog.rs:
+crates/codegen/src/wrapper.rs:

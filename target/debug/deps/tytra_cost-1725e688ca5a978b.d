@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tytra_cost-1725e688ca5a978b.d: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/bottleneck.rs crates/core/src/estimate.rs crates/core/src/frequency.rs crates/core/src/options.rs crates/core/src/params.rs crates/core/src/reconfig.rs crates/core/src/report.rs crates/core/src/resource.rs crates/core/src/schedule.rs crates/core/src/throughput.rs
+
+/root/repo/target/debug/deps/libtytra_cost-1725e688ca5a978b.rlib: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/bottleneck.rs crates/core/src/estimate.rs crates/core/src/frequency.rs crates/core/src/options.rs crates/core/src/params.rs crates/core/src/reconfig.rs crates/core/src/report.rs crates/core/src/resource.rs crates/core/src/schedule.rs crates/core/src/throughput.rs
+
+/root/repo/target/debug/deps/libtytra_cost-1725e688ca5a978b.rmeta: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/bottleneck.rs crates/core/src/estimate.rs crates/core/src/frequency.rs crates/core/src/options.rs crates/core/src/params.rs crates/core/src/reconfig.rs crates/core/src/report.rs crates/core/src/resource.rs crates/core/src/schedule.rs crates/core/src/throughput.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bandwidth.rs:
+crates/core/src/bottleneck.rs:
+crates/core/src/estimate.rs:
+crates/core/src/frequency.rs:
+crates/core/src/options.rs:
+crates/core/src/params.rs:
+crates/core/src/reconfig.rs:
+crates/core/src/report.rs:
+crates/core/src/resource.rs:
+crates/core/src/schedule.rs:
+crates/core/src/throughput.rs:

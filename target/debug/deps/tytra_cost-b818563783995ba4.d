@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/tytra_cost-b818563783995ba4.d: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/bottleneck.rs crates/core/src/estimate.rs crates/core/src/frequency.rs crates/core/src/options.rs crates/core/src/params.rs crates/core/src/reconfig.rs crates/core/src/report.rs crates/core/src/resource.rs crates/core/src/schedule.rs crates/core/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtytra_cost-b818563783995ba4.rmeta: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/bottleneck.rs crates/core/src/estimate.rs crates/core/src/frequency.rs crates/core/src/options.rs crates/core/src/params.rs crates/core/src/reconfig.rs crates/core/src/report.rs crates/core/src/resource.rs crates/core/src/schedule.rs crates/core/src/throughput.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bandwidth.rs:
+crates/core/src/bottleneck.rs:
+crates/core/src/estimate.rs:
+crates/core/src/frequency.rs:
+crates/core/src/options.rs:
+crates/core/src/params.rs:
+crates/core/src/reconfig.rs:
+crates/core/src/report.rs:
+crates/core/src/resource.rs:
+crates/core/src/schedule.rs:
+crates/core/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

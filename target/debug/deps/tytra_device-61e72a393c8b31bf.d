@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tytra_device-61e72a393c8b31bf.d: crates/device/src/lib.rs crates/device/src/bandwidth.rs crates/device/src/calibration.rs crates/device/src/interp.rs crates/device/src/library.rs crates/device/src/power.rs crates/device/src/resources.rs crates/device/src/target.rs
+
+/root/repo/target/debug/deps/tytra_device-61e72a393c8b31bf: crates/device/src/lib.rs crates/device/src/bandwidth.rs crates/device/src/calibration.rs crates/device/src/interp.rs crates/device/src/library.rs crates/device/src/power.rs crates/device/src/resources.rs crates/device/src/target.rs
+
+crates/device/src/lib.rs:
+crates/device/src/bandwidth.rs:
+crates/device/src/calibration.rs:
+crates/device/src/interp.rs:
+crates/device/src/library.rs:
+crates/device/src/power.rs:
+crates/device/src/resources.rs:
+crates/device/src/target.rs:

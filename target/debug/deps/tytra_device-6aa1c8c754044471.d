@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tytra_device-6aa1c8c754044471.d: crates/device/src/lib.rs crates/device/src/bandwidth.rs crates/device/src/calibration.rs crates/device/src/interp.rs crates/device/src/library.rs crates/device/src/power.rs crates/device/src/resources.rs crates/device/src/target.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtytra_device-6aa1c8c754044471.rmeta: crates/device/src/lib.rs crates/device/src/bandwidth.rs crates/device/src/calibration.rs crates/device/src/interp.rs crates/device/src/library.rs crates/device/src/power.rs crates/device/src/resources.rs crates/device/src/target.rs Cargo.toml
+
+crates/device/src/lib.rs:
+crates/device/src/bandwidth.rs:
+crates/device/src/calibration.rs:
+crates/device/src/interp.rs:
+crates/device/src/library.rs:
+crates/device/src/power.rs:
+crates/device/src/resources.rs:
+crates/device/src/target.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

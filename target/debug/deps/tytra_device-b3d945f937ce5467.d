@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tytra_device-b3d945f937ce5467.d: crates/device/src/lib.rs crates/device/src/bandwidth.rs crates/device/src/calibration.rs crates/device/src/interp.rs crates/device/src/library.rs crates/device/src/power.rs crates/device/src/resources.rs crates/device/src/target.rs
+
+/root/repo/target/debug/deps/libtytra_device-b3d945f937ce5467.rlib: crates/device/src/lib.rs crates/device/src/bandwidth.rs crates/device/src/calibration.rs crates/device/src/interp.rs crates/device/src/library.rs crates/device/src/power.rs crates/device/src/resources.rs crates/device/src/target.rs
+
+/root/repo/target/debug/deps/libtytra_device-b3d945f937ce5467.rmeta: crates/device/src/lib.rs crates/device/src/bandwidth.rs crates/device/src/calibration.rs crates/device/src/interp.rs crates/device/src/library.rs crates/device/src/power.rs crates/device/src/resources.rs crates/device/src/target.rs
+
+crates/device/src/lib.rs:
+crates/device/src/bandwidth.rs:
+crates/device/src/calibration.rs:
+crates/device/src/interp.rs:
+crates/device/src/library.rs:
+crates/device/src/power.rs:
+crates/device/src/resources.rs:
+crates/device/src/target.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tytra_dse-3a6795bcc8bc863d.d: crates/dse/src/lib.rs crates/dse/src/explore.rs crates/dse/src/report.rs crates/dse/src/roofline.rs crates/dse/src/tuning.rs
+
+/root/repo/target/debug/deps/tytra_dse-3a6795bcc8bc863d: crates/dse/src/lib.rs crates/dse/src/explore.rs crates/dse/src/report.rs crates/dse/src/roofline.rs crates/dse/src/tuning.rs
+
+crates/dse/src/lib.rs:
+crates/dse/src/explore.rs:
+crates/dse/src/report.rs:
+crates/dse/src/roofline.rs:
+crates/dse/src/tuning.rs:

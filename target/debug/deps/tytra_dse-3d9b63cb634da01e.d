@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tytra_dse-3d9b63cb634da01e.d: crates/dse/src/lib.rs crates/dse/src/explore.rs crates/dse/src/report.rs crates/dse/src/roofline.rs crates/dse/src/tuning.rs
+
+/root/repo/target/debug/deps/libtytra_dse-3d9b63cb634da01e.rlib: crates/dse/src/lib.rs crates/dse/src/explore.rs crates/dse/src/report.rs crates/dse/src/roofline.rs crates/dse/src/tuning.rs
+
+/root/repo/target/debug/deps/libtytra_dse-3d9b63cb634da01e.rmeta: crates/dse/src/lib.rs crates/dse/src/explore.rs crates/dse/src/report.rs crates/dse/src/roofline.rs crates/dse/src/tuning.rs
+
+crates/dse/src/lib.rs:
+crates/dse/src/explore.rs:
+crates/dse/src/report.rs:
+crates/dse/src/roofline.rs:
+crates/dse/src/tuning.rs:

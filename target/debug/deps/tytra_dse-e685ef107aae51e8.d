@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tytra_dse-e685ef107aae51e8.d: crates/dse/src/lib.rs crates/dse/src/explore.rs crates/dse/src/report.rs crates/dse/src/roofline.rs crates/dse/src/tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtytra_dse-e685ef107aae51e8.rmeta: crates/dse/src/lib.rs crates/dse/src/explore.rs crates/dse/src/report.rs crates/dse/src/roofline.rs crates/dse/src/tuning.rs Cargo.toml
+
+crates/dse/src/lib.rs:
+crates/dse/src/explore.rs:
+crates/dse/src/report.rs:
+crates/dse/src/roofline.rs:
+crates/dse/src/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

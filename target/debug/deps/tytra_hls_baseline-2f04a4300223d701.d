@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tytra_hls_baseline-2f04a4300223d701.d: crates/hls-baseline/src/lib.rs crates/hls-baseline/src/case_study.rs crates/hls-baseline/src/cpu.rs crates/hls-baseline/src/maxj.rs crates/hls-baseline/src/slow_estimator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtytra_hls_baseline-2f04a4300223d701.rmeta: crates/hls-baseline/src/lib.rs crates/hls-baseline/src/case_study.rs crates/hls-baseline/src/cpu.rs crates/hls-baseline/src/maxj.rs crates/hls-baseline/src/slow_estimator.rs Cargo.toml
+
+crates/hls-baseline/src/lib.rs:
+crates/hls-baseline/src/case_study.rs:
+crates/hls-baseline/src/cpu.rs:
+crates/hls-baseline/src/maxj.rs:
+crates/hls-baseline/src/slow_estimator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tytra_hls_baseline-638152d1327e6263.d: crates/hls-baseline/src/lib.rs crates/hls-baseline/src/case_study.rs crates/hls-baseline/src/cpu.rs crates/hls-baseline/src/maxj.rs crates/hls-baseline/src/slow_estimator.rs
+
+/root/repo/target/debug/deps/libtytra_hls_baseline-638152d1327e6263.rlib: crates/hls-baseline/src/lib.rs crates/hls-baseline/src/case_study.rs crates/hls-baseline/src/cpu.rs crates/hls-baseline/src/maxj.rs crates/hls-baseline/src/slow_estimator.rs
+
+/root/repo/target/debug/deps/libtytra_hls_baseline-638152d1327e6263.rmeta: crates/hls-baseline/src/lib.rs crates/hls-baseline/src/case_study.rs crates/hls-baseline/src/cpu.rs crates/hls-baseline/src/maxj.rs crates/hls-baseline/src/slow_estimator.rs
+
+crates/hls-baseline/src/lib.rs:
+crates/hls-baseline/src/case_study.rs:
+crates/hls-baseline/src/cpu.rs:
+crates/hls-baseline/src/maxj.rs:
+crates/hls-baseline/src/slow_estimator.rs:

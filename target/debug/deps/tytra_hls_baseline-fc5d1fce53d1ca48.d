@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tytra_hls_baseline-fc5d1fce53d1ca48.d: crates/hls-baseline/src/lib.rs crates/hls-baseline/src/case_study.rs crates/hls-baseline/src/cpu.rs crates/hls-baseline/src/maxj.rs crates/hls-baseline/src/slow_estimator.rs
+
+/root/repo/target/debug/deps/tytra_hls_baseline-fc5d1fce53d1ca48: crates/hls-baseline/src/lib.rs crates/hls-baseline/src/case_study.rs crates/hls-baseline/src/cpu.rs crates/hls-baseline/src/maxj.rs crates/hls-baseline/src/slow_estimator.rs
+
+crates/hls-baseline/src/lib.rs:
+crates/hls-baseline/src/case_study.rs:
+crates/hls-baseline/src/cpu.rs:
+crates/hls-baseline/src/maxj.rs:
+crates/hls-baseline/src/slow_estimator.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/tytra_ir-1dc81186e6529430.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/config_tree.rs crates/ir/src/dfg.rs crates/ir/src/diag.rs crates/ir/src/error.rs crates/ir/src/function.rs crates/ir/src/instr.rs crates/ir/src/module.rs crates/ir/src/parser/mod.rs crates/ir/src/parser/lexer.rs crates/ir/src/printer.rs crates/ir/src/stream.rs crates/ir/src/types.rs crates/ir/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtytra_ir-1dc81186e6529430.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/config_tree.rs crates/ir/src/dfg.rs crates/ir/src/diag.rs crates/ir/src/error.rs crates/ir/src/function.rs crates/ir/src/instr.rs crates/ir/src/module.rs crates/ir/src/parser/mod.rs crates/ir/src/parser/lexer.rs crates/ir/src/printer.rs crates/ir/src/stream.rs crates/ir/src/types.rs crates/ir/src/validate.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/config_tree.rs:
+crates/ir/src/dfg.rs:
+crates/ir/src/diag.rs:
+crates/ir/src/error.rs:
+crates/ir/src/function.rs:
+crates/ir/src/instr.rs:
+crates/ir/src/module.rs:
+crates/ir/src/parser/mod.rs:
+crates/ir/src/parser/lexer.rs:
+crates/ir/src/printer.rs:
+crates/ir/src/stream.rs:
+crates/ir/src/types.rs:
+crates/ir/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

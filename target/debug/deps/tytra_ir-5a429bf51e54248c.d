@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/tytra_ir-5a429bf51e54248c.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/config_tree.rs crates/ir/src/dfg.rs crates/ir/src/diag.rs crates/ir/src/error.rs crates/ir/src/function.rs crates/ir/src/instr.rs crates/ir/src/module.rs crates/ir/src/parser/mod.rs crates/ir/src/parser/lexer.rs crates/ir/src/printer.rs crates/ir/src/stream.rs crates/ir/src/types.rs crates/ir/src/validate.rs
+
+/root/repo/target/debug/deps/libtytra_ir-5a429bf51e54248c.rlib: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/config_tree.rs crates/ir/src/dfg.rs crates/ir/src/diag.rs crates/ir/src/error.rs crates/ir/src/function.rs crates/ir/src/instr.rs crates/ir/src/module.rs crates/ir/src/parser/mod.rs crates/ir/src/parser/lexer.rs crates/ir/src/printer.rs crates/ir/src/stream.rs crates/ir/src/types.rs crates/ir/src/validate.rs
+
+/root/repo/target/debug/deps/libtytra_ir-5a429bf51e54248c.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/config_tree.rs crates/ir/src/dfg.rs crates/ir/src/diag.rs crates/ir/src/error.rs crates/ir/src/function.rs crates/ir/src/instr.rs crates/ir/src/module.rs crates/ir/src/parser/mod.rs crates/ir/src/parser/lexer.rs crates/ir/src/printer.rs crates/ir/src/stream.rs crates/ir/src/types.rs crates/ir/src/validate.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/config_tree.rs:
+crates/ir/src/dfg.rs:
+crates/ir/src/diag.rs:
+crates/ir/src/error.rs:
+crates/ir/src/function.rs:
+crates/ir/src/instr.rs:
+crates/ir/src/module.rs:
+crates/ir/src/parser/mod.rs:
+crates/ir/src/parser/lexer.rs:
+crates/ir/src/printer.rs:
+crates/ir/src/stream.rs:
+crates/ir/src/types.rs:
+crates/ir/src/validate.rs:

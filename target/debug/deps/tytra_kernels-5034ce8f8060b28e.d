@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tytra_kernels-5034ce8f8060b28e.d: crates/kernels/src/lib.rs crates/kernels/src/common.rs crates/kernels/src/hotspot.rs crates/kernels/src/lavamd.rs crates/kernels/src/sor.rs crates/kernels/src/triad.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtytra_kernels-5034ce8f8060b28e.rmeta: crates/kernels/src/lib.rs crates/kernels/src/common.rs crates/kernels/src/hotspot.rs crates/kernels/src/lavamd.rs crates/kernels/src/sor.rs crates/kernels/src/triad.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/common.rs:
+crates/kernels/src/hotspot.rs:
+crates/kernels/src/lavamd.rs:
+crates/kernels/src/sor.rs:
+crates/kernels/src/triad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tytra_kernels-752c3e370693f10f.d: crates/kernels/src/lib.rs crates/kernels/src/common.rs crates/kernels/src/hotspot.rs crates/kernels/src/lavamd.rs crates/kernels/src/sor.rs crates/kernels/src/triad.rs
+
+/root/repo/target/debug/deps/tytra_kernels-752c3e370693f10f: crates/kernels/src/lib.rs crates/kernels/src/common.rs crates/kernels/src/hotspot.rs crates/kernels/src/lavamd.rs crates/kernels/src/sor.rs crates/kernels/src/triad.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/common.rs:
+crates/kernels/src/hotspot.rs:
+crates/kernels/src/lavamd.rs:
+crates/kernels/src/sor.rs:
+crates/kernels/src/triad.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tytra_kernels-dcc52589fd255a60.d: crates/kernels/src/lib.rs crates/kernels/src/common.rs crates/kernels/src/hotspot.rs crates/kernels/src/lavamd.rs crates/kernels/src/sor.rs crates/kernels/src/triad.rs
+
+/root/repo/target/debug/deps/libtytra_kernels-dcc52589fd255a60.rlib: crates/kernels/src/lib.rs crates/kernels/src/common.rs crates/kernels/src/hotspot.rs crates/kernels/src/lavamd.rs crates/kernels/src/sor.rs crates/kernels/src/triad.rs
+
+/root/repo/target/debug/deps/libtytra_kernels-dcc52589fd255a60.rmeta: crates/kernels/src/lib.rs crates/kernels/src/common.rs crates/kernels/src/hotspot.rs crates/kernels/src/lavamd.rs crates/kernels/src/sor.rs crates/kernels/src/triad.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/common.rs:
+crates/kernels/src/hotspot.rs:
+crates/kernels/src/lavamd.rs:
+crates/kernels/src/sor.rs:
+crates/kernels/src/triad.rs:

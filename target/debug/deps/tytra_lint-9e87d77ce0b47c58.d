@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tytra_lint-9e87d77ce0b47c58.d: crates/lint/src/lib.rs crates/lint/src/json.rs crates/lint/src/passes.rs crates/lint/src/render.rs
+
+/root/repo/target/debug/deps/libtytra_lint-9e87d77ce0b47c58.rlib: crates/lint/src/lib.rs crates/lint/src/json.rs crates/lint/src/passes.rs crates/lint/src/render.rs
+
+/root/repo/target/debug/deps/libtytra_lint-9e87d77ce0b47c58.rmeta: crates/lint/src/lib.rs crates/lint/src/json.rs crates/lint/src/passes.rs crates/lint/src/render.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/json.rs:
+crates/lint/src/passes.rs:
+crates/lint/src/render.rs:

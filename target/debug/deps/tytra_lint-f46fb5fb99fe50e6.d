@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tytra_lint-f46fb5fb99fe50e6.d: crates/lint/src/lib.rs crates/lint/src/json.rs crates/lint/src/passes.rs crates/lint/src/render.rs
+
+/root/repo/target/debug/deps/tytra_lint-f46fb5fb99fe50e6: crates/lint/src/lib.rs crates/lint/src/json.rs crates/lint/src/passes.rs crates/lint/src/render.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/json.rs:
+crates/lint/src/passes.rs:
+crates/lint/src/render.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tytra_sim-194d9679f31349f2.d: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/exec.rs crates/sim/src/host.rs crates/sim/src/memory.rs crates/sim/src/netlist.rs crates/sim/src/power.rs crates/sim/src/rng.rs crates/sim/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtytra_sim-194d9679f31349f2.rmeta: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/exec.rs crates/sim/src/host.rs crates/sim/src/memory.rs crates/sim/src/netlist.rs crates/sim/src/power.rs crates/sim/src/rng.rs crates/sim/src/synth.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cycle.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/host.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/netlist.rs:
+crates/sim/src/power.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tytra_sim-eec6c92e771a06b7.d: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/exec.rs crates/sim/src/host.rs crates/sim/src/memory.rs crates/sim/src/netlist.rs crates/sim/src/power.rs crates/sim/src/rng.rs crates/sim/src/synth.rs
+
+/root/repo/target/debug/deps/libtytra_sim-eec6c92e771a06b7.rlib: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/exec.rs crates/sim/src/host.rs crates/sim/src/memory.rs crates/sim/src/netlist.rs crates/sim/src/power.rs crates/sim/src/rng.rs crates/sim/src/synth.rs
+
+/root/repo/target/debug/deps/libtytra_sim-eec6c92e771a06b7.rmeta: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/exec.rs crates/sim/src/host.rs crates/sim/src/memory.rs crates/sim/src/netlist.rs crates/sim/src/power.rs crates/sim/src/rng.rs crates/sim/src/synth.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cycle.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/host.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/netlist.rs:
+crates/sim/src/power.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/synth.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tytra_transform-09925eb0c215028d.d: crates/transform/src/lib.rs crates/transform/src/cexpr.rs crates/transform/src/expr.rs crates/transform/src/lower.rs crates/transform/src/proofs.rs crates/transform/src/typetrans.rs crates/transform/src/vect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtytra_transform-09925eb0c215028d.rmeta: crates/transform/src/lib.rs crates/transform/src/cexpr.rs crates/transform/src/expr.rs crates/transform/src/lower.rs crates/transform/src/proofs.rs crates/transform/src/typetrans.rs crates/transform/src/vect.rs Cargo.toml
+
+crates/transform/src/lib.rs:
+crates/transform/src/cexpr.rs:
+crates/transform/src/expr.rs:
+crates/transform/src/lower.rs:
+crates/transform/src/proofs.rs:
+crates/transform/src/typetrans.rs:
+crates/transform/src/vect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

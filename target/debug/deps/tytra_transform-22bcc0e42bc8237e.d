@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tytra_transform-22bcc0e42bc8237e.d: crates/transform/src/lib.rs crates/transform/src/cexpr.rs crates/transform/src/expr.rs crates/transform/src/lower.rs crates/transform/src/proofs.rs crates/transform/src/typetrans.rs crates/transform/src/vect.rs
+
+/root/repo/target/debug/deps/libtytra_transform-22bcc0e42bc8237e.rlib: crates/transform/src/lib.rs crates/transform/src/cexpr.rs crates/transform/src/expr.rs crates/transform/src/lower.rs crates/transform/src/proofs.rs crates/transform/src/typetrans.rs crates/transform/src/vect.rs
+
+/root/repo/target/debug/deps/libtytra_transform-22bcc0e42bc8237e.rmeta: crates/transform/src/lib.rs crates/transform/src/cexpr.rs crates/transform/src/expr.rs crates/transform/src/lower.rs crates/transform/src/proofs.rs crates/transform/src/typetrans.rs crates/transform/src/vect.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/cexpr.rs:
+crates/transform/src/expr.rs:
+crates/transform/src/lower.rs:
+crates/transform/src/proofs.rs:
+crates/transform/src/typetrans.rs:
+crates/transform/src/vect.rs:

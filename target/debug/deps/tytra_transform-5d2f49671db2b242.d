@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tytra_transform-5d2f49671db2b242.d: crates/transform/src/lib.rs crates/transform/src/cexpr.rs crates/transform/src/expr.rs crates/transform/src/lower.rs crates/transform/src/proofs.rs crates/transform/src/typetrans.rs crates/transform/src/vect.rs
+
+/root/repo/target/debug/deps/tytra_transform-5d2f49671db2b242: crates/transform/src/lib.rs crates/transform/src/cexpr.rs crates/transform/src/expr.rs crates/transform/src/lower.rs crates/transform/src/proofs.rs crates/transform/src/typetrans.rs crates/transform/src/vect.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/cexpr.rs:
+crates/transform/src/expr.rs:
+crates/transform/src/lower.rs:
+crates/transform/src/proofs.rs:
+crates/transform/src/typetrans.rs:
+crates/transform/src/vect.rs:

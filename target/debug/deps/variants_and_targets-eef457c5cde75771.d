@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/variants_and_targets-eef457c5cde75771.d: tests/variants_and_targets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvariants_and_targets-eef457c5cde75771.rmeta: tests/variants_and_targets.rs Cargo.toml
+
+tests/variants_and_targets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

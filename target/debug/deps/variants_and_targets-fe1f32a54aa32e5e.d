@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variants_and_targets-fe1f32a54aa32e5e.d: tests/variants_and_targets.rs
+
+/root/repo/target/debug/deps/variants_and_targets-fe1f32a54aa32e5e: tests/variants_and_targets.rs
+
+tests/variants_and_targets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_kernel_tirl-68d4929872bac9f4.d: examples/custom_kernel_tirl.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_kernel_tirl-68d4929872bac9f4.rmeta: examples/custom_kernel_tirl.rs Cargo.toml
+
+examples/custom_kernel_tirl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

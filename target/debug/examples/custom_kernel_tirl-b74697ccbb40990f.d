@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel_tirl-b74697ccbb40990f.d: examples/custom_kernel_tirl.rs
+
+/root/repo/target/debug/examples/custom_kernel_tirl-b74697ccbb40990f: examples/custom_kernel_tirl.rs
+
+examples/custom_kernel_tirl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gen_assets-157a27245bf063c9.d: crates/cli/examples/gen_assets.rs
+
+/root/repo/target/debug/examples/gen_assets-157a27245bf063c9: crates/cli/examples/gen_assets.rs
+
+crates/cli/examples/gen_assets.rs:

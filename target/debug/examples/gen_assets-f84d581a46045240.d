@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gen_assets-f84d581a46045240.d: crates/cli/examples/gen_assets.rs
+
+/root/repo/target/debug/examples/gen_assets-f84d581a46045240: crates/cli/examples/gen_assets.rs
+
+crates/cli/examples/gen_assets.rs:

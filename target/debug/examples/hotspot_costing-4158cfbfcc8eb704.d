@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hotspot_costing-4158cfbfcc8eb704.d: examples/hotspot_costing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhotspot_costing-4158cfbfcc8eb704.rmeta: examples/hotspot_costing.rs Cargo.toml
+
+examples/hotspot_costing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotspot_costing-47b7886fd23549bb.d: examples/hotspot_costing.rs
+
+/root/repo/target/debug/examples/hotspot_costing-47b7886fd23549bb: examples/hotspot_costing.rs
+
+examples/hotspot_costing.rs:

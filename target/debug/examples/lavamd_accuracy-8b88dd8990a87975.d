@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lavamd_accuracy-8b88dd8990a87975.d: examples/lavamd_accuracy.rs
+
+/root/repo/target/debug/examples/lavamd_accuracy-8b88dd8990a87975: examples/lavamd_accuracy.rs
+
+examples/lavamd_accuracy.rs:

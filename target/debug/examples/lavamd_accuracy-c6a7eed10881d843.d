@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lavamd_accuracy-c6a7eed10881d843.d: examples/lavamd_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblavamd_accuracy-c6a7eed10881d843.rmeta: examples/lavamd_accuracy.rs Cargo.toml
+
+examples/lavamd_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

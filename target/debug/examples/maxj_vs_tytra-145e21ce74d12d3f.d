@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/maxj_vs_tytra-145e21ce74d12d3f.d: examples/maxj_vs_tytra.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmaxj_vs_tytra-145e21ce74d12d3f.rmeta: examples/maxj_vs_tytra.rs Cargo.toml
+
+examples/maxj_vs_tytra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

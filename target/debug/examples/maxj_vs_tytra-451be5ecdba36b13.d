@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/maxj_vs_tytra-451be5ecdba36b13.d: examples/maxj_vs_tytra.rs
+
+/root/repo/target/debug/examples/maxj_vs_tytra-451be5ecdba36b13: examples/maxj_vs_tytra.rs
+
+examples/maxj_vs_tytra.rs:

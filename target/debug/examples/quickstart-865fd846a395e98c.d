@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-865fd846a395e98c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-865fd846a395e98c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sor_design_space-19e145d617380ed7.d: examples/sor_design_space.rs
+
+/root/repo/target/debug/examples/sor_design_space-19e145d617380ed7: examples/sor_design_space.rs
+
+examples/sor_design_space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sor_design_space-366e5f1d36347daa.d: examples/sor_design_space.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsor_design_space-366e5f1d36347daa.rmeta: examples/sor_design_space.rs Cargo.toml
+
+examples/sor_design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

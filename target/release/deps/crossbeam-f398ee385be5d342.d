@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-f398ee385be5d342.d: crates/compat-crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f398ee385be5d342.rlib: crates/compat-crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f398ee385be5d342.rmeta: crates/compat-crossbeam/src/lib.rs
+
+crates/compat-crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-ef9471a33999b5d5.d: crates/compat-parking-lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-ef9471a33999b5d5.rlib: crates/compat-parking-lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-ef9471a33999b5d5.rmeta: crates/compat-parking-lot/src/lib.rs
+
+crates/compat-parking-lot/src/lib.rs:

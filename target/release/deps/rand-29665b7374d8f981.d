@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-29665b7374d8f981.d: crates/compat-rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-29665b7374d8f981.rlib: crates/compat-rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-29665b7374d8f981.rmeta: crates/compat-rand/src/lib.rs
+
+crates/compat-rand/src/lib.rs:

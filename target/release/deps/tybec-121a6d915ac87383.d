@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tybec-121a6d915ac87383.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/tybec-121a6d915ac87383: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

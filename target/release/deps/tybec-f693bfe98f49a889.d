@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tybec-f693bfe98f49a889.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/tybec-f693bfe98f49a889: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

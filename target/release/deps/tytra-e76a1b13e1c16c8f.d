@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tytra-e76a1b13e1c16c8f.d: src/lib.rs
+
+/root/repo/target/release/deps/libtytra-e76a1b13e1c16c8f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtytra-e76a1b13e1c16c8f.rmeta: src/lib.rs
+
+src/lib.rs:

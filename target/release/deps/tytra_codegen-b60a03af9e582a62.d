@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tytra_codegen-b60a03af9e582a62.d: crates/codegen/src/lib.rs crates/codegen/src/check.rs crates/codegen/src/verilog.rs crates/codegen/src/wrapper.rs
+
+/root/repo/target/release/deps/libtytra_codegen-b60a03af9e582a62.rlib: crates/codegen/src/lib.rs crates/codegen/src/check.rs crates/codegen/src/verilog.rs crates/codegen/src/wrapper.rs
+
+/root/repo/target/release/deps/libtytra_codegen-b60a03af9e582a62.rmeta: crates/codegen/src/lib.rs crates/codegen/src/check.rs crates/codegen/src/verilog.rs crates/codegen/src/wrapper.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/check.rs:
+crates/codegen/src/verilog.rs:
+crates/codegen/src/wrapper.rs:

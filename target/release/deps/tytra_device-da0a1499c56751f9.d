@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tytra_device-da0a1499c56751f9.d: crates/device/src/lib.rs crates/device/src/bandwidth.rs crates/device/src/calibration.rs crates/device/src/interp.rs crates/device/src/library.rs crates/device/src/power.rs crates/device/src/resources.rs crates/device/src/target.rs
+
+/root/repo/target/release/deps/libtytra_device-da0a1499c56751f9.rlib: crates/device/src/lib.rs crates/device/src/bandwidth.rs crates/device/src/calibration.rs crates/device/src/interp.rs crates/device/src/library.rs crates/device/src/power.rs crates/device/src/resources.rs crates/device/src/target.rs
+
+/root/repo/target/release/deps/libtytra_device-da0a1499c56751f9.rmeta: crates/device/src/lib.rs crates/device/src/bandwidth.rs crates/device/src/calibration.rs crates/device/src/interp.rs crates/device/src/library.rs crates/device/src/power.rs crates/device/src/resources.rs crates/device/src/target.rs
+
+crates/device/src/lib.rs:
+crates/device/src/bandwidth.rs:
+crates/device/src/calibration.rs:
+crates/device/src/interp.rs:
+crates/device/src/library.rs:
+crates/device/src/power.rs:
+crates/device/src/resources.rs:
+crates/device/src/target.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tytra_dse-a59242241802208d.d: crates/dse/src/lib.rs crates/dse/src/explore.rs crates/dse/src/report.rs crates/dse/src/roofline.rs crates/dse/src/tuning.rs
+
+/root/repo/target/release/deps/libtytra_dse-a59242241802208d.rlib: crates/dse/src/lib.rs crates/dse/src/explore.rs crates/dse/src/report.rs crates/dse/src/roofline.rs crates/dse/src/tuning.rs
+
+/root/repo/target/release/deps/libtytra_dse-a59242241802208d.rmeta: crates/dse/src/lib.rs crates/dse/src/explore.rs crates/dse/src/report.rs crates/dse/src/roofline.rs crates/dse/src/tuning.rs
+
+crates/dse/src/lib.rs:
+crates/dse/src/explore.rs:
+crates/dse/src/report.rs:
+crates/dse/src/roofline.rs:
+crates/dse/src/tuning.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tytra_hls_baseline-ffbde3a82f95b068.d: crates/hls-baseline/src/lib.rs crates/hls-baseline/src/case_study.rs crates/hls-baseline/src/cpu.rs crates/hls-baseline/src/maxj.rs crates/hls-baseline/src/slow_estimator.rs
+
+/root/repo/target/release/deps/libtytra_hls_baseline-ffbde3a82f95b068.rlib: crates/hls-baseline/src/lib.rs crates/hls-baseline/src/case_study.rs crates/hls-baseline/src/cpu.rs crates/hls-baseline/src/maxj.rs crates/hls-baseline/src/slow_estimator.rs
+
+/root/repo/target/release/deps/libtytra_hls_baseline-ffbde3a82f95b068.rmeta: crates/hls-baseline/src/lib.rs crates/hls-baseline/src/case_study.rs crates/hls-baseline/src/cpu.rs crates/hls-baseline/src/maxj.rs crates/hls-baseline/src/slow_estimator.rs
+
+crates/hls-baseline/src/lib.rs:
+crates/hls-baseline/src/case_study.rs:
+crates/hls-baseline/src/cpu.rs:
+crates/hls-baseline/src/maxj.rs:
+crates/hls-baseline/src/slow_estimator.rs:

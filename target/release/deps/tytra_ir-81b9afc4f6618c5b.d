@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/tytra_ir-81b9afc4f6618c5b.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/config_tree.rs crates/ir/src/dfg.rs crates/ir/src/diag.rs crates/ir/src/error.rs crates/ir/src/function.rs crates/ir/src/instr.rs crates/ir/src/module.rs crates/ir/src/parser/mod.rs crates/ir/src/parser/lexer.rs crates/ir/src/printer.rs crates/ir/src/stream.rs crates/ir/src/types.rs crates/ir/src/validate.rs
+
+/root/repo/target/release/deps/libtytra_ir-81b9afc4f6618c5b.rlib: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/config_tree.rs crates/ir/src/dfg.rs crates/ir/src/diag.rs crates/ir/src/error.rs crates/ir/src/function.rs crates/ir/src/instr.rs crates/ir/src/module.rs crates/ir/src/parser/mod.rs crates/ir/src/parser/lexer.rs crates/ir/src/printer.rs crates/ir/src/stream.rs crates/ir/src/types.rs crates/ir/src/validate.rs
+
+/root/repo/target/release/deps/libtytra_ir-81b9afc4f6618c5b.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/config_tree.rs crates/ir/src/dfg.rs crates/ir/src/diag.rs crates/ir/src/error.rs crates/ir/src/function.rs crates/ir/src/instr.rs crates/ir/src/module.rs crates/ir/src/parser/mod.rs crates/ir/src/parser/lexer.rs crates/ir/src/printer.rs crates/ir/src/stream.rs crates/ir/src/types.rs crates/ir/src/validate.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/config_tree.rs:
+crates/ir/src/dfg.rs:
+crates/ir/src/diag.rs:
+crates/ir/src/error.rs:
+crates/ir/src/function.rs:
+crates/ir/src/instr.rs:
+crates/ir/src/module.rs:
+crates/ir/src/parser/mod.rs:
+crates/ir/src/parser/lexer.rs:
+crates/ir/src/printer.rs:
+crates/ir/src/stream.rs:
+crates/ir/src/types.rs:
+crates/ir/src/validate.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tytra_kernels-0eac428c74282977.d: crates/kernels/src/lib.rs crates/kernels/src/common.rs crates/kernels/src/hotspot.rs crates/kernels/src/lavamd.rs crates/kernels/src/sor.rs crates/kernels/src/triad.rs
+
+/root/repo/target/release/deps/libtytra_kernels-0eac428c74282977.rlib: crates/kernels/src/lib.rs crates/kernels/src/common.rs crates/kernels/src/hotspot.rs crates/kernels/src/lavamd.rs crates/kernels/src/sor.rs crates/kernels/src/triad.rs
+
+/root/repo/target/release/deps/libtytra_kernels-0eac428c74282977.rmeta: crates/kernels/src/lib.rs crates/kernels/src/common.rs crates/kernels/src/hotspot.rs crates/kernels/src/lavamd.rs crates/kernels/src/sor.rs crates/kernels/src/triad.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/common.rs:
+crates/kernels/src/hotspot.rs:
+crates/kernels/src/lavamd.rs:
+crates/kernels/src/sor.rs:
+crates/kernels/src/triad.rs:

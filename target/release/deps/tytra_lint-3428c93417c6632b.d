@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tytra_lint-3428c93417c6632b.d: crates/lint/src/lib.rs crates/lint/src/json.rs crates/lint/src/passes.rs crates/lint/src/render.rs
+
+/root/repo/target/release/deps/libtytra_lint-3428c93417c6632b.rlib: crates/lint/src/lib.rs crates/lint/src/json.rs crates/lint/src/passes.rs crates/lint/src/render.rs
+
+/root/repo/target/release/deps/libtytra_lint-3428c93417c6632b.rmeta: crates/lint/src/lib.rs crates/lint/src/json.rs crates/lint/src/passes.rs crates/lint/src/render.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/json.rs:
+crates/lint/src/passes.rs:
+crates/lint/src/render.rs:

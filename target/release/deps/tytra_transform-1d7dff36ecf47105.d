@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tytra_transform-1d7dff36ecf47105.d: crates/transform/src/lib.rs crates/transform/src/cexpr.rs crates/transform/src/expr.rs crates/transform/src/lower.rs crates/transform/src/proofs.rs crates/transform/src/typetrans.rs crates/transform/src/vect.rs
+
+/root/repo/target/release/deps/libtytra_transform-1d7dff36ecf47105.rlib: crates/transform/src/lib.rs crates/transform/src/cexpr.rs crates/transform/src/expr.rs crates/transform/src/lower.rs crates/transform/src/proofs.rs crates/transform/src/typetrans.rs crates/transform/src/vect.rs
+
+/root/repo/target/release/deps/libtytra_transform-1d7dff36ecf47105.rmeta: crates/transform/src/lib.rs crates/transform/src/cexpr.rs crates/transform/src/expr.rs crates/transform/src/lower.rs crates/transform/src/proofs.rs crates/transform/src/typetrans.rs crates/transform/src/vect.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/cexpr.rs:
+crates/transform/src/expr.rs:
+crates/transform/src/lower.rs:
+crates/transform/src/proofs.rs:
+crates/transform/src/typetrans.rs:
+crates/transform/src/vect.rs:

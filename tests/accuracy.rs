@@ -23,8 +23,7 @@ fn all_kernels_in_the_table2_error_regime() {
         assert!(e[1].abs() < 15.0, "{} REG {e:?}", k.name());
         assert!(e[2].abs() < 2.0, "{} BRAM {e:?}", k.name());
         assert!(e[3].abs() <= 15.0, "{} DSP {e:?}", k.name());
-        let cpki_err =
-            (est.throughput.cpki - run.cpki() as f64) / run.cpki() as f64 * 100.0;
+        let cpki_err = (est.throughput.cpki - run.cpki() as f64) / run.cpki() as f64 * 100.0;
         assert!(cpki_err.abs() < 6.0, "{} CPKI {cpki_err}%", k.name());
     }
 }

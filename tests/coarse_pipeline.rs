@@ -5,9 +5,7 @@
 
 use tytra::cost::estimate;
 use tytra::device::stratix_v_gsd8;
-use tytra::ir::{
-    config_tree, ConfigClass, IrModule, ModuleBuilder, Opcode, ParKind, ScalarType,
-};
+use tytra::ir::{config_tree, ConfigClass, IrModule, ModuleBuilder, Opcode, ParKind, ScalarType};
 use tytra::sim::{execute_module, run_application, synthesize, ExecInputs};
 
 const T: ScalarType = ScalarType::UInt(18);

@@ -28,14 +28,11 @@ fn cost_model_choice_wins_on_the_simulator_too() {
     let dev = stratix_v_gsd8();
     let evaluated = explore(&sor, &dev, &cfg());
     let best = select_best(&evaluated).expect("fits");
-    let baseline = evaluated
-        .iter()
-        .find(|e| e.variant == Variant::baseline())
-        .expect("baseline evaluated");
+    let baseline =
+        evaluated.iter().find(|e| e.variant == Variant::baseline()).expect("baseline evaluated");
 
     let best_run = run_application(&sor.lower_variant(&best.variant).unwrap(), &dev).unwrap();
-    let base_run =
-        run_application(&sor.lower_variant(&baseline.variant).unwrap(), &dev).unwrap();
+    let base_run = run_application(&sor.lower_variant(&baseline.variant).unwrap(), &dev).unwrap();
     assert!(
         best_run.t_total_s <= base_run.t_total_s,
         "cost model picked {} but the simulator disagrees ({} vs {} s)",

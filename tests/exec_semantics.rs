@@ -25,7 +25,8 @@ fn check_kernel(kernel: &dyn EvalKernel, workload: &HashMap<String, Vec<f64>>, n
         assert_eq!(got.len(), expect.len());
         for i in 0..n {
             assert_eq!(
-                got[i], expect[i],
+                got[i],
+                expect[i],
                 "{}::{name}[{i}]: hardware {} vs reference {}",
                 kernel.name(),
                 got[i],
@@ -34,11 +35,7 @@ fn check_kernel(kernel: &dyn EvalKernel, workload: &HashMap<String, Vec<f64>>, n
         }
     }
     for (acc, expect) in &sw_reds {
-        assert_eq!(
-            hw.reductions[acc], *expect,
-            "{}::{acc} reduction mismatch",
-            kernel.name()
-        );
+        assert_eq!(hw.reductions[acc], *expect, "{}::{acc} reduction mismatch", kernel.name());
     }
 }
 

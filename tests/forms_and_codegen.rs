@@ -62,8 +62,8 @@ fn codegen_emits_checked_hdl_for_every_kernel_and_lane_count() {
         for lanes in [1u64, 4] {
             let v = Variant { lanes, ..Variant::baseline() };
             let m = k.lower_variant(&v).unwrap();
-            let hdl = emit_design(&m, &dev)
-                .unwrap_or_else(|e| panic!("{} x{lanes}: {e}", k.name()));
+            let hdl =
+                emit_design(&m, &dev).unwrap_or_else(|e| panic!("{} x{lanes}: {e}", k.name()));
             check(&hdl).unwrap_or_else(|errs| {
                 panic!("{} x{lanes}: {} structural errors: {errs:?}", k.name(), errs.len())
             });
@@ -74,8 +74,7 @@ fn codegen_emits_checked_hdl_for_every_kernel_and_lane_count() {
             let wrapper = emit_maxj_wrapper(&m);
             assert!(wrapper.contains("extends Kernel"));
             // One io.input per read port.
-            let reads =
-                m.ports.iter().filter(|p| p.dir == tytra::ir::StreamDir::Read).count();
+            let reads = m.ports.iter().filter(|p| p.dir == tytra::ir::StreamDir::Read).count();
             assert_eq!(wrapper.matches("io.input(").count(), reads, "{}", k.name());
         }
     }

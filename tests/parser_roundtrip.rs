@@ -27,7 +27,10 @@ fn asset_matches_kernel_library_lowering() {
     let src = std::fs::read_to_string("assets/sor_c2.tirl").unwrap();
     let from_file = parse(&src).unwrap();
     let from_library = Sor::default().lower_variant(&Variant::baseline()).unwrap();
-    assert_eq!(from_file, from_library, "regenerate assets with `cargo run -p tytra-cli --example gen_assets`");
+    assert_eq!(
+        from_file, from_library,
+        "regenerate assets with `cargo run -p tytra-cli --example gen_assets`"
+    );
 }
 
 /// Strategy: a random but well-formed module exercising pipes, offsets,
@@ -35,9 +38,9 @@ fn asset_matches_kernel_library_lowering() {
 /// lane replication.
 fn arb_module() -> impl Strategy<Value = tytra::ir::IrModule> {
     (
-        1u16..4,                                  // type selector
+        1u16..4,                                                  // type selector
         proptest::collection::vec((0usize..6, -64i64..64), 1..6), // op picks
-        0u32..3,                                  // lanes power
+        0u32..3,                                                  // lanes power
         prop_oneof![
             Just(MemForm::A),
             Just(MemForm::B),
@@ -45,9 +48,9 @@ fn arb_module() -> impl Strategy<Value = tytra::ir::IrModule> {
             (2u32..9).prop_map(|t| MemForm::Tiled { tiles: t }),
         ],
         1u64..64,
-        proptest::option::of(1i64..48),           // optional stencil window
-        any::<bool>(),                            // reduction?
-        any::<bool>(),                            // strided input?
+        proptest::option::of(1i64..48), // optional stencil window
+        any::<bool>(),                  // reduction?
+        any::<bool>(),                  // strided input?
         prop_oneof![Just(1u32), Just(2u32), Just(4u32)], // DV
     )
         .prop_map(|(tysel, ops, lanes_pow, form, nd, window, reduce, strided, dv)| {
@@ -62,11 +65,22 @@ fn arb_module() -> impl Strategy<Value = tytra::ir::IrModule> {
             let declare = |b: &mut ModuleBuilder, name: &str, len, out: bool| {
                 use tytra::ir::{AccessPattern, StreamDir};
                 if form == MemForm::C {
-                    b.local_array(name, ty, len, if out { StreamDir::Write } else { StreamDir::Read });
+                    b.local_array(
+                        name,
+                        ty,
+                        len,
+                        if out { StreamDir::Write } else { StreamDir::Read },
+                    );
                 } else if out {
                     b.global_output(name, ty, len);
                 } else if strided {
-                    b.global_array(name, ty, len, StreamDir::Read, AccessPattern::Strided { stride: 64 });
+                    b.global_array(
+                        name,
+                        ty,
+                        len,
+                        StreamDir::Read,
+                        AccessPattern::Strided { stride: 64 },
+                    );
                 } else {
                     b.global_input(name, ty, len);
                 }

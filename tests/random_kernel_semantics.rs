@@ -8,9 +8,9 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 use tytra::ir::{Opcode, ScalarType};
 use tytra::sim::{execute_module, ExecInputs};
-use tytra::transform::{lower, Expr, KernelDef, Reduction};
 use tytra::transform::lower::Geometry;
 use tytra::transform::Variant;
+use tytra::transform::{lower, Expr, KernelDef, Reduction};
 
 const N: usize = 96;
 
@@ -76,10 +76,8 @@ fn workload(seed: u64) -> HashMap<String, Vec<f64>> {
     let gen = |salt: u64| -> Vec<f64> {
         (0..N as u64)
             .map(|i| {
-                let x = i
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(seed ^ salt)
-                    .rotate_left(17);
+                let x =
+                    i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed ^ salt).rotate_left(17);
                 (x % 1024) as f64
             })
             .collect()

@@ -51,8 +51,8 @@ fn vectorization_halves_compute_time_and_doubles_datapath() {
     // Within a fraction of a percent: the doubled datapath derates the
     // clock slightly through the congestion model.
     assert!((speed - 2.0).abs() < 0.01, "{speed}");
-    let growth = v2.resources.breakdown.datapath.aluts as f64
-        / v1.resources.breakdown.datapath.aluts as f64;
+    let growth =
+        v2.resources.breakdown.datapath.aluts as f64 / v1.resources.breakdown.datapath.aluts as f64;
     assert!((growth - 2.0).abs() < 1e-9, "{growth}");
     // The simulator sees the same shape.
     let s1 = run_application(&sor.lower_variant(&Variant::baseline()).unwrap(), &dev).unwrap();
@@ -111,11 +111,9 @@ fn power_grows_with_lanes() {
     let sor = Sor::cubic(48, 10);
     let dev = stratix_v_gsd8();
     let p1 = estimate(&sor.lower_variant(&Variant::baseline()).unwrap(), &dev).unwrap().power_w;
-    let p8 = estimate(
-        &sor.lower_variant(&Variant { lanes: 8, ..Variant::baseline() }).unwrap(),
-        &dev,
-    )
-    .unwrap()
-    .power_w;
+    let p8 =
+        estimate(&sor.lower_variant(&Variant { lanes: 8, ..Variant::baseline() }).unwrap(), &dev)
+            .unwrap()
+            .power_w;
     assert!(p8 > p1);
 }
