@@ -4,7 +4,7 @@
 //! first two.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use tytra_cost::estimate;
+use tytra_cost::{estimate, EstimatorSession};
 use tytra_device::stratix_v_gsd8;
 use tytra_hls_baseline::slow_estimate;
 use tytra_kernels::{EvalKernel, Sor};
@@ -53,5 +53,33 @@ fn bench_variant_sweep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_estimators, bench_variant_sweep);
+fn bench_session_sweep(c: &mut Criterion) {
+    // The same 4-variant sweep through the pass pipeline: cold pays the
+    // session construction plus every pass per variant; warm replays
+    // memoized sub-results across the whole sweep.
+    let sor = Sor::cubic(48, 10);
+    let dev = stratix_v_gsd8();
+    let modules: Vec<_> = [1u64, 2, 4, 8]
+        .iter()
+        .map(|&l| sor.lower_variant(&Variant { lanes: l, ..Variant::baseline() }).expect("lowers"))
+        .collect();
+    let sweep = |session: &mut EstimatorSession| {
+        modules.iter().map(|m| session.estimate(m).expect("estimate").throughput.ekit).sum::<f64>()
+    };
+
+    let mut g = c.benchmark_group("session_sweep");
+    g.bench_function("cold", |b| {
+        b.iter_batched(
+            || EstimatorSession::new(dev.clone()),
+            |mut session| sweep(&mut session),
+            BatchSize::PerIteration,
+        )
+    });
+    let mut warm = EstimatorSession::new(dev.clone());
+    sweep(&mut warm); // prime the memo tables once, untimed
+    g.bench_function("warm", |b| b.iter(|| sweep(&mut warm)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_variant_sweep, bench_session_sweep);
 criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! CI smoke benchmark for the estimator session: time a cold
+//! (fresh-session-per-sweep) vs warm (one reused session) 4-variant SOR
+//! sweep and write the result as a small JSON artifact.
+//!
+//! Usage: `bench_smoke [OUT.json]` (default `BENCH_estimator.json`).
+//! The JSON is hand-rolled — the workspace has no serde — and carries
+//! four numbers: median cold and warm sweep time in microseconds, the
+//! cold/warm speedup, and the warm session's memo hit rate.
+
+use std::time::Instant;
+use tytra_cost::EstimatorSession;
+use tytra_device::stratix_v_gsd8;
+use tytra_kernels::{EvalKernel, Sor};
+use tytra_transform::Variant;
+
+const REPS: usize = 25;
+
+fn median_us(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_estimator.json".to_string());
+
+    let sor = Sor::cubic(48, 10);
+    let dev = stratix_v_gsd8();
+    let modules: Vec<_> = [1u64, 2, 4, 8]
+        .iter()
+        .map(|&l| sor.lower_variant(&Variant { lanes: l, ..Variant::baseline() }).expect("lowers"))
+        .collect();
+    let sweep = |session: &mut EstimatorSession| -> f64 {
+        modules.iter().map(|m| session.estimate(m).expect("estimate").throughput.ekit).sum()
+    };
+
+    // Cold: a fresh session per sweep — every pass runs for every variant.
+    let mut cold = Vec::with_capacity(REPS);
+    let mut checksum = 0.0f64;
+    for _ in 0..REPS {
+        let mut session = EstimatorSession::new(dev.clone());
+        let t0 = Instant::now();
+        checksum += sweep(&mut session);
+        cold.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    // Warm: one session reused — after the first sweep everything replays.
+    let mut warm_session = EstimatorSession::new(dev.clone());
+    checksum += sweep(&mut warm_session);
+    let mut warm = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        checksum += sweep(&mut warm_session);
+        warm.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    let cold_us = median_us(&mut cold);
+    let warm_us = median_us(&mut warm);
+    let stats = warm_session.stats();
+    let json = format!(
+        "{{\n  \"bench\": \"session_sweep_sor48_lanes_1_2_4_8\",\n  \"reps\": {REPS},\n  \
+         \"cold_us\": {cold_us:.3},\n  \"warm_us\": {warm_us:.3},\n  \
+         \"speedup\": {:.3},\n  \"hit_rate\": {:.4}\n}}\n",
+        cold_us / warm_us,
+        stats.hit_rate(),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!(
+        "cold {cold_us:.1} µs  warm {warm_us:.1} µs  speedup {:.2}x  hit rate {:.1}%",
+        cold_us / warm_us,
+        stats.hit_rate() * 100.0
+    );
+    println!("wrote {out} (checksum {checksum:.1})");
+}

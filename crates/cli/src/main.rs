@@ -9,7 +9,7 @@
 //! tybec actual <design.tirl> [--target <name>]      virtual synthesis + simulation, est-vs-actual
 //! tybec hdl    <design.tirl> [--target <name>] [-o out.v] [--wrapper] [--check]
 //! tybec tree   <design.tirl>                        configuration tree (Fig 8)
-//! tybec dse    <sor|hotspot|lavamd> [--target <name>] [--lanes N,N,...]
+//! tybec dse    <sor|hotspot|lavamd> [--target <name>] [--lanes N,N,...] [--workers N] [--stats]
 //! tybec roofline <sor|hotspot|lavamd> [--target <name>] [--lanes N,N,...]
 //! tybec exec   <design.tirl> [--items N] [--seed S]   run the datapath functionally
 //! tybec lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
@@ -19,9 +19,9 @@
 
 use std::process::ExitCode;
 use tytra_codegen::{check, emit_design, emit_maxj_wrapper};
-use tytra_cost::estimate;
+use tytra_cost::{estimate, EstimatorSession};
 use tytra_device::TargetDevice;
-use tytra_dse::{explore, lane_sweep, tune, ExplorationConfig};
+use tytra_dse::{explore_with_stats, lane_sweep_session, tune_session, ExplorationConfig};
 use tytra_kernels::{EvalKernel, Hotspot, LavaMd, Sor};
 use tytra_sim::{run_application, synthesize};
 use tytra_transform::Variant;
@@ -31,7 +31,7 @@ const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint> 
   actual <design.tirl> [--target <name>]
   hdl    <design.tirl> [--target <name>] [-o <out.v>] [--wrapper] [--check]
   tree   <design.tirl>
-  dse    <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...]
+  dse    <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...] [--workers N] [--stats]
   roofline <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...]
   exec   <design.tirl> [--items N] [--seed S]
   lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
@@ -277,18 +277,27 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
     let kernel = kernel_by_name(args)?;
     let dev = target_of(args)?;
     let lanes = lanes_flag(args)?;
+    let workers: usize = match flag_value(args, "--workers") {
+        Some(v) => v.parse().map_err(|e| format!("bad --workers: {e}"))?,
+        None => 0,
+    };
+    let show_stats = has_flag(args, "--stats");
+
+    // One estimator session serves the sweep and the later tuning run,
+    // so tuning starts with the sweep's memo tables already warm.
+    let mut session = EstimatorSession::new(dev.clone());
 
     println!("== lane sweep (Fig 15 style) ==");
-    let rows = lane_sweep(kernel.as_ref(), &dev, &lanes, &Variant::baseline());
+    let rows = lane_sweep_session(kernel.as_ref(), &mut session, &lanes, &Variant::baseline());
     print!("{}", tytra_dse::report::render_table(&rows));
 
     println!("\n== full exploration ==");
-    let cfg = ExplorationConfig { lanes, ..ExplorationConfig::default() };
-    let evaluated = explore(kernel.as_ref(), &dev, &cfg);
+    let cfg = ExplorationConfig { lanes, workers, ..ExplorationConfig::default() };
+    let (evaluated, explore_stats) = explore_with_stats(kernel.as_ref(), &dev, &cfg);
     print!("{}", tytra_dse::report::render_leaderboard(&evaluated, 10));
 
     println!("\n== guided tuning from baseline ==");
-    for step in tune(kernel.as_ref(), &dev, Variant::baseline(), 12) {
+    for step in tune_session(kernel.as_ref(), &mut session, Variant::baseline(), 12) {
         println!(
             "  {:<18} EKIT {:>12.1}  {} {}",
             step.variant.tag(),
@@ -297,5 +306,25 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
             step.action.map(|a| format!("→ {a}")).unwrap_or_default()
         );
     }
+
+    if show_stats {
+        let sweep_stats = session.stats();
+        let mut total = sweep_stats;
+        total += explore_stats;
+        println!("\n== estimator session stats ==");
+        print_stats_line("sweep+tuning", &sweep_stats);
+        print_stats_line("exploration", &explore_stats);
+        print_stats_line("total", &total);
+    }
     Ok(())
+}
+
+fn print_stats_line(label: &str, s: &tytra_cost::SessionStats) {
+    println!(
+        "  {:<14} {:>7} hits {:>7} misses  hit rate {:>5.1}%",
+        label,
+        s.hits,
+        s.misses,
+        s.hit_rate() * 100.0
+    );
 }

@@ -164,6 +164,45 @@ fn dse_rejects_unknown_kernel() {
 }
 
 #[test]
+fn dse_stats_reports_high_hit_rate() {
+    let o = tybec(&["dse", "sor", "--target", "eval-small", "--stats"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("estimator session stats"), "{out}");
+    let total = out
+        .lines()
+        .find(|l| l.trim_start().starts_with("total"))
+        .unwrap_or_else(|| panic!("no total stats line:\n{out}"));
+    // "  total       1234 hits    56 misses  hit rate  84.7%"
+    let pct: f64 = total
+        .split("hit rate")
+        .nth(1)
+        .and_then(|s| s.trim().trim_end_matches('%').parse().ok())
+        .unwrap_or_else(|| panic!("unparseable stats line: {total}"));
+    assert!(pct > 50.0, "memo hit rate should exceed 50%: {total}");
+}
+
+#[test]
+fn dse_workers_flag_is_deterministic() {
+    let base = &["dse", "sor", "--target", "eval-small", "--lanes", "1,2,4"];
+    let default = tybec(base);
+    assert!(default.status.success(), "{}", stderr(&default));
+    for n in ["1", "4"] {
+        let args: Vec<&str> = base.iter().copied().chain(["--workers", n]).collect();
+        let o = tybec(&args);
+        assert!(o.status.success(), "--workers {n}: {}", stderr(&o));
+        assert_eq!(stdout(&o), stdout(&default), "--workers {n} changed the output");
+    }
+}
+
+#[test]
+fn dse_rejects_bad_workers_value() {
+    let o = tybec(&["dse", "sor", "--workers", "zero"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--workers"), "{}", stderr(&o));
+}
+
+#[test]
 fn lint_runs_all_passes_over_every_asset() {
     for asset in [
         "assets/sor_c2.tirl",

@@ -8,7 +8,7 @@
 //! resulting aggregate ÷ peak is the design's ρ (ρ_G for the DRAM link,
 //! ρ_H for the host link).
 
-use tytra_device::{LinkSpec, TargetDevice};
+use tytra_device::{CurveCache, LinkKind, LinkSpec, TargetDevice};
 use tytra_ir::{AccessPattern, IrModule, StreamDir};
 
 /// Fraction of link peak a real controller sustains with many concurrent
@@ -50,7 +50,15 @@ pub struct BandwidthBreakdown {
 /// pattern or size. This is the naive model the paper's section V-C
 /// argues against; the ablation bench quantifies the damage.
 pub fn assess_naive(m: &IrModule, dev: &TargetDevice) -> BandwidthBreakdown {
-    let mut full = assess(m, dev);
+    assess_naive_impl(m, dev, None)
+}
+
+pub(crate) fn assess_naive_impl(
+    m: &IrModule,
+    dev: &TargetDevice,
+    cache: Option<&CurveCache>,
+) -> BandwidthBreakdown {
+    let mut full = assess_impl(m, dev, cache);
     let dram = dev.dram_link.peak_bytes_per_s * CONTROLLER_EFFICIENCY;
     let host = dev.host_link.peak_bytes_per_s * CONTROLLER_EFFICIENCY;
     for s in &mut full.streams {
@@ -72,6 +80,16 @@ pub fn assess_naive(m: &IrModule, dev: &TargetDevice) -> BandwidthBreakdown {
 /// `min(Σ sustained capped at controller efficiency,
 ///      lanes × min_i(sustained_i / elem_bytes_i) × bytes_per_item)`.
 pub fn assess(m: &IrModule, dev: &TargetDevice) -> BandwidthBreakdown {
+    assess_impl(m, dev, None)
+}
+
+/// [`assess`] with sustained-bandwidth interpolations routed through a
+/// session curve cache when one is present.
+pub(crate) fn assess_impl(
+    m: &IrModule,
+    dev: &TargetDevice,
+    cache: Option<&CurveCache>,
+) -> BandwidthBreakdown {
     let mut streams = Vec::new();
     let mut dram_sum = 0.0;
     // Slowest per-element rate across co-required streams, items/s.
@@ -82,7 +100,12 @@ pub fn assess(m: &IrModule, dev: &TargetDevice) -> BandwidthBreakdown {
         if !mem.space.is_offchip() {
             continue;
         }
-        let sustained = dev.dram_link.bw.sustained_bytes_per_s(s.pattern, mem.len);
+        let sustained = match cache {
+            Some(c) => {
+                c.sustained_bytes_per_s(LinkKind::Dram, &dev.dram_link.bw, s.pattern, mem.len)
+            }
+            None => dev.dram_link.bw.sustained_bytes_per_s(s.pattern, mem.len),
+        };
         dram_sum += sustained;
         let eb = f64::from(mem.elem_ty.bytes());
         min_item_rate = min_item_rate.min(sustained / eb);
@@ -118,7 +141,15 @@ pub fn assess(m: &IrModule, dev: &TargetDevice) -> BandwidthBreakdown {
     let host_sum = if total_elems == 0 {
         0.0
     } else {
-        dev.host_link.bw.sustained_bytes_per_s(AccessPattern::Contiguous, total_elems)
+        match cache {
+            Some(c) => c.sustained_bytes_per_s(
+                LinkKind::Host,
+                &dev.host_link.bw,
+                AccessPattern::Contiguous,
+                total_elems,
+            ),
+            None => dev.host_link.bw.sustained_bytes_per_s(AccessPattern::Contiguous, total_elems),
+        }
     };
     let (host_effective, rho_h) = aggregate(&dev.host_link, host_sum, total_elems == 0);
 

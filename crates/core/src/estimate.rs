@@ -2,16 +2,17 @@
 //! first three (blue) stages — parse memory/stream objects and accumulate
 //! their cost, analyze the functions and determine the configuration,
 //! estimate throughput for the configuration type.
+//!
+//! Since the pass-pipeline refactor both entry points are thin wrappers
+//! over a single-use [`EstimatorSession`] — the session *is* the
+//! pipeline; these functions just run one module through a cold one.
+//! Long-lived callers (the DSE engine, a future server mode) hold a
+//! session instead and let the memo tables warm up across variants.
 
-use crate::bandwidth;
-use crate::bottleneck;
-use crate::frequency;
-use crate::params::CostParams;
-use crate::report::{assemble, CostReport};
-use crate::resource;
-use crate::throughput;
+use crate::report::CostReport;
+use crate::session::EstimatorSession;
 use tytra_device::TargetDevice;
-use tytra_ir::{validate, IrError, IrModule};
+use tytra_ir::{IrError, IrModule};
 
 /// Run the full cost model over a validated design variant.
 ///
@@ -28,38 +29,23 @@ pub fn estimate_with(
     dev: &TargetDevice,
     opts: &crate::CostOptions,
 ) -> Result<CostReport, IrError> {
-    validate::validate(m)?;
-    let (params, tree) = CostParams::extract(m, dev)?;
-    let resources = resource::estimate_resources_with(m, dev, &tree.root, opts)?;
-    let utilization = resources.total.utilization(&dev.capacity);
-    let fits = resources.total.fits_within(&dev.capacity);
-    let clock = frequency::estimate_clock(m, dev, &tree.root, &resources.total)?;
-    let bw = if opts.sustained_bandwidth {
-        bandwidth::assess(m, dev)
+    EstimatorSession::with_options(dev.clone(), *opts).estimate(m)
+}
+
+/// Off-chip gigabytes per second the run actually exercises, used to
+/// scale the dynamic-power term. Degenerate instance times (zero, NaN or
+/// infinite, e.g. from a zero-frequency constraint) must not propagate
+/// into the reported power figure, so they clamp to zero traffic.
+pub(crate) fn exercised_gbytes(total_bytes: f64, t_instance: f64) -> f64 {
+    if !t_instance.is_finite() || t_instance <= 0.0 {
+        return 0.0;
+    }
+    let g = total_bytes / t_instance / 1e9;
+    if g.is_finite() {
+        g
     } else {
-        bandwidth::assess_naive(m, dev)
-    };
-    let tput = throughput::estimate_throughput(&params, dev, &bw, clock.freq_mhz);
-    let limiter = bottleneck::limiter(&tput);
-    // Estimated delta power: the device power model over the estimated
-    // resources, clock and the bandwidth the run actually exercises.
-    let exercised_gbytes =
-        if tput.t_instance > 0.0 { params.total_bytes() / tput.t_instance / 1e9 } else { 0.0 };
-    let power_w = dev.power.delta_watts(&resources.total, clock.freq_mhz, exercised_gbytes);
-    Ok(assemble(
-        m.name.clone(),
-        dev.name.clone(),
-        params,
-        &tree,
-        resources,
-        utilization,
-        fits,
-        clock,
-        bw,
-        tput,
-        limiter,
-        power_w,
-    ))
+        0.0
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +160,22 @@ mod tests {
         let mut m = sor_like(1, 4096, MemForm::B);
         m.functions.retain(|f| f.name != "main");
         assert!(estimate(&m, &stratix_v_gsd8()).is_err());
+    }
+
+    #[test]
+    fn exercised_gbytes_guards_degenerate_instance_times() {
+        // Normal case: identical to the plain quotient.
+        let g = exercised_gbytes(6.0e9, 2.0);
+        assert_eq!(g.to_bits(), (6.0e9f64 / 2.0 / 1e9).to_bits());
+        // Degenerate instance times clamp to zero traffic instead of
+        // leaking NaN/inf into the power model.
+        assert_eq!(exercised_gbytes(1.0e9, 0.0), 0.0);
+        assert_eq!(exercised_gbytes(1.0e9, -1.0), 0.0);
+        assert_eq!(exercised_gbytes(1.0e9, f64::NAN), 0.0);
+        assert_eq!(exercised_gbytes(1.0e9, f64::INFINITY), 0.0);
+        // Overflow to infinity in the quotient also clamps.
+        assert_eq!(exercised_gbytes(f64::INFINITY, 2.0), 0.0);
+        assert_eq!(exercised_gbytes(f64::MAX, f64::MIN_POSITIVE), 0.0);
     }
 
     #[test]

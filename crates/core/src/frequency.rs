@@ -7,8 +7,8 @@
 //! and (b) routing congestion as the device fills up, modelled as a
 //! linear derating of the fabric's base Fmax.
 
-use tytra_device::{ResourceVector, TargetDevice};
-use tytra_ir::{ConfigNode, Dfg, IrError, IrModule, ParKind};
+use tytra_device::{CurveCache, ResourceVector, TargetDevice};
+use tytra_ir::{ConfigNode, Dfg, IrError, IrFunction, IrModule, ParKind};
 
 /// Estimated clock and its contributors.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,28 +30,49 @@ pub fn estimate_clock(
 ) -> Result<ClockEstimate, IrError> {
     let mut worst = (0.0f64, String::new());
     visit(m, dev, tree, &mut worst)?;
-    let util = used.max_utilization(&dev.capacity).min(1.0);
-    let freq = dev.clock_mhz(worst.0, util, m.meta.freq_mhz);
-    Ok(ClockEstimate { freq_mhz: freq, max_stage_delay_ns: worst.0, limiting_function: worst.1 })
+    Ok(finish_clock(m, dev, worst, used))
 }
 
-fn visit(
+/// Derate the worst stage delay by fabric utilisation and apply any
+/// explicit frequency constraint — the tail shared by [`estimate_clock`]
+/// and the session clock pass.
+pub(crate) fn finish_clock(
     m: &IrModule,
     dev: &TargetDevice,
-    node: &ConfigNode,
-    worst: &mut (f64, String),
-) -> Result<(), IrError> {
-    let f = m
-        .function(&node.function)
-        .ok_or_else(|| IrError::Unknown { kind: "function", name: node.function.clone() })?;
-    match node.kind {
+    worst: (f64, String),
+    used: &ResourceVector,
+) -> ClockEstimate {
+    let util = used.max_utilization(&dev.capacity).min(1.0);
+    let freq = dev.clock_mhz(worst.0, util, m.meta.freq_mhz);
+    ClockEstimate { freq_mhz: freq, max_stage_delay_ns: worst.0, limiting_function: worst.1 }
+}
+
+/// The worst combinational stage *within one function* — the unit the
+/// session memoizes under the function's structural fingerprint.
+///
+/// Combining per-function results across a preorder walk with a strict
+/// `>` reproduces the legacy instruction-level walk exactly: the maximum
+/// is the same value, and the strict comparison keeps the earliest
+/// function on ties, as before.
+pub(crate) fn function_worst_stage(
+    dev: &TargetDevice,
+    curves: Option<&CurveCache>,
+    f: &IrFunction,
+    kind: ParKind,
+) -> Option<(f64, String)> {
+    match kind {
         ParKind::Pipe | ParKind::Seq => {
+            let mut worst: Option<f64> = None;
             for i in f.instrs() {
-                let d = dev.ops.stage_delay_ns(i.op, i.ty);
-                if d > worst.0 {
-                    *worst = (d, f.name.clone());
+                let d = match curves {
+                    Some(c) => c.stage_delay_ns(&dev.ops, i.op, i.ty),
+                    None => dev.ops.stage_delay_ns(i.op, i.ty),
+                };
+                if worst.is_none_or(|w| d > w) {
+                    worst = Some(d);
                 }
             }
+            worst.map(|d| (d, f.name.clone()))
         }
         ParKind::Comb => {
             // The whole block must settle in one cycle: routing overhead
@@ -65,12 +86,25 @@ fn visit(
                     dev.ops.op_delay_ns(i.op, i.ty)
                 })
                 .sum();
-            let d = dev.ops.route_delay_ns() + chain;
-            if d > worst.0 {
-                *worst = (d, f.name.clone());
-            }
+            Some((dev.ops.route_delay_ns() + chain, f.name.clone()))
         }
-        ParKind::Par => {}
+        ParKind::Par => None,
+    }
+}
+
+fn visit(
+    m: &IrModule,
+    dev: &TargetDevice,
+    node: &ConfigNode,
+    worst: &mut (f64, String),
+) -> Result<(), IrError> {
+    let f = m
+        .function(&node.function)
+        .ok_or_else(|| IrError::Unknown { kind: "function", name: node.function.clone() })?;
+    if let Some(own) = function_worst_stage(dev, None, f, node.kind) {
+        if own.0 > worst.0 {
+            *worst = own;
+        }
     }
     for c in &node.children {
         visit(m, dev, c, worst)?;

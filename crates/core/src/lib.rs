@@ -20,7 +20,15 @@
 //!   [`bottleneck`] — "allowing targeted optimization and opening the
 //!   route to a feedback path with automated, targeted tuning".
 //!
-//! The entry point is [`estimate()`][estimate::estimate]:
+//! Internally the model is organised as an explicit **pass pipeline**
+//! (validate → configure → schedule → parameters → resources → clock →
+//! bandwidth → throughput/power) driven by an [`EstimatorSession`]: a
+//! long-lived handle that memoizes per-function and per-stream
+//! sub-results under stable structural fingerprints so DSE sweeps cost
+//! thousands of related variants without redoing shared work — see
+//! [`session`] and `docs/estimator-internals.md`.
+//!
+//! The one-shot entry point is [`estimate()`][estimate::estimate]:
 //!
 //! ```
 //! use tytra_ir::parse;
@@ -61,6 +69,7 @@ pub mod reconfig;
 pub mod report;
 pub mod resource;
 pub mod schedule;
+pub mod session;
 pub mod throughput;
 
 pub use bandwidth::{BandwidthBreakdown, StreamBandwidth};
@@ -72,4 +81,5 @@ pub use reconfig::{plan as reconfig_plan, ReconfigPlan};
 pub use report::CostReport;
 pub use resource::{ResourceBreakdown, ResourceEstimate};
 pub use schedule::PipelineSchedule;
+pub use session::{EstimatorSession, SessionStats};
 pub use throughput::ThroughputEstimate;

@@ -59,7 +59,17 @@ impl CostParams {
     pub fn extract(m: &IrModule, dev: &TargetDevice) -> Result<(CostParams, ConfigTree), IrError> {
         let tree = config_tree::extract(m)?;
         let sched = schedule::schedule(m, dev, &tree.root)?;
+        Ok((CostParams::from_parts(m, &tree, sched), tree))
+    }
 
+    /// Assemble the parameters from an already-extracted configuration
+    /// tree and schedule — the infallible geometry half of [`extract`],
+    /// used by the session pipeline after its schedule pass.
+    pub(crate) fn from_parts(
+        m: &IrModule,
+        tree: &ConfigTree,
+        sched: PipelineSchedule,
+    ) -> CostParams {
         let ngs = m.meta.global_size();
         let nki = m.meta.nki;
 
@@ -116,23 +126,20 @@ impl CostParams {
             }
         }
 
-        Ok((
-            CostParams {
-                ngs,
-                nki,
-                nwpt_words,
-                bytes_per_item,
-                noff,
-                noff_bytes,
-                sched,
-                knl,
-                dv: m.meta.vect,
-                form: m.meta.form,
-                n_streams,
-                local_bytes,
-            },
-            tree,
-        ))
+        CostParams {
+            ngs,
+            nki,
+            nwpt_words,
+            bytes_per_item,
+            noff,
+            noff_bytes,
+            sched,
+            knl,
+            dv: m.meta.vect,
+            form: m.meta.form,
+            n_streams,
+            local_bytes,
+        }
     }
 
     /// Work-items each lane processes per kernel instance.

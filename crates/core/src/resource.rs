@@ -26,8 +26,13 @@
 //! synthesised 5400: the synthesis tool's FIFO drops the in-flight
 //! element. Our synthesis emulator reproduces that behaviour.
 
-use tytra_device::{ResourceVector, TargetDevice};
-use tytra_ir::{ConfigNode, Dfg, IrError, IrFunction, IrModule, Opcode, ParKind, ScalarType};
+use crate::session::SessionStats;
+use std::collections::HashMap;
+use tytra_device::{CachedLatency, CurveCache, ResourceVector, TargetDevice};
+use tytra_ir::{
+    fingerprint_function, ConfigNode, Dfg, IrError, IrFunction, IrModule, Opcode, ParKind,
+    ScalarType,
+};
 
 /// Offset windows at or below this many bits stay in registers; larger
 /// windows spill to block RAM (a Stratix ALM yields two pack-able
@@ -68,6 +73,16 @@ impl ResourceBreakdown {
     }
 }
 
+impl std::ops::AddAssign<&ResourceBreakdown> for ResourceBreakdown {
+    fn add_assign(&mut self, rhs: &ResourceBreakdown) {
+        self.datapath += rhs.datapath;
+        self.delay_lines += rhs.delay_lines;
+        self.offset_buffers += rhs.offset_buffers;
+        self.control += rhs.control;
+        self.local_memory += rhs.local_memory;
+    }
+}
+
 /// The resource estimate for a design variant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResourceEstimate {
@@ -96,9 +111,58 @@ pub fn estimate_resources_with(
     tree: &ConfigNode,
     opts: &crate::CostOptions,
 ) -> Result<ResourceEstimate, IrError> {
-    let dv = u64::from(m.meta.vect.max(1));
+    let mut walk =
+        Walk { m, dev, dv: u64::from(m.meta.vect.max(1)), opts, curves: None, memo: None };
+    estimate_resources_impl(&mut walk, tree)
+}
+
+/// Session entry point: identical arithmetic to
+/// [`estimate_resources_with`], but per-function costs are served from
+/// `table` (keyed on the function's structural fingerprint and `DV`) and
+/// calibration lookups go through `curves`.
+pub(crate) fn estimate_resources_session(
+    m: &IrModule,
+    dev: &TargetDevice,
+    tree: &ConfigNode,
+    opts: &crate::CostOptions,
+    curves: &CurveCache,
+    table: &mut HashMap<(u64, u64), ResourceBreakdown>,
+    stats: &mut SessionStats,
+) -> Result<ResourceEstimate, IrError> {
+    let mut walk = Walk {
+        m,
+        dev,
+        dv: u64::from(m.meta.vect.max(1)),
+        opts,
+        curves: Some(curves),
+        memo: Some(NodeMemo { table, stats }),
+    };
+    estimate_resources_impl(&mut walk, tree)
+}
+
+/// Memo handles threaded through a session-backed resource walk.
+struct NodeMemo<'a> {
+    table: &'a mut HashMap<(u64, u64), ResourceBreakdown>,
+    stats: &'a mut SessionStats,
+}
+
+/// One resource-accumulation walk over a configuration tree.
+struct Walk<'a> {
+    m: &'a IrModule,
+    dev: &'a TargetDevice,
+    dv: u64,
+    opts: &'a crate::CostOptions,
+    curves: Option<&'a CurveCache>,
+    memo: Option<NodeMemo<'a>>,
+}
+
+fn estimate_resources_impl(
+    walk: &mut Walk<'_>,
+    tree: &ConfigNode,
+) -> Result<ResourceEstimate, IrError> {
+    let (m, opts) = (walk.m, walk.opts);
     let mut acc = ResourceBreakdown::default();
-    node_cost(m, dev, tree, dv, opts, &mut acc)?;
+    walk.node_cost(tree, &mut acc)?;
     if !opts.structural_resources {
         // Naive per-instruction model: keep only functional units.
         acc.delay_lines = ResourceVector::ZERO;
@@ -131,7 +195,7 @@ pub fn estimate_resources_with(
     // declares per-lane ports).
     let lane = crate::schedule::lane_subtree(tree);
     let mut lane_acc = ResourceBreakdown::default();
-    node_cost(m, dev, lane, dv, opts, &mut lane_acc)?;
+    walk.node_cost(lane, &mut lane_acc)?;
     let lanes = if tree.kind == ParKind::Par { tree.children.len() as u64 } else { 1 };
     let offchip_streams = m
         .ports
@@ -150,42 +214,83 @@ pub fn estimate_resources_with(
     Ok(ResourceEstimate { total: acc.total(), breakdown: acc, per_lane })
 }
 
-fn node_cost(
+impl Walk<'_> {
+    /// Accumulate the cost of a configuration node and its children.
+    ///
+    /// The node's *own* contribution (everything [`function_cost`]
+    /// computes) depends only on the function body, `DV` and the options,
+    /// so a session memoizes it under `(fingerprint, dv)`; `par` glue and
+    /// child recursion stay outside the memo because they depend on the
+    /// tree shape. Addition over [`ResourceVector`]s is exact (`u64`), so
+    /// replaying a cached sub-total is bit-identical to recomputing it.
+    fn node_cost(&mut self, node: &ConfigNode, acc: &mut ResourceBreakdown) -> Result<(), IrError> {
+        let f = self
+            .m
+            .function(&node.function)
+            .ok_or_else(|| IrError::Unknown { kind: "function", name: node.function.clone() })?;
+        if node.kind == ParKind::Par {
+            for _ in &node.children {
+                acc.control += ResourceVector::new(LANE_GLUE_ALUTS, 0, 0, 0);
+            }
+        } else if let Some(memo) = self.memo.as_mut() {
+            let key = (fingerprint_function(f), self.dv);
+            if let Some(hit) = memo.table.get(&key) {
+                memo.stats.hits += 1;
+                *acc += hit;
+            } else {
+                memo.stats.misses += 1;
+                let own =
+                    function_cost(self.m, self.dev, f, node.kind, self.dv, self.opts, self.curves);
+                *acc += &own;
+                memo.table.insert(key, own);
+            }
+        } else {
+            let own =
+                function_cost(self.m, self.dev, f, node.kind, self.dv, self.opts, self.curves);
+            *acc += &own;
+        }
+        // Validator guarantees comb has no children.
+        if node.kind != ParKind::Comb {
+            for c in &node.children {
+                self.node_cost(c, acc)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The cost a single function contributes by itself — no children, no
+/// lane glue. This is the unit of memoization for a session.
+fn function_cost(
     m: &IrModule,
     dev: &TargetDevice,
-    node: &ConfigNode,
+    f: &IrFunction,
+    kind: ParKind,
     dv: u64,
     opts: &crate::CostOptions,
-    acc: &mut ResourceBreakdown,
-) -> Result<(), IrError> {
-    let f = m
-        .function(&node.function)
-        .ok_or_else(|| IrError::Unknown { kind: "function", name: node.function.clone() })?;
-    match node.kind {
-        ParKind::Pipe => {
-            pipe_cost(m, dev, f, dv, opts, acc);
-            for c in &node.children {
-                node_cost(m, dev, c, dv, opts, acc)?;
-            }
-        }
-        ParKind::Comb => {
-            comb_cost(dev, f, dv, opts, acc);
-            // Validator guarantees comb has no children.
-        }
-        ParKind::Seq => {
-            seq_cost(dev, f, acc);
-            for c in &node.children {
-                node_cost(m, dev, c, dv, opts, acc)?;
-            }
-        }
-        ParKind::Par => {
-            for c in &node.children {
-                acc.control += ResourceVector::new(LANE_GLUE_ALUTS, 0, 0, 0);
-                node_cost(m, dev, c, dv, opts, acc)?;
-            }
-        }
+    curves: Option<&CurveCache>,
+) -> ResourceBreakdown {
+    let mut acc = ResourceBreakdown::default();
+    match kind {
+        ParKind::Pipe => pipe_cost(m, dev, f, dv, opts, curves, &mut acc),
+        ParKind::Comb => comb_cost(dev, f, dv, opts, curves, &mut acc),
+        ParKind::Seq => seq_cost(dev, f, curves, &mut acc),
+        ParKind::Par => {}
     }
-    Ok(())
+    acc
+}
+
+/// One calibration-curve lookup, through the session cache when present.
+fn op_cost(
+    dev: &TargetDevice,
+    curves: Option<&CurveCache>,
+    op: Opcode,
+    ty: ScalarType,
+) -> ResourceVector {
+    match curves {
+        Some(c) => c.cost(&dev.ops, op, ty),
+        None => dev.ops.cost(op, ty),
+    }
 }
 
 fn pipe_cost(
@@ -194,20 +299,27 @@ fn pipe_cost(
     f: &IrFunction,
     dv: u64,
     opts: &crate::CostOptions,
+    curves: Option<&CurveCache>,
     acc: &mut ResourceBreakdown,
 ) {
     let _ = m;
     // Functional units, one per instruction per vector slot.
     for i in f.instrs() {
-        let fu =
-            if opts.strength_reduction { fu_estimate(dev, i) } else { dev.ops.cost(i.op, i.ty) };
+        let fu = if opts.strength_reduction {
+            fu_estimate_with(dev, curves, i)
+        } else {
+            op_cost(dev, curves, i.op, i.ty)
+        };
         acc.datapath += fu * dv;
     }
     // Delay lines from the ASAP schedule. Long chains retire into
     // LUT-based shift registers (the calibration toolchain's SRL
     // extraction), trading ~3/4 of the flip-flops for a small LUT cost;
     // short chains stay in registers.
-    let dfg = Dfg::build(f, &dev.ops);
+    let dfg = match curves {
+        Some(c) => Dfg::build(f, &CachedLatency { ops: &dev.ops, cache: c }),
+        None => Dfg::build(f, &dev.ops),
+    };
     let dl_bits = dfg.delay_line_bits * dv;
     if dl_bits > OFFSET_REG_SPILL_BITS * 2 {
         acc.delay_lines += ResourceVector::new(dl_bits / 8 + 2, dl_bits / 4, 0, 0);
@@ -237,14 +349,18 @@ fn comb_cost(
     f: &IrFunction,
     dv: u64,
     opts: &crate::CostOptions,
+    curves: Option<&CurveCache>,
     acc: &mut ResourceBreakdown,
 ) {
     let mut out_width = 0u64;
     for i in f.instrs() {
         // Combinational block: LUT cost only, no internal pipeline
         // registers.
-        let c =
-            if opts.strength_reduction { fu_estimate(dev, i) } else { dev.ops.cost(i.op, i.ty) };
+        let c = if opts.strength_reduction {
+            fu_estimate_with(dev, curves, i)
+        } else {
+            op_cost(dev, curves, i.op, i.ty)
+        };
         acc.datapath += ResourceVector::new(c.aluts, 0, 0, c.dsps) * dv;
         out_width = out_width.max(u64::from(i.ty.bits()));
     }
@@ -260,8 +376,18 @@ fn comb_cost(
 /// or/xor/and with zero folds away. This is how Table II's integer SOR
 /// estimates zero DSPs.
 pub fn fu_estimate(dev: &TargetDevice, i: &tytra_ir::Instruction) -> ResourceVector {
+    fu_estimate_with(dev, None, i)
+}
+
+/// [`fu_estimate`] with calibration lookups routed through a session
+/// cache when one is present.
+fn fu_estimate_with(
+    dev: &TargetDevice,
+    curves: Option<&CurveCache>,
+    i: &tytra_ir::Instruction,
+) -> ResourceVector {
     use tytra_ir::Operand;
-    let base = dev.ops.cost(i.op, i.ty);
+    let base = op_cost(dev, curves, i.op, i.ty);
     if !i.ty.is_int() {
         return base;
     }
@@ -283,7 +409,12 @@ pub fn fu_estimate(dev: &TargetDevice, i: &tytra_ir::Instruction) -> ResourceVec
     }
 }
 
-fn seq_cost(dev: &TargetDevice, f: &IrFunction, acc: &mut ResourceBreakdown) {
+fn seq_cost(
+    dev: &TargetDevice,
+    f: &IrFunction,
+    curves: Option<&CurveCache>,
+    acc: &mut ResourceBreakdown,
+) {
     // One functional unit per opcode family: the widest instance wins.
     let mut families: Vec<(Opcode, ScalarType)> = Vec::new();
     for i in f.instrs() {
@@ -297,7 +428,7 @@ fn seq_cost(dev: &TargetDevice, f: &IrFunction, acc: &mut ResourceBreakdown) {
         }
     }
     for (op, ty) in families {
-        acc.datapath += dev.ops.cost(op, ty);
+        acc.datapath += op_cost(dev, curves, op, ty);
     }
     // (seq PEs time-share full-width units; constant folding does not
     // apply because the shared unit must serve variable operands too.)

@@ -1,7 +1,7 @@
 //! Datapath scheduling: pipeline depth (`KPD`), initiation interval and
 //! structural register accounting across the configuration hierarchy.
 
-use tytra_device::TargetDevice;
+use tytra_device::{CachedLatency, CurveCache, TargetDevice};
 use tytra_ir::{ConfigNode, Dfg, IrError, IrModule, ParKind};
 
 /// The scheduled shape of one design variant's processing element(s).
@@ -30,8 +30,21 @@ pub fn schedule(
     dev: &TargetDevice,
     tree: &ConfigNode,
 ) -> Result<PipelineSchedule, IrError> {
+    schedule_with(m, dev, None, tree)
+}
+
+/// [`schedule`] with latency lookups routed through a session curve
+/// cache when one is present. The schedule depends only on the lane
+/// subtree (not on `DV` or lane count), which is why a session memoizes
+/// it under the subtree fingerprint.
+pub(crate) fn schedule_with(
+    m: &IrModule,
+    dev: &TargetDevice,
+    curves: Option<&CurveCache>,
+    tree: &ConfigNode,
+) -> Result<PipelineSchedule, IrError> {
     let lane = lane_subtree(tree);
-    let (kpd, delay_bits) = depth_of(m, dev, lane)?;
+    let (kpd, delay_bits) = depth_of(m, dev, curves, lane)?;
     let ni = lane.subtree_instrs();
     let ii = match lane.kind {
         // A pipeline accepts one work-item per cycle once full.
@@ -55,13 +68,21 @@ pub fn lane_subtree(tree: &ConfigNode) -> &ConfigNode {
 }
 
 /// Recursive pipeline depth + delay-line bits of a subtree.
-fn depth_of(m: &IrModule, dev: &TargetDevice, node: &ConfigNode) -> Result<(u32, u64), IrError> {
+fn depth_of(
+    m: &IrModule,
+    dev: &TargetDevice,
+    curves: Option<&CurveCache>,
+    node: &ConfigNode,
+) -> Result<(u32, u64), IrError> {
     let f = m
         .function(&node.function)
         .ok_or_else(|| IrError::Unknown { kind: "function", name: node.function.clone() })?;
     match node.kind {
         ParKind::Pipe => {
-            let dfg = Dfg::build(f, &dev.ops);
+            let dfg = match curves {
+                Some(c) => Dfg::build(f, &CachedLatency { ops: &dev.ops, cache: c }),
+                None => Dfg::build(f, &dev.ops),
+            };
             let mut depth = dfg.depth;
             let mut bits = dfg.delay_line_bits;
             for c in &node.children {
@@ -69,7 +90,7 @@ fn depth_of(m: &IrModule, dev: &TargetDevice, node: &ConfigNode) -> Result<(u32,
                     // A comb block inlines as one extra stage.
                     ParKind::Comb => depth += 1,
                     _ => {
-                        let (d, b) = depth_of(m, dev, c)?;
+                        let (d, b) = depth_of(m, dev, curves, c)?;
                         depth += d;
                         bits += b;
                     }
@@ -87,7 +108,7 @@ fn depth_of(m: &IrModule, dev: &TargetDevice, node: &ConfigNode) -> Result<(u32,
             let mut depth = 0;
             let mut bits = 0;
             for c in &node.children {
-                let (d, b) = depth_of(m, dev, c)?;
+                let (d, b) = depth_of(m, dev, curves, c)?;
                 depth = depth.max(d);
                 bits = bits.max(b);
             }

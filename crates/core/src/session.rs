@@ -1,0 +1,458 @@
+//! The session-based estimator: the cost pipeline as explicit, memoized
+//! passes.
+//!
+//! [`EstimatorSession`] is a long-lived handle owning one target device.
+//! Where [`estimate()`][crate::estimate::estimate] pays the full pipeline
+//! — validation, configuration extraction, scheduling, per-instruction
+//! resource accumulation, calibration-curve evaluation, bandwidth
+//! assessment — from scratch on every call, a session keys each pass's
+//! sub-results on stable structural fingerprints
+//! ([`tytra_ir::fingerprint`]) and replays them when a later variant
+//! shares the IR they were computed from. Variants in a DSE sweep share
+//! almost all of their IR (a 32-lane variant is one pipe function
+//! repeated 32 times; a lane sweep re-uses the same lane body at every
+//! width), so warm-session sweeps run mostly out of the memo tables.
+//!
+//! The pass pipeline, with each pass's memo key:
+//!
+//! | pass | input | memo key | cached value |
+//! |---|---|---|---|
+//! | validate | module | [`fingerprint_module`] | (validity) |
+//! | configure | module | — (cheap, always runs) | `ConfigTree` |
+//! | schedule | lane subtree | [`fingerprint_subtree`] | `PipelineSchedule` |
+//! | parameters | tree + schedule | — (infallible arithmetic) | `CostParams` |
+//! | resources | per function | [`fingerprint_function`] + `DV` | `ResourceBreakdown` |
+//! | clock | per function | [`fingerprint_function`] | worst stage (ns, name) |
+//! | bandwidth | stream set | [`fingerprint_streams`] + lanes | `BandwidthBreakdown` |
+//! | throughput / power | scalars | — (pure arithmetic) | — |
+//!
+//! Below those, every calibration-fit and sustained-bandwidth curve
+//! evaluation in `tytra-device` is interned in a session-scoped
+//! [`CurveCache`].
+//!
+//! **Bit-identity.** Cached values are the exact values the uncached
+//! code produced — resource sums are `u64` (addition commutes exactly),
+//! `f64`s are stored and replayed bit-for-bit, and the per-function
+//! worst-stage combine uses the same strict `>` preorder as the legacy
+//! instruction walk — so a warm [`estimate`][EstimatorSession::estimate]
+//! returns a [`CostReport`] bit-identical to a cold one. The
+//! `session_equivalence` property test and the byte-identical
+//! `tybec dse sor` leaderboard pin this down.
+
+use crate::bandwidth::{self, BandwidthBreakdown};
+use crate::frequency;
+use crate::params::CostParams;
+use crate::report::{assemble, CostReport};
+use crate::resource::{self, ResourceBreakdown};
+use crate::schedule::{self, PipelineSchedule};
+use crate::{bottleneck, throughput, CostOptions};
+use std::collections::{HashMap, HashSet};
+use tytra_device::{CurveCache, TargetDevice};
+use tytra_ir::{
+    config_tree, fingerprint_function, fingerprint_module, fingerprint_streams,
+    fingerprint_subtree, validate, ConfigNode, IrError, IrModule, StableHasher,
+};
+
+/// Memo-table traffic counters for one estimator session.
+///
+/// `hits`/`misses` aggregate every memoized pass *and* the device-level
+/// curve cache; `invalidations` counts [`EstimatorSession::invalidate`]
+/// calls. The DSE engine sums these across worker sessions and the CLI
+/// prints them under `--stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Lookups answered from a memo table.
+    pub hits: u64,
+    /// Lookups that fell through and were computed fresh.
+    pub misses: u64,
+    /// Explicit whole-session invalidations.
+    pub invalidations: u64,
+}
+
+impl SessionStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the memo tables (0 when the
+    /// session is untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign for SessionStats {
+    fn add_assign(&mut self, rhs: SessionStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.invalidations += rhs.invalidations;
+    }
+}
+
+/// A long-lived estimator handle: one target device, one set of cost
+/// options, and the memo tables shared by every module costed through it.
+///
+/// ```
+/// use tytra_cost::EstimatorSession;
+/// use tytra_device::stratix_v_gsd8;
+/// # let src = r#"
+/// # !module = !"double"
+/// # !ndrange = !{4096}
+/// # !nki = !1
+/// # !form = !"B"
+/// # %mem_x = memobj addrSpace(1) ui32, !size, !4096
+/// # %strobj_x = streamobj %mem_x, !read, !"CONT"
+/// # @main.x = addrSpace(12) ui32, !"istream", !"CONT", !0, !"strobj_x"
+/// # %mem_y = memobj addrSpace(1) ui32, !size, !4096
+/// # %strobj_y = streamobj %mem_y, !write, !"CONT"
+/// # @main.y = addrSpace(12) ui32, !"ostream", !"CONT", !0, !"strobj_y"
+/// # define void @f0(ui32 %x, out ui32 %y) pipe {
+/// #   ui32 %t = mul ui32 %x, 2
+/// #   ui32 %y__out = or ui32 %t, 0
+/// # }
+/// # define void @main() {
+/// #   call @f0(%x, %y) pipe
+/// # }
+/// # "#;
+/// let m = tytra_ir::parse(src).unwrap();
+/// let mut session = EstimatorSession::new(stratix_v_gsd8());
+/// let cold = session.estimate(&m).unwrap();
+/// let warm = session.estimate(&m).unwrap();
+/// assert_eq!(cold.throughput.ekit.to_bits(), warm.throughput.ekit.to_bits());
+/// assert!(session.stats().hit_rate() > 0.0);
+/// ```
+pub struct EstimatorSession {
+    dev: TargetDevice,
+    opts: CostOptions,
+    curves: CurveCache,
+    /// Whole-module fingerprints that already passed validation.
+    validated: HashSet<u64>,
+    /// Per-function resource costs, keyed `(function fingerprint, DV)`.
+    node_costs: HashMap<(u64, u64), ResourceBreakdown>,
+    /// Per-function worst stage delays, keyed on function fingerprint.
+    worst_stage: HashMap<u64, Option<(f64, String)>>,
+    /// Lane-subtree schedules, keyed on subtree fingerprint.
+    schedules: HashMap<u64, PipelineSchedule>,
+    /// Bandwidth breakdowns, keyed on (stream fingerprint, lanes).
+    bandwidths: HashMap<u64, BandwidthBreakdown>,
+    stats: SessionStats,
+}
+
+impl EstimatorSession {
+    /// A session with default cost options.
+    pub fn new(dev: TargetDevice) -> EstimatorSession {
+        EstimatorSession::with_options(dev, CostOptions::default())
+    }
+
+    /// A session with explicit (possibly ablated) cost options. Options
+    /// are fixed for the session's lifetime so they need not be part of
+    /// any memo key.
+    pub fn with_options(dev: TargetDevice, opts: CostOptions) -> EstimatorSession {
+        EstimatorSession {
+            dev,
+            opts,
+            curves: CurveCache::new(),
+            validated: HashSet::new(),
+            node_costs: HashMap::new(),
+            worst_stage: HashMap::new(),
+            schedules: HashMap::new(),
+            bandwidths: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The target the session costs against.
+    pub fn device(&self) -> &TargetDevice {
+        &self.dev
+    }
+
+    /// The session's cost options.
+    pub fn options(&self) -> &CostOptions {
+        &self.opts
+    }
+
+    /// Aggregate memo statistics: pass-level tables plus the device
+    /// curve cache.
+    pub fn stats(&self) -> SessionStats {
+        let mut s = self.stats;
+        s.hits += self.curves.hits();
+        s.misses += self.curves.misses();
+        s
+    }
+
+    /// Drop every memoized sub-result (e.g. after mutating the device
+    /// description in place). Counters survive; `invalidations` is
+    /// incremented.
+    pub fn invalidate(&mut self) {
+        self.curves.clear();
+        self.validated.clear();
+        self.node_costs.clear();
+        self.worst_stage.clear();
+        self.schedules.clear();
+        self.bandwidths.clear();
+        self.stats.invalidations += 1;
+    }
+
+    /// Run the full cost pipeline over a design variant, serving every
+    /// sub-result the session has already computed from its memo tables.
+    ///
+    /// Reports are bit-identical to [`crate::estimate()`] on the same
+    /// module and device.
+    pub fn estimate(&mut self, m: &IrModule) -> Result<CostReport, IrError> {
+        // Pass 0: validation, once per distinct module.
+        let module_fp = fingerprint_module(m);
+        if self.validated.contains(&module_fp) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            validate::validate(m)?;
+            self.validated.insert(module_fp);
+        }
+
+        // Pass 1: configuration extraction (cheap tree walk, not worth a
+        // clone-heavy memo entry).
+        let tree = config_tree::extract(m)?;
+
+        // Pass 2: schedule, shared by every variant with the same lane
+        // subtree (lane count and DV do not enter the schedule).
+        let lane = schedule::lane_subtree(&tree.root);
+        let lane_fp = fingerprint_subtree(m, lane);
+        let sched = match self.schedules.get(&lane_fp) {
+            Some(s) => {
+                self.stats.hits += 1;
+                s.clone()
+            }
+            None => {
+                let s = schedule::schedule_with(m, &self.dev, Some(&self.curves), &tree.root)?;
+                self.stats.misses += 1;
+                self.schedules.insert(lane_fp, s.clone());
+                s
+            }
+        };
+
+        // Pass 3: parameter extraction (pure arithmetic over pass 1+2).
+        let params = CostParams::from_parts(m, &tree, sched);
+
+        // Pass 4: resources, memoized per function.
+        let resources = resource::estimate_resources_session(
+            m,
+            &self.dev,
+            &tree.root,
+            &self.opts,
+            &self.curves,
+            &mut self.node_costs,
+            &mut self.stats,
+        )?;
+        let utilization = resources.total.utilization(&self.dev.capacity);
+        let fits = resources.total.fits_within(&self.dev.capacity);
+
+        // Pass 5: clock, worst stage memoized per function.
+        let mut worst = (0.0f64, String::new());
+        self.clock_walk(m, &tree.root, &mut worst)?;
+        let clock = frequency::finish_clock(m, &self.dev, worst, &resources.total);
+
+        // Pass 6: bandwidth, memoized per stream set + lane count.
+        let bw_key = {
+            let mut h = StableHasher::new();
+            h.write_u64(fingerprint_streams(m));
+            h.write_u64(m.kernel_lanes());
+            h.finish()
+        };
+        let bw = match self.bandwidths.get(&bw_key) {
+            Some(b) => {
+                self.stats.hits += 1;
+                b.clone()
+            }
+            None => {
+                let b = if self.opts.sustained_bandwidth {
+                    bandwidth::assess_impl(m, &self.dev, Some(&self.curves))
+                } else {
+                    bandwidth::assess_naive_impl(m, &self.dev, Some(&self.curves))
+                };
+                self.stats.misses += 1;
+                self.bandwidths.insert(bw_key, b.clone());
+                b
+            }
+        };
+
+        // Pass 7: throughput, limiter, power — pure arithmetic.
+        let tput = throughput::estimate_throughput(&params, &self.dev, &bw, clock.freq_mhz);
+        let limiter = bottleneck::limiter(&tput);
+        let exercised_gbytes =
+            crate::estimate::exercised_gbytes(params.total_bytes(), tput.t_instance);
+        let power_w =
+            self.dev.power.delta_watts(&resources.total, clock.freq_mhz, exercised_gbytes);
+        Ok(assemble(
+            m.name.clone(),
+            self.dev.name.clone(),
+            params,
+            &tree,
+            resources,
+            utilization,
+            fits,
+            clock,
+            bw,
+            tput,
+            limiter,
+            power_w,
+        ))
+    }
+
+    /// Preorder clock walk, replaying per-function worst stages from the
+    /// memo table. Strict `>` combine matches the legacy visit exactly.
+    fn clock_walk(
+        &mut self,
+        m: &IrModule,
+        node: &ConfigNode,
+        worst: &mut (f64, String),
+    ) -> Result<(), IrError> {
+        let f = m
+            .function(&node.function)
+            .ok_or_else(|| IrError::Unknown { kind: "function", name: node.function.clone() })?;
+        let key = fingerprint_function(f);
+        let own = match self.worst_stage.get(&key) {
+            Some(hit) => {
+                self.stats.hits += 1;
+                hit.clone()
+            }
+            None => {
+                let v =
+                    frequency::function_worst_stage(&self.dev, Some(&self.curves), f, node.kind);
+                self.stats.misses += 1;
+                self.worst_stage.insert(key, v.clone());
+                v
+            }
+        };
+        if let Some(own) = own {
+            if own.0 > worst.0 {
+                *worst = own;
+            }
+        }
+        for c in &node.children {
+            self.clock_walk(m, c, worst)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_device::{eval_small, stratix_v_gsd8};
+    use tytra_ir::{MemForm, ModuleBuilder, Opcode, ParKind, ScalarType};
+
+    const T: ScalarType = ScalarType::UInt(18);
+
+    fn laned_module(lanes: usize, form: MemForm) -> IrModule {
+        let n = 27_000u64;
+        let mut b = ModuleBuilder::new(format!("k_l{lanes}"));
+        if lanes > 1 {
+            for l in 0..lanes {
+                b.global_input(&format!("p{l}"), T, n / lanes as u64);
+                b.global_output(&format!("q{l}"), T, n / lanes as u64);
+            }
+        } else {
+            b.global_input("p", T, n);
+            b.global_output("q", T, n);
+        }
+        {
+            let f = b.function("f0", ParKind::Pipe);
+            f.input("p", T);
+            f.output("q", T);
+            let a = f.offset("p", T, 30);
+            let c = f.offset("p", T, -30);
+            let s = f.instr(Opcode::Add, T, vec![a, c]);
+            let w = f.instr(Opcode::Mul, T, vec![s, f.imm(3)]);
+            f.write_out("q", w);
+        }
+        if lanes > 1 {
+            let f = b.function("f1", ParKind::Par);
+            for _ in 0..lanes {
+                f.call("f0", vec![], ParKind::Pipe);
+            }
+            b.main_calls("f1");
+        } else {
+            b.main_calls("f0");
+        }
+        b.ndrange(&[n]).nki(100).form(form);
+        b.finish().expect("laned_module is valid")
+    }
+
+    #[test]
+    fn warm_report_is_bit_identical_to_cold() {
+        let dev = stratix_v_gsd8();
+        let m = laned_module(4, MemForm::B);
+        let fresh = crate::estimate(&m, &dev).unwrap();
+        let mut session = EstimatorSession::new(dev);
+        let cold = session.estimate(&m).unwrap();
+        let warm = session.estimate(&m).unwrap();
+        for r in [&cold, &warm] {
+            assert_eq!(format!("{fresh:?}"), format!("{r:?}"));
+        }
+        assert_eq!(fresh.throughput.ekit.to_bits(), warm.throughput.ekit.to_bits());
+        assert_eq!(fresh.power_w.to_bits(), warm.power_w.to_bits());
+        assert_eq!(fresh.clock.freq_mhz.to_bits(), warm.clock.freq_mhz.to_bits());
+    }
+
+    #[test]
+    fn repeated_lanes_hit_within_a_single_variant() {
+        // 8 lanes of the same pipe function: 7 of the 8 per-function
+        // resource lookups must hit even on a cold session.
+        let mut session = EstimatorSession::new(stratix_v_gsd8());
+        session.estimate(&laned_module(8, MemForm::B)).unwrap();
+        let s = session.stats();
+        assert!(s.hits > 0, "{s:?}");
+    }
+
+    #[test]
+    fn sweep_hit_rate_exceeds_half() {
+        // A Fig-15-style lane sweep: the lane body is shared by every
+        // variant, so a warm session serves most lookups from memory.
+        let mut session = EstimatorSession::new(eval_small());
+        for lanes in [1usize, 2, 4, 8] {
+            for form in [MemForm::A, MemForm::B] {
+                session.estimate(&laned_module(lanes, form)).unwrap();
+            }
+        }
+        let s = session.stats();
+        assert!(s.hit_rate() > 0.5, "hit rate {:.3} with {s:?}", s.hit_rate());
+    }
+
+    #[test]
+    fn invalidate_clears_tables_and_counts() {
+        let m = laned_module(2, MemForm::B);
+        let mut session = EstimatorSession::new(stratix_v_gsd8());
+        let before = session.estimate(&m).unwrap();
+        session.invalidate();
+        assert_eq!(session.stats().invalidations, 1);
+        let after = session.estimate(&m).unwrap();
+        assert_eq!(format!("{before:?}"), format!("{after:?}"));
+    }
+
+    #[test]
+    fn session_rejects_invalid_modules() {
+        let mut m = laned_module(1, MemForm::B);
+        m.functions.retain(|f| f.name != "main");
+        let mut session = EstimatorSession::new(stratix_v_gsd8());
+        assert!(session.estimate(&m).is_err());
+        // And keeps rejecting it (failure is not cached as success).
+        assert!(session.estimate(&m).is_err());
+    }
+
+    #[test]
+    fn stats_math() {
+        let s = SessionStats { hits: 3, misses: 1, invalidations: 0 };
+        assert_eq!(s.lookups(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(SessionStats::default().hit_rate(), 0.0);
+        let mut t = s;
+        t += SessionStats { hits: 1, misses: 1, invalidations: 2 };
+        assert_eq!(t, SessionStats { hits: 4, misses: 2, invalidations: 2 });
+    }
+}

@@ -1,0 +1,95 @@
+//! Bit-identity of the session path: for any module the builder can
+//! produce, a warm [`EstimatorSession`] must return exactly the report
+//! the one-shot [`estimate`] entry point returns — not approximately,
+//! but to the last mantissa bit. The session is a cache, never a second
+//! cost model.
+//!
+//! The strategy deliberately reuses one session across a whole batch of
+//! related variants (shared lane subtrees, shared stream layouts) so
+//! that later estimates replay memoized sub-results recorded under
+//! earlier ones — the exact situation where a lossy memo key or an
+//! order-dependent fold would surface as a diverging report.
+
+use proptest::prelude::*;
+use tytra_cost::{estimate, EstimatorSession};
+use tytra_device::{eval_small, stratix_v_gsd8};
+use tytra_ir::{IrModule, MemForm, ModuleBuilder, Opcode, ParKind, ScalarType};
+
+/// A small stencil-shaped pipeline: `lanes` lanes over an `ngs`-point
+/// range, each lane an offset/add/mul chain at `width` bits.
+fn stencil_module(width: u16, lanes: u64, ngs: u64, nki: u64, form: MemForm) -> IrModule {
+    let t = ScalarType::UInt(width);
+    let mut b = ModuleBuilder::new(format!("prop_w{width}_l{lanes}_{form:?}"));
+    for l in 0..lanes {
+        b.global_input(&format!("x{l}"), t, ngs / lanes);
+        b.global_output(&format!("y{l}"), t, ngs / lanes);
+    }
+    {
+        let f = b.function("lane", ParKind::Pipe);
+        f.input("x", t);
+        f.output("y", t);
+        let x = f.arg("x");
+        let up = f.offset("x", t, 30);
+        let dn = f.offset("x", t, -30);
+        let s = f.instr(Opcode::Add, t, vec![up, dn]);
+        let m = f.instr(Opcode::Mul, t, vec![s, f.imm(3)]);
+        let out = f.instr(Opcode::Add, t, vec![m, x]);
+        f.write_out("y", out);
+    }
+    if lanes > 1 {
+        let f = b.function("wrap", ParKind::Par);
+        for _ in 0..lanes {
+            f.call("lane", vec![], ParKind::Pipe);
+        }
+        b.main_calls("wrap");
+    } else {
+        b.main_calls("lane");
+    }
+    b.ndrange(&[ngs]).nki(nki).form(form);
+    b.finish().expect("valid stencil module")
+}
+
+fn forms() -> impl Strategy<Value = MemForm> {
+    prop_oneof![Just(MemForm::A), Just(MemForm::B), Just(MemForm::C)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// One warm session, many variants: every report must match the
+    /// fresh estimator bit for bit, including the floating-point tail.
+    #[test]
+    fn warm_session_matches_fresh_estimate(
+        width in 8u16..40,
+        log_ngs in 10u32..14,
+        nki in 1u64..50,
+        form in forms(),
+        big_dev in any::<bool>(),
+    ) {
+        let ngs = 1u64 << log_ngs;
+        let dev = if big_dev { stratix_v_gsd8() } else { eval_small() };
+        let mut session = EstimatorSession::new(dev.clone());
+        // Lane counts repeat and interleave so later variants replay
+        // sub-results memoized under earlier ones.
+        for lanes in [1u64, 2, 4, 8, 4, 1] {
+            let m = stencil_module(width, lanes, ngs, nki, form);
+            let fresh = estimate(&m, &dev).unwrap();
+            let warm = session.estimate(&m).unwrap();
+            prop_assert_eq!(
+                warm.throughput.ekit.to_bits(),
+                fresh.throughput.ekit.to_bits(),
+                "ekit diverged at lanes={} ({} vs {})",
+                lanes, warm.throughput.ekit, fresh.throughput.ekit
+            );
+            prop_assert_eq!(warm.power_w.to_bits(), fresh.power_w.to_bits());
+            prop_assert_eq!(warm.clock.freq_mhz.to_bits(), fresh.clock.freq_mhz.to_bits());
+            prop_assert_eq!(
+                format!("{warm:?}"),
+                format!("{fresh:?}"),
+                "full report diverged at lanes={}", lanes
+            );
+        }
+        // The batch shares one lane body, so the memo must have fired.
+        prop_assert!(session.stats().hits > 0, "session never hit its memo tables");
+    }
+}

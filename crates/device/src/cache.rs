@@ -1,0 +1,239 @@
+//! Session-scoped memoization of calibration-curve lookups.
+//!
+//! The calibration fits ([`OpCostModel`]) and the empirical bandwidth
+//! tables ([`BandwidthModel`]) are evaluated thousands of times per DSE
+//! sweep, almost always at a handful of distinct `(opcode, type)` or
+//! `(pattern, size)` points. [`CurveCache`] interns those evaluations
+//! behind interior mutability so one shared reference can serve every
+//! cost pass of an estimator session; the cached value is the *exact*
+//! `f64`/[`ResourceVector`] the underlying model produced, so memoized
+//! estimates stay bit-identical to fresh ones.
+//!
+//! The cache is deliberately device-agnostic: each method takes the
+//! model to consult on a miss, and the owner (one estimator session per
+//! target) guarantees a cache never sees two different devices.
+
+use crate::bandwidth::BandwidthModel;
+use crate::calibration::OpCostModel;
+use crate::resources::ResourceVector;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use tytra_ir::{AccessPattern, LatencyModel, Opcode, ScalarType};
+
+/// Which link a bandwidth lookup is for (part of the memo key, so the
+/// host and DRAM curves of one device never alias).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Host ↔ device (PCIe DMA).
+    Host,
+    /// Device DRAM.
+    Dram,
+}
+
+type OpKey = (Opcode, ScalarType);
+
+/// Memo tables for per-op calibration fits and sustained-bandwidth
+/// interpolations. Cheap to construct; hold one per estimator session.
+#[derive(Debug, Default)]
+pub struct CurveCache {
+    cost: RefCell<HashMap<OpKey, ResourceVector>>,
+    latency: RefCell<HashMap<OpKey, u32>>,
+    stage_delay: RefCell<HashMap<OpKey, u64>>,
+    sustained: RefCell<HashMap<(LinkKind, AccessPattern, u64), u64>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl CurveCache {
+    /// Fresh, empty cache.
+    pub fn new() -> CurveCache {
+        CurveCache::default()
+    }
+
+    /// Memoized [`OpCostModel::cost`].
+    pub fn cost(&self, ops: &OpCostModel, op: Opcode, ty: ScalarType) -> ResourceVector {
+        let mut table = self.cost.borrow_mut();
+        match table.get(&(op, ty)) {
+            Some(&v) => {
+                self.hits.set(self.hits.get() + 1);
+                v
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                let v = ops.cost(op, ty);
+                table.insert((op, ty), v);
+                v
+            }
+        }
+    }
+
+    /// Memoized [`OpCostModel::latency`].
+    pub fn latency(&self, ops: &OpCostModel, op: Opcode, ty: ScalarType) -> u32 {
+        let mut table = self.latency.borrow_mut();
+        match table.get(&(op, ty)) {
+            Some(&v) => {
+                self.hits.set(self.hits.get() + 1);
+                v
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                let v = ops.latency(op, ty);
+                table.insert((op, ty), v);
+                v
+            }
+        }
+    }
+
+    /// Memoized [`OpCostModel::stage_delay_ns`] (stored as bits, returned
+    /// bit-identical).
+    pub fn stage_delay_ns(&self, ops: &OpCostModel, op: Opcode, ty: ScalarType) -> f64 {
+        let mut table = self.stage_delay.borrow_mut();
+        match table.get(&(op, ty)) {
+            Some(&v) => {
+                self.hits.set(self.hits.get() + 1);
+                f64::from_bits(v)
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                let v = ops.stage_delay_ns(op, ty);
+                table.insert((op, ty), v.to_bits());
+                v
+            }
+        }
+    }
+
+    /// Memoized [`BandwidthModel::sustained_bytes_per_s`].
+    pub fn sustained_bytes_per_s(
+        &self,
+        link: LinkKind,
+        bw: &BandwidthModel,
+        pattern: AccessPattern,
+        total_elems: u64,
+    ) -> f64 {
+        let mut table = self.sustained.borrow_mut();
+        match table.get(&(link, pattern, total_elems)) {
+            Some(&v) => {
+                self.hits.set(self.hits.get() + 1);
+                f64::from_bits(v)
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                let v = bw.sustained_bytes_per_s(pattern, total_elems);
+                table.insert((link, pattern, total_elems), v.to_bits());
+                v
+            }
+        }
+    }
+
+    /// Lookups answered from the tables.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookups that fell through to the underlying model.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Number of interned entries across all tables.
+    pub fn len(&self) -> usize {
+        self.cost.borrow().len()
+            + self.latency.borrow().len()
+            + self.stage_delay.borrow().len()
+            + self.sustained.borrow().len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every interned entry (counters keep running); returns how
+    /// many entries were evicted.
+    pub fn clear(&self) -> usize {
+        let n = self.len();
+        self.cost.borrow_mut().clear();
+        self.latency.borrow_mut().clear();
+        self.stage_delay.borrow_mut().clear();
+        self.sustained.borrow_mut().clear();
+        n
+    }
+}
+
+/// Adapter plugging a cache-backed latency lookup into
+/// [`tytra_ir::Dfg::build`], which wants a [`LatencyModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct CachedLatency<'a> {
+    /// The calibration consulted on a miss.
+    pub ops: &'a OpCostModel,
+    /// The session cache.
+    pub cache: &'a CurveCache,
+}
+
+impl LatencyModel for CachedLatency<'_> {
+    fn latency(&self, op: Opcode, ty: ScalarType) -> u32 {
+        self.cache.latency(self.ops, op, ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UI18: ScalarType = ScalarType::UInt(18);
+
+    #[test]
+    fn cached_values_are_bit_identical() {
+        let ops = OpCostModel::stratix_v();
+        let cache = CurveCache::new();
+        for _ in 0..3 {
+            assert_eq!(cache.cost(&ops, Opcode::Mul, UI18), ops.cost(Opcode::Mul, UI18));
+            assert_eq!(cache.latency(&ops, Opcode::Div, UI18), ops.latency(Opcode::Div, UI18));
+            assert_eq!(
+                cache.stage_delay_ns(&ops, Opcode::Add, UI18).to_bits(),
+                ops.stage_delay_ns(Opcode::Add, UI18).to_bits()
+            );
+        }
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 6);
+    }
+
+    #[test]
+    fn sustained_lookup_keyed_per_link() {
+        let bw = BandwidthModel::fig10_virtex7();
+        let cache = CurveCache::new();
+        let a =
+            cache.sustained_bytes_per_s(LinkKind::Dram, &bw, AccessPattern::Contiguous, 1 << 20);
+        let b =
+            cache.sustained_bytes_per_s(LinkKind::Dram, &bw, AccessPattern::Contiguous, 1 << 20);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        // A different link is a different key even at the same point.
+        let _ =
+            cache.sustained_bytes_per_s(LinkKind::Host, &bw, AccessPattern::Contiguous, 1 << 20);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn latency_adapter_matches_model() {
+        let ops = OpCostModel::stratix_v();
+        let cache = CurveCache::new();
+        let adapter = CachedLatency { ops: &ops, cache: &cache };
+        let lm: &dyn LatencyModel = &adapter;
+        assert_eq!(lm.latency(Opcode::Mul, UI18), 2);
+        assert_eq!(lm.latency(Opcode::Mul, UI18), 2);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn clear_evicts_but_keeps_counters() {
+        let ops = OpCostModel::stratix_v();
+        let cache = CurveCache::new();
+        let _ = cache.cost(&ops, Opcode::Add, UI18);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.clear(), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1);
+    }
+}

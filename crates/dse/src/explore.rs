@@ -1,8 +1,12 @@
 //! Parallel variant enumeration and costing.
+//!
+//! Each worker thread owns a private [`EstimatorSession`], so variants
+//! costed on the same worker share memoized per-function sub-results
+//! with no locking at all; work is split by a static stride so the
+//! result set (after the final sort) is deterministic regardless of
+//! worker count.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
-use tytra_cost::{estimate, reconfig_plan, CostReport, ReconfigPlan};
+use tytra_cost::{reconfig_plan, CostReport, EstimatorSession, ReconfigPlan, SessionStats};
 use tytra_device::TargetDevice;
 use tytra_ir::MemForm;
 use tytra_kernels::EvalKernel;
@@ -61,6 +65,16 @@ pub fn explore(
     dev: &TargetDevice,
     cfg: &ExplorationConfig,
 ) -> Vec<EvaluatedVariant> {
+    explore_with_stats(kernel, dev, cfg).0
+}
+
+/// [`explore`], also returning the summed memo statistics of every
+/// worker's estimator session (the `--stats` output of `tybec dse`).
+pub fn explore_with_stats(
+    kernel: &dyn EvalKernel,
+    dev: &TargetDevice,
+    cfg: &ExplorationConfig,
+) -> (Vec<EvaluatedVariant>, SessionStats) {
     let ngs = kernel.geometry().size();
     let mut variants = enumerate_variants(ngs, &cfg.lanes, &cfg.vects, &cfg.forms);
     if !cfg.include_seq {
@@ -74,32 +88,38 @@ pub fn explore(
     }
     .min(variants.len().max(1));
 
-    let (tx, rx) = channel::unbounded::<Variant>();
-    for v in &variants {
-        tx.send(*v).expect("channel open");
-    }
-    drop(tx);
-
-    let results: Mutex<Vec<EvaluatedVariant>> = Mutex::new(Vec::with_capacity(variants.len()));
+    // Static strided split: worker w takes variants w, w+workers, ….
+    // Every worker owns a session, so costing needs no shared state; the
+    // final total sort makes the output independent of the partition.
+    let mut stats = SessionStats::default();
+    let mut out: Vec<EvaluatedVariant> = Vec::with_capacity(variants.len());
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            let rx = rx.clone();
-            let results = &results;
-            s.spawn(move || {
-                while let Ok(variant) = rx.recv() {
-                    // Lowering can fail only for illegal variants, which
-                    // enumerate_variants already filtered; costing is
-                    // infallible on lowered modules.
-                    let Ok(module) = kernel.lower_variant(&variant) else { continue };
-                    let Ok(report) = estimate(&module, dev) else { continue };
-                    let reconfig = reconfig_plan(&report, dev);
-                    results.lock().push(EvaluatedVariant { variant, report, reconfig });
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let variants = &variants;
+                s.spawn(move || {
+                    let mut session = EstimatorSession::new(dev.clone());
+                    let mut found = Vec::new();
+                    for variant in variants.iter().skip(w).step_by(workers) {
+                        // Lowering can fail only for illegal variants,
+                        // which enumerate_variants already filtered;
+                        // costing is infallible on lowered modules.
+                        let Ok(module) = kernel.lower_variant(variant) else { continue };
+                        let Ok(report) = session.estimate(&module) else { continue };
+                        let reconfig = reconfig_plan(&report, dev);
+                        found.push(EvaluatedVariant { variant: *variant, report, reconfig });
+                    }
+                    (found, session.stats())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (found, worker_stats) = h.join().expect("worker panicked");
+            out.extend(found);
+            stats += worker_stats;
         }
     });
 
-    let mut out = results.into_inner();
     out.sort_by(|a, b| {
         b.report
             .throughput
@@ -107,7 +127,7 @@ pub fn explore(
             .total_cmp(&a.report.throughput.ekit)
             .then_with(|| a.variant.tag().cmp(&b.variant.tag()))
     });
-    out
+    (out, stats)
 }
 
 /// The guided-optimisation selection: fastest valid variant.
@@ -169,6 +189,34 @@ mod tests {
         // select_best skips the invalid one even if it estimated faster.
         let best = select_best(&out).unwrap();
         assert!(best.is_valid());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let sor = Sor::cubic(16, 10);
+        let dev = stratix_v_gsd8();
+        let runs: Vec<Vec<(String, u64)>> = [1usize, 2, 4]
+            .iter()
+            .map(|&w| {
+                let cfg = ExplorationConfig { workers: w, ..small_cfg() };
+                explore(&sor, &dev, &cfg)
+                    .iter()
+                    .map(|e| (e.variant.tag(), e.report.throughput.ekit.to_bits()))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn sweep_stats_report_memo_hits() {
+        let sor = Sor::cubic(16, 10);
+        let dev = stratix_v_gsd8();
+        let cfg = ExplorationConfig { workers: 1, ..small_cfg() };
+        let (out, stats) = explore_with_stats(&sor, &dev, &cfg);
+        assert_eq!(out.len(), 6);
+        assert!(stats.hit_rate() > 0.5, "hit rate {:.3} ({stats:?})", stats.hit_rate());
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //!
 //! * [`explore()`][explore::explore] — generate every legal variant of a kernel by type
 //!   transformation, lower each to TyTra-IR and cost it, in parallel
-//!   across worker threads;
+//!   across worker threads, each holding its own warm
+//!   `EstimatorSession` ([`explore_with_stats`] also reports the summed
+//!   memo hit rates);
 //! * [`select_best`] — the guided-optimisation choice: fastest EKIT
 //!   among variants that fit the device and saturate no illegal
 //!   constraint;
@@ -20,7 +22,7 @@ pub mod report;
 pub mod roofline;
 pub mod tuning;
 
-pub use explore::{explore, select_best, EvaluatedVariant, ExplorationConfig};
-pub use report::{lane_sweep, LaneSweepRow};
+pub use explore::{explore, explore_with_stats, select_best, EvaluatedVariant, ExplorationConfig};
+pub use report::{lane_sweep, lane_sweep_session, LaneSweepRow};
 pub use roofline::{roofline, RooflinePoint};
-pub use tuning::{tune, TuningStep};
+pub use tuning::{tune, tune_session, TuningStep};

@@ -3,8 +3,7 @@
 //! pipeline lanes grows.
 
 use crate::explore::EvaluatedVariant;
-use tytra_cost::estimate;
-use tytra_cost::Limiter;
+use tytra_cost::{EstimatorSession, Limiter};
 use tytra_device::TargetDevice;
 use tytra_kernels::EvalKernel;
 use tytra_transform::Variant;
@@ -42,11 +41,24 @@ pub fn lane_sweep(
     lanes: &[u64],
     base: &Variant,
 ) -> Vec<LaneSweepRow> {
+    let mut session = EstimatorSession::new(dev.clone());
+    lane_sweep_session(kernel, &mut session, lanes, base)
+}
+
+/// [`lane_sweep`] through an existing estimator session, so the sweep
+/// shares memoized sub-results with other passes over the same kernel
+/// (the CLI reuses one session for sweep + tuning).
+pub fn lane_sweep_session(
+    kernel: &dyn EvalKernel,
+    session: &mut EstimatorSession,
+    lanes: &[u64],
+    base: &Variant,
+) -> Vec<LaneSweepRow> {
     let mut rows = Vec::new();
     for &l in lanes {
         let v = Variant { lanes: l, ..*base };
         let Ok(module) = kernel.lower_variant(&v) else { continue };
-        let Ok(r) = estimate(&module, dev) else { continue };
+        let Ok(r) = session.estimate(&module) else { continue };
         rows.push(row_from(l, &r));
     }
     rows

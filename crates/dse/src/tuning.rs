@@ -14,7 +14,7 @@
 //! The loop ends when a move yields no EKIT improvement, a move is
 //! unavailable, or the variant stops fitting.
 
-use tytra_cost::{estimate, CostReport, Limiter};
+use tytra_cost::{CostReport, EstimatorSession, Limiter};
 use tytra_device::TargetDevice;
 use tytra_ir::MemForm;
 use tytra_kernels::EvalKernel;
@@ -40,14 +40,28 @@ pub fn tune(
     start: Variant,
     max_steps: usize,
 ) -> Vec<TuningStep> {
+    let mut session = EstimatorSession::new(dev.clone());
+    tune_session(kernel, &mut session, start, max_steps)
+}
+
+/// [`tune`] through an existing estimator session: successive tuning
+/// steps differ by one knob, so nearly every sub-result replays from the
+/// memo tables.
+pub fn tune_session(
+    kernel: &dyn EvalKernel,
+    session: &mut EstimatorSession,
+    start: Variant,
+    max_steps: usize,
+) -> Vec<TuningStep> {
     let mut trajectory = Vec::new();
     let mut current = start;
-    let Some(mut report) = cost_of(kernel, dev, &current) else {
+    let Some(mut report) = cost_of(kernel, session, &current) else {
         return trajectory;
     };
 
     for _ in 0..max_steps {
         let limiter = report.limiter;
+        let dev = session.device();
         let Some((next, action)) = next_move(kernel, dev, &current, limiter, &report) else {
             trajectory.push(TuningStep {
                 variant: current,
@@ -57,7 +71,7 @@ pub fn tune(
             });
             return trajectory;
         };
-        let Some(next_report) = cost_of(kernel, dev, &next) else {
+        let Some(next_report) = cost_of(kernel, session, &next) else {
             trajectory.push(TuningStep {
                 variant: current,
                 ekit: report.throughput.ekit,
@@ -89,9 +103,13 @@ pub fn tune(
     trajectory
 }
 
-fn cost_of(kernel: &dyn EvalKernel, dev: &TargetDevice, v: &Variant) -> Option<CostReport> {
+fn cost_of(
+    kernel: &dyn EvalKernel,
+    session: &mut EstimatorSession,
+    v: &Variant,
+) -> Option<CostReport> {
     let m = kernel.lower_variant(v).ok()?;
-    estimate(&m, dev).ok()
+    session.estimate(&m).ok()
 }
 
 fn next_move(

@@ -25,13 +25,16 @@
 //! offers a programmatic API. [`config_tree`] extracts the architecture
 //! implied by the function hierarchy (Fig 8) and classifies it against the
 //! design-space abstraction of Fig 5. [`dfg`] builds the dataflow graph that
-//! the cost model schedules and the simulator executes.
+//! the cost model schedules and the simulator executes. [`fingerprint`]
+//! computes the stable, span-transparent structural hashes under which the
+//! session-based cost estimator memoizes per-function sub-results.
 
 pub mod builder;
 pub mod config_tree;
 pub mod dfg;
 pub mod diag;
 pub mod error;
+pub mod fingerprint;
 pub mod function;
 pub mod instr;
 pub mod module;
@@ -46,6 +49,10 @@ pub use config_tree::{ConfigClass, ConfigNode, ConfigTree};
 pub use dfg::{Dfg, DfgNode, LatencyModel, UnitLatency};
 pub use diag::{DiagSink, Diagnostic, Severity, Span, SrcLoc};
 pub use error::IrError;
+pub use fingerprint::{
+    fingerprint_function, fingerprint_module, fingerprint_streams, fingerprint_subtree,
+    StableHasher,
+};
 pub use function::{Call, IrFunction, OffsetDecl, ParKind, Param, PortDir, Stmt};
 pub use instr::{Dest, Instruction, Opcode, Operand};
 pub use module::{ExecMeta, IrModule, MemForm};
