@@ -5,7 +5,9 @@
 //! Usage: `bench_smoke [OUT.json]` (default `BENCH_estimator.json`).
 //! The JSON is hand-rolled — the workspace has no serde — and carries
 //! four numbers: median cold and warm sweep time in microseconds, the
-//! cold/warm speedup, and the warm session's memo hit rate.
+//! cold/warm speedup, and the warm session's memo hit rate, plus a
+//! `pass_us` object breaking one traced cold+warm sweep down by
+//! estimator pass (total span time per `estimator.*` span name).
 
 use std::time::Instant;
 use tytra_cost::EstimatorSession;
@@ -56,10 +58,31 @@ fn main() {
     let cold_us = median_us(&mut cold);
     let warm_us = median_us(&mut warm);
     let stats = warm_session.stats();
+
+    // Per-pass breakdown: trace one cold + one warm sweep through a
+    // fresh session and sum span time per estimator pass. Tracing stays
+    // off for the timing loops above so they measure the untraced path.
+    tytra_trace::set_enabled(true);
+    let mut traced_session = EstimatorSession::new(dev.clone());
+    checksum += sweep(&mut traced_session);
+    checksum += sweep(&mut traced_session);
+    tytra_trace::set_enabled(false);
+    let mut pass_us: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for rec in tytra_trace::take_records() {
+        if rec.name.starts_with("estimator.") && rec.name != "estimator.estimate" {
+            *pass_us.entry(rec.name).or_insert(0.0) += rec.dur_ns as f64 / 1e3;
+        }
+    }
+    let pass_json = pass_us
+        .iter()
+        .map(|(name, us)| format!("    \"{name}\": {us:.3}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
         "{{\n  \"bench\": \"session_sweep_sor48_lanes_1_2_4_8\",\n  \"reps\": {REPS},\n  \
          \"cold_us\": {cold_us:.3},\n  \"warm_us\": {warm_us:.3},\n  \
-         \"speedup\": {:.3},\n  \"hit_rate\": {:.4}\n}}\n",
+         \"speedup\": {:.3},\n  \"hit_rate\": {:.4},\n  \"pass_us\": {{\n{pass_json}\n  }}\n}}\n",
         cold_us / warm_us,
         stats.hit_rate(),
     );

@@ -9,11 +9,17 @@
 //! tybec actual <design.tirl> [--target <name>]      virtual synthesis + simulation, est-vs-actual
 //! tybec hdl    <design.tirl> [--target <name>] [-o out.v] [--wrapper] [--check]
 //! tybec tree   <design.tirl>                        configuration tree (Fig 8)
-//! tybec dse    <sor|hotspot|lavamd> [--target <name>] [--lanes N,N,...] [--workers N] [--stats]
+//! tybec dse    <sor|hotspot|lavamd> [--target <name>] [--lanes N,N,...] [--workers N] [--stats] [--metrics]
 //! tybec roofline <sor|hotspot|lavamd> [--target <name>] [--lanes N,N,...]
 //! tybec exec   <design.tirl> [--items N] [--seed S]   run the datapath functionally
 //! tybec lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
 //! ```
+//!
+//! Every subcommand also accepts the global profiling flags
+//! `--trace <out>` and `--trace-format chrome|jsonl|tree` (see
+//! `docs/observability.md`). Tracing observes the run without changing
+//! it: stdout stays byte-identical, the trace file and its one-line
+//! status go elsewhere (the file and stderr respectively).
 //!
 //! Targets: `stratix-v-gsd8` (default), `virtex7-adm7v3`, `eval-small`.
 
@@ -21,9 +27,10 @@ use std::process::ExitCode;
 use tytra_codegen::{check, emit_design, emit_maxj_wrapper};
 use tytra_cost::{estimate, EstimatorSession};
 use tytra_device::TargetDevice;
-use tytra_dse::{explore_with_stats, lane_sweep_session, tune_session, ExplorationConfig};
+use tytra_dse::{explore_with_metrics, lane_sweep_session, tune_session, ExplorationConfig};
 use tytra_kernels::{EvalKernel, Hotspot, LavaMd, Sor};
 use tytra_sim::{run_application, synthesize};
+use tytra_trace::sink;
 use tytra_transform::Variant;
 
 const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint> <input> [options]
@@ -31,10 +38,11 @@ const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint> 
   actual <design.tirl> [--target <name>]
   hdl    <design.tirl> [--target <name>] [-o <out.v>] [--wrapper] [--check]
   tree   <design.tirl>
-  dse    <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...] [--workers N] [--stats]
+  dse    <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...] [--workers N] [--stats] [--metrics]
   roofline <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...]
   exec   <design.tirl> [--items N] [--seed S]
   lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
+global: --trace <out> [--trace-format chrome|jsonl|tree]   write a span trace of the run
 targets: stratix-v-gsd8 (default) | virtex7-adm7v3 | eval-small";
 
 fn main() -> ExitCode {
@@ -48,25 +56,104 @@ fn main() -> ExitCode {
     }
 }
 
+/// How `--trace` writes the collected spans out.
+#[derive(Debug, Clone, Copy)]
+enum TraceFormat {
+    /// Chrome trace-event JSON (load in Perfetto / `chrome://tracing`).
+    Chrome,
+    /// One JSON object per span per line.
+    Jsonl,
+    /// Human-readable span tree.
+    Tree,
+}
+
+/// Split the global `--trace` / `--trace-format` flags off the argument
+/// list (so subcommand parsers never see them) and return the remaining
+/// args plus the requested trace output, if any.
+fn split_trace_flags(
+    args: &[String],
+) -> Result<(Vec<String>, Option<(String, TraceFormat)>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut path = None;
+    let mut format = TraceFormat::Chrome;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => {
+                path = Some(it.next().ok_or("--trace expects an output path")?.clone());
+            }
+            "--trace-format" => {
+                let v = it.next().ok_or("--trace-format expects chrome|jsonl|tree")?;
+                format = match v.as_str() {
+                    "chrome" => TraceFormat::Chrome,
+                    "jsonl" => TraceFormat::Jsonl,
+                    "tree" => TraceFormat::Tree,
+                    other => {
+                        return Err(format!(
+                            "unknown --trace-format `{other}` (expected chrome|jsonl|tree)"
+                        ))
+                    }
+                };
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((rest, path.map(|p| (p, format))))
+}
+
+/// Drain the collected spans and write them to `path` in `format`. The
+/// status line goes to stderr so stdout stays identical to an untraced
+/// run.
+fn write_trace(path: &str, format: TraceFormat) -> Result<(), String> {
+    let records = tytra_trace::take_records();
+    let labels = tytra_trace::thread_labels();
+    let body = match format {
+        TraceFormat::Chrome => sink::render_chrome(&records, &labels),
+        TraceFormat::Jsonl => sink::render_jsonl(&records),
+        TraceFormat::Tree => sink::render_tree(&records, &labels),
+    };
+    std::fs::write(path, body).map_err(|e| format!("writing trace {path}: {e}"))?;
+    eprintln!("trace: {} span(s) written to {path}", records.len());
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
+    let (args, trace_out) = split_trace_flags(args)?;
     let Some(cmd) = args.first() else {
         return Err(USAGE.to_string());
     };
+    if trace_out.is_some() {
+        tytra_trace::set_enabled(true);
+        tytra_trace::set_thread_label("main");
+    }
     let rest = &args[1..];
-    match cmd.as_str() {
-        "cost" => cmd_cost(rest),
-        "actual" => cmd_actual(rest),
-        "hdl" => cmd_hdl(rest),
-        "tree" => cmd_tree(rest),
-        "dse" => cmd_dse(rest),
-        "roofline" => cmd_roofline(rest),
-        "exec" => cmd_exec(rest),
-        "lint" => cmd_lint(rest),
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            Ok(())
+    let result = {
+        // Root span covering the whole subcommand (`tybec.cost`, …).
+        let _root = tytra_trace::enabled().then(|| tytra_trace::span(&format!("tybec.{cmd}")));
+        match cmd.as_str() {
+            "cost" => cmd_cost(rest),
+            "actual" => cmd_actual(rest),
+            "hdl" => cmd_hdl(rest),
+            "tree" => cmd_tree(rest),
+            "dse" => cmd_dse(rest),
+            "roofline" => cmd_roofline(rest),
+            "exec" => cmd_exec(rest),
+            "lint" => cmd_lint(rest),
+            "--help" | "-h" | "help" => {
+                println!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command `{other}`\n{USAGE}")),
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    if let Some((path, format)) = &trace_out {
+        // Write the trace even when the command failed — a trace of a
+        // failing run is exactly what you want to look at — but let the
+        // command's own error win the exit status.
+        let wrote = write_trace(path, *format);
+        result.and(wrote)
+    } else {
+        result
     }
 }
 
@@ -282,6 +369,7 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
         None => 0,
     };
     let show_stats = has_flag(args, "--stats");
+    let show_metrics = has_flag(args, "--metrics");
 
     // One estimator session serves the sweep and the later tuning run,
     // so tuning starts with the sweep's memo tables already warm.
@@ -293,7 +381,8 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
 
     println!("\n== full exploration ==");
     let cfg = ExplorationConfig { lanes, workers, ..ExplorationConfig::default() };
-    let (evaluated, explore_stats) = explore_with_stats(kernel.as_ref(), &dev, &cfg);
+    let (evaluated, explore_stats, explore_metrics) =
+        explore_with_metrics(kernel.as_ref(), &dev, &cfg);
     print!("{}", tytra_dse::report::render_leaderboard(&evaluated, 10));
 
     println!("\n== guided tuning from baseline ==");
@@ -312,19 +401,18 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
         let mut total = sweep_stats;
         total += explore_stats;
         println!("\n== estimator session stats ==");
-        print_stats_line("sweep+tuning", &sweep_stats);
-        print_stats_line("exploration", &explore_stats);
-        print_stats_line("total", &total);
+        println!("{}", tytra_dse::render_stats_line("sweep+tuning", &sweep_stats));
+        println!("{}", tytra_dse::render_stats_line("exploration", &explore_stats));
+        println!("{}", tytra_dse::render_stats_line("total", &total));
+    }
+    if show_metrics {
+        // The CLI session (sweep + tuning) and every exploration worker
+        // session feed registries with the same metric names; the merge
+        // sums counters and merges histograms bucket-wise.
+        let mut snap = session.metrics_snapshot();
+        snap.merge(&explore_metrics);
+        println!("\n== metrics ==");
+        print!("{}", snap.render_table());
     }
     Ok(())
-}
-
-fn print_stats_line(label: &str, s: &tytra_cost::SessionStats) {
-    println!(
-        "  {:<14} {:>7} hits {:>7} misses  hit rate {:>5.1}%",
-        label,
-        s.hits,
-        s.misses,
-        s.hit_rate() * 100.0
-    );
 }

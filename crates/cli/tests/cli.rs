@@ -249,6 +249,157 @@ fn lint_json_is_machine_readable() {
     assert!(out.contains("\"line\": 17"), "{out}");
 }
 
+fn trace_tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tybec_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn tracing_leaves_cost_stdout_bit_identical() {
+    let path = trace_tmp("cost_equiv.json");
+    let plain = tybec(&["cost", "assets/sor_c2.tirl"]);
+    let traced = tybec(&["cost", "assets/sor_c2.tirl", "--trace", path.to_str().unwrap()]);
+    assert!(plain.status.success(), "{}", stderr(&plain));
+    assert!(traced.status.success(), "{}", stderr(&traced));
+    assert_eq!(plain.stdout, traced.stdout, "--trace must not perturb the report");
+    assert!(stderr(&traced).contains("span(s) written"), "{}", stderr(&traced));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tracing_leaves_dse_stdout_bit_identical() {
+    let path = trace_tmp("dse_equiv.jsonl");
+    let base = &["dse", "sor", "--target", "eval-small", "--lanes", "1,2,4", "--workers", "2"];
+    let plain = tybec(base);
+    let args: Vec<&str> = base
+        .iter()
+        .copied()
+        .chain(["--trace", path.to_str().unwrap(), "--trace-format", "jsonl"])
+        .collect();
+    let traced = tybec(&args);
+    assert!(plain.status.success(), "{}", stderr(&plain));
+    assert!(traced.status.success(), "{}", stderr(&traced));
+    assert_eq!(plain.stdout, traced.stdout, "--trace must not perturb the sweep");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn chrome_trace_has_all_pass_spans_and_worker_lanes() {
+    let path = trace_tmp("dse_lanes.json");
+    let o = tybec(&[
+        "dse",
+        "sor",
+        "--target",
+        "eval-small",
+        "--lanes",
+        "1,2,4",
+        "--workers",
+        "4",
+        "--trace",
+        path.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let body = std::fs::read_to_string(&path).unwrap();
+    let doc = tytra_trace::json::parse(&body).expect("chrome trace parses as JSON");
+    let events = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents array");
+    let complete: Vec<_> =
+        events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
+    for pass in [
+        "estimator.validate",
+        "estimator.configure",
+        "estimator.schedule",
+        "estimator.parameters",
+        "estimator.resources",
+        "estimator.clock",
+        "estimator.bandwidth",
+        "estimator.throughput",
+        "tybec.dse",
+        "dse.variant",
+    ] {
+        assert!(
+            complete.iter().any(|e| e.get("name").and_then(|n| n.as_str()) == Some(pass)),
+            "span `{pass}` missing from trace"
+        );
+    }
+    let mut lanes: Vec<u64> = complete
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("dse.variant"))
+        .filter_map(|e| e.get("tid").and_then(|t| t.as_num()))
+        .map(|t| t as u64)
+        .collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    assert!(lanes.len() >= 2, "expected ≥2 worker lanes, got {lanes:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn jsonl_trace_lines_all_parse() {
+    let path = trace_tmp("cost_lines.jsonl");
+    let o = tybec(&[
+        "cost",
+        "assets/sor_c2.tirl",
+        "--trace",
+        path.to_str().unwrap(),
+        "--trace-format",
+        "jsonl",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let body = std::fs::read_to_string(&path).unwrap();
+    assert!(!body.trim().is_empty());
+    let mut names = Vec::new();
+    for line in body.lines() {
+        let v = tytra_trace::json::parse(line)
+            .unwrap_or_else(|e| panic!("bad JSONL line `{line}`: {e}"));
+        names.push(v.get("name").and_then(|n| n.as_str()).expect("name field").to_string());
+    }
+    assert!(names.iter().any(|n| n == "estimator.estimate"), "{names:?}");
+    assert!(names.iter().any(|n| n == "tybec.cost"), "{names:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tree_trace_format_renders_span_tree() {
+    let path = trace_tmp("cost_tree.txt");
+    let o = tybec(&[
+        "cost",
+        "assets/sor_c2.tirl",
+        "--trace",
+        path.to_str().unwrap(),
+        "--trace-format",
+        "tree",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let body = std::fs::read_to_string(&path).unwrap();
+    assert!(body.contains("tybec.cost"), "{body}");
+    assert!(body.contains("estimator.estimate"), "{body}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dse_metrics_prints_the_registry_table() {
+    let o = tybec(&["dse", "sor", "--target", "eval-small", "--lanes", "1,2", "--metrics"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("== metrics =="), "{out}");
+    for metric in
+        ["session.memo.hits", "session.memo.misses", "curves.hits", "estimator.estimate_ns"]
+    {
+        assert!(out.contains(metric), "missing `{metric}`:\n{out}");
+    }
+}
+
+#[test]
+fn bad_trace_format_is_rejected() {
+    let o =
+        tybec(&["cost", "assets/sor_c2.tirl", "--trace", "/tmp/x.json", "--trace-format", "xml"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--trace-format"), "{}", stderr(&o));
+}
+
 #[test]
 fn lint_surfaces_validator_codes_with_spans() {
     // A structurally invalid design: lint must report the TL00xx codes

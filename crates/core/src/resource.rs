@@ -26,13 +26,13 @@
 //! synthesised 5400: the synthesis tool's FIFO drops the in-flight
 //! element. Our synthesis emulator reproduces that behaviour.
 
-use crate::session::SessionStats;
 use std::collections::HashMap;
 use tytra_device::{CachedLatency, CurveCache, ResourceVector, TargetDevice};
 use tytra_ir::{
     fingerprint_function, ConfigNode, Dfg, IrError, IrFunction, IrModule, Opcode, ParKind,
     ScalarType,
 };
+use tytra_trace::metrics::Counter;
 
 /// Offset windows at or below this many bits stay in registers; larger
 /// windows spill to block RAM (a Stratix ALM yields two pack-able
@@ -118,16 +118,15 @@ pub fn estimate_resources_with(
 
 /// Session entry point: identical arithmetic to
 /// [`estimate_resources_with`], but per-function costs are served from
-/// `table` (keyed on the function's structural fingerprint and `DV`) and
-/// calibration lookups go through `curves`.
+/// `memo.table` (keyed on the function's structural fingerprint and
+/// `DV`) and calibration lookups go through `curves`.
 pub(crate) fn estimate_resources_session(
     m: &IrModule,
     dev: &TargetDevice,
     tree: &ConfigNode,
     opts: &crate::CostOptions,
     curves: &CurveCache,
-    table: &mut HashMap<(u64, u64), ResourceBreakdown>,
-    stats: &mut SessionStats,
+    memo: NodeMemo<'_>,
 ) -> Result<ResourceEstimate, IrError> {
     let mut walk = Walk {
         m,
@@ -135,15 +134,17 @@ pub(crate) fn estimate_resources_session(
         dv: u64::from(m.meta.vect.max(1)),
         opts,
         curves: Some(curves),
-        memo: Some(NodeMemo { table, stats }),
+        memo: Some(memo),
     };
     estimate_resources_impl(&mut walk, tree)
 }
 
-/// Memo handles threaded through a session-backed resource walk.
-struct NodeMemo<'a> {
-    table: &'a mut HashMap<(u64, u64), ResourceBreakdown>,
-    stats: &'a mut SessionStats,
+/// Memo handles threaded through a session-backed resource walk. The
+/// counters are the session's registry-backed `session.memo.*` pair.
+pub(crate) struct NodeMemo<'a> {
+    pub(crate) table: &'a mut HashMap<(u64, u64), ResourceBreakdown>,
+    pub(crate) hits: &'a Counter,
+    pub(crate) misses: &'a Counter,
 }
 
 /// One resource-accumulation walk over a configuration tree.
@@ -235,10 +236,10 @@ impl Walk<'_> {
         } else if let Some(memo) = self.memo.as_mut() {
             let key = (fingerprint_function(f), self.dv);
             if let Some(hit) = memo.table.get(&key) {
-                memo.stats.hits += 1;
+                memo.hits.incr();
                 *acc += hit;
             } else {
-                memo.stats.misses += 1;
+                memo.misses.incr();
                 let own =
                     function_cost(self.m, self.dev, f, node.kind, self.dv, self.opts, self.curves);
                 *acc += &own;

@@ -52,6 +52,8 @@ use tytra_ir::{
     config_tree, fingerprint_function, fingerprint_module, fingerprint_streams,
     fingerprint_subtree, validate, ConfigNode, IrError, IrModule, StableHasher,
 };
+use tytra_trace as trace;
+use tytra_trace::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
 
 /// Memo-table traffic counters for one estimator session.
 ///
@@ -141,7 +143,17 @@ pub struct EstimatorSession {
     schedules: HashMap<u64, PipelineSchedule>,
     /// Bandwidth breakdowns, keyed on (stream fingerprint, lanes).
     bandwidths: HashMap<u64, BandwidthBreakdown>,
-    stats: SessionStats,
+    /// The single source of truth for the session's counters: the
+    /// handles below (and the curve cache's `curves.*` pair) all live in
+    /// this registry, so [`stats`][EstimatorSession::stats] and
+    /// [`metrics_snapshot`][EstimatorSession::metrics_snapshot] can
+    /// never disagree.
+    metrics: Registry,
+    hits: Counter,
+    misses: Counter,
+    invalidations: Counter,
+    memo_entries: Gauge,
+    estimate_ns: Histogram,
 }
 
 impl EstimatorSession {
@@ -154,16 +166,22 @@ impl EstimatorSession {
     /// are fixed for the session's lifetime so they need not be part of
     /// any memo key.
     pub fn with_options(dev: TargetDevice, opts: CostOptions) -> EstimatorSession {
+        let metrics = Registry::new();
         EstimatorSession {
             dev,
             opts,
-            curves: CurveCache::new(),
+            curves: CurveCache::with_registry(&metrics),
             validated: HashSet::new(),
             node_costs: HashMap::new(),
             worst_stage: HashMap::new(),
             schedules: HashMap::new(),
             bandwidths: HashMap::new(),
-            stats: SessionStats::default(),
+            hits: metrics.counter("session.memo.hits"),
+            misses: metrics.counter("session.memo.misses"),
+            invalidations: metrics.counter("session.invalidations"),
+            memo_entries: metrics.gauge("session.memo.entries"),
+            estimate_ns: metrics.histogram("estimator.estimate_ns"),
+            metrics,
         }
     }
 
@@ -178,12 +196,23 @@ impl EstimatorSession {
     }
 
     /// Aggregate memo statistics: pass-level tables plus the device
-    /// curve cache.
+    /// curve cache. A view over the same counters
+    /// [`metrics_snapshot`][EstimatorSession::metrics_snapshot] reports.
     pub fn stats(&self) -> SessionStats {
-        let mut s = self.stats;
-        s.hits += self.curves.hits();
-        s.misses += self.curves.misses();
-        s
+        SessionStats {
+            hits: self.hits.get() + self.curves.hits(),
+            misses: self.misses.get() + self.curves.misses(),
+            invalidations: self.invalidations.get(),
+        }
+    }
+
+    /// Point-in-time snapshot of the session's metrics registry:
+    /// `session.memo.*`, `curves.*`, `session.invalidations`, the
+    /// `session.memo.entries` gauge and the `estimator.estimate_ns`
+    /// latency histogram. Snapshots from worker sessions merge
+    /// (`Snapshot::merge`) into the `tybec dse --metrics` table.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
     }
 
     /// Drop every memoized sub-result (e.g. after mutating the device
@@ -196,66 +225,98 @@ impl EstimatorSession {
         self.worst_stage.clear();
         self.schedules.clear();
         self.bandwidths.clear();
-        self.stats.invalidations += 1;
+        self.invalidations.incr();
     }
 
     /// Run the full cost pipeline over a design variant, serving every
     /// sub-result the session has already computed from its memo tables.
     ///
     /// Reports are bit-identical to [`crate::estimate()`] on the same
-    /// module and device.
+    /// module and device — with or without tracing enabled, since spans
+    /// only observe. Each pass opens an `estimator.*` span carrying its
+    /// memo fingerprint and hit/miss verdict (see
+    /// `docs/observability.md`).
     pub fn estimate(&mut self, m: &IrModule) -> Result<CostReport, IrError> {
+        let t0 = std::time::Instant::now();
+        let _root = trace::span("estimator.estimate").with("module", m.name.as_str());
+
         // Pass 0: validation, once per distinct module.
         let module_fp = fingerprint_module(m);
-        if self.validated.contains(&module_fp) {
-            self.stats.hits += 1;
-        } else {
-            self.stats.misses += 1;
-            validate::validate(m)?;
-            self.validated.insert(module_fp);
+        {
+            let mut sp = trace::span("estimator.validate").with("fp", module_fp);
+            if self.validated.contains(&module_fp) {
+                self.hits.incr();
+                sp.record("memo_hit", true);
+            } else {
+                self.misses.incr();
+                sp.record("memo_hit", false);
+                validate::validate(m)?;
+                self.validated.insert(module_fp);
+            }
         }
 
         // Pass 1: configuration extraction (cheap tree walk, not worth a
         // clone-heavy memo entry).
-        let tree = config_tree::extract(m)?;
+        let tree = {
+            let _sp = trace::span("estimator.configure");
+            config_tree::extract(m)?
+        };
 
         // Pass 2: schedule, shared by every variant with the same lane
         // subtree (lane count and DV do not enter the schedule).
         let lane = schedule::lane_subtree(&tree.root);
         let lane_fp = fingerprint_subtree(m, lane);
-        let sched = match self.schedules.get(&lane_fp) {
-            Some(s) => {
-                self.stats.hits += 1;
-                s.clone()
-            }
-            None => {
-                let s = schedule::schedule_with(m, &self.dev, Some(&self.curves), &tree.root)?;
-                self.stats.misses += 1;
-                self.schedules.insert(lane_fp, s.clone());
-                s
+        let sched = {
+            let mut sp = trace::span("estimator.schedule").with("fp", lane_fp);
+            match self.schedules.get(&lane_fp) {
+                Some(s) => {
+                    self.hits.incr();
+                    sp.record("memo_hit", true);
+                    s.clone()
+                }
+                None => {
+                    let s = schedule::schedule_with(m, &self.dev, Some(&self.curves), &tree.root)?;
+                    self.misses.incr();
+                    sp.record("memo_hit", false);
+                    self.schedules.insert(lane_fp, s.clone());
+                    s
+                }
             }
         };
 
         // Pass 3: parameter extraction (pure arithmetic over pass 1+2).
-        let params = CostParams::from_parts(m, &tree, sched);
+        let params = {
+            let _sp = trace::span("estimator.parameters");
+            CostParams::from_parts(m, &tree, sched)
+        };
 
         // Pass 4: resources, memoized per function.
-        let resources = resource::estimate_resources_session(
-            m,
-            &self.dev,
-            &tree.root,
-            &self.opts,
-            &self.curves,
-            &mut self.node_costs,
-            &mut self.stats,
-        )?;
-        let utilization = resources.total.utilization(&self.dev.capacity);
-        let fits = resources.total.fits_within(&self.dev.capacity);
+        let (resources, utilization, fits) = {
+            let _sp = trace::span("estimator.resources");
+            let resources = resource::estimate_resources_session(
+                m,
+                &self.dev,
+                &tree.root,
+                &self.opts,
+                &self.curves,
+                resource::NodeMemo {
+                    table: &mut self.node_costs,
+                    hits: &self.hits,
+                    misses: &self.misses,
+                },
+            )?;
+            let utilization = resources.total.utilization(&self.dev.capacity);
+            let fits = resources.total.fits_within(&self.dev.capacity);
+            (resources, utilization, fits)
+        };
 
         // Pass 5: clock, worst stage memoized per function.
-        let mut worst = (0.0f64, String::new());
-        self.clock_walk(m, &tree.root, &mut worst)?;
-        let clock = frequency::finish_clock(m, &self.dev, worst, &resources.total);
+        let clock = {
+            let _sp = trace::span("estimator.clock");
+            let mut worst = (0.0f64, String::new());
+            self.clock_walk(m, &tree.root, &mut worst)?;
+            frequency::finish_clock(m, &self.dev, worst, &resources.total)
+        };
 
         // Pass 6: bandwidth, memoized per stream set + lane count.
         let bw_key = {
@@ -264,44 +325,66 @@ impl EstimatorSession {
             h.write_u64(m.kernel_lanes());
             h.finish()
         };
-        let bw = match self.bandwidths.get(&bw_key) {
-            Some(b) => {
-                self.stats.hits += 1;
-                b.clone()
-            }
-            None => {
-                let b = if self.opts.sustained_bandwidth {
-                    bandwidth::assess_impl(m, &self.dev, Some(&self.curves))
-                } else {
-                    bandwidth::assess_naive_impl(m, &self.dev, Some(&self.curves))
-                };
-                self.stats.misses += 1;
-                self.bandwidths.insert(bw_key, b.clone());
-                b
+        let bw = {
+            let mut sp = trace::span("estimator.bandwidth").with("fp", bw_key);
+            match self.bandwidths.get(&bw_key) {
+                Some(b) => {
+                    self.hits.incr();
+                    sp.record("memo_hit", true);
+                    b.clone()
+                }
+                None => {
+                    let b = if self.opts.sustained_bandwidth {
+                        bandwidth::assess_impl(m, &self.dev, Some(&self.curves))
+                    } else {
+                        bandwidth::assess_naive_impl(m, &self.dev, Some(&self.curves))
+                    };
+                    self.misses.incr();
+                    sp.record("memo_hit", false);
+                    self.bandwidths.insert(bw_key, b.clone());
+                    b
+                }
             }
         };
 
         // Pass 7: throughput, limiter, power — pure arithmetic.
-        let tput = throughput::estimate_throughput(&params, &self.dev, &bw, clock.freq_mhz);
-        let limiter = bottleneck::limiter(&tput);
-        let exercised_gbytes =
-            crate::estimate::exercised_gbytes(params.total_bytes(), tput.t_instance);
-        let power_w =
-            self.dev.power.delta_watts(&resources.total, clock.freq_mhz, exercised_gbytes);
-        Ok(assemble(
-            m.name.clone(),
-            self.dev.name.clone(),
-            params,
-            &tree,
-            resources,
-            utilization,
-            fits,
-            clock,
-            bw,
-            tput,
-            limiter,
-            power_w,
-        ))
+        let report = {
+            let _sp = trace::span("estimator.throughput");
+            let tput = throughput::estimate_throughput(&params, &self.dev, &bw, clock.freq_mhz);
+            let limiter = bottleneck::limiter(&tput);
+            let exercised_gbytes =
+                crate::estimate::exercised_gbytes(params.total_bytes(), tput.t_instance);
+            let power_w =
+                self.dev.power.delta_watts(&resources.total, clock.freq_mhz, exercised_gbytes);
+            assemble(
+                m.name.clone(),
+                self.dev.name.clone(),
+                params,
+                &tree,
+                resources,
+                utilization,
+                fits,
+                clock,
+                bw,
+                tput,
+                limiter,
+                power_w,
+            )
+        };
+
+        self.memo_entries.set(self.memo_len() as f64);
+        self.estimate_ns.record(t0.elapsed().as_nanos() as u64);
+        Ok(report)
+    }
+
+    /// Total entries across the session's memo tables (the
+    /// `session.memo.entries` gauge).
+    fn memo_len(&self) -> usize {
+        self.validated.len()
+            + self.node_costs.len()
+            + self.worst_stage.len()
+            + self.schedules.len()
+            + self.bandwidths.len()
     }
 
     /// Preorder clock walk, replaying per-function worst stages from the
@@ -318,13 +401,13 @@ impl EstimatorSession {
         let key = fingerprint_function(f);
         let own = match self.worst_stage.get(&key) {
             Some(hit) => {
-                self.stats.hits += 1;
+                self.hits.incr();
                 hit.clone()
             }
             None => {
                 let v =
                     frequency::function_worst_stage(&self.dev, Some(&self.curves), f, node.kind);
-                self.stats.misses += 1;
+                self.misses.incr();
                 self.worst_stage.insert(key, v.clone());
                 v
             }

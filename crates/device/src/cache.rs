@@ -16,9 +16,10 @@
 use crate::bandwidth::BandwidthModel;
 use crate::calibration::OpCostModel;
 use crate::resources::ResourceVector;
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use tytra_ir::{AccessPattern, LatencyModel, Opcode, ScalarType};
+use tytra_trace::metrics::{Counter, Registry};
 
 /// Which link a bandwidth lookup is for (part of the memo key, so the
 /// host and DRAM curves of one device never alias).
@@ -40,14 +41,25 @@ pub struct CurveCache {
     latency: RefCell<HashMap<OpKey, u32>>,
     stage_delay: RefCell<HashMap<OpKey, u64>>,
     sustained: RefCell<HashMap<(LinkKind, AccessPattern, u64), u64>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl CurveCache {
-    /// Fresh, empty cache.
+    /// Fresh, empty cache with free-standing hit/miss counters.
     pub fn new() -> CurveCache {
         CurveCache::default()
+    }
+
+    /// Fresh cache whose hit/miss counters are registered in `metrics`
+    /// as `curves.hits` / `curves.misses`, so a session's metrics
+    /// snapshot reports curve-cache traffic without extra bookkeeping.
+    pub fn with_registry(metrics: &Registry) -> CurveCache {
+        CurveCache {
+            hits: metrics.counter("curves.hits"),
+            misses: metrics.counter("curves.misses"),
+            ..CurveCache::default()
+        }
     }
 
     /// Memoized [`OpCostModel::cost`].
@@ -55,11 +67,11 @@ impl CurveCache {
         let mut table = self.cost.borrow_mut();
         match table.get(&(op, ty)) {
             Some(&v) => {
-                self.hits.set(self.hits.get() + 1);
+                self.hits.incr();
                 v
             }
             None => {
-                self.misses.set(self.misses.get() + 1);
+                self.misses.incr();
                 let v = ops.cost(op, ty);
                 table.insert((op, ty), v);
                 v
@@ -72,11 +84,11 @@ impl CurveCache {
         let mut table = self.latency.borrow_mut();
         match table.get(&(op, ty)) {
             Some(&v) => {
-                self.hits.set(self.hits.get() + 1);
+                self.hits.incr();
                 v
             }
             None => {
-                self.misses.set(self.misses.get() + 1);
+                self.misses.incr();
                 let v = ops.latency(op, ty);
                 table.insert((op, ty), v);
                 v
@@ -90,11 +102,11 @@ impl CurveCache {
         let mut table = self.stage_delay.borrow_mut();
         match table.get(&(op, ty)) {
             Some(&v) => {
-                self.hits.set(self.hits.get() + 1);
+                self.hits.incr();
                 f64::from_bits(v)
             }
             None => {
-                self.misses.set(self.misses.get() + 1);
+                self.misses.incr();
                 let v = ops.stage_delay_ns(op, ty);
                 table.insert((op, ty), v.to_bits());
                 v
@@ -113,11 +125,11 @@ impl CurveCache {
         let mut table = self.sustained.borrow_mut();
         match table.get(&(link, pattern, total_elems)) {
             Some(&v) => {
-                self.hits.set(self.hits.get() + 1);
+                self.hits.incr();
                 f64::from_bits(v)
             }
             None => {
-                self.misses.set(self.misses.get() + 1);
+                self.misses.incr();
                 let v = bw.sustained_bytes_per_s(pattern, total_elems);
                 table.insert((link, pattern, total_elems), v.to_bits());
                 v

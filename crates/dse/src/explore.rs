@@ -10,6 +10,8 @@ use tytra_cost::{reconfig_plan, CostReport, EstimatorSession, ReconfigPlan, Sess
 use tytra_device::TargetDevice;
 use tytra_ir::MemForm;
 use tytra_kernels::EvalKernel;
+use tytra_trace::metrics::Snapshot;
+use tytra_trace::{self as trace};
 use tytra_transform::{enumerate_variants, InnerKind, Variant};
 
 /// What to sweep.
@@ -75,6 +77,19 @@ pub fn explore_with_stats(
     dev: &TargetDevice,
     cfg: &ExplorationConfig,
 ) -> (Vec<EvaluatedVariant>, SessionStats) {
+    let (out, stats, _) = explore_with_metrics(kernel, dev, cfg);
+    (out, stats)
+}
+
+/// [`explore_with_stats`], additionally merging every worker session's
+/// metrics registry into one [`Snapshot`] (the `tybec dse --metrics`
+/// table). Counters sum across workers; the stats and the snapshot read
+/// the same underlying counters, so they cannot disagree.
+pub fn explore_with_metrics(
+    kernel: &dyn EvalKernel,
+    dev: &TargetDevice,
+    cfg: &ExplorationConfig,
+) -> (Vec<EvaluatedVariant>, SessionStats, Snapshot) {
     let ngs = kernel.geometry().size();
     let mut variants = enumerate_variants(ngs, &cfg.lanes, &cfg.vects, &cfg.forms);
     if !cfg.include_seq {
@@ -92,15 +107,29 @@ pub fn explore_with_stats(
     // Every worker owns a session, so costing needs no shared state; the
     // final total sort makes the output independent of the partition.
     let mut stats = SessionStats::default();
+    let mut metrics = Snapshot::new();
     let mut out: Vec<EvaluatedVariant> = Vec::with_capacity(variants.len());
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let variants = &variants;
                 s.spawn(move || {
+                    if trace::enabled() {
+                        trace::set_thread_label(&format!("dse-worker-{w}"));
+                    }
                     let mut session = EstimatorSession::new(dev.clone());
                     let mut found = Vec::new();
                     for variant in variants.iter().skip(w).step_by(workers) {
+                        // One span per costed point, tagged with the
+                        // worker lane, so sweeps render as parallel
+                        // lanes in the Chrome sink. Gated on enabled():
+                        // tag() formats a String we don't want to pay
+                        // for on the untraced hot path.
+                        let _sp = trace::enabled().then(|| {
+                            trace::span("dse.variant")
+                                .with("variant", variant.tag())
+                                .with("worker", w as u64)
+                        });
                         // Lowering can fail only for illegal variants,
                         // which enumerate_variants already filtered;
                         // costing is infallible on lowered modules.
@@ -109,14 +138,15 @@ pub fn explore_with_stats(
                         let reconfig = reconfig_plan(&report, dev);
                         found.push(EvaluatedVariant { variant: *variant, report, reconfig });
                     }
-                    (found, session.stats())
+                    (found, session.stats(), session.metrics_snapshot())
                 })
             })
             .collect();
         for h in handles {
-            let (found, worker_stats) = h.join().expect("worker panicked");
+            let (found, worker_stats, worker_metrics) = h.join().expect("worker panicked");
             out.extend(found);
             stats += worker_stats;
+            metrics.merge(&worker_metrics);
         }
     });
 
@@ -127,7 +157,7 @@ pub fn explore_with_stats(
             .total_cmp(&a.report.throughput.ekit)
             .then_with(|| a.variant.tag().cmp(&b.variant.tag()))
     });
-    (out, stats)
+    (out, stats, metrics)
 }
 
 /// The guided-optimisation selection: fastest valid variant.
@@ -217,6 +247,28 @@ mod tests {
         let (out, stats) = explore_with_stats(&sor, &dev, &cfg);
         assert_eq!(out.len(), 6);
         assert!(stats.hit_rate() > 0.5, "hit rate {:.3} ({stats:?})", stats.hit_rate());
+    }
+
+    #[test]
+    fn metrics_snapshot_agrees_with_summed_stats() {
+        // `--stats` and `--metrics` read the same registry counters, so
+        // the snapshot totals must reproduce the summed SessionStats.
+        let sor = Sor::cubic(16, 10);
+        let dev = stratix_v_gsd8();
+        let (out, stats, metrics) = explore_with_metrics(&sor, &dev, &small_cfg());
+        assert_eq!(out.len(), 6);
+        assert_eq!(
+            stats.hits,
+            metrics.counter("session.memo.hits") + metrics.counter("curves.hits")
+        );
+        assert_eq!(
+            stats.misses,
+            metrics.counter("session.memo.misses") + metrics.counter("curves.misses")
+        );
+        assert_eq!(stats.invalidations, metrics.counter("session.invalidations"));
+        let table = metrics.render_table();
+        assert!(table.contains("session.memo.hits"), "{table}");
+        assert!(table.contains("estimator.estimate_ns"), "{table}");
     }
 
     #[test]

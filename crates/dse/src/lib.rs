@@ -22,7 +22,10 @@ pub mod report;
 pub mod roofline;
 pub mod tuning;
 
-pub use explore::{explore, explore_with_stats, select_best, EvaluatedVariant, ExplorationConfig};
-pub use report::{lane_sweep, lane_sweep_session, LaneSweepRow};
+pub use explore::{
+    explore, explore_with_metrics, explore_with_stats, select_best, EvaluatedVariant,
+    ExplorationConfig,
+};
+pub use report::{lane_sweep, lane_sweep_session, render_stats_line, LaneSweepRow};
 pub use roofline::{roofline, RooflinePoint};
 pub use tuning::{tune, tune_session, TuningStep};

@@ -113,6 +113,22 @@ pub fn render_table(rows: &[LaneSweepRow]) -> String {
     s
 }
 
+/// One line of the `tybec dse --stats` block. The numeric format is
+/// byte-stable (scripts parse it); a session with no lookups at all
+/// prints `n/a` rather than a misleading `0.0%`.
+pub fn render_stats_line(label: &str, s: &tytra_cost::SessionStats) -> String {
+    if s.lookups() == 0 {
+        format!("  {label:<14} {:>7} hits {:>7} misses  hit rate {:>6}", s.hits, s.misses, "n/a")
+    } else {
+        format!(
+            "  {label:<14} {:>7} hits {:>7} misses  hit rate {:>5.1}%",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0
+        )
+    }
+}
+
 /// Find the lane count at which a predicate first trips — the wall
 /// positions quoted in the paper ("we encounter the computation-wall at
 /// six lanes").
@@ -207,5 +223,23 @@ mod tests {
         let dev = eval_small();
         let rows = lane_sweep(&sor, &dev, &[1, 3], &Variant::baseline());
         assert_eq!(rows.len(), 1, "3 does not divide 4096");
+    }
+
+    #[test]
+    fn stats_line_format_is_byte_stable() {
+        use tytra_cost::SessionStats;
+        let s = SessionStats { hits: 1234, misses: 56, invalidations: 0 };
+        assert_eq!(
+            render_stats_line("total", &s),
+            "  total             1234 hits      56 misses  hit rate  95.7%"
+        );
+    }
+
+    #[test]
+    fn stats_line_shows_na_for_an_untouched_session() {
+        use tytra_cost::SessionStats;
+        let line = render_stats_line("sweep+tuning", &SessionStats::default());
+        assert_eq!(line, "  sweep+tuning         0 hits       0 misses  hit rate    n/a");
+        assert!(!line.contains("0.0%"), "untouched session must not claim a 0.0% rate: {line}");
     }
 }

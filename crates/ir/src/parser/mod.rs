@@ -25,6 +25,7 @@ pub fn parse(src: &str) -> Result<IrModule> {
 /// Parse without running semantic validation (used by tests that need
 /// deliberately invalid modules).
 pub fn parse_unvalidated(src: &str) -> Result<IrModule> {
+    let _sp = tytra_trace::span("ir.parse").with("bytes", src.len());
     let tokens = lex(src)?;
     Parser { tokens, pos: 0 }.module()
 }

@@ -67,6 +67,7 @@ pub fn validate(m: &IrModule) -> Result<()> {
 /// diagnostics. Returns the first violation as an [`IrError`] (the same
 /// error [`validate`] fails with), or `None` when the module is clean.
 pub fn validate_into(m: &IrModule, sink: &mut DiagSink) -> Option<IrError> {
+    let _sp = tytra_trace::span("ir.validate").with("module", m.name.as_str());
     let mut ctx = Ctx { sink, first: None };
     check_unique_names(m, &mut ctx);
     check_manage_ir(m, &mut ctx);

@@ -114,17 +114,27 @@ impl LintReport {
 }
 
 /// Lint `m` against `dev`: validate, then run every registered pass.
+/// Each pass runs under a `lint.pass` span carrying its code and name
+/// (`docs/observability.md`); validation traces itself as `ir.validate`.
 pub fn lint(m: &IrModule, dev: &TargetDevice) -> LintReport {
+    let _root = tytra_trace::span("lint.module").with("module", m.name.as_str());
     let mut sink = DiagSink::new();
     tytra_ir::validate::validate_into(m, &mut sink);
 
     let mut cost_evaluated = false;
     if !sink.has_errors() {
-        let report = tytra_cost::estimate(m, dev).ok();
+        let report = {
+            let _sp = tytra_trace::span("lint.estimate");
+            tytra_cost::estimate(m, dev).ok()
+        };
         cost_evaluated = report.is_some();
         let cx = LintContext { module: m, device: dev, report: report.as_ref() };
         for pass in registry() {
+            let mut sp =
+                tytra_trace::span("lint.pass").with("code", pass.code()).with("pass", pass.name());
+            let before = sink.diagnostics().len();
             pass.run(&cx, &mut sink);
+            sp.record("diagnostics", (sink.diagnostics().len() - before) as u64);
         }
     }
 

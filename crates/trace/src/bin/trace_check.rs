@@ -1,0 +1,108 @@
+//! `trace_check` — validate a Chrome trace-event file produced by
+//! `tybec --trace out.json --trace-format chrome`.
+//!
+//! ```text
+//! trace_check <trace.json> [--expect <span-name>]... [--span-lanes <name>:<min>]
+//! ```
+//!
+//! Checks that the file parses as trace-event JSON (a `traceEvents`
+//! array of objects each carrying `name`/`ph`/`pid`/`tid`, with
+//! `ts`/`dur` on complete events), that every `--expect`ed span name
+//! occurs at least once, and that spans named in `--span-lanes` cover at
+//! least the requested number of distinct thread lanes. CI runs this
+//! over the DSE smoke trace before uploading it as an artifact.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use tytra_trace::json::{parse, Json};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("trace_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let path = args.iter().find(|a| !a.starts_with("--")).ok_or(
+        "usage: trace_check <trace.json> [--expect <name>]... [--span-lanes <name>:<min>]",
+    )?;
+    let mut expects = Vec::new();
+    let mut lane_rules = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--expect" => expects.push(it.next().ok_or("--expect needs a span name")?.clone()),
+            "--span-lanes" => {
+                let spec = it.next().ok_or("--span-lanes needs <name>:<min>")?;
+                let (name, min) = spec.rsplit_once(':').ok_or("--span-lanes wants <name>:<min>")?;
+                let min: usize = min.parse().map_err(|e| format!("bad lane count: {e}"))?;
+                lane_rules.push((name.to_string(), min));
+            }
+            _ => {}
+        }
+    }
+
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = parse(&src).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or(format!("{path}: no `traceEvents` array"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: empty trace"));
+    }
+
+    let mut names = BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing string `name`"))?;
+        let ph = ev.get("ph").and_then(Json::as_str).ok_or(format!("event {i}: missing `ph`"))?;
+        for key in ["pid", "tid"] {
+            ev.get(key).and_then(Json::as_num).ok_or(format!("event {i}: missing `{key}`"))?;
+        }
+        if ph == "X" {
+            for key in ["ts", "dur"] {
+                ev.get(key)
+                    .and_then(Json::as_num)
+                    .ok_or(format!("event {i} ({name}): missing `{key}`"))?;
+            }
+            names.insert(name.to_string());
+        }
+    }
+
+    for want in &expects {
+        if !names.contains(want) {
+            return Err(format!("{path}: no `{want}` span (have: {names:?})"));
+        }
+    }
+    for (name, min) in &lane_rules {
+        let lanes: BTreeSet<u64> = events
+            .iter()
+            .filter(|ev| ev.get("name").and_then(Json::as_str) == Some(name))
+            .filter_map(|ev| ev.get("tid").and_then(Json::as_num))
+            .map(|t| t as u64)
+            .collect();
+        if lanes.len() < *min {
+            return Err(format!(
+                "{path}: `{name}` spans cover {} lane(s), wanted ≥ {min}",
+                lanes.len()
+            ));
+        }
+    }
+
+    Ok(format!(
+        "{path}: ok — {} events, {} distinct complete-span names",
+        events.len(),
+        names.len()
+    ))
+}

@@ -1,0 +1,341 @@
+//! Minimal JSON writing and reading support for the trace sinks.
+//!
+//! The workspace has no serde; the sinks hand-roll their output and the
+//! only guarantee they need from this module is that [`escape`] yields a
+//! valid JSON string for *any* Rust string, and that [`parse`] accepts
+//! exactly (a superset of) what the sinks emit — enough to validate a
+//! trace file in CI ([`trace_check`](../bin/trace_check.rs)) and in
+//! property tests without an external JSON library.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape `s` as the *contents* of a JSON string literal (no quotes).
+/// `"` and `\` are escaped, control characters become `\u00XX`, and
+/// everything else passes through as UTF-8 (valid per RFC 8259).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON value. JSON has no NaN/Infinity, so
+/// non-finite values degrade to strings.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (key order is not preserved).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Member `key` of an object, if present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|m| m.get(key))
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one complete JSON document. Returns a message with a byte
+/// offset on malformed input or trailing garbage.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(src, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => *pos += 1,
+            _ => break,
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", b as char))
+    }
+}
+
+fn parse_value(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_lit(src, pos, "null", Json::Null),
+        Some(b't') => parse_lit(src, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(src, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(src, bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(src, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(src, bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(src, bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'-' | b'0'..=b'9') => parse_number(src, bytes, pos),
+        Some(&b) => Err(format!("unexpected byte `{}` at {pos}", b as char)),
+    }
+}
+
+fn parse_lit(src: &str, pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if src[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    src[start..*pos]
+        .parse::<f64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number at byte {start}: {e}"))
+}
+
+fn parse_string(src: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let rest = &src[*pos..];
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some((_, '"')) => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some((_, '\\')) => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let code = parse_hex4(src, *pos + 1)?;
+                        *pos += 4;
+                        if (0xD800..0xDC00).contains(&code) {
+                            // High surrogate: require the low half.
+                            if !src[*pos + 1..].starts_with("\\u") {
+                                return Err(format!("lone surrogate at byte {pos}"));
+                            }
+                            let low = parse_hex4(src, *pos + 3)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(format!("bad surrogate pair at byte {pos}"));
+                            }
+                            *pos += 6;
+                            let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            out.push(char::from_u32(c).expect("valid supplementary char"));
+                        } else {
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(format!("lone surrogate at byte {pos}")),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some((_, c)) if (c as u32) < 0x20 => {
+                return Err(format!("raw control character at byte {pos}"));
+            }
+            Some((_, c)) => {
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(src: &str, at: usize) -> Result<u32, String> {
+    src.get(at..at + 4)
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| format!("bad \\u escape at byte {at}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("n\nr\rt\t"), "n\\nr\\rt\\t");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("日本 ✓"), "日本 ✓");
+    }
+
+    #[test]
+    fn parse_round_trips_escaped_strings() {
+        for s in ["", "plain", "a\"b\\c", "n\nr\rt\t\u{1}", "日本 ✓", "𝄞 clef"] {
+            let doc = format!("\"{}\"", escape(s));
+            assert_eq!(parse(&doc), Ok(Json::Str(s.to_string())), "{doc}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_nested_documents() {
+        let doc = r#"{"a": [1, -2.5, 1e3, true, null], "b": {"c": "\u0041\ud834\udd1e"}}"#;
+        let v = parse(doc).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 5);
+        assert_eq!(arr[2].as_num(), Some(1000.0));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("A𝄞"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "\"abc", "{\"a\" 1}", "nul", "01x", "[1] garbage", "\"\\u12\""]
+        {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn number_degrades_non_finite_values() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "\"NaN\"");
+        assert_eq!(number(f64::INFINITY), "\"inf\"");
+        assert!(parse(&number(f64::NEG_INFINITY)).is_ok());
+    }
+}

@@ -1,0 +1,269 @@
+//! Render completed spans: human tree, JSONL stream, Chrome trace JSON.
+//!
+//! All three renderers are pure functions over `&[SpanRecord]` (plus the
+//! thread-label table), so the same drained buffer can feed any of them
+//! and tests can exercise them without touching the global collector.
+
+use crate::json::{escape, number};
+use crate::{SpanRecord, Value};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Render one span per line as a standalone JSON object (JSONL): stable
+/// keys `name`, `id`, `parent` (null at roots), `tid`, `start_ns`,
+/// `dur_ns`, `fields`. Grep- and jq-friendly.
+pub fn render_jsonl(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"id\":{},\"parent\":{},\"tid\":{},\"start_ns\":{},\"dur_ns\":{}",
+            escape(&r.name),
+            r.id,
+            r.parent.map_or("null".to_string(), |p| p.to_string()),
+            r.tid,
+            r.start_ns,
+            r.dur_ns,
+        );
+        out.push_str(",\"fields\":{");
+        push_fields(&mut out, &r.fields);
+        out.push_str("}}\n");
+    }
+    out
+}
+
+/// Render the Chrome trace-event format understood by `chrome://tracing`
+/// and [Perfetto](https://ui.perfetto.dev): one complete (`"ph":"X"`)
+/// event per span with microsecond timestamps, one lane per thread, and
+/// a `thread_name` metadata event per labelled lane. Span fields land in
+/// `args` (repeated keys keep the last value, matching JSON object
+/// semantics).
+pub fn render_chrome(records: &[SpanRecord], labels: &[(u64, String)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (tid, label) in labels {
+        push_event_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(label)
+        );
+    }
+    let mut ordered: Vec<&SpanRecord> = records.iter().collect();
+    ordered.sort_by_key(|r| (r.start_ns, r.id));
+    for r in ordered {
+        push_event_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"tytra\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{:.3},\"dur\":{:.3},\"args\":{{",
+            escape(&r.name),
+            r.tid,
+            r.start_ns as f64 / 1e3,
+            r.dur_ns as f64 / 1e3,
+        );
+        push_fields(&mut out, &r.fields);
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Render an indented per-thread span tree with durations and fields —
+/// the quick-look sink for terminals.
+pub fn render_tree(records: &[SpanRecord], labels: &[(u64, String)]) -> String {
+    let mut children: HashMap<Option<u64>, Vec<&SpanRecord>> = HashMap::new();
+    let known: std::collections::HashSet<u64> = records.iter().map(|r| r.id).collect();
+    let mut tids: Vec<u64> = Vec::new();
+    for r in records {
+        // A parent that never completed (still open at drain time) would
+        // orphan its subtree; hoist such spans to the root.
+        let parent = r.parent.filter(|p| known.contains(p));
+        children.entry(parent).or_default().push(r);
+        if !tids.contains(&r.tid) {
+            tids.push(r.tid);
+        }
+    }
+    for list in children.values_mut() {
+        list.sort_by_key(|r| (r.start_ns, r.id));
+    }
+    tids.sort_unstable();
+
+    let mut out = String::new();
+    for tid in tids {
+        let label = labels
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map(|(_, l)| format!(" ({l})"))
+            .unwrap_or_default();
+        let _ = writeln!(out, "thread {tid}{label}");
+        if let Some(roots) = children.get(&None) {
+            for root in roots.iter().filter(|r| r.tid == tid) {
+                render_node(&mut out, &children, root, 1);
+            }
+        }
+    }
+    out
+}
+
+fn render_node(
+    out: &mut String,
+    children: &HashMap<Option<u64>, Vec<&SpanRecord>>,
+    node: &SpanRecord,
+    depth: usize,
+) {
+    let indent = "  ".repeat(depth);
+    let name_col = format!("{indent}{}", node.name);
+    let _ = write!(out, "{name_col:<42} {:>10}", fmt_dur(node.dur_ns));
+    for (k, v) in &node.fields {
+        let _ = write!(out, "  {k}={v}");
+    }
+    out.push('\n');
+    if let Some(kids) = children.get(&Some(node.id)) {
+        for kid in kids.iter().filter(|r| r.tid == node.tid) {
+            render_node(out, children, kid, depth + 1);
+        }
+    }
+}
+
+fn fmt_dur(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn push_event_sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+}
+
+fn push_fields(out: &mut String, fields: &[(String, Value)]) {
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", escape(k));
+        match v {
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(n) => out.push_str(&number(*n)),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    fn sample() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                tid: 1,
+                name: "root".to_string(),
+                start_ns: 0,
+                dur_ns: 3_000,
+                fields: vec![
+                    ("module".to_string(), Value::Str("sor \"q\"".to_string())),
+                    ("fp".to_string(), Value::U64(0xDEAD)),
+                ],
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                tid: 1,
+                name: "child".to_string(),
+                start_ns: 500,
+                dur_ns: 1_000,
+                fields: vec![("hit".to_string(), Value::Bool(true))],
+            },
+            SpanRecord {
+                id: 3,
+                parent: None,
+                tid: 2,
+                name: "worker".to_string(),
+                start_ns: 100,
+                dur_ns: 2_000,
+                fields: vec![("score".to_string(), Value::F64(f64::NAN))],
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let out = render_jsonl(&sample());
+        assert_eq!(out.lines().count(), 3);
+        for line in out.lines() {
+            let v = parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert!(v.get("name").is_some());
+            assert!(v.get("fields").unwrap().as_obj().is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_one_valid_document() {
+        let labels = vec![(2u64, "dse-worker-0".to_string())];
+        let out = render_chrome(&sample(), &labels);
+        let doc = parse(&out).unwrap_or_else(|e| panic!("{e}\n{out}"));
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 metadata + 3 spans.
+        assert_eq!(events.len(), 4);
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(meta.get("args").unwrap().get("name").unwrap().as_str(), Some("dse-worker-0"));
+        for ev in &events[1..] {
+            assert_eq!(ev.get("ph").unwrap().as_str(), Some("X"));
+            assert!(ev.get("ts").unwrap().as_num().is_some());
+            assert!(ev.get("dur").unwrap().as_num().is_some());
+        }
+        // The NaN field survived as a string, not as invalid JSON.
+        let worker = events.iter().find(|e| e.get("name").unwrap().as_str() == Some("worker"));
+        assert_eq!(
+            worker.unwrap().get("args").unwrap().get("score"),
+            Some(&Json::Str("NaN".to_string()))
+        );
+    }
+
+    #[test]
+    fn tree_nests_children_under_parents_per_thread() {
+        let labels = vec![(2u64, "dse-worker-0".to_string())];
+        let out = render_tree(&sample(), &labels);
+        assert!(out.contains("thread 1\n"), "{out}");
+        assert!(out.contains("thread 2 (dse-worker-0)"), "{out}");
+        let root_line = out.lines().position(|l| l.trim_start().starts_with("root")).unwrap();
+        let child_line = out.lines().position(|l| l.trim_start().starts_with("child")).unwrap();
+        assert!(child_line > root_line);
+        assert!(out.lines().nth(child_line).unwrap().starts_with("    "), "{out}");
+        assert!(out.contains("hit=true"));
+        assert!(out.contains("module=sor \"q\""));
+    }
+
+    #[test]
+    fn orphaned_spans_are_hoisted_to_the_root() {
+        let mut records = sample();
+        records[1].parent = Some(999); // parent never completed
+        let out = render_tree(&records, &[]);
+        assert!(out.contains("child"), "{out}");
+    }
+}
