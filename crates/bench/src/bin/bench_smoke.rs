@@ -1,29 +1,110 @@
-//! CI smoke benchmark for the estimator session: time a cold
-//! (fresh-session-per-sweep) vs warm (one reused session) 4-variant SOR
-//! sweep and write the result as a small JSON artifact.
+//! CI smoke benchmarks: the estimator session and the DSE search engine.
 //!
-//! Usage: `bench_smoke [OUT.json]` (default `BENCH_estimator.json`).
-//! The JSON is hand-rolled — the workspace has no serde — and carries
-//! four numbers: median cold and warm sweep time in microseconds, the
-//! cold/warm speedup, and the warm session's memo hit rate, plus a
-//! `pass_us` object breaking one traced cold+warm sweep down by
-//! estimator pass (total span time per `estimator.*` span name).
+//! Usage: `bench_smoke [OUT.json [DSE_OUT.json]]` (defaults
+//! `BENCH_estimator.json` and `BENCH_dse.json`).
+//!
+//! The first artifact times a cold (fresh-session-per-sweep) vs warm
+//! (one reused session) 4-variant SOR sweep: median cold and warm sweep
+//! time in microseconds, the cold/warm speedup, the warm session's memo
+//! hit rate, plus a `pass_us` object breaking one traced cold+warm sweep
+//! down by estimator pass (total span time per `estimator.*` span name).
+//!
+//! The second artifact races the branch-and-bound search against the
+//! exhaustive escape hatch on the sor/eval-small acceptance space and
+//! records wall-times, the pruned fraction and the steal count. The run
+//! *fails* (nonzero exit) if the two modes' leaderboards or infeasible
+//! sets diverge — the admissibility contract, enforced in CI.
+//!
+//! All JSON is hand-rolled — the workspace has no serde.
 
 use std::time::Instant;
 use tytra_cost::EstimatorSession;
-use tytra_device::stratix_v_gsd8;
+use tytra_device::{eval_small, stratix_v_gsd8};
+use tytra_dse::{search, ExplorationConfig, SearchConfig, SearchOutcome, SearchStats};
 use tytra_kernels::{EvalKernel, Sor};
 use tytra_transform::Variant;
 
 const REPS: usize = 25;
+/// Search reps: each rep costs a full multi-threaded space sweep.
+const DSE_REPS: usize = 9;
 
 fn median_us(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.total_cmp(b));
     samples[samples.len() / 2]
 }
 
+fn outcome_fingerprint(o: &SearchOutcome) -> (Vec<(String, u64)>, Vec<String>) {
+    (
+        o.leaderboard
+            .iter()
+            .map(|e| (e.variant.tag(), e.report.throughput.ekit.to_bits()))
+            .collect(),
+        o.invalid.iter().map(|iv| iv.variant.tag()).collect(),
+    )
+}
+
+/// Race pruned vs exhaustive search on the sor/eval-small acceptance
+/// space; exit nonzero if their outcomes diverge.
+fn bench_dse(out: &str) {
+    let sor = Sor::cubic(16, 10);
+    let dev = eval_small();
+    // The acceptance space: the default lane sweep includes counts that
+    // cannot fit eval-small, so the bound pass has real work to do; four
+    // workers over chunked deques makes stealing observable.
+    let space = ExplorationConfig { workers: 4, ..ExplorationConfig::default() };
+
+    let run = |cfg: &SearchConfig| -> (f64, SearchOutcome, SearchStats) {
+        let mut walls = Vec::with_capacity(DSE_REPS);
+        let mut last = None;
+        let mut stats = SearchStats::default();
+        for _ in 0..DSE_REPS {
+            let t0 = Instant::now();
+            let outcome = search(&sor, &dev, cfg);
+            walls.push(t0.elapsed().as_secs_f64() * 1e6);
+            stats = outcome.stats;
+            last = Some(outcome);
+        }
+        (median_us(&mut walls), last.expect("at least one rep"), stats)
+    };
+
+    let (exhaustive_us, ex_outcome, _) = run(&SearchConfig::exhaustive(space.clone()));
+    let (pruned_us, pr_outcome, pr_stats) = run(&SearchConfig::pruned(space));
+
+    if outcome_fingerprint(&pr_outcome) != outcome_fingerprint(&ex_outcome) {
+        eprintln!("FAIL: pruned search diverged from exhaustive search");
+        eprintln!("  pruned:     {:?}", outcome_fingerprint(&pr_outcome));
+        eprintln!("  exhaustive: {:?}", outcome_fingerprint(&ex_outcome));
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"dse_search_sor16_eval_small\",\n  \"reps\": {DSE_REPS},\n  \
+         \"exhaustive_us\": {exhaustive_us:.3},\n  \"pruned_us\": {pruned_us:.3},\n  \
+         \"speedup\": {:.3},\n  \"pruned_fraction\": {:.4},\n  \
+         \"generated\": {},\n  \"estimated\": {},\n  \
+         \"pruned_bound\": {},\n  \"pruned_unfit\": {},\n  \"steal_count\": {}\n}}\n",
+        exhaustive_us / pruned_us,
+        pr_stats.pruned_fraction(),
+        pr_stats.generated,
+        pr_stats.estimated,
+        pr_stats.pruned_bound,
+        pr_stats.pruned_unfit,
+        pr_stats.stolen,
+    );
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!(
+        "dse: exhaustive {exhaustive_us:.1} µs  pruned {pruned_us:.1} µs  speedup {:.2}x  \
+         pruned {:.0}%  steals {}",
+        exhaustive_us / pruned_us,
+        pr_stats.pruned_fraction() * 100.0,
+        pr_stats.stolen
+    );
+    println!("wrote {out} (leaderboards identical)");
+}
+
 fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_estimator.json".to_string());
+    let dse_out = std::env::args().nth(2).unwrap_or_else(|| "BENCH_dse.json".to_string());
 
     let sor = Sor::cubic(48, 10);
     let dev = stratix_v_gsd8();
@@ -93,4 +174,6 @@ fn main() {
         stats.hit_rate() * 100.0
     );
     println!("wrote {out} (checksum {checksum:.1})");
+
+    bench_dse(&dse_out);
 }

@@ -27,7 +27,7 @@ use std::process::ExitCode;
 use tytra_codegen::{check, emit_design, emit_maxj_wrapper};
 use tytra_cost::{estimate, EstimatorSession};
 use tytra_device::TargetDevice;
-use tytra_dse::{explore_with_metrics, lane_sweep_session, tune_session, ExplorationConfig};
+use tytra_dse::{lane_sweep_session, search, tune_session, ExplorationConfig, SearchConfig};
 use tytra_kernels::{EvalKernel, Hotspot, LavaMd, Sor};
 use tytra_sim::{run_application, synthesize};
 use tytra_trace::sink;
@@ -38,7 +38,7 @@ const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint> 
   actual <design.tirl> [--target <name>]
   hdl    <design.tirl> [--target <name>] [-o <out.v>] [--wrapper] [--check]
   tree   <design.tirl>
-  dse    <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...] [--workers N] [--stats] [--metrics]
+  dse    <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...] [--workers N] [--exhaustive] [--stats] [--metrics]
   roofline <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...]
   exec   <design.tirl> [--items N] [--seed S]
   lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
@@ -368,6 +368,7 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
         Some(v) => v.parse().map_err(|e| format!("bad --workers: {e}"))?,
         None => 0,
     };
+    let exhaustive = has_flag(args, "--exhaustive");
     let show_stats = has_flag(args, "--stats");
     let show_metrics = has_flag(args, "--metrics");
 
@@ -380,10 +381,14 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
     print!("{}", tytra_dse::report::render_table(&rows));
 
     println!("\n== full exploration ==");
-    let cfg = ExplorationConfig { lanes, workers, ..ExplorationConfig::default() };
-    let (evaluated, explore_stats, explore_metrics) =
-        explore_with_metrics(kernel.as_ref(), &dev, &cfg);
-    print!("{}", tytra_dse::report::render_leaderboard(&evaluated, 10));
+    // Branch-and-bound by default; `--exhaustive` estimates every point.
+    // Both produce byte-identical leaderboards (see docs/dse-search.md),
+    // so this choice changes wall-time and counters, never the output.
+    let space = ExplorationConfig { lanes, workers, ..ExplorationConfig::default() };
+    let cfg =
+        if exhaustive { SearchConfig::exhaustive(space) } else { SearchConfig::pruned(space) };
+    let outcome = search(kernel.as_ref(), &dev, &cfg);
+    print!("{}", tytra_dse::render_search_leaderboard(&outcome, 10));
 
     println!("\n== guided tuning from baseline ==");
     for step in tune_session(kernel.as_ref(), &mut session, Variant::baseline(), 12) {
@@ -399,18 +404,19 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
     if show_stats {
         let sweep_stats = session.stats();
         let mut total = sweep_stats;
-        total += explore_stats;
+        total += outcome.session;
         println!("\n== estimator session stats ==");
         println!("{}", tytra_dse::render_stats_line("sweep+tuning", &sweep_stats));
-        println!("{}", tytra_dse::render_stats_line("exploration", &explore_stats));
+        println!("{}", tytra_dse::render_stats_line("exploration", &outcome.session));
         println!("{}", tytra_dse::render_stats_line("total", &total));
+        println!("{}", tytra_dse::render_search_stats_line(&outcome.stats));
     }
     if show_metrics {
-        // The CLI session (sweep + tuning) and every exploration worker
+        // The CLI session (sweep + tuning) and every search worker
         // session feed registries with the same metric names; the merge
         // sums counters and merges histograms bucket-wise.
         let mut snap = session.metrics_snapshot();
-        snap.merge(&explore_metrics);
+        snap.merge(&outcome.metrics);
         println!("\n== metrics ==");
         print!("{}", snap.render_table());
     }

@@ -196,6 +196,48 @@ fn dse_workers_flag_is_deterministic() {
 }
 
 #[test]
+fn dse_exhaustive_flag_does_not_change_the_output() {
+    // The branch-and-bound default and the --exhaustive escape hatch
+    // must print byte-identical reports (the admissibility contract);
+    // only the --stats counters may differ, so compare without them.
+    let pruned = tybec(&["dse", "sor", "--target", "eval-small"]);
+    let exhaustive = tybec(&["dse", "sor", "--target", "eval-small", "--exhaustive"]);
+    assert!(pruned.status.success(), "{}", stderr(&pruned));
+    assert!(exhaustive.status.success(), "{}", stderr(&exhaustive));
+    assert_eq!(stdout(&pruned), stdout(&exhaustive), "--exhaustive changed the report");
+}
+
+#[test]
+fn dse_stats_shows_pruning_counters() {
+    let o = tybec(&["dse", "sor", "--target", "eval-small", "--stats"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    let line = out
+        .lines()
+        .find(|l| l.trim_start().starts_with("search"))
+        .unwrap_or_else(|| panic!("no search stats line:\n{out}"));
+    assert!(line.contains("generated"), "{line}");
+    assert!(line.contains("pruned"), "{line}");
+    // The default eval-small sweep includes lane counts that cannot fit,
+    // so the bound pass must have pruned something.
+    let pruned: u64 = line
+        .split_whitespace()
+        .zip(line.split_whitespace().skip(1))
+        .find(|(_, label)| *label == "pruned")
+        .and_then(|(n, _)| n.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable search line: {line}"));
+    assert!(pruned > 0, "expected pruning on eval-small: {line}");
+
+    let exhaustive = tybec(&["dse", "sor", "--target", "eval-small", "--stats", "--exhaustive"]);
+    let ex_out = stdout(&exhaustive);
+    let ex_line = ex_out
+        .lines()
+        .find(|l| l.trim_start().starts_with("search"))
+        .unwrap_or_else(|| panic!("no search stats line:\n{ex_out}"));
+    assert!(ex_line.contains(" 0 pruned"), "exhaustive mode must not prune: {ex_line}");
+}
+
+#[test]
 fn dse_rejects_bad_workers_value() {
     let o = tybec(&["dse", "sor", "--workers", "zero"]);
     assert!(!o.status.success());
@@ -296,6 +338,10 @@ fn chrome_trace_has_all_pass_spans_and_worker_lanes() {
         "1,2,4",
         "--workers",
         "4",
+        // Exhaustive: every seeded worker must fully estimate at least
+        // one variant (steals never take a queue's last task), so the
+        // multi-lane assertion below is deterministic, not a timing bet.
+        "--exhaustive",
         "--trace",
         path.to_str().unwrap(),
         "--trace-format",
@@ -333,6 +379,47 @@ fn chrome_trace_has_all_pass_spans_and_worker_lanes() {
     lanes.sort_unstable();
     lanes.dedup();
     assert!(lanes.len() >= 2, "expected ≥2 worker lanes, got {lanes:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn pruned_search_trace_has_bound_spans() {
+    // The default (branch-and-bound) dse run must show its bound pass in
+    // the trace: a dse.bound span per bounded variant, alongside the
+    // dse.variant spans of the survivors that paid the full estimate.
+    let path = trace_tmp("dse_bound.json");
+    let o = tybec(&[
+        "dse",
+        "sor",
+        "--target",
+        "eval-small",
+        "--workers",
+        "4",
+        "--trace",
+        path.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let body = std::fs::read_to_string(&path).unwrap();
+    let doc = tytra_trace::json::parse(&body).expect("chrome trace parses as JSON");
+    let events = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents array");
+    let count = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+            .count()
+    };
+    let bounds = count("dse.bound");
+    let estimates = count("dse.variant");
+    assert!(bounds > 0, "pruned search must trace its bound pass");
+    assert!(estimates > 0, "survivors must still be fully estimated");
+    assert!(
+        estimates < bounds,
+        "the default eval-small sweep has unfittable lane counts, so some \
+         variants must be pruned: {bounds} bounds vs {estimates} estimates"
+    );
     std::fs::remove_file(&path).ok();
 }
 

@@ -61,6 +61,7 @@
 
 pub mod bandwidth;
 pub mod bottleneck;
+pub mod bound;
 pub mod estimate;
 pub mod frequency;
 pub mod options;
@@ -74,6 +75,7 @@ pub mod throughput;
 
 pub use bandwidth::{BandwidthBreakdown, StreamBandwidth};
 pub use bottleneck::Limiter;
+pub use bound::CostBound;
 pub use estimate::{estimate, estimate_with};
 pub use options::CostOptions;
 pub use params::CostParams;

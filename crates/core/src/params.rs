@@ -70,6 +70,44 @@ impl CostParams {
         tree: &ConfigTree,
         sched: PipelineSchedule,
     ) -> CostParams {
+        RawGeometry::extract(m, tree).finish(sched)
+    }
+
+    /// Work-items each lane processes per kernel instance.
+    pub fn items_per_lane(&self) -> f64 {
+        self.ngs as f64 / (self.knl.max(1) as f64 * f64::from(self.dv.max(1)))
+    }
+
+    /// Total off-chip bytes one kernel instance moves (reads + writes).
+    pub fn total_bytes(&self) -> f64 {
+        self.ngs as f64 * self.bytes_per_item as f64
+    }
+}
+
+/// The schedule-free parameters: everything [`CostParams`] carries except
+/// the lane schedule. Extracted by IR inspection alone, so the `bound`
+/// pass can price the bandwidth and overhead terms of Eqs 1–3 without
+/// running the (datapath-walking) schedule pass.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RawGeometry {
+    pub ngs: u64,
+    pub nki: u64,
+    pub nwpt_words: u64,
+    pub bytes_per_item: u64,
+    pub noff: u64,
+    pub noff_bytes: u64,
+    pub knl: u64,
+    pub dv: u32,
+    pub form: MemForm,
+    pub n_streams: u64,
+    pub local_bytes: u64,
+}
+
+impl RawGeometry {
+    /// Extract the Table I geometry from a module and its configuration
+    /// tree (the exact computation [`CostParams::from_parts`] performs
+    /// before attaching the schedule).
+    pub(crate) fn extract(m: &IrModule, tree: &ConfigTree) -> RawGeometry {
         let ngs = m.meta.global_size();
         let nki = m.meta.nki;
 
@@ -126,14 +164,13 @@ impl CostParams {
             }
         }
 
-        CostParams {
+        RawGeometry {
             ngs,
             nki,
             nwpt_words,
             bytes_per_item,
             noff,
             noff_bytes,
-            sched,
             knl,
             dv: m.meta.vect,
             form: m.meta.form,
@@ -142,13 +179,36 @@ impl CostParams {
         }
     }
 
-    /// Work-items each lane processes per kernel instance.
-    pub fn items_per_lane(&self) -> f64 {
+    /// Attach a schedule, completing the [`CostParams`].
+    pub(crate) fn finish(self, sched: PipelineSchedule) -> CostParams {
+        CostParams {
+            ngs: self.ngs,
+            nki: self.nki,
+            nwpt_words: self.nwpt_words,
+            bytes_per_item: self.bytes_per_item,
+            noff: self.noff,
+            noff_bytes: self.noff_bytes,
+            sched,
+            knl: self.knl,
+            dv: self.dv,
+            form: self.form,
+            n_streams: self.n_streams,
+            local_bytes: self.local_bytes,
+        }
+    }
+
+    /// Work-items each lane processes per kernel instance. Must stay
+    /// bit-identical to [`CostParams::items_per_lane`]: the bound's
+    /// compute floor divides the same numerator the throughput pass
+    /// divides, so floating-point monotonicity makes the bound
+    /// admissible (see `docs/dse-search.md`).
+    pub(crate) fn items_per_lane(&self) -> f64 {
         self.ngs as f64 / (self.knl.max(1) as f64 * f64::from(self.dv.max(1)))
     }
 
-    /// Total off-chip bytes one kernel instance moves (reads + writes).
-    pub fn total_bytes(&self) -> f64 {
+    /// Total off-chip bytes per kernel instance, as in
+    /// [`CostParams::total_bytes`].
+    pub(crate) fn total_bytes(&self) -> f64 {
         self.ngs as f64 * self.bytes_per_item as f64
     }
 }

@@ -40,6 +40,7 @@
 //! `tybec dse sor` leaderboard pin this down.
 
 use crate::bandwidth::{self, BandwidthBreakdown};
+use crate::bound::CostBound;
 use crate::frequency;
 use crate::params::CostParams;
 use crate::report::{assemble, CostReport};
@@ -241,19 +242,7 @@ impl EstimatorSession {
         let _root = trace::span("estimator.estimate").with("module", m.name.as_str());
 
         // Pass 0: validation, once per distinct module.
-        let module_fp = fingerprint_module(m);
-        {
-            let mut sp = trace::span("estimator.validate").with("fp", module_fp);
-            if self.validated.contains(&module_fp) {
-                self.hits.incr();
-                sp.record("memo_hit", true);
-            } else {
-                self.misses.incr();
-                sp.record("memo_hit", false);
-                validate::validate(m)?;
-                self.validated.insert(module_fp);
-            }
-        }
+        self.validate_pass(m)?;
 
         // Pass 1: configuration extraction (cheap tree walk, not worth a
         // clone-heavy memo entry).
@@ -291,24 +280,9 @@ impl EstimatorSession {
         };
 
         // Pass 4: resources, memoized per function.
-        let (resources, utilization, fits) = {
-            let _sp = trace::span("estimator.resources");
-            let resources = resource::estimate_resources_session(
-                m,
-                &self.dev,
-                &tree.root,
-                &self.opts,
-                &self.curves,
-                resource::NodeMemo {
-                    table: &mut self.node_costs,
-                    hits: &self.hits,
-                    misses: &self.misses,
-                },
-            )?;
-            let utilization = resources.total.utilization(&self.dev.capacity);
-            let fits = resources.total.fits_within(&self.dev.capacity);
-            (resources, utilization, fits)
-        };
+        let resources = self.resources_pass(m, &tree)?;
+        let utilization = resources.total.utilization(&self.dev.capacity);
+        let fits = resources.total.fits_within(&self.dev.capacity);
 
         // Pass 5: clock, worst stage memoized per function.
         let clock = {
@@ -319,33 +293,7 @@ impl EstimatorSession {
         };
 
         // Pass 6: bandwidth, memoized per stream set + lane count.
-        let bw_key = {
-            let mut h = StableHasher::new();
-            h.write_u64(fingerprint_streams(m));
-            h.write_u64(m.kernel_lanes());
-            h.finish()
-        };
-        let bw = {
-            let mut sp = trace::span("estimator.bandwidth").with("fp", bw_key);
-            match self.bandwidths.get(&bw_key) {
-                Some(b) => {
-                    self.hits.incr();
-                    sp.record("memo_hit", true);
-                    b.clone()
-                }
-                None => {
-                    let b = if self.opts.sustained_bandwidth {
-                        bandwidth::assess_impl(m, &self.dev, Some(&self.curves))
-                    } else {
-                        bandwidth::assess_naive_impl(m, &self.dev, Some(&self.curves))
-                    };
-                    self.misses.incr();
-                    sp.record("memo_hit", false);
-                    self.bandwidths.insert(bw_key, b.clone());
-                    b
-                }
-            }
-        };
+        let bw = self.bandwidth_pass(m);
 
         // Pass 7: throughput, limiter, power — pure arithmetic.
         let report = {
@@ -375,6 +323,102 @@ impl EstimatorSession {
         self.memo_entries.set(self.memo_len() as f64);
         self.estimate_ns.record(t0.elapsed().as_nanos() as u64);
         Ok(report)
+    }
+
+    /// The cheap branch-and-bound pass: an exact resource/fit verdict
+    /// plus an admissible upper bound on EKIT, from the memoized
+    /// validate, resource and bandwidth passes alone — no schedule or
+    /// clock walk over the datapath (see [`crate::bound`]).
+    ///
+    /// Shares memo tables with [`estimate`][EstimatorSession::estimate]:
+    /// a bound followed by an estimate of the same variant replays the
+    /// resource and bandwidth sub-results, and vice versa, so
+    /// interleaving bounds never perturbs estimate results.
+    pub fn bound(&mut self, m: &IrModule) -> Result<CostBound, IrError> {
+        let _root = trace::span("estimator.bound").with("module", m.name.as_str());
+        self.validate_pass(m)?;
+        let tree = config_tree::extract(m)?;
+        let resources = self.resources_pass(m, &tree)?;
+        let fits = resources.total.fits_within(&self.dev.capacity);
+        let bw = self.bandwidth_pass(m);
+        let g = crate::params::RawGeometry::extract(m, &tree);
+        // The initiation interval depends only on the lane subtree's
+        // kind and instruction count — recompute it exactly as the
+        // schedule pass would, without building the datapath graph.
+        let lane = schedule::lane_subtree(&tree.root);
+        let ii = match lane.kind {
+            tytra_ir::ParKind::Seq => lane.subtree_instrs().max(1) as f64,
+            _ => 1.0,
+        };
+        let b = crate::bound::assemble(&g, &self.dev, &bw, ii, resources.total, fits);
+        self.memo_entries.set(self.memo_len() as f64);
+        Ok(b)
+    }
+
+    /// Pass 0: validation, memoized per whole-module fingerprint.
+    fn validate_pass(&mut self, m: &IrModule) -> Result<(), IrError> {
+        let module_fp = fingerprint_module(m);
+        let mut sp = trace::span("estimator.validate").with("fp", module_fp);
+        if self.validated.contains(&module_fp) {
+            self.hits.incr();
+            sp.record("memo_hit", true);
+        } else {
+            self.misses.incr();
+            sp.record("memo_hit", false);
+            validate::validate(m)?;
+            self.validated.insert(module_fp);
+        }
+        Ok(())
+    }
+
+    /// Pass 4: resource accumulation, memoized per function.
+    fn resources_pass(
+        &mut self,
+        m: &IrModule,
+        tree: &tytra_ir::ConfigTree,
+    ) -> Result<crate::resource::ResourceEstimate, IrError> {
+        let _sp = trace::span("estimator.resources");
+        resource::estimate_resources_session(
+            m,
+            &self.dev,
+            &tree.root,
+            &self.opts,
+            &self.curves,
+            resource::NodeMemo {
+                table: &mut self.node_costs,
+                hits: &self.hits,
+                misses: &self.misses,
+            },
+        )
+    }
+
+    /// Pass 6: bandwidth assessment, memoized per stream set + lanes.
+    fn bandwidth_pass(&mut self, m: &IrModule) -> BandwidthBreakdown {
+        let bw_key = {
+            let mut h = StableHasher::new();
+            h.write_u64(fingerprint_streams(m));
+            h.write_u64(m.kernel_lanes());
+            h.finish()
+        };
+        let mut sp = trace::span("estimator.bandwidth").with("fp", bw_key);
+        match self.bandwidths.get(&bw_key) {
+            Some(b) => {
+                self.hits.incr();
+                sp.record("memo_hit", true);
+                b.clone()
+            }
+            None => {
+                let b = if self.opts.sustained_bandwidth {
+                    bandwidth::assess_impl(m, &self.dev, Some(&self.curves))
+                } else {
+                    bandwidth::assess_naive_impl(m, &self.dev, Some(&self.curves))
+                };
+                self.misses.incr();
+                sp.record("memo_hit", false);
+                self.bandwidths.insert(bw_key, b.clone());
+                b
+            }
+        }
     }
 
     /// Total entries across the session's memo tables (the
@@ -526,6 +570,49 @@ mod tests {
         assert!(session.estimate(&m).is_err());
         // And keeps rejecting it (failure is not cached as success).
         assert!(session.estimate(&m).is_err());
+    }
+
+    #[test]
+    fn bound_is_admissible_and_fit_exact() {
+        let mut session = EstimatorSession::new(eval_small());
+        for lanes in [1usize, 2, 4, 8, 16] {
+            for form in [MemForm::A, MemForm::B, MemForm::C] {
+                let m = laned_module(lanes, form);
+                let b = session.bound(&m).unwrap();
+                let r = session.estimate(&m).unwrap();
+                assert_eq!(b.fits, r.fits, "fit verdict is exact (l{lanes} {form:?})");
+                assert_eq!(b.resources, r.resources.total, "resource total is exact");
+                assert!(
+                    b.ekit_upper >= r.throughput.ekit,
+                    "bound must be admissible: ub {} < ekit {} (l{lanes} {form:?})",
+                    b.ekit_upper,
+                    r.throughput.ekit
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_bounds_do_not_perturb_estimates() {
+        let dev = eval_small();
+        let modules: Vec<IrModule> =
+            [1usize, 2, 4].iter().map(|&l| laned_module(l, MemForm::B)).collect();
+        let mut plain = EstimatorSession::new(dev.clone());
+        let mut mixed = EstimatorSession::new(dev);
+        for m in &modules {
+            let a = plain.estimate(m).unwrap();
+            mixed.bound(m).unwrap();
+            let b = mixed.estimate(m).unwrap();
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn bound_rejects_invalid_modules() {
+        let mut m = laned_module(1, MemForm::B);
+        m.functions.retain(|f| f.name != "main");
+        let mut session = EstimatorSession::new(stratix_v_gsd8());
+        assert!(session.bound(&m).is_err());
     }
 
     #[test]

@@ -95,13 +95,19 @@ pub fn explore_with_metrics(
     if !cfg.include_seq {
         variants.retain(|v| v.inner == InnerKind::Pipe);
     }
+    if variants.is_empty() {
+        // Nothing survived the legality filter: short-circuit on the
+        // calling thread. The old `.min(variants.len().max(1))` clamp
+        // would spin up one worker just to iterate an empty list.
+        return (Vec::new(), SessionStats::default(), Snapshot::new());
+    }
 
     let workers = if cfg.workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
         cfg.workers
     }
-    .min(variants.len().max(1));
+    .min(variants.len());
 
     // Static strided split: worker w takes variants w, w+workers, ….
     // Every worker owns a session, so costing needs no shared state; the
@@ -269,6 +275,22 @@ mod tests {
         let table = metrics.render_table();
         assert!(table.contains("session.memo.hits"), "{table}");
         assert!(table.contains("estimator.estimate_ns"), "{table}");
+    }
+
+    #[test]
+    fn zero_variants_short_circuit_without_spawning_a_worker() {
+        // 3 divides neither 4096 nor any per-lane count here, so the
+        // filtered variant list is empty; the engine must return on the
+        // calling thread instead of running a spurious worker.
+        let sor = Sor::cubic(16, 10);
+        let dev = stratix_v_gsd8();
+        let cfg = ExplorationConfig { lanes: vec![3], vects: vec![3], ..small_cfg() };
+        let (out, stats, metrics) = explore_with_metrics(&sor, &dev, &cfg);
+        assert!(out.is_empty());
+        assert_eq!(stats, SessionStats::default());
+        assert_eq!(stats.lookups(), 0, "no estimator session was ever exercised");
+        assert_eq!(metrics.counter("session.memo.hits"), 0);
+        assert_eq!(metrics.counter("session.memo.misses"), 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! pipeline lanes grows.
 
 use crate::explore::EvaluatedVariant;
+use crate::search::{SearchOutcome, SearchStats};
 use tytra_cost::{EstimatorSession, Limiter};
 use tytra_device::TargetDevice;
 use tytra_kernels::EvalKernel;
@@ -136,30 +137,68 @@ pub fn first_wall(rows: &[LaneSweepRow], pred: impl Fn(&LaneSweepRow) -> bool) -
     rows.iter().find(|r| pred(r)).map(|r| r.lanes)
 }
 
+/// The one shared leaderboard header (the summary used to be recomputed
+/// per call site; [`render_leaderboard`] and [`render_search_leaderboard`]
+/// now share these formatters so the two views cannot drift).
+fn leaderboard_header() -> String {
+    format!("{:>4} {:<18} {:>12} {:>7}  wall\n", "#", "variant", "EKIT/s", "fits")
+}
+
+/// One leaderboard row, shared by the legacy and search renderers.
+fn leaderboard_row(rank: usize, e: &EvaluatedVariant) -> String {
+    let note = match &e.reconfig {
+        Some(r) => {
+            format!("{} (reconfig x{}: {:.1}/s)", e.report.limiter, r.personalities, r.ekit)
+        }
+        None => e.report.limiter.to_string(),
+    };
+    format!(
+        "{:>4} {:<18} {:>12.1} {:>7}  {}\n",
+        rank,
+        e.variant.tag(),
+        e.report.throughput.ekit,
+        if e.report.fits { "yes" } else { "NO" },
+        note
+    )
+}
+
 /// Summarise a set of evaluated variants (from [`crate::explore()`][crate::explore::explore]) as a
 /// compact leaderboard.
 pub fn render_leaderboard(evaluated: &[EvaluatedVariant], top: usize) -> String {
-    use std::fmt::Write;
-    let mut s = String::new();
-    let _ = writeln!(s, "{:>4} {:<18} {:>12} {:>7}  wall", "#", "variant", "EKIT/s", "fits");
+    let mut s = leaderboard_header();
     for (i, e) in evaluated.iter().take(top).enumerate() {
-        let note = match &e.reconfig {
-            Some(r) => {
-                format!("{} (reconfig x{}: {:.1}/s)", e.report.limiter, r.personalities, r.ekit)
-            }
-            None => e.report.limiter.to_string(),
-        };
-        let _ = writeln!(
-            s,
-            "{:>4} {:<18} {:>12.1} {:>7}  {}",
-            i + 1,
-            e.variant.tag(),
-            e.report.throughput.ekit,
-            if e.report.fits { "yes" } else { "NO" },
-            note
-        );
+        s.push_str(&leaderboard_row(i + 1, e));
     }
     s
+}
+
+/// Render a [`SearchOutcome`]'s leaderboard plus its infeasible-set
+/// summary. Everything here is derived from the search *outcome* — never
+/// from the scheduling-dependent counters — so the text is byte-identical
+/// between pruned and exhaustive modes and across worker counts.
+pub fn render_search_leaderboard(outcome: &SearchOutcome, top: usize) -> String {
+    let mut s = render_leaderboard(&outcome.leaderboard, top);
+    match outcome.invalid.len() {
+        0 => {}
+        1 => s.push_str("  (1 variant does not fit the device)\n"),
+        n => s.push_str(&format!("  ({n} variants do not fit the device)\n")),
+    }
+    s
+}
+
+/// The `tybec dse --stats` search-counter line. Byte-stable format, like
+/// [`render_stats_line`]; the counts themselves (other than `generated`)
+/// legitimately vary with thread interleaving.
+pub fn render_search_stats_line(s: &SearchStats) -> String {
+    format!(
+        "  search         {:>7} generated {:>6} estimated {:>6} pruned ({} bound, {} unfit) {:>5} stolen",
+        s.generated,
+        s.estimated,
+        s.pruned(),
+        s.pruned_bound,
+        s.pruned_unfit,
+        s.stolen
+    )
 }
 
 #[cfg(test)]
@@ -241,5 +280,55 @@ mod tests {
         let line = render_stats_line("sweep+tuning", &SessionStats::default());
         assert_eq!(line, "  sweep+tuning         0 hits       0 misses  hit rate    n/a");
         assert!(!line.contains("0.0%"), "untouched session must not claim a 0.0% rate: {line}");
+    }
+
+    #[test]
+    fn search_stats_line_is_byte_stable() {
+        let s = SearchStats {
+            generated: 24,
+            estimated: 10,
+            pruned_unfit: 8,
+            pruned_bound: 6,
+            stolen: 3,
+        };
+        assert_eq!(
+            render_search_stats_line(&s),
+            "  search              24 generated     10 estimated     14 pruned (6 bound, 8 unfit)     3 stolen"
+        );
+    }
+
+    #[test]
+    fn search_stats_line_with_no_pruning() {
+        let s = SearchStats { generated: 6, estimated: 6, ..SearchStats::default() };
+        assert_eq!(
+            render_search_stats_line(&s),
+            "  search               6 generated      6 estimated      0 pruned (0 bound, 0 unfit)     0 stolen"
+        );
+    }
+
+    #[test]
+    fn search_leaderboard_matches_legacy_rows_and_counts_the_unfit() {
+        use crate::search::{search, SearchConfig};
+        use crate::ExplorationConfig;
+        let sor = Sor::cubic(16, 10);
+        let dev = eval_small();
+        let space = ExplorationConfig {
+            lanes: vec![1, 2, 16],
+            vects: vec![1],
+            forms: vec![MemForm::A, MemForm::B],
+            include_seq: false,
+            workers: 1,
+        };
+        let outcome = search(&sor, &dev, &SearchConfig::pruned(space));
+        let text = render_search_leaderboard(&outcome, 10);
+        // Rows come from the same formatter as the legacy leaderboard.
+        assert_eq!(
+            text.lines().next().unwrap(),
+            render_leaderboard(&outcome.leaderboard, 10).lines().next().unwrap()
+        );
+        assert!(
+            text.contains("(2 variants do not fit the device)"),
+            "lanes 16 under both forms must be counted: {text}"
+        );
     }
 }

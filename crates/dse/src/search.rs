@@ -1,0 +1,583 @@
+//! Branch-and-bound design-space search with work stealing.
+//!
+//! [`explore()`][crate::explore::explore] materialises the whole variant
+//! cross-product and pays the full 8-pass estimate for every point.
+//! [`search()`] replaces that with the Fig-15 insight the paper builds
+//! towards: the wall terms of Eqs 1–3 (bandwidth, overheads, the
+//! clock-ceiling compute floor) plus the exact memoized resource sums
+//! are enough to *prove* most variants out of contention before any
+//! schedule or clock pass runs. The engine:
+//!
+//! * generates variants lazily ([`VariantIter`]) and deals them out in
+//!   chunks to per-worker deques, with idle workers stealing from
+//!   victims' queues (`crossbeam::deque`), so cheap (pruned) and
+//!   expensive (estimated) variants balance dynamically;
+//! * keeps a global incumbent — the K-th best valid EKIT so far — as
+//!   atomic `f64` bits ([`AtomicU64`]), and skips the full
+//!   [`EstimatorSession::estimate`] whenever the admissible
+//!   [`bound`][EstimatorSession::bound] proves a variant cannot beat it
+//!   or cannot fit the device;
+//! * breaks EKIT ties deterministically by generation index, so the
+//!   ranked leaderboard is **bit-identical** to
+//!   [`SearchMode::Exhaustive`] regardless of worker count, steal
+//!   interleaving, or how many variants were pruned (the admissibility
+//!   and determinism arguments are written out in `docs/dse-search.md`).
+//!
+//! Tracing: each bound carries a `dse.bound` span, each full estimate a
+//! `dse.variant` span, each successful steal a `dse.steal` span, all on
+//! `dse-worker-N` thread lanes.
+
+use crossbeam::deque::{Steal, Stealer, Worker};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tytra_cost::{EstimatorSession, SessionStats};
+use tytra_device::TargetDevice;
+use tytra_kernels::EvalKernel;
+use tytra_trace::metrics::Snapshot;
+use tytra_trace::{self as trace};
+use tytra_transform::{IndexedVariant, Variant, VariantIter};
+
+use crate::explore::{EvaluatedVariant, ExplorationConfig};
+
+/// Whether the search may prune on analytic bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Branch-and-bound: run the cheap bound pass first and estimate
+    /// only variants that fit and could beat the incumbent.
+    Pruned,
+    /// The escape hatch: estimate every variant (`tybec dse
+    /// --exhaustive`). Same leaderboard, byte for byte.
+    Exhaustive,
+}
+
+/// Search configuration: the space to sweep plus search-specific knobs.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// The design space and worker count (as for
+    /// [`explore()`][crate::explore::explore]).
+    pub space: ExplorationConfig,
+    /// Prune on bounds or estimate everything.
+    pub mode: SearchMode,
+    /// Leaderboard size: the search returns the top `top_k` valid
+    /// variants (the incumbent threshold is the K-th best, so larger
+    /// boards prune less).
+    pub top_k: usize,
+    /// Variants handed to a worker per generator refill.
+    pub chunk: usize,
+}
+
+impl SearchConfig {
+    /// Pruned search over `space` with the default board size.
+    pub fn pruned(space: ExplorationConfig) -> SearchConfig {
+        SearchConfig { space, mode: SearchMode::Pruned, top_k: 10, chunk: 4 }
+    }
+
+    /// Exhaustive search over `space` (the `--exhaustive` escape hatch).
+    pub fn exhaustive(space: ExplorationConfig) -> SearchConfig {
+        SearchConfig { mode: SearchMode::Exhaustive, ..SearchConfig::pruned(space) }
+    }
+}
+
+impl Default for SearchConfig {
+    fn default() -> SearchConfig {
+        SearchConfig::pruned(ExplorationConfig::default())
+    }
+}
+
+/// What the search did, not what it found: generation, pruning and
+/// stealing counters. `generated` is deterministic; the split between
+/// `estimated` and `pruned_bound` (and `stolen`) depends on thread
+/// interleaving — the *outcome* never does.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Legal variants drawn from the generator.
+    pub generated: u64,
+    /// Variants that paid the full 8-pass estimate.
+    pub estimated: u64,
+    /// Variants proven not to fit the device by the bound pass alone.
+    pub pruned_unfit: u64,
+    /// Variants whose EKIT upper bound could not beat the incumbent.
+    pub pruned_bound: u64,
+    /// Tasks taken from another worker's deque.
+    pub stolen: u64,
+}
+
+impl SearchStats {
+    /// Variants that skipped the full estimate.
+    pub fn pruned(&self) -> u64 {
+        self.pruned_unfit + self.pruned_bound
+    }
+
+    /// Fraction of generated variants that skipped the full estimate
+    /// (0 when nothing was generated).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.pruned() as f64 / self.generated as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign for SearchStats {
+    fn add_assign(&mut self, rhs: SearchStats) {
+        self.generated += rhs.generated;
+        self.estimated += rhs.estimated;
+        self.pruned_unfit += rhs.pruned_unfit;
+        self.pruned_bound += rhs.pruned_bound;
+        self.stolen += rhs.stolen;
+    }
+}
+
+/// A variant proven not to fit the device. The verdict is exact in both
+/// modes (the bound's resource pass is the estimator's resource pass),
+/// so pruned and exhaustive searches report the same set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidVariant {
+    /// Position in the legal generation order.
+    pub index: u64,
+    /// The variant.
+    pub variant: Variant,
+}
+
+/// The search result: the ranked top-K valid variants, the infeasible
+/// set, and the counters.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// Top `top_k` device-fitting variants by (EKIT desc, index asc).
+    /// Bit-identical between [`SearchMode::Pruned`] and
+    /// [`SearchMode::Exhaustive`], for any worker count.
+    pub leaderboard: Vec<EvaluatedVariant>,
+    /// Variants that do not fit the device, by generation index.
+    pub invalid: Vec<InvalidVariant>,
+    /// Search counters (pruned / estimated / stolen).
+    pub stats: SearchStats,
+    /// Summed memo statistics of every worker's estimator session.
+    pub session: SessionStats,
+    /// Merged metrics registries of every worker session.
+    pub metrics: Snapshot,
+}
+
+/// The global incumbent: the K-th best valid EKIT seen so far, readable
+/// without a lock as atomic `f64` bits. Monotone non-decreasing, so a
+/// variant pruned against any intermediate threshold is also out against
+/// the final one — the pruned leaderboard cannot depend on scheduling.
+struct Incumbent {
+    /// `f64::to_bits` of the current threshold (`NEG_INFINITY` until
+    /// `k` valid variants have been estimated — nothing prunes before
+    /// the board is full).
+    threshold_bits: AtomicU64,
+    /// The top-K `(ekit, index)` pairs, best first.
+    board: Mutex<Vec<(f64, u64)>>,
+    k: usize,
+}
+
+impl Incumbent {
+    fn new(k: usize) -> Incumbent {
+        Incumbent {
+            threshold_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            board: Mutex::new(Vec::with_capacity(k + 1)),
+            k,
+        }
+    }
+
+    fn threshold(&self) -> f64 {
+        f64::from_bits(self.threshold_bits.load(Ordering::Relaxed))
+    }
+
+    fn record(&self, ekit: f64, index: u64) {
+        let mut board = self.board.lock().unwrap_or_else(|e| e.into_inner());
+        // Board order is (ekit descending, index ascending); the probe
+        // compares a board entry against the new result in that order.
+        let pos = board
+            .binary_search_by(|(e, i)| e.total_cmp(&ekit).reverse().then_with(|| i.cmp(&index)))
+            .unwrap_or_else(|p| p);
+        board.insert(pos, (ekit, index));
+        board.truncate(self.k);
+        if board.len() == self.k {
+            if let Some(&(kth, _)) = board.last() {
+                self.threshold_bits.store(kth.to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The shared lazy generator: workers refill their deques from it in
+/// chunks under one short-lived lock.
+struct Dispenser {
+    gen: Mutex<VariantIter>,
+}
+
+impl Dispenser {
+    fn refill(&self, n: usize) -> Vec<IndexedVariant> {
+        let mut gen = self.gen.lock().unwrap_or_else(|e| e.into_inner());
+        gen.by_ref().take(n.max(1)).collect()
+    }
+}
+
+/// One worker's accumulator.
+#[derive(Default)]
+struct WorkerOut {
+    valid: Vec<(u64, EvaluatedVariant)>,
+    invalid: Vec<InvalidVariant>,
+    stats: SearchStats,
+}
+
+/// Bound (in pruned mode) and, if the variant survives, estimate one
+/// design point.
+fn process_item(
+    kernel: &dyn EvalKernel,
+    item: IndexedVariant,
+    mode: SearchMode,
+    incumbent: &Incumbent,
+    session: &mut EstimatorSession,
+    out: &mut WorkerOut,
+    worker: usize,
+) {
+    // Lowering fails only for illegal reshapes, which the generator
+    // already filtered.
+    let Ok(module) = kernel.lower_variant(&item.variant) else { return };
+
+    if mode == SearchMode::Pruned {
+        let verdict = {
+            let _sp = trace::enabled().then(|| {
+                trace::span("dse.bound")
+                    .with("variant", item.variant.tag())
+                    .with("worker", worker as u64)
+            });
+            session.bound(&module)
+        };
+        let Ok(bound) = verdict else { return };
+        if !bound.fits {
+            out.stats.pruned_unfit += 1;
+            out.invalid.push(InvalidVariant { index: item.index, variant: item.variant });
+            return;
+        }
+        if !bound.can_beat(incumbent.threshold()) {
+            out.stats.pruned_bound += 1;
+            return;
+        }
+    }
+
+    let _sp = trace::enabled().then(|| {
+        trace::span("dse.variant").with("variant", item.variant.tag()).with("worker", worker as u64)
+    });
+    let Ok(report) = session.estimate(&module) else { return };
+    out.stats.estimated += 1;
+    if report.fits {
+        incumbent.record(report.throughput.ekit, item.index);
+        out.valid
+            .push((item.index, EvaluatedVariant { variant: item.variant, report, reconfig: None }));
+    } else {
+        // Exhaustive mode discovers infeasibility the expensive way; the
+        // verdict is the same fits_within the bound pass evaluates.
+        out.invalid.push(InvalidVariant { index: item.index, variant: item.variant });
+    }
+}
+
+/// One worker's run loop: drain the own deque, refill from the
+/// generator, then steal; exit when all three come up empty.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    kernel: &dyn EvalKernel,
+    dev: &TargetDevice,
+    cfg: &SearchConfig,
+    dispenser: &Dispenser,
+    incumbent: &Incumbent,
+    queue: &Worker<IndexedVariant>,
+    stealers: &[Stealer<IndexedVariant>],
+    w: usize,
+) -> (WorkerOut, SessionStats, Snapshot) {
+    if trace::enabled() {
+        trace::set_thread_label(&format!("dse-worker-{w}"));
+    }
+    let mut session = EstimatorSession::new(dev.clone());
+    let mut out = WorkerOut::default();
+    loop {
+        if let Some(item) = queue.pop() {
+            process_item(kernel, item, cfg.mode, incumbent, &mut session, &mut out, w);
+            continue;
+        }
+        let chunk = dispenser.refill(cfg.chunk);
+        if !chunk.is_empty() {
+            out.stats.generated += chunk.len() as u64;
+            let mut items = chunk.into_iter();
+            let first = items.next().expect("non-empty chunk");
+            for item in items {
+                queue.push(item);
+            }
+            process_item(kernel, first, cfg.mode, incumbent, &mut session, &mut out, w);
+            continue;
+        }
+        // Generator dry: steal up to half a victim's queue (the steal
+        // never takes a queue's last task — see `crossbeam::deque` —
+        // so every seeded worker keeps one to run itself). Missing a
+        // victim that empties concurrently is safe — every task lives
+        // in exactly one deque (or one worker's hands) at a time, so
+        // nothing is lost; this worker merely retires early.
+        let stolen = (1..stealers.len()).find_map(|offset| {
+            let v = (w + offset) % stealers.len();
+            match stealers[v].steal_batch_and_pop(queue) {
+                Steal::Success(item) => Some((v, item)),
+                Steal::Empty | Steal::Retry => None,
+            }
+        });
+        match stolen {
+            Some((victim, item)) => {
+                out.stats.stolen += 1;
+                let _sp = trace::enabled().then(|| {
+                    trace::span("dse.steal").with("worker", w as u64).with("victim", victim as u64)
+                });
+                drop(_sp);
+                process_item(kernel, item, cfg.mode, incumbent, &mut session, &mut out, w);
+            }
+            None => break,
+        }
+    }
+    (out, session.stats(), session.metrics_snapshot())
+}
+
+/// Branch-and-bound search over the design space of `kernel` on `dev`.
+///
+/// Returns the top-K valid variants ranked by (EKIT descending,
+/// generation index ascending) and the exact set of variants that do not
+/// fit the device. The leaderboard and invalid set are bit-identical
+/// across [`SearchMode`]s and worker counts; only [`SearchStats`] and
+/// wall-time differ.
+pub fn search(kernel: &dyn EvalKernel, dev: &TargetDevice, cfg: &SearchConfig) -> SearchOutcome {
+    let ngs = kernel.geometry().size();
+    let sp = &cfg.space;
+    let gen = VariantIter::new(ngs, &sp.lanes, &sp.vects, &sp.forms, sp.include_seq);
+    let space_cap = gen.space_size();
+
+    let requested = if sp.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        sp.workers
+    };
+    // The lazy space's legal size is unknown up front; clamp on the
+    // cross-product cap. An empty space short-circuits to the serial
+    // path, which spawns no threads at all.
+    let workers = requested.clamp(1, space_cap.max(1) as usize);
+
+    let incumbent = Incumbent::new(cfg.top_k.max(1));
+    let dispenser = Dispenser { gen: Mutex::new(gen) };
+
+    // Prove the filtered space non-empty before spawning anything: a
+    // space whose every candidate is an illegal reshape short-circuits
+    // to an empty outcome with no worker threads and no sessions.
+    let first_chunk = dispenser.refill(cfg.chunk);
+    if first_chunk.is_empty() {
+        return SearchOutcome {
+            leaderboard: Vec::new(),
+            invalid: Vec::new(),
+            stats: SearchStats::default(),
+            session: SessionStats::default(),
+            metrics: Snapshot::new(),
+        };
+    }
+    let mut preloaded = first_chunk.len() as u64;
+
+    let mut merged = WorkerOut::default();
+    let mut session_stats = SessionStats::default();
+    let mut metrics = Snapshot::new();
+    if workers == 1 {
+        let queue = Worker::new_fifo();
+        for item in first_chunk {
+            queue.push(item);
+        }
+        let (out, stats, snap) =
+            worker_loop(kernel, dev, cfg, &dispenser, &incumbent, &queue, &[], 0);
+        merged = out;
+        session_stats = stats;
+        metrics = snap;
+    } else {
+        // Seed every worker's deque with a chunk *before* spawning.
+        // Thread start latency is comparable to a whole small sweep, so
+        // distributing work by timing (first thread up wins the
+        // dispenser) can collapse onto one thread; distributing it by
+        // placement cannot. Combined with steals never taking a queue's
+        // last task, every seeded worker is guaranteed to process at
+        // least one variant on its own thread — which is also what keeps
+        // the `dse.variant` trace genuinely multi-lane.
+        let queues: Vec<Worker<IndexedVariant>> =
+            (0..workers).map(|_| Worker::new_fifo()).collect();
+        for item in first_chunk {
+            queues[0].push(item);
+        }
+        for queue in &queues[1..] {
+            let chunk = dispenser.refill(cfg.chunk);
+            preloaded += chunk.len() as u64;
+            for item in chunk {
+                queue.push(item);
+            }
+        }
+        let stealers: Vec<Stealer<IndexedVariant>> = queues.iter().map(Worker::stealer).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queues
+                .iter()
+                .enumerate()
+                .map(|(w, queue)| {
+                    let (dispenser, incumbent, stealers) = (&dispenser, &incumbent, &stealers[..]);
+                    scope.spawn(move || {
+                        worker_loop(kernel, dev, cfg, dispenser, incumbent, queue, stealers, w)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (out, stats, snap) = h.join().expect("search worker panicked");
+                merged.valid.extend(out.valid);
+                merged.invalid.extend(out.invalid);
+                merged.stats += out.stats;
+                session_stats += stats;
+                metrics.merge(&snap);
+            }
+        });
+    }
+
+    // The seed chunks were drawn outside any worker loop.
+    merged.stats.generated += preloaded;
+
+    // Deterministic ranking: EKIT descending, generation index ascending
+    // — never by which worker finished first.
+    merged.valid.sort_by(|(ia, a), (ib, b)| {
+        b.report.throughput.ekit.total_cmp(&a.report.throughput.ekit).then_with(|| ia.cmp(ib))
+    });
+    merged.valid.truncate(cfg.top_k);
+    merged.invalid.sort_by_key(|iv| iv.index);
+
+    SearchOutcome {
+        leaderboard: merged.valid.into_iter().map(|(_, e)| e).collect(),
+        invalid: merged.invalid,
+        stats: merged.stats,
+        session: session_stats,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_device::{eval_small, stratix_v_gsd8};
+    use tytra_ir::MemForm;
+    use tytra_kernels::Sor;
+
+    fn space() -> ExplorationConfig {
+        ExplorationConfig {
+            lanes: vec![1, 2, 4, 8, 16, 32],
+            vects: vec![1, 2],
+            forms: vec![MemForm::A, MemForm::B],
+            include_seq: false,
+            workers: 2,
+        }
+    }
+
+    fn fingerprint(o: &SearchOutcome) -> (Vec<(String, u64)>, Vec<String>) {
+        (
+            o.leaderboard
+                .iter()
+                .map(|e| (e.variant.tag(), e.report.throughput.ekit.to_bits()))
+                .collect(),
+            o.invalid.iter().map(|iv| iv.variant.tag()).collect(),
+        )
+    }
+
+    #[test]
+    fn pruned_equals_exhaustive_on_eval_small() {
+        let sor = Sor::cubic(16, 10);
+        let dev = eval_small();
+        let pruned = search(&sor, &dev, &SearchConfig::pruned(space()));
+        let exhaustive = search(&sor, &dev, &SearchConfig::exhaustive(space()));
+        assert_eq!(fingerprint(&pruned), fingerprint(&exhaustive));
+        assert_eq!(exhaustive.stats.estimated, exhaustive.stats.generated);
+        assert!(
+            pruned.stats.pruned() > 0,
+            "lanes 16/32 cannot fit eval-small, so the bound must prune: {:?}",
+            pruned.stats
+        );
+        assert!(pruned.stats.estimated < exhaustive.stats.estimated);
+    }
+
+    #[test]
+    fn leaderboard_is_worker_count_invariant() {
+        let sor = Sor::cubic(16, 10);
+        let dev = eval_small();
+        let runs: Vec<_> = [1usize, 2, 4, 7]
+            .iter()
+            .map(|&w| {
+                let cfg = SearchConfig::pruned(ExplorationConfig { workers: w, ..space() });
+                fingerprint(&search(&sor, &dev, &cfg))
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(&runs[0], r);
+        }
+    }
+
+    #[test]
+    fn matches_explore_ranking_on_valid_variants() {
+        // The search leaderboard must agree with the legacy engine's
+        // ranking of device-fitting variants (bit-equal EKITs).
+        let sor = Sor::cubic(16, 10);
+        let dev = stratix_v_gsd8();
+        let outcome = search(&sor, &dev, &SearchConfig::exhaustive(space()));
+        let legacy = crate::explore::explore(&sor, &dev, &space());
+        let legacy_valid: Vec<(String, u64)> = legacy
+            .iter()
+            .filter(|e| e.is_valid())
+            .take(outcome.leaderboard.len())
+            .map(|e| (e.variant.tag(), e.report.throughput.ekit.to_bits()))
+            .collect();
+        let ours: Vec<(String, u64)> = outcome
+            .leaderboard
+            .iter()
+            .map(|e| (e.variant.tag(), e.report.throughput.ekit.to_bits()))
+            .collect();
+        assert_eq!(ours, legacy_valid);
+    }
+
+    #[test]
+    fn empty_space_returns_an_empty_outcome_without_workers() {
+        let sor = Sor::cubic(16, 10); // 4096 items: 3 never divides
+        let dev = eval_small();
+        let cfg =
+            SearchConfig::pruned(ExplorationConfig { lanes: vec![3], vects: vec![3], ..space() });
+        let o = search(&sor, &dev, &cfg);
+        assert!(o.leaderboard.is_empty());
+        assert!(o.invalid.is_empty());
+        assert_eq!(o.stats, SearchStats::default());
+        assert_eq!(o.session.lookups(), 0, "no estimator work for an empty space");
+    }
+
+    #[test]
+    fn incumbent_threshold_is_the_kth_best() {
+        let inc = Incumbent::new(2);
+        assert_eq!(inc.threshold(), f64::NEG_INFINITY);
+        inc.record(5.0, 0);
+        assert_eq!(inc.threshold(), f64::NEG_INFINITY, "board not full yet");
+        inc.record(3.0, 1);
+        assert_eq!(inc.threshold(), 3.0);
+        inc.record(4.0, 2);
+        assert_eq!(inc.threshold(), 4.0, "4.0 displaces 3.0 as 2nd best");
+        inc.record(1.0, 3);
+        assert_eq!(inc.threshold(), 4.0, "worse results never lower the bar");
+    }
+
+    #[test]
+    fn stats_arithmetic() {
+        let s = SearchStats {
+            generated: 24,
+            estimated: 10,
+            pruned_unfit: 8,
+            pruned_bound: 6,
+            stolen: 3,
+        };
+        assert_eq!(s.pruned(), 14);
+        assert!((s.pruned_fraction() - 14.0 / 24.0).abs() < 1e-12);
+        assert_eq!(SearchStats::default().pruned_fraction(), 0.0);
+        let mut t = s;
+        t += s;
+        assert_eq!(t.generated, 48);
+        assert_eq!(t.stolen, 6);
+    }
+}

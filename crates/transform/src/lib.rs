@@ -18,6 +18,8 @@
 //! * [`typetrans`] — variant generation: the decorated-map combinations
 //!   (`par`/`pipe`/`seq`), lane counts, vectorization degrees and
 //!   memory-execution forms that span the paper's design space (Fig 5);
+//! * [`variant_iter`] — the same sequence generated lazily, with dense
+//!   indices, for the branch-and-bound DSE search;
 //! * [`lower()`][lower::lower] — lowering a kernel + variant to a TyTra-IR module (the
 //!   Fig 12 / Fig 14 shapes);
 //! * [`proofs`] — executable statements of the transformation laws
@@ -31,10 +33,12 @@ pub mod expr;
 pub mod lower;
 pub mod proofs;
 pub mod typetrans;
+pub mod variant_iter;
 pub mod vect;
 
 pub use cexpr::parse_expr;
 pub use expr::{Expr, KernelDef, Reduction};
 pub use lower::lower;
 pub use typetrans::{enumerate_variants, InnerKind, Variant};
+pub use variant_iter::{IndexedVariant, VariantIter};
 pub use vect::{Shape, Vect};
