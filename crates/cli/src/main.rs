@@ -28,6 +28,7 @@ use tytra_codegen::{check, emit_design, emit_maxj_wrapper};
 use tytra_cost::{estimate, EstimatorSession};
 use tytra_device::TargetDevice;
 use tytra_dse::{lane_sweep_session, search, tune_session, ExplorationConfig, SearchConfig};
+use tytra_ir::{ErrorCategory, IrError, TybecError};
 use tytra_kernels::{EvalKernel, Hotspot, LavaMd, Sor};
 use tytra_sim::{run_application, synthesize};
 use tytra_trace::sink;
@@ -49,10 +50,68 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("tybec: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("tybec: {e}");
+            e.exit_code()
         }
+    }
+}
+
+/// What a failed `tybec` invocation exits with.
+///
+/// Usage mistakes (bad flags, unknown commands) and lint policy
+/// failures keep the traditional exit 1; structured pipeline failures
+/// exit with their [`ErrorCategory`]'s code (parse 2, validate 3,
+/// config 4, estimate 5, sim 6, search 7, io 8, internal 10), so
+/// scripts can tell "your input is broken" from "the tool is broken"
+/// without scraping stderr.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation or a lint policy failure: generic exit 1.
+    Usage(String),
+    /// A categorized pipeline error.
+    Tybec(TybecError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Usage(_) => ExitCode::FAILURE,
+            CliError::Tybec(e) => ExitCode::from(e.category.exit_code()),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => f.write_str(m),
+            CliError::Tybec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Usage(m.to_string())
+    }
+}
+
+impl From<TybecError> for CliError {
+    fn from(e: TybecError) -> CliError {
+        CliError::Tybec(e)
+    }
+}
+
+impl From<IrError> for CliError {
+    fn from(e: IrError) -> CliError {
+        CliError::Tybec(e.into())
     }
 }
 
@@ -117,10 +176,10 @@ fn write_trace(path: &str, format: TraceFormat) -> Result<(), String> {
     Ok(())
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let (args, trace_out) = split_trace_flags(args)?;
     let Some(cmd) = args.first() else {
-        return Err(USAGE.to_string());
+        return Err(USAGE.to_string().into());
     };
     if trace_out.is_some() {
         tytra_trace::set_enabled(true);
@@ -143,14 +202,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("{USAGE}");
                 Ok(())
             }
-            other => Err(format!("unknown command `{other}`\n{USAGE}")),
+            other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
         }
     };
     if let Some((path, format)) = &trace_out {
         // Write the trace even when the command failed — a trace of a
         // failing run is exactly what you want to look at — but let the
         // command's own error win the exit status.
-        let wrote = write_trace(path, *format);
+        let wrote = write_trace(path, *format).map_err(CliError::from);
         result.and(wrote)
     } else {
         result
@@ -174,26 +233,35 @@ fn target_of(args: &[String]) -> Result<TargetDevice, String> {
     }
 }
 
-fn load_module(args: &[String]) -> Result<tytra_ir::IrModule, String> {
+fn load_module(args: &[String]) -> Result<tytra_ir::IrModule, CliError> {
     let path = args
         .iter()
         .find(|a| !a.starts_with("--") && a.ends_with(".tirl"))
         .ok_or("expected a .tirl input file")?;
-    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    tytra_ir::parse(&src).map_err(|e| format!("{path}: {e}"))
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| TybecError::new(ErrorCategory::Io, format!("reading {path}: {e}")))?;
+    tytra_ir::parse(&src).map_err(|e| {
+        let mut t = TybecError::from(e);
+        t.message = format!("{path}: {}", t.message);
+        CliError::Tybec(t)
+    })
 }
 
 /// `tybec lint`: parse *without* validating, then run validation and the
 /// six `tirlint` passes through one diagnostic sink. Exit policy: any
 /// error-severity diagnostic fails; warnings fail only under
 /// `--deny-warnings`.
-fn cmd_lint(args: &[String]) -> Result<(), String> {
+fn cmd_lint(args: &[String]) -> Result<(), CliError> {
     let path = args
         .iter()
         .find(|a| !a.starts_with("--") && a.ends_with(".tirl"))
         .ok_or("expected a .tirl input file")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let m = tytra_ir::parse_unvalidated(&src).map_err(|e| format!("{path}: {e}"))?;
+    let m = tytra_ir::parse_unvalidated(&src).map_err(|e| {
+        let mut t = TybecError::from(e);
+        t.message = format!("{path}: {}", t.message);
+        CliError::Tybec(t)
+    })?;
     let dev = target_of(args)?;
     let report = tytra_lint::lint(&m, &dev);
     if has_flag(args, "--json") {
@@ -204,28 +272,28 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     let errors = report.errors();
     let warnings = report.warnings();
     if errors > 0 {
-        return Err(format!("{path}: {errors} lint error(s)"));
+        return Err(format!("{path}: {errors} lint error(s)").into());
     }
     if has_flag(args, "--deny-warnings") && warnings > 0 {
-        return Err(format!("{path}: {warnings} warning(s) denied by --deny-warnings"));
+        return Err(format!("{path}: {warnings} warning(s) denied by --deny-warnings").into());
     }
     Ok(())
 }
 
-fn cmd_cost(args: &[String]) -> Result<(), String> {
+fn cmd_cost(args: &[String]) -> Result<(), CliError> {
     let m = load_module(args)?;
     let dev = target_of(args)?;
-    let report = estimate(&m, &dev).map_err(|e| e.to_string())?;
+    let report = estimate(&m, &dev)?;
     print!("{report}");
     Ok(())
 }
 
-fn cmd_actual(args: &[String]) -> Result<(), String> {
+fn cmd_actual(args: &[String]) -> Result<(), CliError> {
     let m = load_module(args)?;
     let dev = target_of(args)?;
-    let est = estimate(&m, &dev).map_err(|e| e.to_string())?;
-    let synth = synthesize(&m, &dev).map_err(|e| e.to_string())?;
-    let run = run_application(&m, &dev).map_err(|e| e.to_string())?;
+    let est = estimate(&m, &dev)?;
+    let synth = synthesize(&m, &dev)?;
+    let run = run_application(&m, &dev)?;
     println!("estimated: {}", est.resources.total);
     println!("actual   : {}", synth.resources);
     let err = est.resources.total.pct_error_vs(&synth.resources);
@@ -250,10 +318,10 @@ fn cmd_actual(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_hdl(args: &[String]) -> Result<(), String> {
+fn cmd_hdl(args: &[String]) -> Result<(), CliError> {
     let m = load_module(args)?;
     let dev = target_of(args)?;
-    let hdl = emit_design(&m, &dev).map_err(|e| e.to_string())?;
+    let hdl = emit_design(&m, &dev)?;
     if has_flag(args, "--check") {
         check(&hdl)
             .map_err(|errs| errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n"))?;
@@ -272,9 +340,9 @@ fn cmd_hdl(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_tree(args: &[String]) -> Result<(), String> {
+fn cmd_tree(args: &[String]) -> Result<(), CliError> {
     let m = load_module(args)?;
-    let tree = tytra_ir::config_tree::extract(&m).map_err(|e| e.to_string())?;
+    let tree = tytra_ir::config_tree::extract(&m)?;
     println!("class: {:?}, lanes: {}", tree.class, tree.lanes);
     print!("{}", tree.root.outline());
     Ok(())
@@ -299,20 +367,20 @@ fn lanes_flag(args: &[String]) -> Result<Vec<u64>, String> {
     }
 }
 
-fn cmd_roofline(args: &[String]) -> Result<(), String> {
+fn cmd_roofline(args: &[String]) -> Result<(), CliError> {
     let kernel = kernel_by_name(args)?;
     let dev = target_of(args)?;
     let mut points = Vec::new();
     for lanes in lanes_flag(args)? {
         let v = Variant { lanes, ..Variant::baseline() };
         let Ok(m) = kernel.lower_variant(&v) else { continue };
-        points.push(tytra_dse::roofline::roofline(&m, &dev).map_err(|e| e.to_string())?);
+        points.push(tytra_dse::roofline::roofline(&m, &dev)?);
     }
     print!("{}", tytra_dse::roofline::render(&points));
     Ok(())
 }
 
-fn cmd_exec(args: &[String]) -> Result<(), String> {
+fn cmd_exec(args: &[String]) -> Result<(), CliError> {
     use tytra_sim::{execute_module, ExecInputs};
     let m = load_module(args)?;
     let items: usize = match flag_value(args, "--items") {
@@ -325,7 +393,7 @@ fn cmd_exec(args: &[String]) -> Result<(), String> {
     };
     // Seed every input port of the lane function with a deterministic
     // pseudo-random array (splitmix-style mix over the index).
-    let tree = tytra_ir::config_tree::extract(&m).map_err(|e| e.to_string())?;
+    let tree = tytra_ir::config_tree::extract(&m)?;
     let mut node = &tree.root;
     while node.kind == tytra_ir::ParKind::Par {
         node = node.children.first().ok_or("empty par")?;
@@ -342,7 +410,7 @@ fn cmd_exec(args: &[String]) -> Result<(), String> {
             .collect();
         inputs.set(p.name.clone(), data);
     }
-    let out = execute_module(&m, &inputs, items).map_err(|e| e.to_string())?;
+    let out = execute_module(&m, &inputs, items)?;
     println!("executed {items} work-items of `{}`", m.name);
     let mut names: Vec<&String> = out.arrays.keys().collect();
     names.sort();
@@ -360,7 +428,7 @@ fn cmd_exec(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_dse(args: &[String]) -> Result<(), String> {
+fn cmd_dse(args: &[String]) -> Result<(), CliError> {
     let kernel = kernel_by_name(args)?;
     let dev = target_of(args)?;
     let lanes = lanes_flag(args)?;

@@ -124,6 +124,39 @@ fn parse_errors_carry_positions() {
 }
 
 #[test]
+fn exit_codes_distinguish_error_categories() {
+    let dir = std::env::temp_dir().join("tytra_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Usage mistakes keep the traditional exit 1.
+    assert_eq!(tybec(&["frobnicate"]).status.code(), Some(1));
+    assert_eq!(tybec(&["dse", "fft"]).status.code(), Some(1));
+
+    // Parse errors exit 2.
+    let bad = dir.join("exit_parse.tirl");
+    std::fs::write(&bad, "define void @f0(ui18 %p) pipe {\n ui18 %x = frob ui18 %p, %p\n}\n")
+        .unwrap();
+    assert_eq!(tybec(&["cost", bad.to_str().unwrap()]).status.code(), Some(2));
+    std::fs::remove_file(&bad).ok();
+
+    // Validation errors exit 3 (parses, but declares a duplicate name).
+    let invalid = dir.join("exit_validate.tirl");
+    std::fs::write(
+        &invalid,
+        "!module = !\"dup\"\n!ndrange = !{8}\n!nki = !1\n!form = !\"B\"\n\
+         %mem_p = memobj addrSpace(1) ui18, !size, !8\n\
+         %mem_p = memobj addrSpace(1) ui18, !size, !8\n",
+    )
+    .unwrap();
+    let o = tybec(&["cost", invalid.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(3), "{}", stderr(&o));
+    std::fs::remove_file(&invalid).ok();
+
+    // Filesystem errors exit 8.
+    assert_eq!(tybec(&["cost", "assets/ghost.tirl"]).status.code(), Some(8));
+}
+
+#[test]
 fn dse_runs_a_small_sweep() {
     let o = tybec(&["dse", "sor", "--target", "eval-small", "--lanes", "1,2,4"]);
     assert!(o.status.success(), "{}", stderr(&o));
@@ -235,6 +268,10 @@ fn dse_stats_shows_pruning_counters() {
         .find(|l| l.trim_start().starts_with("search"))
         .unwrap_or_else(|| panic!("no search stats line:\n{ex_out}"));
     assert!(ex_line.contains(" 0 pruned"), "exhaustive mode must not prune: {ex_line}");
+    // The faulted column is byte-stable and reads 0 on a healthy sweep,
+    // in both modes.
+    assert!(line.ends_with("    0 faulted"), "pruned line: {line}");
+    assert!(ex_line.ends_with("    0 faulted"), "exhaustive line: {ex_line}");
 }
 
 #[test]

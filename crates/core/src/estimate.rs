@@ -12,13 +12,13 @@
 use crate::report::CostReport;
 use crate::session::EstimatorSession;
 use tytra_device::TargetDevice;
-use tytra_ir::{IrError, IrModule};
+use tytra_ir::{IrModule, TybecError};
 
 /// Run the full cost model over a validated design variant.
 ///
 /// The module is re-validated defensively (the estimator walks the call
 /// tree and trusts SSA discipline).
-pub fn estimate(m: &IrModule, dev: &TargetDevice) -> Result<CostReport, IrError> {
+pub fn estimate(m: &IrModule, dev: &TargetDevice) -> Result<CostReport, TybecError> {
     estimate_with(m, dev, &crate::CostOptions::default())
 }
 
@@ -28,7 +28,7 @@ pub fn estimate_with(
     m: &IrModule,
     dev: &TargetDevice,
     opts: &crate::CostOptions,
-) -> Result<CostReport, IrError> {
+) -> Result<CostReport, TybecError> {
     EstimatorSession::with_options(dev.clone(), *opts).estimate(m)
 }
 

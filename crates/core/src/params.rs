@@ -20,7 +20,7 @@
 
 use crate::schedule::{self, PipelineSchedule};
 use tytra_device::TargetDevice;
-use tytra_ir::{config_tree, ConfigTree, IrError, IrModule, MemForm};
+use tytra_ir::{config_tree, ConfigTree, IrModule, MemForm, TybecError};
 
 /// All design-and-program-dependent parameters of the throughput model.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,7 +56,10 @@ pub struct CostParams {
 impl CostParams {
     /// Extract every parameter from the module against a target.
     /// Also returns the extracted configuration tree for reuse.
-    pub fn extract(m: &IrModule, dev: &TargetDevice) -> Result<(CostParams, ConfigTree), IrError> {
+    pub fn extract(
+        m: &IrModule,
+        dev: &TargetDevice,
+    ) -> Result<(CostParams, ConfigTree), TybecError> {
         let tree = config_tree::extract(m)?;
         let sched = schedule::schedule(m, dev, &tree.root)?;
         Ok((CostParams::from_parts(m, &tree, sched), tree))

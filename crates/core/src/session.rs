@@ -51,7 +51,7 @@ use std::collections::{HashMap, HashSet};
 use tytra_device::{CurveCache, TargetDevice};
 use tytra_ir::{
     config_tree, fingerprint_function, fingerprint_module, fingerprint_streams,
-    fingerprint_subtree, validate, ConfigNode, IrError, IrModule, StableHasher,
+    fingerprint_subtree, validate, ConfigNode, IrError, IrModule, StableHasher, TybecError,
 };
 use tytra_trace as trace;
 use tytra_trace::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
@@ -237,7 +237,7 @@ impl EstimatorSession {
     /// only observe. Each pass opens an `estimator.*` span carrying its
     /// memo fingerprint and hit/miss verdict (see
     /// `docs/observability.md`).
-    pub fn estimate(&mut self, m: &IrModule) -> Result<CostReport, IrError> {
+    pub fn estimate(&mut self, m: &IrModule) -> Result<CostReport, TybecError> {
         let t0 = std::time::Instant::now();
         let _root = trace::span("estimator.estimate").with("module", m.name.as_str());
 
@@ -334,7 +334,7 @@ impl EstimatorSession {
     /// a bound followed by an estimate of the same variant replays the
     /// resource and bandwidth sub-results, and vice versa, so
     /// interleaving bounds never perturbs estimate results.
-    pub fn bound(&mut self, m: &IrModule) -> Result<CostBound, IrError> {
+    pub fn bound(&mut self, m: &IrModule) -> Result<CostBound, TybecError> {
         let _root = trace::span("estimator.bound").with("module", m.name.as_str());
         self.validate_pass(m)?;
         let tree = config_tree::extract(m)?;

@@ -6,6 +6,8 @@
 //! result set (after the final sort) is deterministic regardless of
 //! worker count.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use tytra_cost::{reconfig_plan, CostReport, EstimatorSession, ReconfigPlan, SessionStats};
 use tytra_device::TargetDevice;
 use tytra_ir::MemForm;
@@ -137,10 +139,23 @@ pub fn explore_with_metrics(
                                 .with("worker", w as u64)
                         });
                         // Lowering can fail only for illegal variants,
-                        // which enumerate_variants already filtered;
-                        // costing is infallible on lowered modules.
+                        // which enumerate_variants already filtered.
                         let Ok(module) = kernel.lower_variant(variant) else { continue };
-                        let Ok(report) = session.estimate(&module) else { continue };
+                        // A faulting estimate (error or panic) skips the
+                        // variant instead of killing the worker — one
+                        // degenerate point must not abort the sweep.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| session.estimate(&module)));
+                        let report = match outcome {
+                            Ok(Ok(report)) => report,
+                            Ok(Err(_)) | Err(_) => {
+                                if trace::enabled() {
+                                    let _f = trace::span("dse.fault")
+                                        .with("variant", variant.tag())
+                                        .with("worker", w as u64);
+                                }
+                                continue;
+                            }
+                        };
                         let reconfig = reconfig_plan(&report, dev);
                         found.push(EvaluatedVariant { variant: *variant, report, reconfig });
                     }

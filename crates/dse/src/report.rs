@@ -191,13 +191,14 @@ pub fn render_search_leaderboard(outcome: &SearchOutcome, top: usize) -> String 
 /// legitimately vary with thread interleaving.
 pub fn render_search_stats_line(s: &SearchStats) -> String {
     format!(
-        "  search         {:>7} generated {:>6} estimated {:>6} pruned ({} bound, {} unfit) {:>5} stolen",
+        "  search         {:>7} generated {:>6} estimated {:>6} pruned ({} bound, {} unfit) {:>5} stolen {:>4} faulted",
         s.generated,
         s.estimated,
         s.pruned(),
         s.pruned_bound,
         s.pruned_unfit,
-        s.stolen
+        s.stolen,
+        s.faulted
     )
 }
 
@@ -290,11 +291,14 @@ mod tests {
             pruned_unfit: 8,
             pruned_bound: 6,
             stolen: 3,
+            faulted: 0,
         };
         assert_eq!(
             render_search_stats_line(&s),
-            "  search              24 generated     10 estimated     14 pruned (6 bound, 8 unfit)     3 stolen"
+            "  search              24 generated     10 estimated     14 pruned (6 bound, 8 unfit)     3 stolen    0 faulted"
         );
+        let faulty = SearchStats { faulted: 2, ..s };
+        assert!(render_search_stats_line(&faulty).ends_with("    2 faulted"));
     }
 
     #[test]
@@ -302,7 +306,7 @@ mod tests {
         let s = SearchStats { generated: 6, estimated: 6, ..SearchStats::default() };
         assert_eq!(
             render_search_stats_line(&s),
-            "  search               6 generated      6 estimated      0 pruned (0 bound, 0 unfit)     0 stolen"
+            "  search               6 generated      6 estimated      0 pruned (0 bound, 0 unfit)     0 stolen    0 faulted"
         );
     }
 

@@ -10,7 +10,7 @@
 
 use tytra_cost::{estimate, CostReport};
 use tytra_device::TargetDevice;
-use tytra_ir::{IrError, IrModule};
+use tytra_ir::{IrModule, TybecError};
 
 /// A design variant's roofline placement. "Performance" is work-items
 /// per second (each work-item is `NI` operations, so multiply by NI for
@@ -61,7 +61,7 @@ impl RooflinePoint {
 }
 
 /// Place a module on the roofline of a target.
-pub fn roofline(m: &IrModule, dev: &TargetDevice) -> Result<RooflinePoint, IrError> {
+pub fn roofline(m: &IrModule, dev: &TargetDevice) -> Result<RooflinePoint, TybecError> {
     Ok(RooflinePoint::from_report(&estimate(m, dev)?))
 }
 

@@ -28,6 +28,7 @@
 //! `dse-worker-N` thread lanes.
 
 use crossbeam::deque::{Steal, Stealer, Worker};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use tytra_cost::{EstimatorSession, SessionStats};
@@ -64,12 +65,16 @@ pub struct SearchConfig {
     pub top_k: usize,
     /// Variants handed to a worker per generator refill.
     pub chunk: usize,
+    /// Test/fuzz hook: a predicate selecting variants whose estimate
+    /// must fault (the worker panics inside its catch region). `None` in
+    /// production. A plain `fn` pointer keeps the config `Debug + Clone`.
+    pub fault_inject: Option<fn(&Variant) -> bool>,
 }
 
 impl SearchConfig {
     /// Pruned search over `space` with the default board size.
     pub fn pruned(space: ExplorationConfig) -> SearchConfig {
-        SearchConfig { space, mode: SearchMode::Pruned, top_k: 10, chunk: 4 }
+        SearchConfig { space, mode: SearchMode::Pruned, top_k: 10, chunk: 4, fault_inject: None }
     }
 
     /// Exhaustive search over `space` (the `--exhaustive` escape hatch).
@@ -100,6 +105,10 @@ pub struct SearchStats {
     pub pruned_bound: u64,
     /// Tasks taken from another worker's deque.
     pub stolen: u64,
+    /// Variants whose bound or estimate faulted (error or caught
+    /// panic). Faulted variants are skipped, never aborting the sweep;
+    /// the leaderboard over the healthy variants is unaffected.
+    pub faulted: u64,
 }
 
 impl SearchStats {
@@ -126,6 +135,7 @@ impl std::ops::AddAssign for SearchStats {
         self.pruned_unfit += rhs.pruned_unfit;
         self.pruned_bound += rhs.pruned_bound;
         self.stolen += rhs.stolen;
+        self.faulted += rhs.faulted;
     }
 }
 
@@ -223,12 +233,43 @@ struct WorkerOut {
     stats: SearchStats,
 }
 
+/// Human-readable description of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Record one faulted variant: counted, traced as a `dse.fault` span,
+/// and otherwise skipped — the sweep continues.
+fn record_fault(out: &mut WorkerOut, item: &IndexedVariant, worker: usize, why: &str) {
+    out.stats.faulted += 1;
+    if trace::enabled() {
+        let _sp = trace::span("dse.fault")
+            .with("variant", item.variant.tag())
+            .with("worker", worker as u64)
+            .with("why", why.to_string());
+    }
+}
+
 /// Bound (in pruned mode) and, if the variant survives, estimate one
 /// design point.
+///
+/// Both the bound and the estimate run inside `catch_unwind`, so one
+/// faulting variant (an `Err` *or* a panic deep in a pass) is skipped
+/// and counted instead of tearing down the worker — and with it the
+/// whole sweep. The session is treated as unwind-safe: its memo tables
+/// are keyed by structural fingerprint, so the worst a mid-pass panic
+/// leaves behind is an absent entry for the faulted module, never a
+/// wrong one for a healthy module.
 fn process_item(
     kernel: &dyn EvalKernel,
     item: IndexedVariant,
-    mode: SearchMode,
+    cfg: &SearchConfig,
     incumbent: &Incumbent,
     session: &mut EstimatorSession,
     out: &mut WorkerOut,
@@ -238,16 +279,26 @@ fn process_item(
     // already filtered.
     let Ok(module) = kernel.lower_variant(&item.variant) else { return };
 
-    if mode == SearchMode::Pruned {
-        let verdict = {
+    if cfg.mode == SearchMode::Pruned {
+        let verdict = catch_unwind(AssertUnwindSafe(|| {
             let _sp = trace::enabled().then(|| {
                 trace::span("dse.bound")
                     .with("variant", item.variant.tag())
                     .with("worker", worker as u64)
             });
             session.bound(&module)
+        }));
+        let bound = match verdict {
+            Ok(Ok(bound)) => bound,
+            Ok(Err(e)) => {
+                record_fault(out, &item, worker, &e.to_string());
+                return;
+            }
+            Err(payload) => {
+                record_fault(out, &item, worker, &panic_message(payload.as_ref()));
+                return;
+            }
         };
-        let Ok(bound) = verdict else { return };
         if !bound.fits {
             out.stats.pruned_unfit += 1;
             out.invalid.push(InvalidVariant { index: item.index, variant: item.variant });
@@ -259,10 +310,30 @@ fn process_item(
         }
     }
 
-    let _sp = trace::enabled().then(|| {
-        trace::span("dse.variant").with("variant", item.variant.tag()).with("worker", worker as u64)
-    });
-    let Ok(report) = session.estimate(&module) else { return };
+    let estimated = catch_unwind(AssertUnwindSafe(|| {
+        let _sp = trace::enabled().then(|| {
+            trace::span("dse.variant")
+                .with("variant", item.variant.tag())
+                .with("worker", worker as u64)
+        });
+        if let Some(faulty) = cfg.fault_inject {
+            if faulty(&item.variant) {
+                panic!("injected estimator fault on {}", item.variant.tag());
+            }
+        }
+        session.estimate(&module)
+    }));
+    let report = match estimated {
+        Ok(Ok(report)) => report,
+        Ok(Err(e)) => {
+            record_fault(out, &item, worker, &e.to_string());
+            return;
+        }
+        Err(payload) => {
+            record_fault(out, &item, worker, &panic_message(payload.as_ref()));
+            return;
+        }
+    };
     out.stats.estimated += 1;
     if report.fits {
         incumbent.record(report.throughput.ekit, item.index);
@@ -295,7 +366,7 @@ fn worker_loop(
     let mut out = WorkerOut::default();
     loop {
         if let Some(item) = queue.pop() {
-            process_item(kernel, item, cfg.mode, incumbent, &mut session, &mut out, w);
+            process_item(kernel, item, cfg, incumbent, &mut session, &mut out, w);
             continue;
         }
         let chunk = dispenser.refill(cfg.chunk);
@@ -306,7 +377,7 @@ fn worker_loop(
             for item in items {
                 queue.push(item);
             }
-            process_item(kernel, first, cfg.mode, incumbent, &mut session, &mut out, w);
+            process_item(kernel, first, cfg, incumbent, &mut session, &mut out, w);
             continue;
         }
         // Generator dry: steal up to half a victim's queue (the steal
@@ -329,7 +400,7 @@ fn worker_loop(
                     trace::span("dse.steal").with("worker", w as u64).with("victim", victim as u64)
                 });
                 drop(_sp);
-                process_item(kernel, item, cfg.mode, incumbent, &mut session, &mut out, w);
+                process_item(kernel, item, cfg, incumbent, &mut session, &mut out, w);
             }
             None => break,
         }
@@ -563,6 +634,56 @@ mod tests {
         assert_eq!(inc.threshold(), 4.0, "worse results never lower the bar");
     }
 
+    fn faults_on_two_lanes(v: &Variant) -> bool {
+        v.lanes == 2
+    }
+
+    #[test]
+    fn injected_faults_skip_variants_without_aborting_the_sweep() {
+        let sor = Sor::cubic(16, 10);
+        let dev = eval_small();
+        let clean_cfg = SearchConfig { top_k: 100, ..SearchConfig::exhaustive(space()) };
+        let clean = search(&sor, &dev, &clean_cfg);
+        assert_eq!(clean.stats.faulted, 0);
+        assert!(clean.leaderboard.iter().any(|e| e.variant.lanes == 2), "space has 2-lane points");
+
+        // Quiet the default panic hook while the injected panics fly.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let faulty_cfg =
+            SearchConfig { fault_inject: Some(faults_on_two_lanes), ..clean_cfg.clone() };
+        let outcome = search(&sor, &dev, &faulty_cfg);
+        let pruned_cfg = SearchConfig {
+            fault_inject: Some(faults_on_two_lanes),
+            ..SearchConfig::pruned(space())
+        };
+        let pruned = search(&sor, &dev, &pruned_cfg);
+        std::panic::set_hook(prev);
+
+        // The sweep completed; every faulted variant was counted and
+        // skipped, never estimated and never ranked.
+        assert!(outcome.stats.faulted > 0);
+        assert_eq!(outcome.stats.generated, clean.stats.generated);
+        assert_eq!(outcome.stats.estimated + outcome.stats.faulted, clean.stats.estimated);
+        assert!(outcome.leaderboard.iter().all(|e| e.variant.lanes != 2));
+        assert!(pruned.leaderboard.iter().all(|e| e.variant.lanes != 2));
+
+        // The healthy-variant leaderboard is bit-identical to the clean
+        // run's board with the faulted variants removed.
+        let expected: Vec<(String, u64)> = clean
+            .leaderboard
+            .iter()
+            .filter(|e| !faults_on_two_lanes(&e.variant))
+            .map(|e| (e.variant.tag(), e.report.throughput.ekit.to_bits()))
+            .collect();
+        let got: Vec<(String, u64)> = outcome
+            .leaderboard
+            .iter()
+            .map(|e| (e.variant.tag(), e.report.throughput.ekit.to_bits()))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
     #[test]
     fn stats_arithmetic() {
         let s = SearchStats {
@@ -571,6 +692,7 @@ mod tests {
             pruned_unfit: 8,
             pruned_bound: 6,
             stolen: 3,
+            faulted: 2,
         };
         assert_eq!(s.pruned(), 14);
         assert!((s.pruned_fraction() - 14.0 / 24.0).abs() < 1e-12);
@@ -579,5 +701,6 @@ mod tests {
         t += s;
         assert_eq!(t.generated, 48);
         assert_eq!(t.stolen, 6);
+        assert_eq!(t.faulted, 4);
     }
 }

@@ -1,0 +1,114 @@
+//! CI fuzzing smoke run: a fixed-seed differential campaign emitting
+//! `BENCH_fuzz.json`, so robustness is a tracked artifact like perf.
+//!
+//! Usage:
+//!
+//! ```text
+//! fuzz_smoke [--cases N] [--seed S] [--out FILE] [--corpus DIR]
+//! ```
+//!
+//! Defaults: 2,000 cases, seed `0xC0FFEE`, `BENCH_fuzz.json`, corpus in
+//! `target/fuzz-corpus`. Exits nonzero if any case panics, disagrees or
+//! leaks a non-finite value — CI fails on the first robustness
+//! regression, and the minimized crashers land in the corpus directory
+//! for triage (each replays from its recorded `(seed, case)` pair).
+//!
+//! All JSON is hand-rolled — the workspace has no serde.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use tytra_fuzz::harness::{self, FuzzConfig};
+
+fn parse_args() -> Result<(FuzzConfig, String), String> {
+    let mut cfg = FuzzConfig::smoke();
+    cfg.corpus_dir = Some(PathBuf::from("target/fuzz-corpus"));
+    let mut args = std::env::args().skip(1);
+    let mut out = None;
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--cases" => {
+                cfg.cases = value("--cases")?.parse().map_err(|e| format!("--cases: {e}"))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                cfg.seed = if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).map_err(|e| format!("--seed: {e}"))?
+                } else {
+                    v.parse().map_err(|e| format!("--seed: {e}"))?
+                };
+            }
+            "--out" => out = Some(value("--out")?),
+            "--corpus" => cfg.corpus_dir = Some(PathBuf::from(value("--corpus")?)),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok((cfg, out.unwrap_or_else(|| "BENCH_fuzz.json".into())))
+}
+
+fn main() -> ExitCode {
+    let (cfg, out_path) = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fuzz_smoke: {e}");
+            eprintln!("usage: fuzz_smoke [--cases N] [--seed S] [--out FILE] [--corpus DIR]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let t0 = Instant::now();
+    let report = harness::run(&cfg);
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let cases_per_sec = if elapsed_s > 0.0 { report.cases as f64 / elapsed_s } else { 0.0 };
+
+    let mut oracles = String::new();
+    for (i, (name, (runs, failures))) in report.by_oracle.iter().enumerate() {
+        if i > 0 {
+            oracles.push_str(", ");
+        }
+        oracles.push_str(&format!("\"{name}\": {{\"runs\": {runs}, \"failures\": {failures}}}"));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fuzz_smoke\",\n  \"seed\": {},\n  \"cases\": {},\n  \
+         \"elapsed_s\": {:.3},\n  \"cases_per_sec\": {:.1},\n  \"passes\": {},\n  \
+         \"skips\": {},\n  \"panics\": {},\n  \"disagreements\": {},\n  \
+         \"non_finite\": {},\n  \"corpus_size\": {},\n  \"oracles\": {{{oracles}}}\n}}\n",
+        cfg.seed,
+        report.cases,
+        elapsed_s,
+        cases_per_sec,
+        report.passes,
+        report.skips,
+        report.panics,
+        report.disagreements,
+        report.non_finite,
+        report.corpus_written,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("fuzz_smoke: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+
+    if report.failures() > 0 {
+        eprintln!(
+            "fuzz_smoke: {} failing case(s) — {} panic, {} disagreement, {} non-finite",
+            report.failures(),
+            report.panics,
+            report.disagreements,
+            report.non_finite
+        );
+        for c in report.crashes.iter().take(10) {
+            eprintln!(
+                "  case {} [{}]: {}: {}",
+                c.case_id,
+                c.oracle.label(),
+                c.verdict.label(),
+                c.verdict.detail().unwrap_or("")
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

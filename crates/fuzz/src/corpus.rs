@@ -1,0 +1,155 @@
+//! Crash-corpus management: delta-debugging minimization of failing
+//! TIRL sources and on-disk corpus layout.
+//!
+//! Corpus entries are plain `.tirl` files whose leading `;` comment
+//! lines carry the triage metadata (seed, case, oracle, verdict), so a
+//! crasher replays directly with `tybec cost <file>` or through the
+//! regression test — the metadata is invisible to the parser.
+
+use crate::oracle::Verdict;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Greedy line-granular ddmin: repeatedly remove chunks of lines while
+/// `still_fails` keeps returning `true`, halving the chunk size down to
+/// single lines. Deterministic and bounded (each pass only shrinks).
+pub fn minimize(src: &str, still_fails: impl Fn(&str) -> bool) -> String {
+    let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let rejoin = |ls: &[String]| {
+        let mut s = ls.join("\n");
+        s.push('\n');
+        s
+    };
+    if !still_fails(&rejoin(&lines)) {
+        // The failure is not reproducible from the text alone (e.g. a
+        // panic elsewhere in the case); keep the original.
+        return src.to_string();
+    }
+    let mut chunk = lines.len().div_ceil(2).max(1);
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < lines.len() {
+            let hi = (i + chunk).min(lines.len());
+            let mut candidate = lines.clone();
+            candidate.drain(i..hi);
+            if !candidate.is_empty() && still_fails(&rejoin(&candidate)) {
+                lines = candidate;
+                shrunk = true;
+                // Do not advance: the next chunk slid into position i.
+            } else {
+                i = hi;
+            }
+        }
+        if chunk == 1 && !shrunk {
+            break;
+        }
+        if !shrunk {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    rejoin(&lines)
+}
+
+/// One corpus entry ready to be written.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Harness seed that produced the case.
+    pub seed: u64,
+    /// Case index under that seed.
+    pub case_id: u64,
+    /// Which oracle flagged it.
+    pub oracle: &'static str,
+    /// The verdict (never `Pass`/`Skip` for corpus entries).
+    pub verdict: Verdict,
+    /// The (minimized) TIRL source, when the case has one.
+    pub source: Option<String>,
+}
+
+impl CorpusEntry {
+    /// Stable file name: `case_<seed>_<id>_<oracle>.tirl`.
+    pub fn file_name(&self) -> String {
+        format!("case_{}_{}_{}.tirl", self.seed, self.case_id, self.oracle)
+    }
+
+    /// Render the entry: metadata header comments + source body.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("; tytra-fuzz crasher\n");
+        out.push_str(&format!(
+            "; seed: {}  case: {}  oracle: {}\n",
+            self.seed, self.case_id, self.oracle
+        ));
+        out.push_str(&format!("; verdict: {}", self.verdict.label()));
+        if let Some(d) = self.verdict.detail() {
+            for line in d.lines() {
+                out.push_str(&format!("\n;   {line}"));
+            }
+        }
+        out.push('\n');
+        if let Some(src) = &self.source {
+            out.push_str(src);
+            if !src.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Write entries into `dir` (created if missing). Returns the paths
+/// written, in entry order.
+pub fn write_corpus(dir: &Path, entries: &[CorpusEntry]) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(entries.len());
+    for e in entries {
+        let path = dir.join(e.file_name());
+        fs::write(&path, e.render())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimize_keeps_only_the_failing_line() {
+        let src = "alpha\nbeta\nNEEDLE\ngamma\ndelta\n";
+        let min = minimize(src, |s| s.contains("NEEDLE"));
+        assert_eq!(min, "NEEDLE\n");
+    }
+
+    #[test]
+    fn minimize_requires_reproduction() {
+        let src = "a\nb\n";
+        assert_eq!(minimize(src, |_| false), src);
+    }
+
+    #[test]
+    fn minimize_handles_conjunctive_failures() {
+        // Failure needs two far-apart lines; ddmin must keep both.
+        let src = "x\nFIRST\ny\nz\nSECOND\nw\n";
+        let min = minimize(src, |s| s.contains("FIRST") && s.contains("SECOND"));
+        assert_eq!(min, "FIRST\nSECOND\n");
+    }
+
+    #[test]
+    fn corpus_entries_render_replayable_tirl() {
+        let e = CorpusEntry {
+            seed: 7,
+            case_id: 3,
+            oracle: "roundtrip",
+            verdict: Verdict::Disagreement("boom\ntwo lines".into()),
+            source: Some("!module = !\"m\"".into()),
+        };
+        let text = e.render();
+        assert!(text.starts_with("; tytra-fuzz crasher\n"));
+        assert!(text.contains("; seed: 7  case: 3  oracle: roundtrip"));
+        assert!(text.contains(";   two lines"));
+        assert!(text.ends_with("!module = !\"m\"\n"));
+        assert_eq!(e.file_name(), "case_7_3_roundtrip.tirl");
+    }
+}

@@ -1,0 +1,274 @@
+//! Seed-driven random TIRL generation.
+//!
+//! Two layers, both fully deterministic per seed:
+//!
+//! * [`TirlGen::valid_module`] — a **valid-by-construction** design built
+//!   through [`ModuleBuilder`]: random element type, grid size, stencil
+//!   offsets, SSA dataflow DAG, optional reduction, random form / `NKI` /
+//!   vectorization. These feed the semantic oracles (estimator-vs-sim,
+//!   warm-vs-cold session).
+//! * [`TirlGen::mutate`] — textual mutations (line deletion/duplication/
+//!   swaps, truncation, character splices) over a printed valid module.
+//!   These feed the parser round-trip oracle: every mutant must either
+//!   parse or fail with a structured error — never a panic.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tytra_ir::{IrModule, MemForm, ModuleBuilder, Opcode, Operand, ParKind, ScalarType};
+
+/// Integer opcodes safe to apply to any two same-typed integer operands.
+const INT_OPS: &[Opcode] = &[
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Min,
+    Opcode::Max,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+];
+
+/// Float opcodes safe on any two same-typed float operands.
+const FLOAT_OPS: &[Opcode] = &[Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Min, Opcode::Max];
+
+/// The deterministic TIRL generator. All draws come from one xoshiro
+/// stream, so `(seed)` fully determines every artifact produced.
+pub struct TirlGen {
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl TirlGen {
+    /// A generator over the given seed.
+    pub fn new(seed: u64) -> TirlGen {
+        TirlGen { rng: StdRng::seed_from_u64(seed), next_id: 0 }
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.rng.random_range(0..xs.len())]
+    }
+
+    /// A random valid design: single-lane pipe over 1–3 input streams,
+    /// 1–10 instructions, optional stencil offsets and reduction.
+    /// Validated by construction — a validation failure here is a
+    /// generator bug and panics (which the harness records).
+    pub fn valid_module(&mut self) -> IrModule {
+        self.next_id += 1;
+        let name = format!("fz{}", self.next_id);
+        let ty = *self.pick(&[
+            ScalarType::UInt(8),
+            ScalarType::UInt(16),
+            ScalarType::UInt(18),
+            ScalarType::UInt(24),
+            ScalarType::UInt(32),
+            ScalarType::Int(16),
+            ScalarType::Int(32),
+            ScalarType::Float(32),
+        ]);
+        let n = *self.pick(&[16u64, 32, 64, 128, 256, 1024]);
+        let ninputs = self.rng.random_range(1usize..=3);
+        let nki = self.rng.random_range(1u64..=20);
+        let form = *self.pick(&[MemForm::A, MemForm::B]);
+        let vect = *self.pick(&[1u32, 1, 1, 2]);
+
+        let mut b = ModuleBuilder::new(&name);
+        let in_names: Vec<String> = (0..ninputs).map(|i| format!("p{i}")).collect();
+        for p in &in_names {
+            b.global_input(p, ty, n);
+        }
+        b.global_output("q", ty, n);
+
+        let ops: &[Opcode] = if ty.is_float() { FLOAT_OPS } else { INT_OPS };
+        let n_instrs = self.rng.random_range(1usize..=10);
+        let n_offsets = if n >= 32 { self.rng.random_range(0usize..=3) } else { 0 };
+        let with_reduce = self.rng.random_range(0u32..4) == 0;
+
+        // Pre-draw everything randomness-dependent so the `FunctionBuilder`
+        // borrow below doesn't fight the generator's `&mut self`.
+        let mut offset_amounts: Vec<i64> = Vec::with_capacity(n_offsets);
+        for _ in 0..n_offsets {
+            let mag = self.rng.random_range(1i64..=4);
+            let off = if self.rng.random_range(0u32..2) == 0 { mag } else { -mag };
+            // Offset streams are named after (src, offset); a repeat draw
+            // would redeclare the same SSA name.
+            if !offset_amounts.contains(&off) {
+                offset_amounts.push(off);
+            }
+        }
+        let n_offsets = offset_amounts.len();
+        struct InstrPlan {
+            op: Opcode,
+            lhs: usize,
+            rhs: usize,
+            rhs_imm: Option<i64>,
+        }
+        let mut plans = Vec::with_capacity(n_instrs);
+        for i in 0..n_instrs {
+            let pool = ninputs + n_offsets + i;
+            plans.push(InstrPlan {
+                op: *self.pick(ops),
+                lhs: self.rng.random_range(0..pool),
+                rhs: self.rng.random_range(0..pool),
+                rhs_imm: if self.rng.random_range(0u32..4) == 0 {
+                    Some(self.rng.random_range(0i64..=7))
+                } else {
+                    None
+                },
+            });
+        }
+        let out_pick = self.rng.random_range(0..ninputs + n_offsets + n_instrs);
+        let reduce_op =
+            if ty.is_float() { Opcode::Add } else { *self.pick(&[Opcode::Add, Opcode::Max]) };
+
+        {
+            let f = b.function("f0", ParKind::Pipe);
+            for p in &in_names {
+                f.input(p, ty);
+            }
+            f.output("q", ty);
+            let mut pool: Vec<Operand> = in_names.iter().map(|p| f.arg(p)).collect();
+            for off in offset_amounts {
+                pool.push(f.offset(&in_names[0], ty, off));
+            }
+            for plan in plans {
+                let lhs = pool[plan.lhs].clone();
+                let rhs = match plan.rhs_imm {
+                    Some(v) if ty.is_float() => f.imm_f(v as f64),
+                    Some(v) => f.imm(v),
+                    None => pool[plan.rhs].clone(),
+                };
+                pool.push(f.instr(plan.op, ty, vec![lhs, rhs]));
+            }
+            let out = pool[out_pick].clone();
+            if with_reduce {
+                f.reduce("fzAcc", reduce_op, ty, out.clone());
+            }
+            f.write_out("q", out);
+        }
+        b.main_calls("f0");
+        b.ndrange(&[n]).nki(nki).form(form).vect(vect);
+        b.finish().expect("generator produced an invalid module")
+    }
+
+    /// A printed valid module — the clean starting point for mutation.
+    pub fn valid_source(&mut self) -> String {
+        tytra_ir::print(&self.valid_module())
+    }
+
+    /// Apply 1–4 random textual mutations to a TIRL source. The result
+    /// is frequently ill-formed — deliberately: the parser must reject
+    /// it with a structured diagnostic, never a panic.
+    pub fn mutate(&mut self, src: &str) -> String {
+        let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let n_edits = self.rng.random_range(1usize..=4);
+        for _ in 0..n_edits {
+            if lines.is_empty() {
+                break;
+            }
+            let i = self.rng.random_range(0..lines.len());
+            match self.rng.random_range(0u32..6) {
+                0 => {
+                    lines.remove(i);
+                }
+                1 => {
+                    let dup = lines[i].clone();
+                    lines.insert(i, dup);
+                }
+                2 => {
+                    let j = self.rng.random_range(0..lines.len());
+                    lines.swap(i, j);
+                }
+                3 => {
+                    let cut = self.rng.random_range(0..=lines[i].chars().count());
+                    lines[i] = lines[i].chars().take(cut).collect();
+                }
+                4 => {
+                    // Replace one character with a random punctuation or
+                    // control-ish byte the lexer must survive.
+                    let chars: Vec<char> = lines[i].chars().collect();
+                    if chars.is_empty() {
+                        continue;
+                    }
+                    let pos = self.rng.random_range(0..chars.len());
+                    let repl = *self.pick(&[
+                        '!', '%', '@', '=', ',', '(', ')', '{', '}', '"', '\\', '\u{7f}', '0', 'x',
+                    ]);
+                    let mut out: String = chars[..pos].iter().collect();
+                    out.push(repl);
+                    out.extend(&chars[pos + 1..]);
+                    lines[i] = out;
+                }
+                _ => {
+                    let token =
+                        *self.pick(&["!42", "%t9", "@ghost", "ui33", "pipe", "!{", "offset"]);
+                    let col = self.rng.random_range(0..=lines[i].len());
+                    if lines[i].is_char_boundary(col) {
+                        lines[i].insert_str(col, token);
+                    }
+                }
+            }
+        }
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// A mutated source: print a fresh valid module, then mutate it.
+    pub fn mutated_source(&mut self) -> String {
+        let src = self.valid_source();
+        self.mutate(&src)
+    }
+
+    /// Draw a `u64` from the generator's stream (for oracle parameters
+    /// that live outside module text, e.g. search-space shapes).
+    pub fn draw_u64(&mut self, range: core::ops::RangeInclusive<u64>) -> u64 {
+        self.rng.random_range(range)
+    }
+
+    /// Draw a `usize` from the generator's stream.
+    pub fn draw_usize(&mut self, range: core::ops::RangeInclusive<usize>) -> usize {
+        self.rng.random_range(range)
+    }
+
+    /// Pick one element of a slice (public variant for oracle setup).
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        self.pick(xs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = TirlGen::new(41);
+        let mut b = TirlGen::new(41);
+        for _ in 0..16 {
+            assert_eq!(a.valid_source(), b.valid_source());
+            assert_eq!(a.mutated_source(), b.mutated_source());
+        }
+        let mut c = TirlGen::new(42);
+        assert_ne!(TirlGen::new(41).valid_source(), {
+            c.valid_source();
+            c.valid_source()
+        });
+    }
+
+    #[test]
+    fn valid_modules_really_validate() {
+        let mut g = TirlGen::new(7);
+        for _ in 0..64 {
+            let m = g.valid_module();
+            assert!(tytra_ir::validate(&m).is_ok(), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn mutants_differ_from_their_parents_eventually() {
+        let mut g = TirlGen::new(3);
+        let src = g.valid_source();
+        let changed = (0..8).any(|_| g.mutate(&src) != src);
+        assert!(changed);
+    }
+}

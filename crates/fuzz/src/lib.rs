@@ -1,0 +1,33 @@
+//! # tytra-fuzz
+//!
+//! Deterministic differential fuzzing for the TyTra pipeline.
+//!
+//! The repo owns both the fast cost model (`tytra-cost`) and its ground
+//! truth (`tytra-sim`'s virtual toolchain + cycle simulator), which
+//! makes differential testing cheap: generate designs, run both sides,
+//! and flag any panic, disagreement beyond tolerance, or non-finite
+//! metric. Four oracles (see [`oracle`]):
+//!
+//! 1. **Round-trip** — parse → print → reparse fixed point; malformed
+//!    input must produce a structured error, never a panic.
+//! 2. **Estimator vs simulator** — agreement within
+//!    [`ToleranceBands`][oracle::ToleranceBands] on valid designs.
+//! 3. **Search equivalence** — pruned vs `--exhaustive` leaderboard
+//!    bit-identity for random space shapes and worker counts.
+//! 4. **Session determinism** — warm (memoized) vs cold
+//!    `EstimatorSession` bit-identity.
+//!
+//! Everything is derived from `(seed, case_id)` — see [`gen::TirlGen`]
+//! and [`harness::run_case`] — so every corpus entry replays exactly.
+//! The `fuzz_smoke` binary runs a fixed-seed budget and emits
+//! `BENCH_fuzz.json`, making robustness a tracked artifact like perf.
+
+pub mod corpus;
+pub mod gen;
+pub mod harness;
+pub mod oracle;
+
+pub use corpus::{minimize, write_corpus, CorpusEntry};
+pub use gen::TirlGen;
+pub use harness::{replay_source, run, run_case, CaseResult, FuzzConfig, FuzzReport, OracleKind};
+pub use oracle::{ToleranceBands, Verdict};

@@ -1,0 +1,342 @@
+//! The four differential oracles.
+//!
+//! Each oracle takes an input (a TIRL source, a validated module, or a
+//! drawn search-space shape) and returns a [`Verdict`]. Oracles never
+//! catch panics themselves — the harness wraps every case in
+//! `catch_unwind` and classifies an escaped panic as [`Verdict::Panic`],
+//! which is itself a finding: the hardened pipeline must never panic on
+//! any input, well-formed or not.
+
+use crate::gen::TirlGen;
+use tytra_cost::EstimatorSession;
+use tytra_device::TargetDevice;
+use tytra_dse::explore::ExplorationConfig;
+use tytra_dse::{search, SearchConfig, SearchOutcome};
+use tytra_ir::{IrModule, MemForm};
+use tytra_kernels::{EvalKernel, Sor, StreamTriad};
+
+/// The outcome of running one oracle on one case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The property held.
+    Pass,
+    /// The oracle could not check this case (e.g. the design does not
+    /// fit the reference device). Counted separately so a generator
+    /// drift that skips everything is visible in `BENCH_fuzz.json`.
+    Skip(String),
+    /// A panic escaped the pipeline (filled in by the harness).
+    Panic(String),
+    /// Two implementations that must agree did not.
+    Disagreement(String),
+    /// A NaN or infinity leaked into a reported metric.
+    NonFinite(String),
+}
+
+impl Verdict {
+    /// True for the three failing variants.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Verdict::Panic(_) | Verdict::Disagreement(_) | Verdict::NonFinite(_))
+    }
+
+    /// Stable lower-case label for JSON and corpus metadata.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Skip(_) => "skip",
+            Verdict::Panic(_) => "panic",
+            Verdict::Disagreement(_) => "disagreement",
+            Verdict::NonFinite(_) => "non-finite",
+        }
+    }
+
+    /// The attached detail message, if any.
+    pub fn detail(&self) -> Option<&str> {
+        match self {
+            Verdict::Pass => None,
+            Verdict::Skip(s)
+            | Verdict::Panic(s)
+            | Verdict::Disagreement(s)
+            | Verdict::NonFinite(s) => Some(s),
+        }
+    }
+}
+
+/// Per-metric agreement bands for the estimator-vs-simulator oracle.
+///
+/// The fast model is *approximate* by design (the paper's Table II
+/// reports CPKI within ~15% and resources within a factor on small
+/// kernels), so exact equality is the wrong oracle; the bands encode
+/// "close enough that a divergence means a bug, not model error". They
+/// are deliberately loose — the oracle hunts for crashes, non-finite
+/// leaks and order-of-magnitude breaks, not calibration drift.
+#[derive(Debug, Clone, Copy)]
+pub struct ToleranceBands {
+    /// Max relative CPKI error vs the cycle simulator.
+    pub cpki_rel: f64,
+    /// Max ratio (either direction) between estimated and synthesized
+    /// resource axes, after an additive slack absorbing near-zero axes.
+    pub resource_factor: f64,
+    /// Additive slack per resource axis before the ratio test.
+    pub resource_slack: u64,
+    /// Max ratio between estimated and achieved clock.
+    pub clock_factor: f64,
+}
+
+impl Default for ToleranceBands {
+    fn default() -> ToleranceBands {
+        ToleranceBands {
+            cpki_rel: 0.5,
+            resource_factor: 4.0,
+            resource_slack: 64,
+            clock_factor: 3.0,
+        }
+    }
+}
+
+/// Oracle 1 — parse → print → reparse round-trip.
+///
+/// Any input that parses must survive `print ∘ parse` as a fixed point:
+/// `print(parse(src))` reparsed and reprinted must be byte-identical.
+/// Inputs that fail to parse pass the oracle (a structured rejection is
+/// the correct behaviour for a mutant); only a panic or a round-trip
+/// break is a finding.
+pub fn roundtrip(src: &str) -> Verdict {
+    let m = match tytra_ir::parse_unvalidated(src) {
+        Ok(m) => m,
+        Err(_) => return Verdict::Pass,
+    };
+    let p1 = tytra_ir::print(&m);
+    let m2 = match tytra_ir::parse_unvalidated(&p1) {
+        Ok(m2) => m2,
+        Err(e) => {
+            return Verdict::Disagreement(format!("printed module failed to reparse: {e}"));
+        }
+    };
+    let p2 = tytra_ir::print(&m2);
+    if p1 == p2 {
+        Verdict::Pass
+    } else {
+        Verdict::Disagreement("print(parse(print(m))) is not a fixed point".into())
+    }
+}
+
+fn finite(label: &str, v: f64) -> Result<(), Verdict> {
+    if v.is_finite() {
+        Ok(())
+    } else {
+        Err(Verdict::NonFinite(format!("{label} = {v}")))
+    }
+}
+
+fn within_factor(label: &str, a: f64, b: f64, factor: f64) -> Result<(), Verdict> {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    if lo <= 0.0 || hi / lo <= factor {
+        Ok(())
+    } else {
+        Err(Verdict::Disagreement(format!(
+            "{label}: estimate {a} vs actual {b} beyond {factor}x band"
+        )))
+    }
+}
+
+/// Oracle 2 — the fast model vs the virtual toolchain + cycle simulator
+/// on a valid design, within [`ToleranceBands`].
+pub fn estimator_vs_sim(m: &IrModule, dev: &TargetDevice, bands: &ToleranceBands) -> Verdict {
+    let est = match tytra_cost::estimate(m, dev) {
+        Ok(r) => r,
+        Err(e) => return Verdict::Skip(format!("estimate: {e}")),
+    };
+    let checks = || -> Result<(), Verdict> {
+        finite("est.cpki", est.throughput.cpki)?;
+        finite("est.ekit", est.throughput.ekit)?;
+        finite("est.t_instance", est.throughput.t_instance)?;
+        finite("est.freq_mhz", est.clock.freq_mhz)?;
+        finite("est.power_w", est.power_w)?;
+        Ok(())
+    };
+    if let Err(v) = checks() {
+        return v;
+    }
+    if !est.fits {
+        return Verdict::Skip("design does not fit the reference device".into());
+    }
+    let run = match tytra_sim::run_application(m, dev) {
+        Ok(r) => r,
+        Err(e) => {
+            return Verdict::Disagreement(format!(
+                "simulator rejected a design the estimator costed: {e}"
+            ));
+        }
+    };
+    let compare = || -> Result<(), Verdict> {
+        finite("sim.t_total_s", run.t_total_s)?;
+        finite("sim.freq_mhz", run.freq_mhz)?;
+        finite("sim.delta_watts", run.power.delta_watts)?;
+        finite("sim.achieved_bytes_per_s", run.cycles.achieved_bytes_per_s)?;
+
+        let actual = run.cpki() as f64;
+        if actual > 0.0 {
+            let rel = (est.throughput.cpki - actual).abs() / actual;
+            if rel > bands.cpki_rel {
+                return Err(Verdict::Disagreement(format!(
+                    "CPKI: estimate {:.0} vs simulated {:.0} ({:.0}% > {:.0}% band)",
+                    est.throughput.cpki,
+                    actual,
+                    rel * 100.0,
+                    bands.cpki_rel * 100.0
+                )));
+            }
+        }
+        within_factor("clock", est.clock.freq_mhz, run.freq_mhz, bands.clock_factor)?;
+        let s = bands.resource_slack as f64;
+        let e = &est.resources.total;
+        let a = &run.synth.resources;
+        within_factor("aluts", e.aluts as f64 + s, a.aluts as f64 + s, bands.resource_factor)?;
+        within_factor("regs", e.regs as f64 + s, a.regs as f64 + s, bands.resource_factor)?;
+        within_factor(
+            "bram_bits",
+            e.bram_bits as f64 + 8.0 * s,
+            a.bram_bits as f64 + 8.0 * s,
+            bands.resource_factor,
+        )?;
+        within_factor("dsps", e.dsps as f64 + s, a.dsps as f64 + s, bands.resource_factor)?;
+        Ok(())
+    };
+    match compare() {
+        Ok(()) => Verdict::Pass,
+        Err(v) => v,
+    }
+}
+
+/// A leaderboard fingerprint: variant tags plus bit-exact EKIT values.
+fn board_fingerprint(out: &SearchOutcome) -> Vec<(String, u64)> {
+    out.leaderboard.iter().map(|e| (e.variant.tag(), e.report.throughput.ekit.to_bits())).collect()
+}
+
+/// Oracle 3 — pruned search vs `--exhaustive`: for a randomly drawn
+/// kernel, space shape, worker count and board size, the two modes must
+/// produce bit-identical leaderboards.
+pub fn search_equivalence(g: &mut TirlGen) -> Verdict {
+    let kernel: Box<dyn EvalKernel> = if *g.choose(&[true, false]) {
+        let side = *g.choose(&[8u64, 12, 16]);
+        Box::new(Sor::cubic(side, g.draw_u64(1..=10)))
+    } else {
+        Box::new(StreamTriad { n: 1 << g.draw_u64(10..=14), nki: g.draw_u64(1..=8) })
+    };
+    let dev = tytra_device::eval_small();
+
+    let all_lanes = [1u64, 2, 3, 4, 8];
+    let keep = g.draw_usize(1..=all_lanes.len());
+    let lanes: Vec<u64> = all_lanes.iter().copied().take(keep).collect();
+    let vects: Vec<u32> = if *g.choose(&[true, false]) { vec![1, 2] } else { vec![1] };
+    let forms =
+        if *g.choose(&[true, false]) { vec![MemForm::A, MemForm::B] } else { vec![MemForm::B] };
+    let space =
+        ExplorationConfig { lanes, vects, forms, include_seq: false, workers: g.draw_usize(1..=4) };
+    let top_k = g.draw_usize(1..=10);
+
+    let mut pruned_cfg = SearchConfig::pruned(space.clone());
+    pruned_cfg.top_k = top_k;
+    let mut exhaustive_cfg = SearchConfig::exhaustive(space);
+    exhaustive_cfg.top_k = top_k;
+
+    let pruned = search(kernel.as_ref(), &dev, &pruned_cfg);
+    let exhaustive = search(kernel.as_ref(), &dev, &exhaustive_cfg);
+
+    for e in pruned.leaderboard.iter().chain(exhaustive.leaderboard.iter()) {
+        if !e.report.throughput.ekit.is_finite() {
+            return Verdict::NonFinite(format!("EKIT for {}", e.variant.tag()));
+        }
+    }
+    let fp = board_fingerprint(&pruned);
+    let fe = board_fingerprint(&exhaustive);
+    if fp == fe {
+        Verdict::Pass
+    } else {
+        Verdict::Disagreement(format!(
+            "pruned board {fp:?} != exhaustive board {fe:?} on {}",
+            kernel.name()
+        ))
+    }
+}
+
+/// Oracle 4 — warm-vs-cold session bit-identity: a memo-warm re-estimate
+/// must equal a fresh session's estimate field-for-field. `CostReport`
+/// has no `PartialEq`, but Rust's float `Debug` is round-trip exact, so
+/// `Debug`-string equality is bit equality.
+pub fn session_determinism(m: &IrModule, dev: &TargetDevice) -> Verdict {
+    let mut warm = EstimatorSession::new(dev.clone());
+    let first = warm.estimate(m);
+    let second = warm.estimate(m);
+    let mut cold = EstimatorSession::new(dev.clone());
+    let fresh = cold.estimate(m);
+    match (first, second, fresh) {
+        (Ok(a), Ok(b), Ok(c)) => {
+            let (da, db, dc) = (format!("{a:?}"), format!("{b:?}"), format!("{c:?}"));
+            if da != db {
+                Verdict::Disagreement("warm re-estimate differs from first estimate".into())
+            } else if db != dc {
+                Verdict::Disagreement("warm session differs from cold session".into())
+            } else {
+                Verdict::Pass
+            }
+        }
+        (Err(a), Err(b), Err(c)) => {
+            if a == b && b == c {
+                Verdict::Pass
+            } else {
+                Verdict::Disagreement(format!("error instability: {a} / {b} / {c}"))
+            }
+        }
+        _ => Verdict::Disagreement("Ok/Err disagreement between warm and cold sessions".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_module() -> IrModule {
+        let mut g = TirlGen::new(99);
+        g.valid_module()
+    }
+
+    #[test]
+    fn roundtrip_accepts_rejections_and_fixed_points() {
+        assert_eq!(roundtrip("not tirl at all"), Verdict::Pass);
+        let src = tytra_ir::print(&sample_module());
+        assert_eq!(roundtrip(&src), Verdict::Pass);
+    }
+
+    #[test]
+    fn estimator_vs_sim_passes_on_a_generated_module() {
+        let m = sample_module();
+        let dev = tytra_device::stratix_v_gsd8();
+        let v = estimator_vs_sim(&m, &dev, &ToleranceBands::default());
+        assert!(!v.is_failure(), "{v:?}");
+    }
+
+    #[test]
+    fn session_determinism_holds_on_a_generated_module() {
+        let m = sample_module();
+        let dev = tytra_device::eval_small();
+        assert_eq!(session_determinism(&m, &dev), Verdict::Pass);
+    }
+
+    #[test]
+    fn search_equivalence_holds_for_a_few_draws() {
+        let mut g = TirlGen::new(5);
+        for _ in 0..2 {
+            assert_eq!(search_equivalence(&mut g), Verdict::Pass);
+        }
+    }
+
+    #[test]
+    fn verdict_labels_are_stable() {
+        assert_eq!(Verdict::Pass.label(), "pass");
+        assert_eq!(Verdict::Skip("x".into()).label(), "skip");
+        assert_eq!(Verdict::Panic("x".into()).label(), "panic");
+        assert_eq!(Verdict::Disagreement("x".into()).label(), "disagreement");
+        assert_eq!(Verdict::NonFinite("x".into()).label(), "non-finite");
+    }
+}

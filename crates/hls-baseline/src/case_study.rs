@@ -5,7 +5,7 @@
 use crate::cpu::CpuModel;
 use crate::maxj::{maxj_flow, maxj_variant};
 use tytra_device::TargetDevice;
-use tytra_ir::{IrError, MemForm};
+use tytra_ir::{MemForm, TybecError};
 use tytra_kernels::{EvalKernel, Sor};
 use tytra_sim::run_application;
 use tytra_transform::Variant;
@@ -55,7 +55,7 @@ pub fn case_study(
     sides: &[u64],
     nki: u64,
     dev: &TargetDevice,
-) -> Result<Vec<CaseStudyPoint>, IrError> {
+) -> Result<Vec<CaseStudyPoint>, TybecError> {
     let cpu = CpuModel::default();
     let mut out = Vec::with_capacity(sides.len());
     for &side in sides {

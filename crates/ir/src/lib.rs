@@ -48,7 +48,7 @@ pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use config_tree::{ConfigClass, ConfigNode, ConfigTree};
 pub use dfg::{Dfg, DfgNode, LatencyModel, UnitLatency};
 pub use diag::{DiagSink, Diagnostic, Severity, Span, SrcLoc};
-pub use error::IrError;
+pub use error::{ErrorCategory, IrError, TybecError, TybecResult};
 pub use fingerprint::{
     fingerprint_function, fingerprint_module, fingerprint_streams, fingerprint_subtree,
     StableHasher,

@@ -392,7 +392,8 @@ impl Parser {
         let kind = if matches!(self.peek(), Some(TokenKind::Ident(s)) if ParKind::from_keyword(s).is_some())
         {
             let kw = self.ident()?;
-            ParKind::from_keyword(&kw).expect("matched above")
+            ParKind::from_keyword(&kw)
+                .ok_or_else(|| self.err(format!("unknown parallelism keyword `{kw}`")))?
         } else if name == "main" {
             ParKind::Seq
         } else {

@@ -12,7 +12,7 @@
 use crate::memory::DramModel;
 use tytra_cost::CostParams;
 use tytra_device::TargetDevice;
-use tytra_ir::{AccessPattern, IrError, IrModule, MemForm};
+use tytra_ir::{AccessPattern, IrModule, MemForm, TybecError};
 
 /// DDR3 refresh cadence: tREFI ≈ 7.8 µs, tRFC ≈ 260 ns.
 const T_REFI_S: f64 = 7.8e-6;
@@ -44,9 +44,9 @@ pub fn simulate_instance(
     m: &IrModule,
     dev: &TargetDevice,
     freq_mhz: f64,
-) -> Result<CycleStats, IrError> {
+) -> Result<CycleStats, TybecError> {
     let (p, _tree) = CostParams::extract(m, dev)?;
-    Ok(simulate_with_params(m, dev, &p, freq_mhz))
+    simulate_with_params(m, dev, &p, freq_mhz)
 }
 
 /// Simulate with pre-extracted parameters (the DSE engine reuses them).
@@ -55,7 +55,12 @@ pub fn simulate_with_params(
     dev: &TargetDevice,
     p: &CostParams,
     freq_mhz: f64,
-) -> CycleStats {
+) -> Result<CycleStats, TybecError> {
+    if !(freq_mhz.is_finite() && freq_mhz > 0.0) {
+        return Err(TybecError::sim(format!(
+            "cannot simulate at a non-positive or non-finite clock ({freq_mhz} MHz)"
+        )));
+    }
     let f_hz = freq_mhz * 1e6;
     let dram = DramModel::streaming(dev.dram_link.peak_bytes_per_s);
 
@@ -93,9 +98,19 @@ pub fn simulate_with_params(
 
     let offchip = !matches!(p.form, MemForm::C) && p.bytes_per_item > 0;
     let supply = if offchip { aggregate / f_hz } else { f64::INFINITY }; // bytes/cycle
-                                                                         // Bytes one "group item" moves (all lanes × vector slots consume and
-                                                                         // produce together), and the byte rate the full-speed datapath
-                                                                         // demands per cycle.
+    if supply.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        // Off-chip streams over a zero-bandwidth (or numerically
+        // degenerate) link — NaN supply lands here too, hence the
+        // `partial_cmp`: the streaming loop below would spin without
+        // ever advancing a work-item. Refuse the configuration instead,
+        // mirroring the `exercised_gbytes` clamp in tytra-cost.
+        return Err(TybecError::sim(
+            "off-chip streams with zero effective link bandwidth: instance would never complete",
+        ));
+    }
+    // Bytes one "group item" moves (all lanes × vector slots consume and
+    // produce together), and the byte rate the full-speed datapath
+    // demands per cycle.
     let group_bytes = (p.knl.max(1) * u64::from(p.dv.max(1)) * p.bytes_per_item) as f64;
     let demand_rate = group_bytes / p.sched.ii.max(1.0);
 
@@ -178,7 +193,7 @@ pub fn simulate_with_params(
     let total = prime_cycles + fill_cycles + stream_cycles + drain_cycles;
     let achieved = if total > 0 && offchip { p.total_bytes() / (total as f64 / f_hz) } else { 0.0 };
 
-    CycleStats {
+    Ok(CycleStats {
         prime_cycles,
         fill_cycles,
         stream_cycles,
@@ -187,7 +202,7 @@ pub fn simulate_with_params(
         drain_cycles,
         total,
         achieved_bytes_per_s: achieved,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -250,6 +265,41 @@ mod tests {
         }
         b.ndrange(&[n]).nki(10).form(form);
         b.finish_unchecked()
+    }
+
+    #[test]
+    fn zero_bandwidth_device_is_rejected_not_hung() {
+        // An off-chip design on a zero-bandwidth link can never finish a
+        // kernel instance; before the guard this spun the streaming loop
+        // forever. It must come back as a Sim-category error instead.
+        let m = kernel(1, 1 << 12, false, MemForm::B);
+        let mut dev = stratix_v_gsd8();
+        dev.dram_link.peak_bytes_per_s = 0.0;
+        let e = simulate_instance(&m, &dev, 200.0).unwrap_err();
+        assert_eq!(e.category, tytra_ir::ErrorCategory::Sim);
+        assert!(e.message.contains("bandwidth"), "{e}");
+    }
+
+    #[test]
+    fn degenerate_clock_is_rejected() {
+        let m = kernel(1, 1 << 12, false, MemForm::B);
+        let dev = stratix_v_gsd8();
+        for f in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let e = simulate_instance(&m, &dev, f).unwrap_err();
+            assert_eq!(e.category, tytra_ir::ErrorCategory::Sim, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn zero_trip_count_instance_terminates() {
+        // A degenerate NDRange of zero work-items streams nothing but
+        // still pays prime/fill/drain; it must terminate, not loop.
+        let m = kernel(1, 0, false, MemForm::B);
+        let dev = stratix_v_gsd8();
+        let s = simulate_instance(&m, &dev, 200.0).unwrap();
+        assert_eq!(s.stall_cycles, 0);
+        assert_eq!(s.total, s.prime_cycles + s.fill_cycles + s.stream_cycles + s.drain_cycles);
+        assert!(s.achieved_bytes_per_s.is_finite());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use tytra_ir::{
     config_tree, Dest, IrError, IrFunction, IrModule, Opcode, Operand, ParKind, PortDir,
-    ScalarType, Stmt,
+    ScalarType, Stmt, TybecError,
 };
 
 /// A runtime value: integers carry their width for masking.
@@ -80,7 +80,11 @@ pub struct ExecOutputs {
 ///
 /// `inputs` supplies one array per input parameter of the lane function;
 /// all arrays must have length ≥ `n`.
-pub fn execute_module(m: &IrModule, inputs: &ExecInputs, n: usize) -> Result<ExecOutputs, IrError> {
+pub fn execute_module(
+    m: &IrModule,
+    inputs: &ExecInputs,
+    n: usize,
+) -> Result<ExecOutputs, TybecError> {
     let tree = config_tree::extract(m)?;
     // The lane function: descend par → first child; coarse pipes execute
     // child pipes in sequence (each stage feeding the next is not yet
@@ -125,13 +129,13 @@ pub fn execute_application(
     inputs: &ExecInputs,
     n: usize,
     halo: usize,
-) -> Result<ExecOutputs, IrError> {
+) -> Result<ExecOutputs, TybecError> {
     let lanes = m.kernel_lanes().max(1) as usize;
     if lanes == 1 {
         return execute_module(m, inputs, n);
     }
     if !n.is_multiple_of(lanes) {
-        return Err(IrError::Validate(format!("{lanes} lanes do not divide {n} work-items")));
+        return Err(IrError::Validate(format!("{lanes} lanes do not divide {n} work-items")).into());
     }
     let per = n / lanes;
     let mut combined = ExecOutputs::default();
@@ -619,6 +623,7 @@ mod tests {
         let m = double_module();
         let inp = ExecInputs::default();
         let e = execute_module(&m, &inp, 4).unwrap_err();
-        assert_eq!(e, IrError::Unknown { kind: "input array", name: "x".into() });
+        assert_eq!(e, TybecError::from(IrError::Unknown { kind: "input array", name: "x".into() }));
+        assert_eq!(e.category, tytra_ir::ErrorCategory::Config);
     }
 }

@@ -10,7 +10,7 @@ use crate::power::{meter, PowerReading};
 use crate::synth::{synthesize, SynthesisResult};
 use tytra_cost::CostParams;
 use tytra_device::TargetDevice;
-use tytra_ir::{AccessPattern, IrError, IrModule, MemForm};
+use tytra_ir::{AccessPattern, IrModule, MemForm, TybecError};
 
 /// Result of running a full application (NKI kernel instances).
 #[derive(Debug, Clone, PartialEq)]
@@ -43,10 +43,10 @@ impl RunResult {
 }
 
 /// Synthesize, simulate and orchestrate a validated module end to end.
-pub fn run_application(m: &IrModule, dev: &TargetDevice) -> Result<RunResult, IrError> {
+pub fn run_application(m: &IrModule, dev: &TargetDevice) -> Result<RunResult, TybecError> {
     let synth = synthesize(m, dev)?;
     let (params, _tree) = CostParams::extract(m, dev)?;
-    let cycles = simulate_with_params(m, dev, &params, synth.fmax_mhz);
+    let cycles = simulate_with_params(m, dev, &params, synth.fmax_mhz)?;
 
     let f_hz = synth.fmax_mhz * 1e6;
     let t_device = cycles.total as f64 / f_hz;

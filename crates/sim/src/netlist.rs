@@ -3,7 +3,9 @@
 //! Verilog emitter mirrors (paper Fig 11, "Generate Core(s)" onwards).
 
 use tytra_device::TargetDevice;
-use tytra_ir::{config_tree, ConfigNode, Dfg, IrError, IrModule, Opcode, ParKind, ScalarType};
+use tytra_ir::{
+    config_tree, ConfigNode, Dfg, IrError, IrModule, Opcode, ParKind, ScalarType, TybecError,
+};
 
 /// What a component physically is.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,7 +82,7 @@ pub struct Netlist {
 impl Netlist {
     /// Elaborate a validated module against a target (the target supplies
     /// latencies for FU instantiation).
-    pub fn elaborate(m: &IrModule, dev: &TargetDevice) -> Result<Netlist, IrError> {
+    pub fn elaborate(m: &IrModule, dev: &TargetDevice) -> Result<Netlist, TybecError> {
         let tree = config_tree::extract(m)?;
         let mut components = Vec::new();
         let mut lane_counter = 0u32;

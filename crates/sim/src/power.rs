@@ -26,7 +26,12 @@ pub fn meter(
     cycles: &CycleStats,
     runtime_s: f64,
 ) -> PowerReading {
+    // Clamp degenerate link rates (NaN/inf from a zero-time run,
+    // negative from a miscalibrated model) so the meter never propagates
+    // non-finite power — same policy as tytra-cost's `exercised_gbytes`.
     let io_gbytes = cycles.achieved_bytes_per_s / 1e9;
+    let io_gbytes = if io_gbytes.is_finite() && io_gbytes > 0.0 { io_gbytes } else { 0.0 };
+    let runtime_s = if runtime_s.is_finite() && runtime_s > 0.0 { runtime_s } else { 0.0 };
     let w = dev.power.delta_watts(&synth.resources, synth.fmax_mhz, io_gbytes);
     PowerReading { delta_watts: w, delta_energy_j: w * runtime_s }
 }
@@ -73,6 +78,21 @@ mod tests {
         let b = meter(&dev, &fake_synth(10_000), &fake_cycles(1e9), 2.0);
         assert!((b.delta_energy_j - 2.0 * a.delta_energy_j).abs() < 1e-9);
         assert_eq!(a.delta_watts, b.delta_watts);
+    }
+
+    #[test]
+    fn non_finite_link_rate_is_clamped() {
+        // A degenerate simulation (zero-time run, miscalibrated model)
+        // must not propagate NaN/inf into the meter reading.
+        let dev = stratix_v_gsd8();
+        for bw in [f64::NAN, f64::INFINITY, -3.0e9] {
+            let r = meter(&dev, &fake_synth(10_000), &fake_cycles(bw), 1.0);
+            assert!(r.delta_watts.is_finite(), "bw {bw}");
+            assert!(r.delta_energy_j.is_finite(), "bw {bw}");
+        }
+        let r = meter(&dev, &fake_synth(10_000), &fake_cycles(1e9), f64::NAN);
+        assert!(r.delta_energy_j.is_finite());
+        assert_eq!(r.delta_energy_j, 0.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::netlist::{ComponentKind, Netlist};
 use crate::rng::rng_for;
 use rand::RngExt;
 use tytra_device::{ResourceVector, TargetDevice};
-use tytra_ir::{IrError, IrModule, Opcode, ScalarType};
+use tytra_ir::{IrModule, Opcode, ScalarType, TybecError};
 
 /// Output of the virtual toolchain run.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,7 +44,7 @@ pub struct SynthesisResult {
 }
 
 /// Run the virtual toolchain over a design.
-pub fn synthesize(m: &IrModule, dev: &TargetDevice) -> Result<SynthesisResult, IrError> {
+pub fn synthesize(m: &IrModule, dev: &TargetDevice) -> Result<SynthesisResult, TybecError> {
     let netlist = Netlist::elaborate(m, dev)?;
     Ok(synthesize_netlist(&netlist, m, dev))
 }
