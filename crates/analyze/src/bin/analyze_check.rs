@@ -1,0 +1,102 @@
+//! `analyze_check` — validate the JSON emitted by
+//! `tybec analyze <design.tirl> --json`.
+//!
+//! ```text
+//! analyze_check <report.json>...
+//! ```
+//!
+//! Each file must strict-parse (the same zero-tolerance parser
+//! `trace_check` uses) into an object carrying the full report shape:
+//! `design`, `solver` (with `nodes`/`iterations`/`peak_worklist`),
+//! `reachable`, `functions` (each with `name`/`values`/`constants`/
+//! `consumed`/`callees`), `clamp_findings`, `deadlock_findings` and
+//! `congruence` (whose `key` must round-trip as a 16-digit hex `u64`).
+//! CI runs this over the report of every design in `assets/`.
+
+use std::process::ExitCode;
+use tytra_trace::json::{parse, Json};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: analyze_check <report.json>...");
+        return ExitCode::FAILURE;
+    }
+    for path in &args {
+        match check(path) {
+            Ok(summary) => println!("{summary}"),
+            Err(msg) => {
+                eprintln!("analyze_check: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn require<'a>(doc: &'a Json, path: &str, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or(format!("{path}: missing `{key}`"))
+}
+
+fn check(path: &str) -> Result<String, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = parse(&src).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    doc.as_obj().ok_or(format!("{path}: report is not an object"))?;
+
+    let design =
+        require(&doc, path, "design")?.as_str().ok_or(format!("{path}: `design` not a string"))?;
+
+    let solver = require(&doc, path, "solver")?;
+    for key in ["nodes", "iterations", "peak_worklist"] {
+        require(solver, path, key)?
+            .as_num()
+            .ok_or(format!("{path}: `solver.{key}` not a number"))?;
+    }
+
+    let reachable = require(&doc, path, "reachable")?
+        .as_arr()
+        .ok_or(format!("{path}: `reachable` not an array"))?;
+    if reachable.iter().any(|f| f.as_str().is_none()) {
+        return Err(format!("{path}: `reachable` holds a non-string"));
+    }
+
+    let functions = require(&doc, path, "functions")?
+        .as_arr()
+        .ok_or(format!("{path}: `functions` not an array"))?;
+    for (i, f) in functions.iter().enumerate() {
+        f.get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("{path}: functions[{i}] lacks a string `name`"))?;
+        for key in ["values", "constants", "consumed", "callees"] {
+            if f.get(key).is_none() {
+                return Err(format!("{path}: functions[{i}] lacks `{key}`"));
+            }
+        }
+    }
+
+    for key in ["clamp_findings", "deadlock_findings"] {
+        require(&doc, path, key)?.as_arr().ok_or(format!("{path}: `{key}` not an array"))?;
+    }
+
+    let congruence = require(&doc, path, "congruence")?;
+    let key = congruence
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or(format!("{path}: `congruence.key` not a string"))?;
+    let hex = key
+        .strip_prefix("0x")
+        .ok_or(format!("{path}: `congruence.key` lacks the 0x prefix: {key}"))?;
+    if hex.len() != 16 || u64::from_str_radix(hex, 16).is_err() {
+        return Err(format!("{path}: `congruence.key` is not a 16-digit hex u64: {key}"));
+    }
+    congruence
+        .get("canonical_form")
+        .and_then(Json::as_str)
+        .ok_or(format!("{path}: `congruence.canonical_form` not a string"))?;
+
+    Ok(format!(
+        "{path}: ok — design `{design}`, {} reachable, {} function reports",
+        reachable.len(),
+        functions.len()
+    ))
+}

@@ -1,0 +1,225 @@
+//! The lattice abstraction every analysis value lives in.
+//!
+//! A monotone dataflow analysis assigns each program point a value from
+//! a join-semilattice and iterates monotone transfer functions to a
+//! fixpoint. The solver ([`crate::solver`]) only needs three things from
+//! the value domain: a least element, a join, and a way to tell whether
+//! a join actually changed anything (that is the worklist's termination
+//! test), so that is the whole trait.
+
+use std::collections::BTreeSet;
+use tytra_ir::ScalarType;
+
+/// A join-semilattice value.
+pub trait Lattice: Clone + PartialEq {
+    /// The least element (`⊥`): the value every node starts from.
+    fn bottom() -> Self;
+
+    /// Join `other` into `self` (least upper bound), returning `true`
+    /// when `self` changed. The solver re-enqueues a node's dependents
+    /// exactly when its value changed, so a `join` that reports phantom
+    /// changes costs iterations and one that misses changes loses
+    /// soundness.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// Reachability / may-facts: `false = ⊥`, `true = ⊤`.
+impl Lattice for bool {
+    fn bottom() -> bool {
+        false
+    }
+
+    fn join(&mut self, other: &bool) -> bool {
+        let changed = !*self && *other;
+        *self |= *other;
+        changed
+    }
+}
+
+/// The powerset lattice ordered by inclusion, joined by union. Used by
+/// the stream-dependence analysis ("which memory objects can flow into
+/// this node").
+impl<T: Ord + Clone> Lattice for BTreeSet<T> {
+    fn bottom() -> BTreeSet<T> {
+        BTreeSet::new()
+    }
+
+    fn join(&mut self, other: &BTreeSet<T>) -> bool {
+        let before = self.len();
+        for x in other {
+            if !self.contains(x) {
+                self.insert(x.clone());
+            }
+        }
+        self.len() != before
+    }
+}
+
+/// An integer interval with an explicit empty element and an explicit
+/// "any value of the type" top. Bounds are `i128` so 64-bit arithmetic
+/// on the endpoints cannot itself overflow; the transfer functions clamp
+/// results back to the value's [`ScalarType`] range (treating overflow
+/// as "could be anything", which is sound under wrapping *or*
+/// saturating hardware semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interval {
+    /// No value reaches this point yet (`⊥`).
+    Empty,
+    /// Every reachable value lies in `lo..=hi`.
+    Range {
+        /// Least possible value.
+        lo: i128,
+        /// Greatest possible value.
+        hi: i128,
+    },
+    /// Any representable value (`⊤`); also the only element used for
+    /// floating-point values, which this analysis does not bound.
+    Any,
+}
+
+impl Interval {
+    /// The interval holding exactly `v`.
+    pub fn constant(v: i128) -> Interval {
+        Interval::Range { lo: v, hi: v }
+    }
+
+    /// An interval from endpoints (normalising `lo > hi` to `Empty`).
+    pub fn range(lo: i128, hi: i128) -> Interval {
+        if lo > hi {
+            Interval::Empty
+        } else {
+            Interval::Range { lo, hi }
+        }
+    }
+
+    /// The full representable range of `ty`, or [`Interval::Any`] for
+    /// floats (whose values this analysis does not order).
+    pub fn of_type(ty: ScalarType) -> Interval {
+        match ty {
+            ScalarType::UInt(w) => {
+                let hi = (1i128 << w.min(127)) - 1;
+                Interval::Range { lo: 0, hi }
+            }
+            ScalarType::Int(w) => {
+                let half = 1i128 << (w.saturating_sub(1)).min(126);
+                Interval::Range { lo: -half, hi: half - 1 }
+            }
+            ScalarType::Float(_) => Interval::Any,
+        }
+    }
+
+    /// The single value this interval holds, if it is a singleton.
+    pub fn as_constant(&self) -> Option<i128> {
+        match self {
+            Interval::Range { lo, hi } if lo == hi => Some(*lo),
+            _ => None,
+        }
+    }
+
+    /// The endpoints, when the interval is a finite range.
+    pub fn bounds(&self) -> Option<(i128, i128)> {
+        match self {
+            Interval::Range { lo, hi } => Some((*lo, *hi)),
+            _ => None,
+        }
+    }
+
+    /// Clamp this interval to the representable range of `ty`. A result
+    /// that sticks out of the type's range may have wrapped in hardware,
+    /// so anything outside widens to the type's full range rather than
+    /// truncating (truncation would be unsound under wrapping).
+    pub fn fit(self, ty: ScalarType) -> Interval {
+        let Interval::Range { lo, hi } = self else {
+            return match self {
+                Interval::Empty => Interval::Empty,
+                _ => Interval::of_type(ty),
+            };
+        };
+        match Interval::of_type(ty) {
+            Interval::Range { lo: tlo, hi: thi } => {
+                if lo >= tlo && hi <= thi {
+                    Interval::Range { lo, hi }
+                } else {
+                    Interval::Range { lo: tlo, hi: thi }
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl Lattice for Interval {
+    fn bottom() -> Interval {
+        Interval::Empty
+    }
+
+    fn join(&mut self, other: &Interval) -> bool {
+        let joined = match (*self, *other) {
+            (a, Interval::Empty) => a,
+            (Interval::Empty, b) => b,
+            (Interval::Any, _) | (_, Interval::Any) => Interval::Any,
+            (Interval::Range { lo: a, hi: b }, Interval::Range { lo: c, hi: d }) => {
+                Interval::Range { lo: a.min(c), hi: b.max(d) }
+            }
+        };
+        let changed = joined != *self;
+        *self = joined;
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_lattice_is_monotone() {
+        let mut r = bool::bottom();
+        assert!(!r.join(&false));
+        assert!(r.join(&true));
+        assert!(!r.join(&true));
+        assert!(!r.join(&false), "true is top: nothing changes it");
+    }
+
+    #[test]
+    fn set_lattice_joins_by_union() {
+        let mut s: BTreeSet<u32> = Lattice::bottom();
+        assert!(s.join(&BTreeSet::from([1, 2])));
+        assert!(!s.join(&BTreeSet::from([2])));
+        assert!(s.join(&BTreeSet::from([3])));
+        assert_eq!(s, BTreeSet::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn interval_join_takes_the_hull() {
+        let mut i = Interval::constant(4);
+        assert!(i.join(&Interval::constant(9)));
+        assert_eq!(i, Interval::range(4, 9));
+        assert!(!i.join(&Interval::constant(5)), "5 is inside the hull");
+        assert!(i.join(&Interval::Any));
+        assert_eq!(i, Interval::Any);
+    }
+
+    #[test]
+    fn interval_fit_widens_on_overflow() {
+        let ty = ScalarType::UInt(8);
+        assert_eq!(Interval::range(3, 200).fit(ty), Interval::range(3, 200));
+        // 300 exceeds u8: the value may have wrapped anywhere.
+        assert_eq!(Interval::range(3, 300).fit(ty), Interval::range(0, 255));
+        assert_eq!(Interval::range(-1, 5).fit(ty), Interval::range(0, 255));
+    }
+
+    #[test]
+    fn type_ranges_match_the_width() {
+        assert_eq!(Interval::of_type(ScalarType::UInt(18)), Interval::range(0, (1 << 18) - 1));
+        assert_eq!(Interval::of_type(ScalarType::Int(16)), Interval::range(-32768, 32767));
+        assert_eq!(Interval::of_type(ScalarType::Float(32)), Interval::Any);
+    }
+
+    #[test]
+    fn empty_normalisation_and_constants() {
+        assert_eq!(Interval::range(5, 4), Interval::Empty);
+        assert_eq!(Interval::constant(7).as_constant(), Some(7));
+        assert_eq!(Interval::range(1, 2).as_constant(), None);
+    }
+}

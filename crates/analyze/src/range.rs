@@ -1,0 +1,500 @@
+//! Value-range / constant propagation over the Compute-IR.
+//!
+//! Each reachable function gets one dataflow node per defined name
+//! (parameter, offset stream, SSA value, reduction accumulator) valued
+//! in the [`Interval`] lattice. Input parameters seed at their type's
+//! full range, immediates at singletons, and interval arithmetic flows
+//! through the def–use edges. The IR is straight-line SSA, so the only
+//! cycles are reduction accumulators reading themselves; a widening cap
+//! (jump to the type's full range after [`WIDEN_AFTER`] visits) keeps
+//! those finite.
+//!
+//! Two products come out: per-name ranges (the `tybec analyze` report,
+//! including how many values are compile-time constants) and
+//! [`ClampFinding`]s — `min`/`max` instructions whose immediate bound
+//! lies outside the other operand's derived range, making one branch of
+//! the clamp unreachable. The TL1007 lint pass renders those findings.
+
+use std::collections::BTreeMap;
+
+use tytra_ir::{
+    Instruction, IrFunction, IrModule, Opcode, Operand, ParKind, ScalarType, SrcLoc, Stmt,
+};
+
+use crate::lattice::{Interval, Lattice};
+use crate::solver::{reachable, solve, SolverStats};
+
+/// Visits of one node before its value widens to the full type range.
+/// Reduction self-loops converge in one widening step; anything higher
+/// only delays that without adding precision (the loop body repeats
+/// identically every iteration).
+pub const WIDEN_AFTER: u32 = 4;
+
+/// A `min`/`max` clamp whose immediate can never fire (or always
+/// fires): one branch of the clamp is unreachable given the derived
+/// range of the other operand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClampFinding {
+    /// Function containing the clamp.
+    pub func: String,
+    /// Destination name of the clamp instruction.
+    pub value: String,
+    /// `min` or `max`.
+    pub mnemonic: &'static str,
+    /// The immediate bound.
+    pub imm: i64,
+    /// Lower end of the clamped operand's derived range.
+    pub lo: i128,
+    /// Upper end of the clamped operand's derived range.
+    pub hi: i128,
+    /// `true` when the result is always the immediate (the data path is
+    /// dead); `false` when the clamp is a no-op (the immediate is dead).
+    pub always_imm: bool,
+    /// Source location of the instruction.
+    pub span: SrcLoc,
+}
+
+/// Ranges derived for one function.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FnRanges {
+    /// Interval per defined name (params, offsets, SSA values,
+    /// accumulators), in name order.
+    pub values: BTreeMap<String, Interval>,
+    /// Offset window per source stream: `(most negative, most
+    /// positive)` offset — the NDRange-bounds fact the smart-buffer
+    /// sizing reads.
+    pub windows: BTreeMap<String, (i64, i64)>,
+}
+
+impl FnRanges {
+    /// How many derived values are compile-time constants.
+    pub fn constants(&self) -> usize {
+        self.values.values().filter(|v| v.as_constant().is_some()).count()
+    }
+}
+
+/// Result of the whole-module range analysis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RangeAnalysis {
+    /// Per-function ranges, for every function reachable from `main`.
+    pub per_fn: BTreeMap<String, FnRanges>,
+    /// Unreachable-range clamp findings (TL1007), in program order.
+    pub findings: Vec<ClampFinding>,
+    /// Summed solver counters across all functions.
+    pub stats: SolverStats,
+}
+
+/// Run value-range propagation over every function reachable from
+/// `main`.
+pub fn analyze_ranges(m: &IrModule) -> RangeAnalysis {
+    let (live, mut stats) = reachable(m);
+    let mut out = RangeAnalysis::default();
+    for f in &m.functions {
+        if !live.contains(&f.name) {
+            continue;
+        }
+        let (ranges, fn_stats, findings) = analyze_function(f);
+        stats.absorb(&fn_stats);
+        out.per_fn.insert(f.name.clone(), ranges);
+        out.findings.extend(findings);
+    }
+    out.stats = stats;
+    out
+}
+
+/// One dataflow node: a defined name and how its value is computed.
+enum NodeKind<'a> {
+    /// Input parameter: seeded at the type's full range.
+    Param(ScalarType),
+    /// Offset stream: same value range as its source stream.
+    Offset(&'a str),
+    /// SSA instruction (local or reduction destination).
+    Instr(&'a Instruction),
+}
+
+/// Node table of one function: defined names in definition order.
+struct Nodes<'a> {
+    names: Vec<&'a str>,
+    kinds: Vec<NodeKind<'a>>,
+    index: BTreeMap<&'a str, usize>,
+}
+
+impl<'a> Nodes<'a> {
+    fn add(&mut self, name: &'a str, kind: NodeKind<'a>) {
+        if !self.index.contains_key(name) {
+            self.index.insert(name, self.names.len());
+            self.names.push(name);
+            self.kinds.push(kind);
+        }
+    }
+
+    fn collect(f: &'a IrFunction) -> Nodes<'a> {
+        let mut nodes = Nodes { names: Vec::new(), kinds: Vec::new(), index: BTreeMap::new() };
+        for p in &f.params {
+            nodes.add(&p.name, NodeKind::Param(p.ty));
+        }
+        for s in &f.body {
+            match s {
+                Stmt::Offset(o) => nodes.add(&o.dest, NodeKind::Offset(&o.src)),
+                Stmt::Instr(i) => nodes.add(i.dest.name(), NodeKind::Instr(i)),
+                Stmt::Call(_) => {}
+            }
+        }
+        nodes
+    }
+}
+
+fn analyze_function(f: &IrFunction) -> (FnRanges, SolverStats, Vec<ClampFinding>) {
+    let nodes = Nodes::collect(f);
+
+    // succs: def → use edges. Straight-line SSA means one definition per
+    // name; the only back-edges are reductions re-reading themselves.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes.names.len()];
+    for (n, kind) in nodes.kinds.iter().enumerate() {
+        let deps: Vec<&str> = match kind {
+            NodeKind::Param(_) => Vec::new(),
+            NodeKind::Offset(src) => vec![src],
+            NodeKind::Instr(i) => i.operands.iter().filter_map(Operand::name).collect(),
+        };
+        for d in deps {
+            if let Some(&def) = nodes.index.get(d) {
+                if !succs[def].contains(&n) {
+                    succs[def].push(n);
+                }
+            }
+        }
+    }
+
+    let mut visits = vec![0u32; nodes.names.len()];
+    let (vals, stats) = solve(&succs, |n, vals: &[Interval]| {
+        visits[n] += 1;
+        match &nodes.kinds[n] {
+            NodeKind::Param(ty) => Interval::of_type(*ty),
+            NodeKind::Offset(src) => nodes.index.get(*src).map_or(Interval::Any, |&d| vals[d]),
+            NodeKind::Instr(i) => {
+                if visits[n] > WIDEN_AFTER {
+                    // Widen: a reduction self-loop grows its range every
+                    // visit; jump straight to the type's full range.
+                    return Interval::of_type(i.ty);
+                }
+                let mut v = eval(i, |name| match nodes.index.get(name) {
+                    Some(&d) => vals[d],
+                    // Module-level names (ports, foreign globals): no
+                    // local definition, assume anything.
+                    None => Interval::Any,
+                })
+                .fit(i.ty);
+                if i.dest.is_global() {
+                    // Reduction accumulators start at zero before the
+                    // first kernel iteration folds into them; without
+                    // this seed the self-loop never leaves bottom.
+                    v.join(&Interval::constant(0).fit(i.ty));
+                }
+                v
+            }
+        }
+    });
+
+    let mut ranges = FnRanges::default();
+    for (name, v) in nodes.names.iter().zip(&vals) {
+        ranges.values.insert((*name).to_string(), *v);
+    }
+    for src in f.offset_sources() {
+        let mut neg = 0i64;
+        let mut pos = 0i64;
+        for o in f.offsets().filter(|o| o.src == src) {
+            neg = neg.min(o.offset);
+            pos = pos.max(o.offset);
+        }
+        ranges.windows.insert(src.to_string(), (neg, pos));
+    }
+
+    // Clamp findings, in program order. Only datapath kinds: `seq`
+    // bodies time-multiplex one unit and routinely clamp defensively.
+    let mut findings = Vec::new();
+    if matches!(f.kind, ParKind::Pipe | ParKind::Comb) {
+        for i in f.instrs() {
+            findings.extend(clamp_finding(f, i, &nodes.index, &vals));
+        }
+    }
+    (ranges, stats, findings)
+}
+
+/// Check one `min`/`max` instruction for an unreachable clamp branch.
+fn clamp_finding(
+    f: &IrFunction,
+    i: &Instruction,
+    index: &BTreeMap<&str, usize>,
+    vals: &[Interval],
+) -> Option<ClampFinding> {
+    if !matches!(i.op, Opcode::Min | Opcode::Max) || i.operands.len() != 2 {
+        return None;
+    }
+    // Exactly one immediate bound against one ranged value.
+    let (imm, other) = match (&i.operands[0], &i.operands[1]) {
+        (Operand::Imm(c), o) | (o, Operand::Imm(c)) if !o.is_const() => (*c, o),
+        _ => return None,
+    };
+    let name = other.name()?;
+    let (lo, hi) = vals[*index.get(name)?].bounds()?;
+    let c = i128::from(imm);
+    let always_imm = match i.op {
+        Opcode::Min => c <= lo, // min(x, c) with c ≤ lo: always c
+        _ => c >= hi,           // max(x, c) with c ≥ hi: always c
+    };
+    let noop = match i.op {
+        Opcode::Min => c >= hi, // min(x, c) with c ≥ hi: always x
+        _ => c <= lo,           // max(x, c) with c ≤ lo: always x
+    };
+    if !always_imm && !noop {
+        return None;
+    }
+    Some(ClampFinding {
+        func: f.name.clone(),
+        value: i.dest.name().to_string(),
+        mnemonic: i.op.mnemonic(),
+        imm,
+        lo,
+        hi,
+        always_imm,
+        span: i.span,
+    })
+}
+
+/// Interval evaluation of one instruction from its operand ranges.
+fn eval(i: &Instruction, lookup: impl Fn(&str) -> Interval) -> Interval {
+    if matches!(i.ty, ScalarType::Float(_)) {
+        // Floats are unordered in this analysis.
+        return Interval::Any;
+    }
+    if i.op.is_compare() {
+        // Comparison flags are 1-bit regardless of declared width.
+        return Interval::range(0, 1);
+    }
+    let ops: Vec<Interval> = i
+        .operands
+        .iter()
+        .map(|o| match o {
+            Operand::Imm(v) => Interval::constant(i128::from(*v)),
+            Operand::ImmF(_) => Interval::Any,
+            Operand::Local(n) | Operand::Global(n) => lookup(n),
+        })
+        .collect();
+    if ops.contains(&Interval::Empty) {
+        return Interval::Empty;
+    }
+    let bin = |f: fn((i128, i128), (i128, i128)) -> Interval| -> Interval {
+        match (ops[0].bounds(), ops[1].bounds()) {
+            (Some(a), Some(b)) => f(a, b),
+            _ => Interval::Any,
+        }
+    };
+    match i.op {
+        Opcode::Add => {
+            bin(|(al, ah), (bl, bh)| Interval::range(al.saturating_add(bl), ah.saturating_add(bh)))
+        }
+        Opcode::Sub => {
+            bin(|(al, ah), (bl, bh)| Interval::range(al.saturating_sub(bh), ah.saturating_sub(bl)))
+        }
+        Opcode::Mul => bin(|(al, ah), (bl, bh)| {
+            let ps = [
+                al.saturating_mul(bl),
+                al.saturating_mul(bh),
+                ah.saturating_mul(bl),
+                ah.saturating_mul(bh),
+            ];
+            Interval::range(*ps.iter().min().unwrap(), *ps.iter().max().unwrap())
+        }),
+        Opcode::Min => bin(|(al, ah), (bl, bh)| Interval::range(al.min(bl), ah.min(bh))),
+        Opcode::Max => bin(|(al, ah), (bl, bh)| Interval::range(al.max(bl), ah.max(bh))),
+        Opcode::Neg => match ops[0].bounds() {
+            Some((lo, hi)) => Interval::range(hi.saturating_neg(), lo.saturating_neg()),
+            None => Interval::Any,
+        },
+        Opcode::Abs => match ops[0].bounds() {
+            Some((lo, hi)) if lo >= 0 => Interval::range(lo, hi),
+            Some((lo, hi)) if hi <= 0 => Interval::range(hi.saturating_neg(), lo.saturating_neg()),
+            Some((lo, hi)) => Interval::range(0, hi.max(lo.saturating_neg())),
+            None => Interval::Any,
+        },
+        Opcode::Select => {
+            // Either arm can be taken: the hull of both data operands.
+            let mut v = ops[1];
+            v.join(&ops[2]);
+            v
+        }
+        // Division, shifts and bitwise logic fold only when fully
+        // constant; interval rules for them buy little on this IR.
+        Opcode::Div
+        | Opcode::Rem
+        | Opcode::Shl
+        | Opcode::Shr
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor => match (ops[0].as_constant(), ops[1].as_constant()) {
+            (Some(a), Some(b)) => fold_const(i.op, a, b),
+            _ => Interval::Any,
+        },
+        _ => Interval::Any,
+    }
+}
+
+/// Constant-fold the opcodes that only fold when both operands are
+/// known exactly.
+fn fold_const(op: Opcode, a: i128, b: i128) -> Interval {
+    let v = match op {
+        Opcode::Div if b != 0 => a.checked_div(b),
+        Opcode::Rem if b != 0 => a.checked_rem(b),
+        Opcode::Shl if (0..128).contains(&b) => a.checked_shl(b as u32),
+        Opcode::Shr if (0..128).contains(&b) => a.checked_shr(b as u32),
+        Opcode::And => Some(a & b),
+        Opcode::Or => Some(a | b),
+        Opcode::Xor => Some(a ^ b),
+        _ => None,
+    };
+    v.map_or(Interval::Any, Interval::constant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytra_ir::parse;
+
+    const CLAMPED: &str = r#"
+!module = !"clamp"
+!ndrange = !{64}
+!nki = !1
+!form = !"B"
+%mem_p = memobj addrSpace(1) ui8, !size, !64
+%mem_q = memobj addrSpace(1) ui8, !size, !64
+%strobj_p = streamobj %mem_p, !read, !"CONT"
+%strobj_q = streamobj %mem_q, !write, !"CONT"
+@main.p = addrSpace(12) ui8, !"istream", !"CONT", !0, !"strobj_p"
+@main.q = addrSpace(12) ui8, !"ostream", !"CONT", !0, !"strobj_q"
+define void @f0(ui8 %p, out ui8 %q) pipe {
+  ui8 %a = min ui8 %p, 300
+  ui8 %b = max ui8 %a, 10
+  ui8 %q__out = or ui8 %b, 0
+}
+define void @main() {
+  call @f0(%p, %q) pipe
+}
+"#;
+
+    #[test]
+    fn clamp_outside_type_range_is_flagged() {
+        let m = parse(CLAMPED).expect("parses");
+        let r = analyze_ranges(&m);
+        // min(%p, 300) on ui8: %p ∈ [0, 255], the bound can never fire.
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        let f = &r.findings[0];
+        assert_eq!(f.mnemonic, "min");
+        assert_eq!(f.imm, 300);
+        assert!(!f.always_imm, "the clamp is a no-op, not a constant");
+        assert_eq!((f.lo, f.hi), (0, 255));
+        // max(%a, 10) is a real clamp: %a ∈ [0, 255] straddles 10.
+        assert!(!r.findings.iter().any(|f| f.value == "b"));
+    }
+
+    #[test]
+    fn ranges_flow_through_the_datapath() {
+        let m = parse(CLAMPED).expect("parses");
+        let r = analyze_ranges(&m);
+        let f0 = &r.per_fn["f0"];
+        assert_eq!(f0.values["p"], Interval::range(0, 255));
+        assert_eq!(f0.values["a"], Interval::range(0, 255), "min(x, 300) keeps [0,255]");
+        assert_eq!(f0.values["b"], Interval::range(10, 255), "max(x, 10) raises the floor");
+        assert_eq!(f0.values["q__out"], Interval::range(0, 255), "or is opaque, fit to ui8");
+        assert_eq!(f0.constants(), 0);
+    }
+
+    #[test]
+    fn reductions_widen_instead_of_diverging() {
+        let src = r#"
+!module = !"acc"
+!ndrange = !{64}
+!nki = !1
+!form = !"B"
+%mem_p = memobj addrSpace(1) ui8, !size, !64
+%mem_q = memobj addrSpace(1) ui8, !size, !64
+%strobj_p = streamobj %mem_p, !read, !"CONT"
+%strobj_q = streamobj %mem_q, !write, !"CONT"
+@main.p = addrSpace(12) ui8, !"istream", !"CONT", !0, !"strobj_p"
+@main.q = addrSpace(12) ui8, !"ostream", !"CONT", !0, !"strobj_q"
+define void @f0(ui8 %p, out ui8 %q) pipe {
+  ui8 @acc = add ui8 %p, @acc
+  ui8 %q__out = or ui8 %p, 0
+}
+define void @main() {
+  call @f0(%p, %q) pipe
+}
+"#;
+        let m = parse(src).expect("parses");
+        let r = analyze_ranges(&m);
+        // The self-loop must terminate (widening) and land on the full
+        // type range, not a partial unrolling.
+        assert_eq!(r.per_fn["f0"].values["acc"], Interval::range(0, 255));
+        assert!(r.stats.iterations > 0);
+    }
+
+    #[test]
+    fn constants_propagate_and_are_counted() {
+        let src = r#"
+!module = !"konst"
+!ndrange = !{64}
+!nki = !1
+!form = !"B"
+%mem_p = memobj addrSpace(1) ui18, !size, !64
+%mem_q = memobj addrSpace(1) ui18, !size, !64
+%strobj_p = streamobj %mem_p, !read, !"CONT"
+%strobj_q = streamobj %mem_q, !write, !"CONT"
+@main.p = addrSpace(12) ui18, !"istream", !"CONT", !0, !"strobj_p"
+@main.q = addrSpace(12) ui18, !"ostream", !"CONT", !0, !"strobj_q"
+define void @f0(ui18 %p, out ui18 %q) pipe {
+  ui18 %k = shl ui18 3, 4
+  ui18 %q__out = add ui18 %p, %k
+}
+define void @main() {
+  call @f0(%p, %q) pipe
+}
+"#;
+        let m = parse(src).expect("parses");
+        let r = analyze_ranges(&m);
+        let f0 = &r.per_fn["f0"];
+        assert_eq!(f0.values["k"].as_constant(), Some(48));
+        assert_eq!(f0.constants(), 1);
+        // p ∈ [0, 2^18-1]; q__out = p + 48 overflows the type range, so
+        // fit() widens it back to the full ui18 range.
+        assert_eq!(f0.values["q__out"], Interval::range(0, (1 << 18) - 1));
+    }
+
+    #[test]
+    fn offset_windows_are_reported() {
+        let src = r#"
+!module = !"sten"
+!ndrange = !{30, 30}
+!nki = !1
+!form = !"B"
+%mem_p = memobj addrSpace(1) ui18, !size, !900
+%mem_q = memobj addrSpace(1) ui18, !size, !900
+%strobj_p = streamobj %mem_p, !read, !"CONT"
+%strobj_q = streamobj %mem_q, !write, !"CONT"
+@main.p = addrSpace(12) ui18, !"istream", !"CONT", !0, !"strobj_p"
+@main.q = addrSpace(12) ui18, !"ostream", !"CONT", !0, !"strobj_q"
+define void @f0(ui18 %p, out ui18 %q) pipe {
+  ui18 %pp = ui18 %p, !offset, !+30
+  ui18 %pn = ui18 %p, !offset, !-30
+  ui18 %q__out = add ui18 %pp, %pn
+}
+define void @main() {
+  call @f0(%p, %q) pipe
+}
+"#;
+        let m = parse(src).expect("parses");
+        let r = analyze_ranges(&m);
+        let f0 = &r.per_fn["f0"];
+        assert_eq!(f0.windows["p"], (-30, 30));
+        // Offset streams carry the source's value range.
+        assert_eq!(f0.values["pp"], f0.values["p"]);
+    }
+}

@@ -11,9 +11,13 @@
 //!
 //! The second artifact races the branch-and-bound search against the
 //! exhaustive escape hatch on the sor/eval-small acceptance space and
-//! records wall-times, the pruned fraction and the steal count. The run
-//! *fails* (nonzero exit) if the two modes' leaderboards or infeasible
-//! sets diverge — the admissibility contract, enforced in CI.
+//! records wall-times, the pruned fraction and the steal count, then
+//! repeats the race on an NKI-1 space where the congruence prefilter
+//! collapses the A/B form axis (recording classes, collapsed count and
+//! prefiltered wall). The run *fails* (nonzero exit) if either race's
+//! leaderboards or infeasible sets diverge — the admissibility and
+//! congruence contracts, enforced in CI — or if the prefilter collapses
+//! nothing on the NKI-1 space.
 //!
 //! All JSON is hand-rolled — the workspace has no serde.
 
@@ -68,7 +72,7 @@ fn bench_dse(out: &str) {
     };
 
     let (exhaustive_us, ex_outcome, _) = run(&SearchConfig::exhaustive(space.clone()));
-    let (pruned_us, pr_outcome, pr_stats) = run(&SearchConfig::pruned(space));
+    let (pruned_us, pr_outcome, pr_stats) = run(&SearchConfig::pruned(space.clone()));
 
     if outcome_fingerprint(&pr_outcome) != outcome_fingerprint(&ex_outcome) {
         eprintln!("FAIL: pruned search diverged from exhaustive search");
@@ -77,12 +81,46 @@ fn bench_dse(out: &str) {
         std::process::exit(1);
     }
 
+    // Congruence prefilter: at NKI == 1 the A/B form axis collapses, so
+    // the same space over an NKI-1 SOR must replicate half its full
+    // estimates from the class cache — and still match exhaustive
+    // bit-for-bit. Gated here like the bound pass above.
+    let sor1 = Sor::cubic(16, 1);
+    let run1 = |cfg: &SearchConfig| -> (f64, SearchOutcome, SearchStats) {
+        let mut walls = Vec::with_capacity(DSE_REPS);
+        let mut last = None;
+        let mut stats = SearchStats::default();
+        for _ in 0..DSE_REPS {
+            let t0 = Instant::now();
+            let outcome = search(&sor1, &dev, cfg);
+            walls.push(t0.elapsed().as_secs_f64() * 1e6);
+            stats = outcome.stats;
+            last = Some(outcome);
+        }
+        (median_us(&mut walls), last.expect("at least one rep"), stats)
+    };
+    let (_, ex1_outcome, _) = run1(&SearchConfig::exhaustive(space.clone()));
+    let (prefilter_us, pf_outcome, pf_stats) = run1(&SearchConfig::pruned(space));
+
+    if outcome_fingerprint(&pf_outcome) != outcome_fingerprint(&ex1_outcome) {
+        eprintln!("FAIL: prefiltered search diverged from exhaustive search at NKI 1");
+        eprintln!("  prefiltered: {:?}", outcome_fingerprint(&pf_outcome));
+        eprintln!("  exhaustive:  {:?}", outcome_fingerprint(&ex1_outcome));
+        std::process::exit(1);
+    }
+    if pf_stats.collapsed == 0 {
+        eprintln!("FAIL: congruence prefilter collapsed nothing on an NKI-1 space");
+        std::process::exit(1);
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"dse_search_sor16_eval_small\",\n  \"reps\": {DSE_REPS},\n  \
          \"exhaustive_us\": {exhaustive_us:.3},\n  \"pruned_us\": {pruned_us:.3},\n  \
          \"speedup\": {:.3},\n  \"pruned_fraction\": {:.4},\n  \
          \"generated\": {},\n  \"estimated\": {},\n  \
-         \"pruned_bound\": {},\n  \"pruned_unfit\": {},\n  \"steal_count\": {}\n}}\n",
+         \"pruned_bound\": {},\n  \"pruned_unfit\": {},\n  \"steal_count\": {},\n  \
+         \"prefilter_classes\": {},\n  \"prefilter_collapsed\": {},\n  \
+         \"prefilter_estimated\": {},\n  \"prefilter_us\": {prefilter_us:.3}\n}}\n",
         exhaustive_us / pruned_us,
         pr_stats.pruned_fraction(),
         pr_stats.generated,
@@ -90,6 +128,9 @@ fn bench_dse(out: &str) {
         pr_stats.pruned_bound,
         pr_stats.pruned_unfit,
         pr_stats.stolen,
+        pf_stats.classes,
+        pf_stats.collapsed,
+        pf_stats.estimated,
     );
     std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!(
@@ -98,6 +139,10 @@ fn bench_dse(out: &str) {
         exhaustive_us / pruned_us,
         pr_stats.pruned_fraction() * 100.0,
         pr_stats.stolen
+    );
+    println!(
+        "dse prefilter (nki 1): {} classes  {} collapsed  {} estimated  {prefilter_us:.1} µs",
+        pf_stats.classes, pf_stats.collapsed, pf_stats.estimated
     );
     println!("wrote {out} (leaderboards identical)");
 }

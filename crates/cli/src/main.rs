@@ -13,6 +13,7 @@
 //! tybec roofline <sor|hotspot|lavamd> [--target <name>] [--lanes N,N,...]
 //! tybec exec   <design.tirl> [--items N] [--seed S]   run the datapath functionally
 //! tybec lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
+//! tybec analyze <design.tirl> [--json]              dataflow analysis report
 //! ```
 //!
 //! Every subcommand also accepts the global profiling flags
@@ -34,7 +35,7 @@ use tytra_sim::{run_application, synthesize};
 use tytra_trace::sink;
 use tytra_transform::Variant;
 
-const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint> <input> [options]
+const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint|analyze> <input> [options]
   cost   <design.tirl> [--target <name>]
   actual <design.tirl> [--target <name>]
   hdl    <design.tirl> [--target <name>] [-o <out.v>] [--wrapper] [--check]
@@ -43,6 +44,7 @@ const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint> 
   roofline <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...]
   exec   <design.tirl> [--items N] [--seed S]
   lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
+  analyze <design.tirl> [--json]
 global: --trace <out> [--trace-format chrome|jsonl|tree]   write a span trace of the run
 targets: stratix-v-gsd8 (default) | virtex7-adm7v3 | eval-small";
 
@@ -198,6 +200,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             "roofline" => cmd_roofline(rest),
             "exec" => cmd_exec(rest),
             "lint" => cmd_lint(rest),
+            "analyze" => cmd_analyze(rest),
             "--help" | "-h" | "help" => {
                 println!("{USAGE}");
                 Ok(())
@@ -276,6 +279,20 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
     }
     if has_flag(args, "--deny-warnings") && warnings > 0 {
         return Err(format!("{path}: {warnings} warning(s) denied by --deny-warnings").into());
+    }
+    Ok(())
+}
+
+/// `tybec analyze`: run the dataflow-analysis catalogue (value ranges,
+/// stream-deadlock, cost-congruence) over a validated design and print
+/// the aggregated report — strict JSON under `--json`.
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
+    let m = load_module(args)?;
+    let report = tytra_analyze::analyze_module(&m);
+    if has_flag(args, "--json") {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
     }
     Ok(())
 }
@@ -478,6 +495,9 @@ fn cmd_dse(args: &[String]) -> Result<(), CliError> {
         println!("{}", tytra_dse::render_stats_line("exploration", &outcome.session));
         println!("{}", tytra_dse::render_stats_line("total", &total));
         println!("{}", tytra_dse::render_search_stats_line(&outcome.stats));
+        if !exhaustive {
+            println!("{}", tytra_dse::render_prefilter_stats_line(&outcome.stats));
+        }
     }
     if show_metrics {
         // The CLI session (sweep + tuning) and every search worker

@@ -202,6 +202,13 @@ pub fn render_search_stats_line(s: &SearchStats) -> String {
     )
 }
 
+/// The `tybec dse --stats` congruence-prefilter line. Only printed for
+/// pruned searches (the prefilter is off in exhaustive mode); byte-stable
+/// format like [`render_search_stats_line`].
+pub fn render_prefilter_stats_line(s: &SearchStats) -> String {
+    format!("  prefilter      {:>7} classes {:>8} collapsed", s.classes, s.collapsed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +299,8 @@ mod tests {
             pruned_bound: 6,
             stolen: 3,
             faulted: 0,
+            classes: 0,
+            collapsed: 0,
         };
         assert_eq!(
             render_search_stats_line(&s),
@@ -299,6 +308,15 @@ mod tests {
         );
         let faulty = SearchStats { faulted: 2, ..s };
         assert!(render_search_stats_line(&faulty).ends_with("    2 faulted"));
+    }
+
+    #[test]
+    fn prefilter_stats_line_is_byte_stable() {
+        let s = SearchStats { classes: 12, collapsed: 12, ..SearchStats::default() };
+        assert_eq!(
+            render_prefilter_stats_line(&s),
+            "  prefilter           12 classes       12 collapsed"
+        );
     }
 
     #[test]

@@ -28,10 +28,12 @@
 //! `dse-worker-N` thread lanes.
 
 use crossbeam::deque::{Steal, Stealer, Worker};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use tytra_cost::{EstimatorSession, SessionStats};
+use tytra_analyze::cost_class_key;
+use tytra_cost::{CostReport, EstimatorSession, SessionStats};
 use tytra_device::TargetDevice;
 use tytra_kernels::EvalKernel;
 use tytra_trace::metrics::Snapshot;
@@ -109,6 +111,13 @@ pub struct SearchStats {
     /// panic). Faulted variants are skipped, never aborting the sweep;
     /// the leaderboard over the healthy variants is unaffected.
     pub faulted: u64,
+    /// Distinct cost-congruence classes that paid a full estimate
+    /// (pruned mode; always 0 in exhaustive mode, which estimates every
+    /// variant individually).
+    pub classes: u64,
+    /// Variants whose report was replicated from a congruent class
+    /// member instead of re-running the estimator (the prefilter tier).
+    pub collapsed: u64,
 }
 
 impl SearchStats {
@@ -136,6 +145,8 @@ impl std::ops::AddAssign for SearchStats {
         self.pruned_bound += rhs.pruned_bound;
         self.stolen += rhs.stolen;
         self.faulted += rhs.faulted;
+        self.classes += rhs.classes;
+        self.collapsed += rhs.collapsed;
     }
 }
 
@@ -212,6 +223,40 @@ impl Incumbent {
     }
 }
 
+/// The shared congruence-class cache: the prefilter tier ahead of the
+/// bound pass. Keyed by [`tytra_analyze::cost_class_key`], whose
+/// contract is that equal keys receive bit-identical cost reports (the
+/// design label and, at `NKI == 1`, the A/B form aside — both patched on
+/// replication), so replicating a cached report is indistinguishable
+/// from re-running the estimator and the leaderboard stays bit-identical
+/// to `--exhaustive` no matter which class member was estimated first.
+struct ClassCache {
+    map: Mutex<HashMap<u64, CostReport>>,
+}
+
+impl ClassCache {
+    fn new() -> ClassCache {
+        ClassCache { map: Mutex::new(HashMap::new()) }
+    }
+
+    fn lookup(&self, key: u64) -> Option<CostReport> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).get(&key).cloned()
+    }
+
+    /// Insert the class representative; returns `true` when this call
+    /// created the class (two workers racing the same class both
+    /// estimate, but only one counts it).
+    fn insert_if_new(&self, key: u64, report: &CostReport) -> bool {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(key) {
+            slot.insert(report.clone());
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// The shared lazy generator: workers refill their deques from it in
 /// chunks under one short-lived lock.
 struct Dispenser {
@@ -266,11 +311,13 @@ fn record_fault(out: &mut WorkerOut, item: &IndexedVariant, worker: usize, why: 
 /// are keyed by structural fingerprint, so the worst a mid-pass panic
 /// leaves behind is an absent entry for the faulted module, never a
 /// wrong one for a healthy module.
+#[allow(clippy::too_many_arguments)]
 fn process_item(
     kernel: &dyn EvalKernel,
     item: IndexedVariant,
     cfg: &SearchConfig,
     incumbent: &Incumbent,
+    classes: &ClassCache,
     session: &mut EstimatorSession,
     out: &mut WorkerOut,
     worker: usize,
@@ -278,6 +325,40 @@ fn process_item(
     // Lowering fails only for illegal reshapes, which the generator
     // already filtered.
     let Ok(module) = kernel.lower_variant(&item.variant) else { return };
+
+    // Congruence prefilter: the cheapest tier, ahead even of the bound
+    // pass. Pruned mode only — `--exhaustive` estimates every variant
+    // individually, which is exactly what makes it the oracle the
+    // prefiltered leaderboard is checked against. Fault injection
+    // disables the tier: an injected fault must fire on its selected
+    // variant, not be absorbed by a congruent sibling's cached report.
+    let class_key = if cfg.mode == SearchMode::Pruned && cfg.fault_inject.is_none() {
+        let key = cost_class_key(&module);
+        if let Some(mut report) = classes.lookup(key) {
+            if trace::enabled() {
+                let _sp = trace::span("dse.prefilter")
+                    .with("variant", item.variant.tag())
+                    .with("worker", worker as u64);
+            }
+            out.stats.collapsed += 1;
+            // The only two facts the class key erases, patched back in.
+            report.design = module.name.clone();
+            report.params.form = module.meta.form;
+            if report.fits {
+                incumbent.record(report.throughput.ekit, item.index);
+                out.valid.push((
+                    item.index,
+                    EvaluatedVariant { variant: item.variant, report, reconfig: None },
+                ));
+            } else {
+                out.invalid.push(InvalidVariant { index: item.index, variant: item.variant });
+            }
+            return;
+        }
+        Some(key)
+    } else {
+        None
+    };
 
     if cfg.mode == SearchMode::Pruned {
         let verdict = catch_unwind(AssertUnwindSafe(|| {
@@ -335,6 +416,11 @@ fn process_item(
         }
     };
     out.stats.estimated += 1;
+    if let Some(key) = class_key {
+        if classes.insert_if_new(key, &report) {
+            out.stats.classes += 1;
+        }
+    }
     if report.fits {
         incumbent.record(report.throughput.ekit, item.index);
         out.valid
@@ -355,6 +441,7 @@ fn worker_loop(
     cfg: &SearchConfig,
     dispenser: &Dispenser,
     incumbent: &Incumbent,
+    classes: &ClassCache,
     queue: &Worker<IndexedVariant>,
     stealers: &[Stealer<IndexedVariant>],
     w: usize,
@@ -366,7 +453,7 @@ fn worker_loop(
     let mut out = WorkerOut::default();
     loop {
         if let Some(item) = queue.pop() {
-            process_item(kernel, item, cfg, incumbent, &mut session, &mut out, w);
+            process_item(kernel, item, cfg, incumbent, classes, &mut session, &mut out, w);
             continue;
         }
         let chunk = dispenser.refill(cfg.chunk);
@@ -377,7 +464,7 @@ fn worker_loop(
             for item in items {
                 queue.push(item);
             }
-            process_item(kernel, first, cfg, incumbent, &mut session, &mut out, w);
+            process_item(kernel, first, cfg, incumbent, classes, &mut session, &mut out, w);
             continue;
         }
         // Generator dry: steal up to half a victim's queue (the steal
@@ -400,7 +487,7 @@ fn worker_loop(
                     trace::span("dse.steal").with("worker", w as u64).with("victim", victim as u64)
                 });
                 drop(_sp);
-                process_item(kernel, item, cfg, incumbent, &mut session, &mut out, w);
+                process_item(kernel, item, cfg, incumbent, classes, &mut session, &mut out, w);
             }
             None => break,
         }
@@ -432,6 +519,7 @@ pub fn search(kernel: &dyn EvalKernel, dev: &TargetDevice, cfg: &SearchConfig) -
     let workers = requested.clamp(1, space_cap.max(1) as usize);
 
     let incumbent = Incumbent::new(cfg.top_k.max(1));
+    let classes = ClassCache::new();
     let dispenser = Dispenser { gen: Mutex::new(gen) };
 
     // Prove the filtered space non-empty before spawning anything: a
@@ -458,7 +546,7 @@ pub fn search(kernel: &dyn EvalKernel, dev: &TargetDevice, cfg: &SearchConfig) -
             queue.push(item);
         }
         let (out, stats, snap) =
-            worker_loop(kernel, dev, cfg, &dispenser, &incumbent, &queue, &[], 0);
+            worker_loop(kernel, dev, cfg, &dispenser, &incumbent, &classes, &queue, &[], 0);
         merged = out;
         session_stats = stats;
         metrics = snap;
@@ -489,9 +577,12 @@ pub fn search(kernel: &dyn EvalKernel, dev: &TargetDevice, cfg: &SearchConfig) -
                 .iter()
                 .enumerate()
                 .map(|(w, queue)| {
-                    let (dispenser, incumbent, stealers) = (&dispenser, &incumbent, &stealers[..]);
+                    let (dispenser, incumbent, classes, stealers) =
+                        (&dispenser, &incumbent, &classes, &stealers[..]);
                     scope.spawn(move || {
-                        worker_loop(kernel, dev, cfg, dispenser, incumbent, queue, stealers, w)
+                        worker_loop(
+                            kernel, dev, cfg, dispenser, incumbent, classes, queue, stealers, w,
+                        )
                     })
                 })
                 .collect();
@@ -693,6 +784,8 @@ mod tests {
             pruned_bound: 6,
             stolen: 3,
             faulted: 2,
+            classes: 5,
+            collapsed: 4,
         };
         assert_eq!(s.pruned(), 14);
         assert!((s.pruned_fraction() - 14.0 / 24.0).abs() < 1e-12);
@@ -702,5 +795,51 @@ mod tests {
         assert_eq!(t.generated, 48);
         assert_eq!(t.stolen, 6);
         assert_eq!(t.faulted, 4);
+        assert_eq!(t.classes, 10);
+        assert_eq!(t.collapsed, 8);
+    }
+
+    #[test]
+    fn prefilter_collapses_forms_at_nki_1() {
+        // At NKI == 1 the A and B memory forms are provably
+        // cost-congruent, so the prefilter halves the estimate count on
+        // an A+B sweep — while the leaderboard stays bit-identical to
+        // the exhaustive oracle for any worker count.
+        let sor = Sor::cubic(16, 1);
+        let dev = eval_small();
+        let exhaustive = search(&sor, &dev, &SearchConfig::exhaustive(space()));
+        assert_eq!(exhaustive.stats.collapsed, 0, "no prefilter in exhaustive mode");
+        assert_eq!(exhaustive.stats.classes, 0);
+        for workers in [1usize, 2, 4] {
+            let cfg = SearchConfig::pruned(ExplorationConfig { workers, ..space() });
+            let pruned = search(&sor, &dev, &cfg);
+            assert_eq!(fingerprint(&pruned), fingerprint(&exhaustive), "workers = {workers}");
+            assert!(
+                pruned.stats.collapsed > 0,
+                "A/B pairs at NKI == 1 must collapse: {:?}",
+                pruned.stats
+            );
+            assert!(pruned.stats.classes > 0);
+            assert_eq!(
+                pruned.stats.estimated
+                    + pruned.stats.collapsed
+                    + pruned.stats.pruned()
+                    + pruned.stats.faulted,
+                pruned.stats.generated,
+                "every generated variant is estimated, replicated or pruned: {:?}",
+                pruned.stats
+            );
+        }
+    }
+
+    #[test]
+    fn prefilter_is_silent_at_nki_above_1() {
+        // NKI > 1 splits the A/B forms (host-transfer amortisation
+        // differs), so with no other congruent axis in the space, no
+        // variant may be replicated.
+        let sor = Sor::cubic(16, 10);
+        let dev = eval_small();
+        let pruned = search(&sor, &dev, &SearchConfig::pruned(space()));
+        assert_eq!(pruned.stats.collapsed, 0, "{:?}", pruned.stats);
     }
 }

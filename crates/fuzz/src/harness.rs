@@ -47,6 +47,8 @@ pub enum OracleKind {
     EstimatorVsSim,
     /// Warm-vs-cold `EstimatorSession` bit-identity.
     SessionDeterminism,
+    /// `analyze_module` totality plus congruence-key soundness.
+    AnalyzeCongruence,
     /// Pruned vs exhaustive search leaderboard bit-identity.
     SearchEquivalence,
 }
@@ -59,6 +61,7 @@ impl OracleKind {
             OracleKind::RoundtripClean => "roundtrip-clean",
             OracleKind::EstimatorVsSim => "estimator-vs-sim",
             OracleKind::SessionDeterminism => "session-determinism",
+            OracleKind::AnalyzeCongruence => "analyze-congruence",
             OracleKind::SearchEquivalence => "search-equivalence",
         }
     }
@@ -71,7 +74,8 @@ impl OracleKind {
             0..=15 => OracleKind::RoundtripMutated,
             16..=19 => OracleKind::RoundtripClean,
             20..=25 => OracleKind::EstimatorVsSim,
-            26..=30 => OracleKind::SessionDeterminism,
+            26..=29 => OracleKind::SessionDeterminism,
+            30 => OracleKind::AnalyzeCongruence,
             _ => OracleKind::SearchEquivalence,
         }
     }
@@ -172,6 +176,14 @@ pub fn run_case(seed: u64, case_id: u64, bands: &ToleranceBands) -> CaseResult {
                 .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
             (v, Some(src))
         }
+        OracleKind::AnalyzeCongruence => {
+            let m = g.valid_module();
+            let src = tytra_ir::print(&m);
+            let dev = tytra_device::eval_small();
+            let v = panic::catch_unwind(AssertUnwindSafe(|| oracle::analyze_congruence(&m, &dev)))
+                .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
+            (v, Some(src))
+        }
         OracleKind::SearchEquivalence => {
             let v = panic::catch_unwind(AssertUnwindSafe(|| oracle::search_equivalence(&mut g)))
                 .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
@@ -190,17 +202,21 @@ fn reproduces(case: &CaseResult, bands: &ToleranceBands, candidate: &str) -> boo
             panic::catch_unwind(AssertUnwindSafe(|| oracle::roundtrip(candidate)))
                 .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())))
         }
-        OracleKind::EstimatorVsSim | OracleKind::SessionDeterminism => {
+        OracleKind::EstimatorVsSim
+        | OracleKind::SessionDeterminism
+        | OracleKind::AnalyzeCongruence => {
             let m = match tytra_ir::parse(candidate) {
                 Ok(m) => m,
                 Err(_) => return false,
             };
-            let run = || {
-                if case.oracle == OracleKind::EstimatorVsSim {
+            let run = || match case.oracle {
+                OracleKind::EstimatorVsSim => {
                     oracle::estimator_vs_sim(&m, &tytra_device::stratix_v_gsd8(), bands)
-                } else {
-                    oracle::session_determinism(&m, &tytra_device::eval_small())
                 }
+                OracleKind::AnalyzeCongruence => {
+                    oracle::analyze_congruence(&m, &tytra_device::eval_small())
+                }
+                _ => oracle::session_determinism(&m, &tytra_device::eval_small()),
             };
             panic::catch_unwind(AssertUnwindSafe(run))
                 .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())))
@@ -261,8 +277,9 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
 }
 
 /// Replay a corpus fixture (or any TIRL source) through every oracle
-/// that accepts file input: round-trip always; estimator-vs-sim and
-/// session determinism when the source parses and validates. Returns
+/// that accepts file input: round-trip always; estimator-vs-sim,
+/// session determinism and analyze-congruence when the source parses
+/// and validates. Returns
 /// the per-oracle verdicts. Search equivalence has no file input; the
 /// regression test replays it separately from recorded seeds.
 pub fn replay_source(src: &str, bands: &ToleranceBands) -> Vec<(OracleKind, Verdict)> {
@@ -281,6 +298,9 @@ pub fn replay_source(src: &str, bands: &ToleranceBands) -> Vec<(OracleKind, Verd
         let v = panic::catch_unwind(AssertUnwindSafe(|| oracle::session_determinism(&m, &dev)))
             .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
         out.push((OracleKind::SessionDeterminism, v));
+        let v = panic::catch_unwind(AssertUnwindSafe(|| oracle::analyze_congruence(&m, &dev)))
+            .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
+        out.push((OracleKind::AnalyzeCongruence, v));
     }
     panic::set_hook(prev_hook);
     out
@@ -305,7 +325,7 @@ mod tests {
     fn the_wheel_covers_every_oracle() {
         let kinds: std::collections::BTreeSet<&str> =
             (0..32).map(|i| OracleKind::for_case(i).label()).collect();
-        assert_eq!(kinds.len(), 5);
+        assert_eq!(kinds.len(), 6);
     }
 
     #[test]
@@ -322,7 +342,7 @@ mod tests {
         let mut g = TirlGen::new(21);
         let src = g.valid_source();
         let verdicts = replay_source(&src, &ToleranceBands::default());
-        assert_eq!(verdicts.len(), 3);
+        assert_eq!(verdicts.len(), 4);
         assert!(verdicts.iter().all(|(_, v)| !v.is_failure()), "{verdicts:?}");
     }
 }

@@ -6,7 +6,7 @@
 //! truth (`tytra-sim`'s virtual toolchain + cycle simulator), which
 //! makes differential testing cheap: generate designs, run both sides,
 //! and flag any panic, disagreement beyond tolerance, or non-finite
-//! metric. Four oracles (see [`oracle`]):
+//! metric. Five oracles (see [`oracle`]):
 //!
 //! 1. **Round-trip** — parse → print → reparse fixed point; malformed
 //!    input must produce a structured error, never a panic.
@@ -16,6 +16,10 @@
 //!    bit-identity for random space shapes and worker counts.
 //! 4. **Session determinism** — warm (memoized) vs cold
 //!    `EstimatorSession` bit-identity.
+//! 5. **Analyze congruence** — `analyze_module` is total and
+//!    deterministic, and congruence-classed A/B siblings produce
+//!    bit-identical cost reports (the DSE prefilter's soundness
+//!    contract).
 //!
 //! Everything is derived from `(seed, case_id)` — see [`gen::TirlGen`]
 //! and [`harness::run_case`] — so every corpus entry replays exactly.

@@ -1,4 +1,4 @@
-//! The four differential oracles.
+//! The five differential oracles.
 //!
 //! Each oracle takes an input (a TIRL source, a validated module, or a
 //! drawn search-space shape) and returns a [`Verdict`]. Oracles never
@@ -292,6 +292,72 @@ pub fn session_determinism(m: &IrModule, dev: &TargetDevice) -> Verdict {
     }
 }
 
+/// Oracle 5 — static analysis totality and congruence soundness.
+///
+/// Part (a): `analyze_module` must be total and deterministic on any
+/// validated module — two runs produce `Debug`-identical reports, and
+/// both render paths complete (a panic anywhere is caught by the
+/// harness and is a finding, mirroring `tybec analyze` on user input).
+///
+/// Part (b): the congruence key's central promise. For the module and
+/// its form-flipped A/B sibling, the keys must be equal exactly when
+/// `NKI == 1`; and whenever the keys ARE equal, the full cost reports
+/// must be bit-identical after normalizing the one field the key
+/// deliberately erases (`params.form`). This is the property the DSE
+/// prefilter relies on for leaderboard bit-identity.
+pub fn analyze_congruence(m: &IrModule, dev: &TargetDevice) -> Verdict {
+    let first = tytra_analyze::analyze_module(m);
+    let second = tytra_analyze::analyze_module(m);
+    if format!("{first:?}") != format!("{second:?}") {
+        return Verdict::Disagreement("analyze_module is not deterministic".into());
+    }
+    let _ = first.render_text();
+    let _ = first.render_json();
+
+    let mut sib = m.clone();
+    sib.meta.form = match m.meta.form {
+        MemForm::A => MemForm::B,
+        MemForm::B => MemForm::A,
+        other => other,
+    };
+    if sib.meta.form == m.meta.form {
+        // Forms C/Tiled have no congruent sibling on the A/B axis.
+        return Verdict::Pass;
+    }
+    let congruent = tytra_analyze::congruent(m, &sib);
+    if congruent != (m.meta.nki == 1) {
+        return Verdict::Disagreement(format!(
+            "A/B congruence at NKI {} reported as {congruent}",
+            m.meta.nki
+        ));
+    }
+    if !congruent {
+        return Verdict::Pass;
+    }
+    match (tytra_cost::estimate(m, dev), tytra_cost::estimate(&sib, dev)) {
+        (Ok(mut a), Ok(mut b)) => {
+            a.params.form = MemForm::B;
+            b.params.form = MemForm::B;
+            let (da, db) = (format!("{a:?}"), format!("{b:?}"));
+            if da == db {
+                Verdict::Pass
+            } else {
+                Verdict::Disagreement(
+                    "congruent A/B siblings produced different cost reports".into(),
+                )
+            }
+        }
+        (Err(a), Err(b)) => {
+            if a == b {
+                Verdict::Pass
+            } else {
+                Verdict::Disagreement(format!("congruent siblings erred differently: {a} / {b}"))
+            }
+        }
+        _ => Verdict::Disagreement("Ok/Err disagreement between congruent siblings".into()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +395,31 @@ mod tests {
         for _ in 0..2 {
             assert_eq!(search_equivalence(&mut g), Verdict::Pass);
         }
+    }
+
+    #[test]
+    fn analyze_congruence_holds_across_nki_values() {
+        let dev = tytra_device::eval_small();
+        let mut checked_congruent = false;
+        for seed in 0..40u64 {
+            let mut g = TirlGen::new(seed);
+            let m = g.valid_module();
+            let v = analyze_congruence(&m, &dev);
+            assert!(!v.is_failure(), "seed {seed}: {v:?}");
+            checked_congruent |= m.meta.nki == 1;
+        }
+        assert!(checked_congruent, "no NKI == 1 draw in 40 seeds; widen the loop");
+    }
+
+    #[test]
+    fn analyze_congruence_flags_a_broken_key() {
+        // A hand-built NKI > 1 pair with forcibly equal names would NOT
+        // be congruent; the oracle must pass (keys differ as required).
+        let mut g = TirlGen::new(7);
+        let mut m = g.valid_module();
+        m.meta.nki = 5;
+        let dev = tytra_device::eval_small();
+        assert_eq!(analyze_congruence(&m, &dev), Verdict::Pass);
     }
 
     #[test]

@@ -8,14 +8,21 @@
 //! and reports [`Diagnostic`]s through the same [`DiagSink`] the validator
 //! uses, so one driver run yields a single, stably-coded diagnostic stream.
 //!
-//! | code   | pass            | reports                                          |
-//! |--------|-----------------|--------------------------------------------------|
-//! | TL1001 | liveness        | unread input ports, unwritten output ports, unconsumed streams and memories |
-//! | TL1002 | dead-code       | values computed but never used; functions unreachable from `main` |
-//! | TL1003 | offset-bounds   | stencil offsets at or beyond the NDRange extent  |
-//! | TL1004 | reduction-init  | reductions that never read their accumulator     |
-//! | TL1005 | feasibility     | resource estimate versus the target's capacity   |
-//! | TL1006 | throughput-wall | memory-bound designs that want Form B/C staging  |
+//! | code   | pass              | reports                                          |
+//! |--------|-------------------|--------------------------------------------------|
+//! | TL1001 | liveness          | unread input ports, unwritten output ports, unconsumed streams and memories |
+//! | TL1002 | dead-code         | values computed but never used; functions unreachable from `main` |
+//! | TL1003 | offset-bounds     | stencil offsets at or beyond the NDRange extent  |
+//! | TL1004 | reduction-init    | reductions that never read their accumulator     |
+//! | TL1005 | feasibility       | resource estimate versus the target's capacity   |
+//! | TL1006 | throughput-wall   | memory-bound designs that want Form B/C staging  |
+//! | TL1007 | unreachable-range | min/max clamps whose bound lies outside the operand's derived range |
+//! | TL1008 | stream-deadlock   | memory objects both read and written through the same kernel's streams |
+//!
+//! TL1001/TL1002 are phrased over the dataflow facts `tytra_analyze`
+//! derives (effect summaries, solver reachability); TL1007/TL1008 render
+//! the findings of its value-range and stream-dependence analyses
+//! (`docs/analysis.md`).
 //!
 //! Severity policy: structural liveness/dead-code findings are warnings
 //! (the design still computes something), out-of-range offsets and
@@ -73,6 +80,8 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(passes::ReductionInit),
         Box::new(passes::Feasibility),
         Box::new(passes::ThroughputWall),
+        Box::new(passes::UnreachableRange),
+        Box::new(passes::StreamDeadlock),
     ]
 }
 
@@ -153,7 +162,10 @@ mod tests {
     #[test]
     fn registry_codes_are_unique_and_ordered() {
         let codes: Vec<&str> = registry().iter().map(|p| p.code()).collect();
-        assert_eq!(codes, vec!["TL1001", "TL1002", "TL1003", "TL1004", "TL1005", "TL1006"]);
+        assert_eq!(
+            codes,
+            vec!["TL1001", "TL1002", "TL1003", "TL1004", "TL1005", "TL1006", "TL1007", "TL1008"]
+        );
     }
 
     #[test]

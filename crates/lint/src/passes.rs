@@ -1,72 +1,24 @@
-//! The six lint passes, `TL1001`–`TL1006`.
+//! The eight lint passes, `TL1001`–`TL1008`.
 //!
-//! Passes 1–4 are structural: they walk the Manage-IR and the def–use
-//! relation of each reachable function. Passes 5–6 consume the cost
-//! model's [`CostReport`](tytra_cost::CostReport) and stay silent when no
-//! estimate is available.
+//! Passes 1–4 are structural: they read the dataflow facts that
+//! `tytra_analyze` derives (per-function effect summaries and solver
+//! reachability) over the Manage-IR and each reachable function. Passes
+//! 5–6 consume the cost model's
+//! [`CostReport`](tytra_cost::CostReport) and stay silent when no
+//! estimate is available. Passes 7–8 render the findings of the
+//! value-range and stream-deadlock analyses.
 
 use crate::{LintContext, Pass};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use tytra_analyze::{analyze_deadlock, analyze_ranges, reachable, summaries};
 use tytra_cost::Limiter;
-use tytra_ir::{Dest, DiagSink, Diagnostic, IrFunction, Operand, ParKind, PortDir, Stmt};
+use tytra_ir::{Dest, DiagSink, Diagnostic, Operand, ParKind, PortDir, Stmt};
 
-/// Names a function's body consumes: instruction operands, offset sources
-/// and call arguments. A parameter forwarded to a callee counts as
-/// consumed — the callee's own liveness is checked separately.
-fn consumed_names(f: &IrFunction) -> HashSet<&str> {
-    let mut used = HashSet::new();
-    for s in &f.body {
-        match s {
-            Stmt::Instr(i) => {
-                for o in &i.operands {
-                    if let Some(n) = o.name() {
-                        used.insert(n);
-                    }
-                }
-            }
-            Stmt::Offset(o) => {
-                used.insert(o.src.as_str());
-            }
-            Stmt::Call(c) => {
-                for a in &c.args {
-                    if let Some(n) = a.name() {
-                        used.insert(n);
-                    }
-                }
-            }
-        }
-    }
-    used
-}
-
-/// Whether the body produces the value of output port `name`: either the
-/// `%<name>__out` drain convention, a direct local definition, or the
-/// port being forwarded to a callee (which then owns the obligation).
-fn writes_output(f: &IrFunction, name: &str) -> bool {
-    let drain = format!("{name}__out");
-    for s in &f.body {
-        match s {
-            Stmt::Instr(i) => {
-                if let Dest::Local(d) = &i.dest {
-                    if d == &drain || d == name {
-                        return true;
-                    }
-                }
-            }
-            Stmt::Call(c) => {
-                if c.args.iter().any(|a| a.name() == Some(name)) {
-                    return true;
-                }
-            }
-            Stmt::Offset(_) => {}
-        }
-    }
-    false
-}
-
-/// Function names reachable from `main`.
-fn reachable_set(m: &tytra_ir::IrModule) -> HashSet<&str> {
-    m.reachable_functions().iter().map(|f| f.name.as_str()).collect()
+/// Function names reachable from `main`, via the analysis crate's
+/// call-graph fixpoint (identical to the preorder walk in
+/// `IrModule::reachable_functions`, by the solver's own tests).
+fn reachable_set(m: &tytra_ir::IrModule) -> BTreeSet<String> {
+    reachable(m).0
 }
 
 /// TL1001 — liveness of the streaming interface: every input port must be
@@ -91,15 +43,16 @@ impl Pass for Liveness {
     fn run(&self, cx: &LintContext<'_>, sink: &mut DiagSink) {
         let m = cx.module;
         let reachable = reachable_set(m);
+        let sums = summaries(m);
         for f in &m.functions {
-            if f.name == "main" || !reachable.contains(f.name.as_str()) {
+            if f.name == "main" || !reachable.contains(&f.name) {
                 continue;
             }
-            let used = consumed_names(f);
+            let summary = &sums[&f.name];
             for p in &f.params {
                 match p.dir {
                     PortDir::In => {
-                        if !used.contains(p.name.as_str()) {
+                        if !summary.consumes(&p.name) {
                             sink.emit(
                                 Diagnostic::warn(
                                     "TL1001",
@@ -116,7 +69,7 @@ impl Pass for Liveness {
                         }
                     }
                     PortDir::Out => {
-                        if !writes_output(f, &p.name) {
+                        if !summary.writes_port(&p.name) {
                             sink.emit(
                                 Diagnostic::warn(
                                     "TL1001",
@@ -209,8 +162,9 @@ impl Pass for DeadCode {
     fn run(&self, cx: &LintContext<'_>, sink: &mut DiagSink) {
         let m = cx.module;
         let reachable = reachable_set(m);
+        let sums = summaries(m);
         for f in &m.functions {
-            if !reachable.contains(f.name.as_str()) {
+            if !reachable.contains(&f.name) {
                 sink.emit(
                     Diagnostic::warn(
                         "TL1002",
@@ -224,12 +178,12 @@ impl Pass for DeadCode {
             if !matches!(f.kind, ParKind::Pipe | ParKind::Comb) {
                 continue;
             }
-            let used = consumed_names(f);
+            let summary = &sums[&f.name];
             for s in &f.body {
                 match s {
                     Stmt::Instr(i) => {
                         if let Dest::Local(n) = &i.dest {
-                            if !used.contains(n.as_str()) && !n.ends_with("__out") {
+                            if !summary.consumes(n) && !n.ends_with("__out") {
                                 sink.emit(
                                     Diagnostic::warn(
                                         "TL1002",
@@ -248,7 +202,7 @@ impl Pass for DeadCode {
                         }
                     }
                     Stmt::Offset(o) => {
-                        if !used.contains(o.dest.as_str()) {
+                        if !summary.consumes(&o.dest) {
                             sink.emit(
                                 Diagnostic::warn(
                                     "TL1002",
@@ -523,5 +477,107 @@ impl Pass for ThroughputWall {
             )
             .with_hint(r.limiter.tuning_hint()),
         );
+    }
+}
+
+/// TL1007 — unreachable clamp ranges. Renders the value-range analysis's
+/// findings: a `min`/`max` whose immediate bound lies outside the other
+/// operand's derived range either never fires (the clamp is a no-op that
+/// still costs a functional unit) or always fires (the whole upstream
+/// datapath feeding the clamp is dead).
+pub struct UnreachableRange;
+
+impl Pass for UnreachableRange {
+    fn code(&self) -> &'static str {
+        "TL1007"
+    }
+
+    fn name(&self) -> &'static str {
+        "unreachable-range"
+    }
+
+    fn summary(&self) -> &'static str {
+        "min/max clamps whose bound lies outside the operand's derived range"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, sink: &mut DiagSink) {
+        let ranges = analyze_ranges(cx.module);
+        for c in &ranges.findings {
+            if c.always_imm {
+                sink.emit(
+                    Diagnostic::warn(
+                        "TL1007",
+                        format!(
+                            "`{} %{}, {}` in `@{}` always yields {}: the operand's derived \
+                             range is [{}, {}]",
+                            c.mnemonic, c.value, c.imm, c.func, c.imm, c.lo, c.hi
+                        ),
+                    )
+                    .with_loc(c.span)
+                    .with_hint(
+                        "the datapath feeding the clamp is dead; replace the result with the \
+                         constant or widen the operand",
+                    ),
+                );
+            } else {
+                sink.emit(
+                    Diagnostic::warn(
+                        "TL1007",
+                        format!(
+                            "`{}` bound {} on `%{}` in `@{}` can never fire: the operand's \
+                             derived range is [{}, {}]",
+                            c.mnemonic, c.imm, c.value, c.func, c.lo, c.hi
+                        ),
+                    )
+                    .with_loc(c.span)
+                    .with_hint(
+                        "the clamp is a no-op that still costs a functional unit; remove it \
+                         or tighten the bound",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// TL1008 — stream deadlock. Renders the stream-dependence analysis's
+/// findings: a memory object that a reachable function both consumes
+/// (through a read stream) and produces (through a write stream) closes a
+/// feedback cycle the smart buffer cannot satisfy — the read side waits
+/// on data the write side has not produced yet.
+pub struct StreamDeadlock;
+
+impl Pass for StreamDeadlock {
+    fn code(&self) -> &'static str {
+        "TL1008"
+    }
+
+    fn name(&self) -> &'static str {
+        "stream-deadlock"
+    }
+
+    fn summary(&self) -> &'static str {
+        "memory objects both read and written through the same kernel's streams"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, sink: &mut DiagSink) {
+        let deadlock = analyze_deadlock(cx.module);
+        for d in &deadlock.findings {
+            sink.emit(
+                Diagnostic::error(
+                    "TL1008",
+                    format!(
+                        "memory `%{}` is read and written through `@{}` in the same pass: \
+                         the stream cycle deadlocks (in `%{}`, out `%{}`, window [{:+}, {:+}])",
+                        d.mem, d.func, d.in_param, d.out_param, d.window.0, d.window.1
+                    ),
+                )
+                .with_loc(d.span)
+                .with_hint(
+                    "stage the output in a separate memory object (double-buffer) or split \
+                     the pass so no kernel feeds its own input stream",
+                ),
+            );
+        }
     }
 }

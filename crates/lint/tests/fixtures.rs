@@ -95,6 +95,27 @@ fn tl1006_memory_bound_advisory() {
 }
 
 #[test]
+fn tl1007_clamp_bound_outside_type_range() {
+    let r = lint_fixture("tl1007.tirl");
+    assert_eq!(anchored(&r), vec![("TL1007", Some(16))], "{:?}", r.diagnostics);
+    let d = &r.diagnostics[0];
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("`min` bound 300"), "{}", d.message);
+    assert!(d.message.contains("[0, 255]"), "{}", d.message);
+}
+
+#[test]
+fn tl1008_memory_feeds_itself() {
+    let r = lint_fixture("tl1008.tirl");
+    assert_eq!(anchored(&r), vec![("TL1008", Some(7))], "{:?}", r.diagnostics);
+    let d = &r.diagnostics[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("`%mem_a`"), "{}", d.message);
+    assert!(d.message.contains("`@f0`"), "{}", d.message);
+    assert!(d.message.contains("[+0, +1]"), "{}", d.message);
+}
+
+#[test]
 fn assets_lint_clean_of_errors() {
     let dir = format!("{}/../../assets", env!("CARGO_MANIFEST_DIR"));
     let mut seen = 0;

@@ -56,17 +56,18 @@ fn corpus_replays_clean_through_file_oracles() {
 #[test]
 fn min_valid_fixture_reaches_the_semantic_oracles() {
     // The canary fixture must actually parse and validate, so the
-    // estimator/simulator/session oracles run on it — if it ever stops
-    // validating, the corpus silently loses its semantic coverage.
+    // estimator/simulator/session/analyze oracles run on it — if it
+    // ever stops validating, the corpus silently loses its semantic
+    // coverage.
     let src =
         fs::read_to_string(corpus_dir().join("case_12648430_84_min_valid_pipe.tirl")).unwrap();
     let verdicts = replay_source(&src, &ToleranceBands::default());
-    assert_eq!(verdicts.len(), 3, "expected all three file oracles to run: {verdicts:?}");
+    assert_eq!(verdicts.len(), 4, "expected all four file oracles to run: {verdicts:?}");
 }
 
 #[test]
 fn search_equivalence_replays_from_recorded_seeds() {
-    // The fourth oracle, replayed from the seeds the smoke run uses.
+    // The search oracle, replayed from the seeds the smoke run uses.
     for seed in [12648430u64, 0xDEAD_BEEF] {
         let mut g = TirlGen::new(seed);
         let v = oracle::search_equivalence(&mut g);
