@@ -36,7 +36,7 @@
 //! frequency constraint — stays in the key via
 //! [`tytra_ir::fingerprint_module`].
 
-use tytra_ir::{fingerprint_module, IrModule, MemForm};
+use tytra_ir::{fingerprint_module, IrModule, MemForm, PatchedModule};
 
 /// The canonical representative of a module's cost class: name erased,
 /// form A rewritten to B when (and only when) `NKI == 1`.
@@ -54,6 +54,16 @@ pub fn canonicalize(m: &IrModule) -> IrModule {
 /// `NKI == 1`, the A/B form aside — both patched during replication).
 pub fn cost_class_key(m: &IrModule) -> u64 {
     fingerprint_module(&canonicalize(m))
+}
+
+/// [`cost_class_key`] for an arena-backed design, without materializing
+/// or cloning a tree: canonicalization is just a different patch (name
+/// erased, form A rewritten to B when `NKI == 1`) over the same base, so
+/// the key is a straight re-hash of the arena's SoA columns. Guaranteed
+/// equal to `cost_class_key(&d.materialize())`.
+pub fn cost_class_key_design(d: &PatchedModule<'_>) -> u64 {
+    let form = if d.arena.nki() == 1 && d.form == MemForm::A { MemForm::B } else { d.form };
+    d.arena.fingerprint_patched("", form, d.vect)
 }
 
 /// Whether two modules are provably cost-congruent.
@@ -166,6 +176,27 @@ mod tests {
             f.span = tytra_ir::SrcLoc::at(42, 1);
         }
         assert_eq!(cost_class_key(&a), cost_class_key(&b));
+    }
+
+    #[test]
+    fn design_key_matches_tree_key() {
+        // The arena-keyed prefilter must agree with the tree key on every
+        // (form, NKI, vect) combination — including the A→B collapse.
+        for nki in [1, 2] {
+            for form in [MemForm::A, MemForm::B, MemForm::C, MemForm::Tiled { tiles: 4 }] {
+                for vect in [1, 2] {
+                    let mut m = build("k_x", form, nki);
+                    m.meta.vect = vect;
+                    let arena = tytra_ir::ArenaModule::build(m.clone());
+                    let d = arena.patched("k_x", form, vect);
+                    assert_eq!(
+                        cost_class_key_design(&d),
+                        cost_class_key(&m),
+                        "nki={nki} form={form:?} vect={vect}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,10 @@
 #![allow(clippy::must_use_candidate)]
 #![allow(clippy::missing_panics_doc)]
 #![allow(clippy::return_self_not_must_use)]
+// The arena call-graph builder indexes two parallel edge vectors
+// (preds/succs) by the same dense function id; a range loop states
+// that symmetry better than enumerate over either one.
+#![allow(clippy::needless_range_loop)]
 
 pub mod congruence;
 pub mod deadlock;
@@ -49,9 +53,12 @@ pub mod range;
 pub mod report;
 pub mod solver;
 
-pub use congruence::{analyze_congruence, canonicalize, congruent, cost_class_key, CongruenceInfo};
+pub use congruence::{
+    analyze_congruence, canonicalize, congruent, cost_class_key, cost_class_key_design,
+    CongruenceInfo,
+};
 pub use deadlock::{analyze_deadlock, CycleFinding, DeadlockAnalysis};
 pub use lattice::{Interval, Lattice};
 pub use range::{analyze_ranges, ClampFinding, FnRanges, RangeAnalysis, WIDEN_AFTER};
 pub use report::{analyze_module, AnalysisReport};
-pub use solver::{reachable, solve, summaries, FnSummary, SolverStats};
+pub use solver::{reachable, reachable_arena, solve, summaries, FnSummary, SolverStats};

@@ -17,7 +17,7 @@ fn bench_fig10(c: &mut Criterion) {
 fn bench_fig15(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
-    g.bench_function("fig15_lane_sweep", |b| b.iter(|| tytra_bench::fig15::walls()));
+    g.bench_function("fig15_lane_sweep", |b| b.iter(tytra_bench::fig15::walls));
     g.finish();
 }
 

@@ -28,6 +28,100 @@ use tytra_dse::{search, ExplorationConfig, SearchConfig, SearchOutcome, SearchSt
 use tytra_kernels::{EvalKernel, Sor};
 use tytra_transform::Variant;
 
+/// Counting shim over the system allocator, compiled only under the
+/// bench-only `alloc-count` feature: one relaxed atomic per allocation,
+/// enough to measure the steady-state allocs-per-variant budget of the
+/// arena costing path without any external profiler.
+#[cfg(feature = "alloc-count")]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    // SAFETY: defers entirely to `System`; the counter has no effect on
+    // the returned pointers or layouts.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static A: CountingAlloc = CountingAlloc;
+
+    pub fn count() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Peak resident set size in kB (`VmHWM` from `/proc/self/status`);
+/// 0 where procfs is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+/// Steady-state heap allocations per costed variant on the acceptance
+/// space: one warm sweep populates the factory bases and every session
+/// memo, then a second sweep is counted. The budget covers the whole
+/// per-variant path — `VariantFactory::design` (the one name `String`)
+/// plus `bound_design` (memoized arena reads, no clones).
+///
+/// `None` when the binary was built without `alloc-count`.
+fn steady_state_allocs_per_variant() -> Option<f64> {
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+    #[cfg(feature = "alloc-count")]
+    {
+        let sor = Sor::cubic(16, 10);
+        let dev = eval_small();
+        let factory = sor.variant_factory();
+        let mut session = EstimatorSession::new(dev);
+        // Warm sweep doubles as the filter: keep the variants the bound
+        // pass accepts (seq-inner points are structurally rejected),
+        // lower every base and fill every memo.
+        let variants: Vec<_> = tytra_transform::enumerate_variants(
+            sor.geometry().size(),
+            &[1, 2, 4, 8, 16, 32],
+            &[1, 2],
+            &[tytra_ir::MemForm::A, tytra_ir::MemForm::B],
+        )
+        .into_iter()
+        .filter(|v| {
+            let d = factory.design(v).expect("legal variant");
+            session.bound_design(&d.patched()).is_ok()
+        })
+        .collect();
+        assert!(!variants.is_empty());
+        let before = counting_alloc::count();
+        for v in &variants {
+            let d = factory.design(v).expect("legal variant");
+            let _ = session.bound_design(&d.patched());
+        }
+        let after = counting_alloc::count();
+        Some((after - before) as f64 / variants.len() as f64)
+    }
+}
+
 const REPS: usize = 25;
 /// Search reps: each rep costs a full multi-threaded space sweep.
 const DSE_REPS: usize = 9;
@@ -113,6 +207,87 @@ fn bench_dse(out: &str) {
         std::process::exit(1);
     }
 
+    // Throughput of the production configuration: every generated design
+    // point of the acceptance space, over the pruned sweep's wall time.
+    let design_points_per_sec = pr_stats.generated as f64 / (pruned_us / 1e6);
+
+    // Costing-loop A/B on the same space: the legacy tree path (a fresh
+    // lowering plus tree-walk bound per point — how every point was
+    // costed before the arena) against the arena path (copy-on-write
+    // patch plus SoA bound). Steady state on both sides: warm sessions,
+    // and the arena's factory bases already lowered. The arena must be
+    // at least 5x the tree path — the point of the whole layout change —
+    // and the ratio is gated here like the leaderboard contracts above.
+    const COST_REPS: usize = 40;
+    let mut tree_session = EstimatorSession::new(dev.clone());
+    // The filter pass doubles as the tree session's warm-up: keep the
+    // points the bound pass accepts (seq-inner shapes are rejected).
+    let variants: Vec<Variant> = tytra_transform::enumerate_variants(
+        sor.geometry().size(),
+        &[1, 2, 4, 8, 16, 32],
+        &[1, 2],
+        &[tytra_ir::MemForm::A, tytra_ir::MemForm::B],
+    )
+    .into_iter()
+    .filter(|v| sor.lower_variant(v).is_ok_and(|m| tree_session.bound(&m).is_ok()))
+    .collect();
+    assert!(!variants.is_empty());
+    let tree_sweep = |session: &mut EstimatorSession| {
+        for v in &variants {
+            let m = sor.lower_variant(v).expect("legal variant");
+            let _ = session.bound(&m).expect("bound");
+        }
+    };
+    let mut tree_walls = Vec::with_capacity(COST_REPS);
+    for _ in 0..COST_REPS {
+        let t0 = Instant::now();
+        tree_sweep(&mut tree_session);
+        tree_walls.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let factory = sor.variant_factory();
+    let mut arena_session = EstimatorSession::new(dev.clone());
+    let arena_sweep = |session: &mut EstimatorSession| {
+        for v in &variants {
+            let d = factory.design(v).expect("legal variant");
+            let _ = session.bound_design(&d.patched()).expect("bound");
+        }
+    };
+    arena_sweep(&mut arena_session);
+    let mut arena_walls = Vec::with_capacity(COST_REPS);
+    for _ in 0..COST_REPS {
+        let t0 = Instant::now();
+        arena_sweep(&mut arena_session);
+        arena_walls.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let tree_us = median_us(&mut tree_walls);
+    let arena_us = median_us(&mut arena_walls);
+    let costing_tree_pps = variants.len() as f64 / (tree_us / 1e6);
+    let costing_arena_pps = variants.len() as f64 / (arena_us / 1e6);
+    let costing_speedup = costing_arena_pps / costing_tree_pps;
+    if costing_speedup < 5.0 {
+        eprintln!(
+            "FAIL: arena costing is only {costing_speedup:.2}x the tree path \
+             ({costing_arena_pps:.0} vs {costing_tree_pps:.0} points/s; floor: 5x)"
+        );
+        std::process::exit(1);
+    }
+
+    // Steady-state allocation budget of the arena costing path. Gated at
+    // ≤ 2 heap allocations per variant when the counting allocator is
+    // compiled in (`--features alloc-count`); reported as null otherwise.
+    let allocs_per_variant = steady_state_allocs_per_variant();
+    if let Some(apv) = allocs_per_variant {
+        if apv > 2.0 {
+            eprintln!(
+                "FAIL: steady-state costing allocates {apv:.2} heap blocks per variant \
+                 (budget: 2.0)"
+            );
+            std::process::exit(1);
+        }
+    }
+    let apv_json = allocs_per_variant.map_or_else(|| "null".to_string(), |apv| format!("{apv:.3}"));
+    let rss_kb = peak_rss_kb();
+
     let json = format!(
         "{{\n  \"bench\": \"dse_search_sor16_eval_small\",\n  \"reps\": {DSE_REPS},\n  \
          \"exhaustive_us\": {exhaustive_us:.3},\n  \"pruned_us\": {pruned_us:.3},\n  \
@@ -120,7 +295,12 @@ fn bench_dse(out: &str) {
          \"generated\": {},\n  \"estimated\": {},\n  \
          \"pruned_bound\": {},\n  \"pruned_unfit\": {},\n  \"steal_count\": {},\n  \
          \"prefilter_classes\": {},\n  \"prefilter_collapsed\": {},\n  \
-         \"prefilter_estimated\": {},\n  \"prefilter_us\": {prefilter_us:.3}\n}}\n",
+         \"prefilter_estimated\": {},\n  \"prefilter_us\": {prefilter_us:.3},\n  \
+         \"design_points_per_sec\": {design_points_per_sec:.1},\n  \
+         \"costing_tree_points_per_sec\": {costing_tree_pps:.1},\n  \
+         \"costing_arena_points_per_sec\": {costing_arena_pps:.1},\n  \
+         \"arena_costing_speedup\": {costing_speedup:.2},\n  \
+         \"peak_rss_kb\": {rss_kb},\n  \"allocs_per_variant\": {apv_json}\n}}\n",
         exhaustive_us / pruned_us,
         pr_stats.pruned_fraction(),
         pr_stats.generated,
@@ -143,6 +323,14 @@ fn bench_dse(out: &str) {
     println!(
         "dse prefilter (nki 1): {} classes  {} collapsed  {} estimated  {prefilter_us:.1} µs",
         pf_stats.classes, pf_stats.collapsed, pf_stats.estimated
+    );
+    println!(
+        "dse throughput: {design_points_per_sec:.0} design-points/s  peak RSS {rss_kb} kB  \
+         allocs/variant {apv_json}"
+    );
+    println!(
+        "dse costing A/B: tree {costing_tree_pps:.0} pts/s  arena {costing_arena_pps:.0} pts/s  \
+         speedup {costing_speedup:.1}x"
     );
     println!("wrote {out} (leaderboards identical)");
 }

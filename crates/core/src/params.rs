@@ -182,6 +182,39 @@ impl RawGeometry {
         }
     }
 
+    /// [`extract`][RawGeometry::extract] over an arena-backed design:
+    /// the same Table I geometry, read from the arena's precomputed
+    /// scalars plus the variant's patched `form`/`vect` cells instead of
+    /// walking the tree. Bit-identical to running `extract` on the
+    /// materialized module (every scalar is the same `u64` the tree walk
+    /// accumulates; the `NWPT` normalisation repeats the exact
+    /// divisibility branch).
+    pub(crate) fn extract_design(d: &tytra_ir::PatchedModule<'_>, knl: u64) -> RawGeometry {
+        let a = d.arena;
+        let offchip_ports = a.offchip_ports();
+        let bytes = a.offchip_port_bytes();
+        let lanes_div = knl.max(1);
+        let (nwpt_words, bytes_per_item) =
+            if offchip_ports.is_multiple_of(lanes_div) && offchip_ports > 0 {
+                (offchip_ports / lanes_div, bytes / lanes_div)
+            } else {
+                (offchip_ports, bytes)
+            };
+        RawGeometry {
+            ngs: a.ngs(),
+            nki: a.nki(),
+            nwpt_words,
+            bytes_per_item,
+            noff: a.noff(),
+            noff_bytes: a.noff_bytes(),
+            knl,
+            dv: d.vect,
+            form: d.form,
+            n_streams: offchip_ports,
+            local_bytes: a.local_bytes(),
+        }
+    }
+
     /// Attach a schedule, completing the [`CostParams`].
     pub(crate) fn finish(self, sched: PipelineSchedule) -> CostParams {
         CostParams {

@@ -29,8 +29,8 @@
 use std::collections::HashMap;
 use tytra_device::{CachedLatency, CurveCache, ResourceVector, TargetDevice};
 use tytra_ir::{
-    fingerprint_function, ConfigNode, Dfg, IrError, IrFunction, IrModule, Opcode, ParKind,
-    ScalarType,
+    fingerprint_function, ArenaModule, ConfigNode, ConfigPlan, Dfg, IrError, IrFunction, IrModule,
+    Opcode, ParKind, PlanNode, ScalarType,
 };
 use tytra_trace::metrics::Counter;
 
@@ -137,6 +137,87 @@ pub(crate) fn estimate_resources_session(
         memo: Some(memo),
     };
     estimate_resources_impl(&mut walk, tree)
+}
+
+/// Arena entry point: the session resource pass over a flattened
+/// [`ConfigPlan`] — identical arithmetic to
+/// [`estimate_resources_session`], but the recursive tree walk becomes a
+/// linear scan over the plan's preorder slice and the module-level terms
+/// read the arena's precomputed geometry. Memo misses still price the
+/// function body through [`function_cost`] on the retained base tree
+/// (the cost depends only on the body, `DV` and the options, all of
+/// which are patch-independent). Infallible: the plan only exists when
+/// every configuration node's function resolved at arena build time.
+pub(crate) fn estimate_resources_arena(
+    a: &ArenaModule,
+    plan: &ConfigPlan,
+    dev: &TargetDevice,
+    vect: u32,
+    opts: &crate::CostOptions,
+    curves: &CurveCache,
+    mut memo: NodeMemo<'_>,
+) -> ResourceEstimate {
+    let dv = u64::from(vect.max(1));
+    let mut acc = ResourceBreakdown::default();
+    plan_nodes_cost(a, &plan.nodes, dev, dv, opts, curves, &mut memo, &mut acc);
+    if !opts.structural_resources {
+        acc.delay_lines = ResourceVector::ZERO;
+        acc.offset_buffers = ResourceVector::ZERO;
+        acc.control = ResourceVector::ZERO;
+    }
+    if opts.structural_resources {
+        // `u64` addition is exact, so one multiply equals the tree
+        // path's per-port accumulation.
+        acc.control +=
+            ResourceVector::new(STREAM_CTRL_ALUTS, STREAM_CTRL_REGS, 0, 0) * a.offchip_ports();
+    }
+    for &bits in a.local_mem_bits() {
+        acc.local_memory += ResourceVector::new(2, 0, bits, 0);
+    }
+
+    // Per-lane figure: the lane slice re-walks the memo with live
+    // counters, exactly as the tree path's second `node_cost` pass does.
+    let mut lane_acc = ResourceBreakdown::default();
+    plan_nodes_cost(a, plan.lane_nodes(), dev, dv, opts, curves, &mut memo, &mut lane_acc);
+    let ctrl_per_lane = a.offchip_ports().div_ceil(plan.par_lanes.max(1));
+    let per_lane = lane_acc.total()
+        + ResourceVector::new(STREAM_CTRL_ALUTS, STREAM_CTRL_REGS, 0, 0) * ctrl_per_lane;
+
+    ResourceEstimate { total: acc.total(), breakdown: acc, per_lane }
+}
+
+/// Linear-scan equivalent of [`Walk::node_cost`] over a preorder plan
+/// slice: `par` nodes price lane glue per child (no memo traffic), every
+/// other node goes through the `(fingerprint, DV)` memo.
+#[allow(clippy::too_many_arguments)]
+fn plan_nodes_cost(
+    a: &ArenaModule,
+    nodes: &[PlanNode],
+    dev: &TargetDevice,
+    dv: u64,
+    opts: &crate::CostOptions,
+    curves: &CurveCache,
+    memo: &mut NodeMemo<'_>,
+    acc: &mut ResourceBreakdown,
+) {
+    for node in nodes {
+        if node.kind == ParKind::Par {
+            acc.control +=
+                ResourceVector::new(LANE_GLUE_ALUTS, 0, 0, 0) * u64::from(node.n_children);
+            continue;
+        }
+        let key = (a.fn_fp(node.func), dv);
+        if let Some(hit) = memo.table.get(&key) {
+            memo.hits.incr();
+            *acc += hit;
+        } else {
+            memo.misses.incr();
+            let f = &a.tree().functions[node.func.index()];
+            let own = function_cost(a.tree(), dev, f, node.kind, dv, opts, Some(curves));
+            *acc += &own;
+            memo.table.insert(key, own);
+        }
+    }
 }
 
 /// Memo handles threaded through a session-backed resource walk. The

@@ -51,7 +51,8 @@ use std::collections::{HashMap, HashSet};
 use tytra_device::{CurveCache, TargetDevice};
 use tytra_ir::{
     config_tree, fingerprint_function, fingerprint_module, fingerprint_streams,
-    fingerprint_subtree, validate, ConfigNode, IrError, IrModule, StableHasher, TybecError,
+    fingerprint_subtree, validate, ArenaModule, ConfigNode, ConfigPlan, IrError, IrModule,
+    PatchedModule, StableHasher, TybecError,
 };
 use tytra_trace as trace;
 use tytra_trace::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
@@ -136,6 +137,12 @@ pub struct EstimatorSession {
     curves: CurveCache,
     /// Whole-module fingerprints that already passed validation.
     validated: HashSet<u64>,
+    /// Arena base fingerprints whose *base tree* passed validation. The
+    /// validator never reads the three patched cells (it only touches
+    /// `meta.ndrange`/`nki`/`freq_mhz`, plus the module name for its
+    /// trace span), so one base validation covers every
+    /// [`PatchedModule`] of that arena.
+    validated_bases: HashSet<u64>,
     /// Per-function resource costs, keyed `(function fingerprint, DV)`.
     node_costs: HashMap<(u64, u64), ResourceBreakdown>,
     /// Per-function worst stage delays, keyed on function fingerprint.
@@ -173,6 +180,7 @@ impl EstimatorSession {
             opts,
             curves: CurveCache::with_registry(&metrics),
             validated: HashSet::new(),
+            validated_bases: HashSet::new(),
             node_costs: HashMap::new(),
             worst_stage: HashMap::new(),
             schedules: HashMap::new(),
@@ -222,6 +230,7 @@ impl EstimatorSession {
     pub fn invalidate(&mut self) {
         self.curves.clear();
         self.validated.clear();
+        self.validated_bases.clear();
         self.node_costs.clear();
         self.worst_stage.clear();
         self.schedules.clear();
@@ -355,6 +364,238 @@ impl EstimatorSession {
         Ok(b)
     }
 
+    /// [`estimate`][EstimatorSession::estimate] over an arena-backed
+    /// design variant: the same eight-pass pipeline, but configuration,
+    /// geometry and all memo keys come from the arena's precomputed
+    /// columns, so a warm call never materializes or clones the module.
+    /// Reports are bit-identical to estimating
+    /// [`materialize`][PatchedModule::materialize]d tree through the same
+    /// session (pinned by the `arena_equivalence` suite and a fuzz
+    /// oracle). Trace streams carry the same spans with the same
+    /// fingerprints; only the validate pass's `memo_hit` flag can differ,
+    /// because sibling variants of one arena share a single base
+    /// validation.
+    pub fn estimate_design(&mut self, d: &PatchedModule<'_>) -> Result<CostReport, TybecError> {
+        let Some(plan) = d.arena.config() else {
+            // Configuration extraction failed at arena build time; the
+            // tree pipeline reproduces the same error (or handles the
+            // exotic shape the plan cannot express).
+            return self.estimate(&d.materialize());
+        };
+        let t0 = std::time::Instant::now();
+        let _root = trace::span("estimator.estimate").with("module", d.name);
+
+        // Pass 0: validation, shared across the arena's variants.
+        self.validate_design(d)?;
+
+        // Pass 1 ran at arena build time; keep the span so the trace
+        // stream shape matches the tree pipeline.
+        {
+            let _sp = trace::span("estimator.configure");
+        }
+
+        // Pass 2: schedule. Same memo key as the tree path (the lane
+        // subtree's fingerprint — patch-independent); a miss schedules
+        // the base tree, which the memo key already asserts is
+        // equivalent (lane count and DV do not enter the schedule).
+        let sched = {
+            let mut sp = trace::span("estimator.schedule").with("fp", plan.lane_fp);
+            match self.schedules.get(&plan.lane_fp) {
+                Some(s) => {
+                    self.hits.incr();
+                    sp.record("memo_hit", true);
+                    s.clone()
+                }
+                None => {
+                    let s = schedule::schedule_with(
+                        d.arena.tree(),
+                        &self.dev,
+                        Some(&self.curves),
+                        &plan.tree.root,
+                    )?;
+                    self.misses.incr();
+                    sp.record("memo_hit", false);
+                    self.schedules.insert(plan.lane_fp, s.clone());
+                    s
+                }
+            }
+        };
+
+        // Pass 3: parameters from precomputed geometry + patched cells.
+        let params = {
+            let _sp = trace::span("estimator.parameters");
+            crate::params::RawGeometry::extract_design(d, plan.tree.lanes).finish(sched)
+        };
+
+        // Pass 4: resources over the preorder plan.
+        let resources = self.resources_design(d, plan);
+        let utilization = resources.total.utilization(&self.dev.capacity);
+        let fits = resources.total.fits_within(&self.dev.capacity);
+
+        // Pass 5: clock. `finish_clock` reads only `meta.freq_mhz`,
+        // which the patch never touches.
+        let clock = {
+            let _sp = trace::span("estimator.clock");
+            let worst = self.clock_design(d.arena, plan);
+            frequency::finish_clock(d.arena.tree(), &self.dev, worst, &resources.total)
+        };
+
+        // Pass 6: bandwidth (Manage-IR only — patch-independent).
+        self.ensure_bandwidth_design(d.arena);
+        let bw = self.bandwidths[&d.arena.bw_key()].clone();
+
+        // Pass 7: throughput, limiter, power — pure arithmetic.
+        let report = {
+            let _sp = trace::span("estimator.throughput");
+            let tput = throughput::estimate_throughput(&params, &self.dev, &bw, clock.freq_mhz);
+            let limiter = bottleneck::limiter(&tput);
+            let exercised_gbytes =
+                crate::estimate::exercised_gbytes(params.total_bytes(), tput.t_instance);
+            let power_w =
+                self.dev.power.delta_watts(&resources.total, clock.freq_mhz, exercised_gbytes);
+            assemble(
+                d.name.to_string(),
+                self.dev.name.clone(),
+                params,
+                &plan.tree,
+                resources,
+                utilization,
+                fits,
+                clock,
+                bw,
+                tput,
+                limiter,
+                power_w,
+            )
+        };
+
+        self.memo_entries.set(self.memo_len() as f64);
+        self.estimate_ns.record(t0.elapsed().as_nanos() as u64);
+        Ok(report)
+    }
+
+    /// [`bound`][EstimatorSession::bound] over an arena-backed design:
+    /// the branch-and-bound hot path. Steady-state (all memos warm) this
+    /// performs no heap allocation at all — fingerprints and geometry are
+    /// precomputed, the initiation interval is the plan's `lane_ii`, and
+    /// the bandwidth breakdown is read by reference from the memo table.
+    pub fn bound_design(&mut self, d: &PatchedModule<'_>) -> Result<CostBound, TybecError> {
+        let Some(plan) = d.arena.config() else {
+            return self.bound(&d.materialize());
+        };
+        let _root = trace::span("estimator.bound").with("module", d.name);
+        self.validate_design(d)?;
+        let resources = self.resources_design(d, plan);
+        let fits = resources.total.fits_within(&self.dev.capacity);
+        self.ensure_bandwidth_design(d.arena);
+        let g = crate::params::RawGeometry::extract_design(d, plan.tree.lanes);
+        let bw = &self.bandwidths[&d.arena.bw_key()];
+        let b = crate::bound::assemble(&g, &self.dev, bw, plan.lane_ii, resources.total, fits);
+        self.memo_entries.set(self.memo_len() as f64);
+        Ok(b)
+    }
+
+    /// Pass 0 over an arena-backed design. The patched fingerprint is
+    /// checked first (so repeat visits count hits exactly as the tree
+    /// path does); on a miss, one validation of the *base* tree stands in
+    /// for every variant of the arena (see `validated_bases`).
+    fn validate_design(&mut self, d: &PatchedModule<'_>) -> Result<(), IrError> {
+        let module_fp = d.fingerprint();
+        let mut sp = trace::span("estimator.validate").with("fp", module_fp);
+        if self.validated.contains(&module_fp) {
+            self.hits.incr();
+            sp.record("memo_hit", true);
+        } else if self.validated_bases.contains(&d.arena.base_fp()) {
+            self.hits.incr();
+            sp.record("memo_hit", true);
+            self.validated.insert(module_fp);
+        } else {
+            self.misses.incr();
+            sp.record("memo_hit", false);
+            validate::validate(d.arena.tree())?;
+            self.validated_bases.insert(d.arena.base_fp());
+            self.validated.insert(module_fp);
+        }
+        Ok(())
+    }
+
+    /// Pass 4 over the flattened plan (same span and memo traffic as
+    /// [`resources_pass`][EstimatorSession::resources_pass]).
+    fn resources_design(
+        &mut self,
+        d: &PatchedModule<'_>,
+        plan: &ConfigPlan,
+    ) -> crate::resource::ResourceEstimate {
+        let _sp = trace::span("estimator.resources");
+        resource::estimate_resources_arena(
+            d.arena,
+            plan,
+            &self.dev,
+            d.vect,
+            &self.opts,
+            &self.curves,
+            resource::NodeMemo {
+                table: &mut self.node_costs,
+                hits: &self.hits,
+                misses: &self.misses,
+            },
+        )
+    }
+
+    /// Pass 5 over the flattened plan, in two phases: fill the
+    /// worst-stage memo for every plan node (same per-visit hit/miss
+    /// accounting as [`clock_walk`][EstimatorSession::clock_walk]), then
+    /// a read-only strict-`>` preorder combine that borrows the memoized
+    /// stage names and pays a single `String` copy at the end.
+    fn clock_design(&mut self, a: &ArenaModule, plan: &ConfigPlan) -> (f64, String) {
+        for node in &plan.nodes {
+            let key = a.fn_fp(node.func);
+            if self.worst_stage.contains_key(&key) {
+                self.hits.incr();
+            } else {
+                let f = &a.tree().functions[node.func.index()];
+                let v =
+                    frequency::function_worst_stage(&self.dev, Some(&self.curves), f, node.kind);
+                self.misses.incr();
+                self.worst_stage.insert(key, v);
+            }
+        }
+        let mut worst: (f64, &str) = (0.0, "");
+        for node in &plan.nodes {
+            if let Some(Some(own)) = self.worst_stage.get(&a.fn_fp(node.func)) {
+                if own.0 > worst.0 {
+                    worst = (own.0, own.1.as_str());
+                }
+            }
+        }
+        (worst.0, worst.1.to_string())
+    }
+
+    /// Pass 6 over an arena: ensure the bandwidth breakdown for the
+    /// arena's (patch-independent) key is memoized, without handing out a
+    /// clone — the bound path reads it by reference afterwards. Same span
+    /// and counter traffic as
+    /// [`bandwidth_pass`][EstimatorSession::bandwidth_pass]; the miss
+    /// path assesses the *base* tree, exact because the bandwidth pass
+    /// reads only the Manage-IR, which the patch never touches.
+    fn ensure_bandwidth_design(&mut self, a: &ArenaModule) {
+        let bw_key = a.bw_key();
+        let mut sp = trace::span("estimator.bandwidth").with("fp", bw_key);
+        if self.bandwidths.contains_key(&bw_key) {
+            self.hits.incr();
+            sp.record("memo_hit", true);
+        } else {
+            let b = if self.opts.sustained_bandwidth {
+                bandwidth::assess_impl(a.tree(), &self.dev, Some(&self.curves))
+            } else {
+                bandwidth::assess_naive_impl(a.tree(), &self.dev, Some(&self.curves))
+            };
+            self.misses.incr();
+            sp.record("memo_hit", false);
+            self.bandwidths.insert(bw_key, b);
+        }
+    }
+
     /// Pass 0: validation, memoized per whole-module fingerprint.
     fn validate_pass(&mut self, m: &IrModule) -> Result<(), IrError> {
         let module_fp = fingerprint_module(m);
@@ -425,6 +666,7 @@ impl EstimatorSession {
     /// `session.memo.entries` gauge).
     fn memo_len(&self) -> usize {
         self.validated.len()
+            + self.validated_bases.len()
             + self.node_costs.len()
             + self.worst_stage.len()
             + self.schedules.len()
@@ -613,6 +855,83 @@ mod tests {
         m.functions.retain(|f| f.name != "main");
         let mut session = EstimatorSession::new(stratix_v_gsd8());
         assert!(session.bound(&m).is_err());
+    }
+
+    #[test]
+    fn design_estimates_are_bit_identical_to_tree() {
+        let dev = eval_small();
+        let mut tree_s = EstimatorSession::new(dev.clone());
+        let mut arena_s = EstimatorSession::new(dev);
+        let a = tytra_ir::ArenaModule::build(laned_module(4, MemForm::B));
+        for (name, form, vect) in [
+            ("k_l4", MemForm::B, 1u32),
+            ("k_l4_v2_pipe_A", MemForm::A, 2),
+            ("k_l4_v1_pipe_C", MemForm::C, 1),
+            ("tiled", MemForm::Tiled { tiles: 4 }, 1),
+        ] {
+            let d = a.patched(name, form, vect);
+            let m = d.materialize();
+            let tr = tree_s.estimate(&m).unwrap();
+            let ar = arena_s.estimate_design(&d).unwrap();
+            assert_eq!(format!("{tr:?}"), format!("{ar:?}"), "estimate ({name})");
+            let tb = tree_s.bound(&m).unwrap();
+            let ab = arena_s.bound_design(&d).unwrap();
+            assert_eq!(format!("{tb:?}"), format!("{ab:?}"), "bound ({name})");
+        }
+    }
+
+    #[test]
+    fn design_and_tree_paths_share_memos() {
+        let mut session = EstimatorSession::new(eval_small());
+        let a = tytra_ir::ArenaModule::build(laned_module(8, MemForm::B));
+        let d = a.identity();
+        let cold = session.estimate_design(&d).unwrap();
+        // The tree path over the materialized module replays the memo
+        // entries the design path populated (identity patch: same
+        // fingerprints), and vice versa.
+        let misses_after_cold = session.misses.get();
+        let warm_tree = session.estimate(&d.materialize()).unwrap();
+        assert_eq!(format!("{cold:?}"), format!("{warm_tree:?}"));
+        assert_eq!(session.misses.get(), misses_after_cold, "tree path fully warm");
+        let warm_design = session.estimate_design(&d).unwrap();
+        assert_eq!(format!("{cold:?}"), format!("{warm_design:?}"));
+        assert_eq!(session.misses.get(), misses_after_cold, "design path fully warm");
+        let b1 = session.bound_design(&d).unwrap();
+        let b2 = session.bound(&d.materialize()).unwrap();
+        assert_eq!(format!("{b1:?}"), format!("{b2:?}"));
+    }
+
+    #[test]
+    fn sibling_variants_share_one_base_validation() {
+        let mut session = EstimatorSession::new(eval_small());
+        let a = tytra_ir::ArenaModule::build(laned_module(4, MemForm::B));
+        session.bound_design(&a.patched("v_a", MemForm::A, 1)).unwrap();
+        let misses_first = session.stats().misses;
+        session.bound_design(&a.patched("v_b", MemForm::B, 1)).unwrap();
+        session.bound_design(&a.patched("v_c", MemForm::C, 1)).unwrap();
+        // The later variants' validate passes hit via the shared base,
+        // resources hit under the same `(fingerprint, DV)` keys, and
+        // bandwidth hits on the shared patch-independent key. (A DV
+        // change *would* miss the resource memo, by design.)
+        assert_eq!(
+            session.stats().misses,
+            misses_first,
+            "a same-DV sibling variant must not recompute any pass"
+        );
+    }
+
+    #[test]
+    fn design_path_falls_back_without_a_plan() {
+        // A module whose configuration tree cannot be extracted (no
+        // `main`) has no plan; the design path must reproduce the tree
+        // path's error through the fallback.
+        let mut m = laned_module(1, MemForm::B);
+        m.functions.retain(|f| f.name != "main");
+        let a = tytra_ir::ArenaModule::build(m);
+        assert!(a.config().is_none());
+        let mut session = EstimatorSession::new(stratix_v_gsd8());
+        assert!(session.estimate_design(&a.identity()).is_err());
+        assert!(session.bound_design(&a.identity()).is_err());
     }
 
     #[test]

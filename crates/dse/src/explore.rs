@@ -176,7 +176,9 @@ pub fn explore_with_metrics(
             .throughput
             .ekit
             .total_cmp(&a.report.throughput.ekit)
-            .then_with(|| a.variant.tag().cmp(&b.variant.tag()))
+            // tag_cmp is the same byte order as comparing tag() Strings,
+            // without the two heap allocations per comparison.
+            .then_with(|| a.variant.tag_cmp(&b.variant))
     });
     (out, stats, metrics)
 }

@@ -12,6 +12,11 @@
 //!   chunks to per-worker deques, with idle workers stealing from
 //!   victims' queues (`crossbeam::deque`), so cheap (pruned) and
 //!   expensive (estimated) variants balance dynamically;
+//! * materialises each variant as a copy-on-write patch over a shared
+//!   arena base ([`VariantFactory`] — one lowering per structural
+//!   class), and costs it through the estimator's zero-alloc
+//!   `bound_design`/`estimate_design` passes instead of cloning a tree
+//!   module per design point;
 //! * keeps a global incumbent — the K-th best valid EKIT so far — as
 //!   atomic `f64` bits ([`AtomicU64`]), and skips the full
 //!   [`EstimatorSession::estimate`] whenever the admissible
@@ -32,13 +37,13 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use tytra_analyze::cost_class_key;
+use tytra_analyze::cost_class_key_design;
 use tytra_cost::{CostReport, EstimatorSession, SessionStats};
 use tytra_device::TargetDevice;
 use tytra_kernels::EvalKernel;
 use tytra_trace::metrics::Snapshot;
 use tytra_trace::{self as trace};
-use tytra_transform::{IndexedVariant, Variant, VariantIter};
+use tytra_transform::{IndexedVariant, Variant, VariantFactory, VariantIter};
 
 use crate::explore::{EvaluatedVariant, ExplorationConfig};
 
@@ -224,8 +229,9 @@ impl Incumbent {
 }
 
 /// The shared congruence-class cache: the prefilter tier ahead of the
-/// bound pass. Keyed by [`tytra_analyze::cost_class_key`], whose
-/// contract is that equal keys receive bit-identical cost reports (the
+/// bound pass. Keyed by [`tytra_analyze::cost_class_key_design`] — the
+/// arena re-hash that equals `cost_class_key` on the materialized tree —
+/// whose contract is that equal keys receive bit-identical cost reports (the
 /// design label and, at `NKI == 1`, the A/B form aside — both patched on
 /// replication), so replicating a cached report is indistinguishable
 /// from re-running the estimator and the leaderboard stays bit-identical
@@ -313,7 +319,7 @@ fn record_fault(out: &mut WorkerOut, item: &IndexedVariant, worker: usize, why: 
 /// wrong one for a healthy module.
 #[allow(clippy::too_many_arguments)]
 fn process_item(
-    kernel: &dyn EvalKernel,
+    factory: &VariantFactory,
     item: IndexedVariant,
     cfg: &SearchConfig,
     incumbent: &Incumbent,
@@ -322,9 +328,12 @@ fn process_item(
     out: &mut WorkerOut,
     worker: usize,
 ) {
-    // Lowering fails only for illegal reshapes, which the generator
-    // already filtered.
-    let Ok(module) = kernel.lower_variant(&item.variant) else { return };
+    // The factory serves the variant as a three-cell patch over a shared
+    // arena base (lowered once per structural class). Erroring is only
+    // possible for illegal reshapes, which the generator already
+    // filtered.
+    let Ok(design) = factory.design(&item.variant) else { return };
+    let d = design.patched();
 
     // Congruence prefilter: the cheapest tier, ahead even of the bound
     // pass. Pruned mode only — `--exhaustive` estimates every variant
@@ -333,7 +342,7 @@ fn process_item(
     // disables the tier: an injected fault must fire on its selected
     // variant, not be absorbed by a congruent sibling's cached report.
     let class_key = if cfg.mode == SearchMode::Pruned && cfg.fault_inject.is_none() {
-        let key = cost_class_key(&module);
+        let key = cost_class_key_design(&d);
         if let Some(mut report) = classes.lookup(key) {
             if trace::enabled() {
                 let _sp = trace::span("dse.prefilter")
@@ -342,8 +351,8 @@ fn process_item(
             }
             out.stats.collapsed += 1;
             // The only two facts the class key erases, patched back in.
-            report.design = module.name.clone();
-            report.params.form = module.meta.form;
+            report.design = design.name().to_string();
+            report.params.form = design.form();
             if report.fits {
                 incumbent.record(report.throughput.ekit, item.index);
                 out.valid.push((
@@ -367,7 +376,7 @@ fn process_item(
                     .with("variant", item.variant.tag())
                     .with("worker", worker as u64)
             });
-            session.bound(&module)
+            session.bound_design(&d)
         }));
         let bound = match verdict {
             Ok(Ok(bound)) => bound,
@@ -402,7 +411,7 @@ fn process_item(
                 panic!("injected estimator fault on {}", item.variant.tag());
             }
         }
-        session.estimate(&module)
+        session.estimate_design(&d)
     }));
     let report = match estimated {
         Ok(Ok(report)) => report,
@@ -436,7 +445,7 @@ fn process_item(
 /// generator, then steal; exit when all three come up empty.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
-    kernel: &dyn EvalKernel,
+    factory: &VariantFactory,
     dev: &TargetDevice,
     cfg: &SearchConfig,
     dispenser: &Dispenser,
@@ -453,7 +462,7 @@ fn worker_loop(
     let mut out = WorkerOut::default();
     loop {
         if let Some(item) = queue.pop() {
-            process_item(kernel, item, cfg, incumbent, classes, &mut session, &mut out, w);
+            process_item(factory, item, cfg, incumbent, classes, &mut session, &mut out, w);
             continue;
         }
         let chunk = dispenser.refill(cfg.chunk);
@@ -464,7 +473,7 @@ fn worker_loop(
             for item in items {
                 queue.push(item);
             }
-            process_item(kernel, first, cfg, incumbent, classes, &mut session, &mut out, w);
+            process_item(factory, first, cfg, incumbent, classes, &mut session, &mut out, w);
             continue;
         }
         // Generator dry: steal up to half a victim's queue (the steal
@@ -487,7 +496,7 @@ fn worker_loop(
                     trace::span("dse.steal").with("worker", w as u64).with("victim", victim as u64)
                 });
                 drop(_sp);
-                process_item(kernel, item, cfg, incumbent, classes, &mut session, &mut out, w);
+                process_item(factory, item, cfg, incumbent, classes, &mut session, &mut out, w);
             }
             None => break,
         }
@@ -521,6 +530,10 @@ pub fn search(kernel: &dyn EvalKernel, dev: &TargetDevice, cfg: &SearchConfig) -
     let incumbent = Incumbent::new(cfg.top_k.max(1));
     let classes = ClassCache::new();
     let dispenser = Dispenser { gen: Mutex::new(gen) };
+    // One factory per sweep: workers share the lowered arena bases (the
+    // first worker to touch a structural class lowers it for everyone)
+    // and cost each variant as a copy-on-write patch.
+    let factory = kernel.variant_factory();
 
     // Prove the filtered space non-empty before spawning anything: a
     // space whose every candidate is an illegal reshape short-circuits
@@ -546,7 +559,7 @@ pub fn search(kernel: &dyn EvalKernel, dev: &TargetDevice, cfg: &SearchConfig) -
             queue.push(item);
         }
         let (out, stats, snap) =
-            worker_loop(kernel, dev, cfg, &dispenser, &incumbent, &classes, &queue, &[], 0);
+            worker_loop(&factory, dev, cfg, &dispenser, &incumbent, &classes, &queue, &[], 0);
         merged = out;
         session_stats = stats;
         metrics = snap;
@@ -577,11 +590,11 @@ pub fn search(kernel: &dyn EvalKernel, dev: &TargetDevice, cfg: &SearchConfig) -
                 .iter()
                 .enumerate()
                 .map(|(w, queue)| {
-                    let (dispenser, incumbent, classes, stealers) =
-                        (&dispenser, &incumbent, &classes, &stealers[..]);
+                    let (factory, dispenser, incumbent, classes, stealers) =
+                        (&factory, &dispenser, &incumbent, &classes, &stealers[..]);
                     scope.spawn(move || {
                         worker_loop(
-                            kernel, dev, cfg, dispenser, incumbent, classes, queue, stealers, w,
+                            factory, dev, cfg, dispenser, incumbent, classes, queue, stealers, w,
                         )
                     })
                 })

@@ -47,6 +47,9 @@ pub enum OracleKind {
     EstimatorVsSim,
     /// Warm-vs-cold `EstimatorSession` bit-identity.
     SessionDeterminism,
+    /// Arena/SoA IR vs tree: fingerprints, materialization and the
+    /// `estimate_design`/`bound_design` passes must be bit-identical.
+    ArenaEquivalence,
     /// `analyze_module` totality plus congruence-key soundness.
     AnalyzeCongruence,
     /// Pruned vs exhaustive search leaderboard bit-identity.
@@ -61,6 +64,7 @@ impl OracleKind {
             OracleKind::RoundtripClean => "roundtrip-clean",
             OracleKind::EstimatorVsSim => "estimator-vs-sim",
             OracleKind::SessionDeterminism => "session-determinism",
+            OracleKind::ArenaEquivalence => "arena-equivalence",
             OracleKind::AnalyzeCongruence => "analyze-congruence",
             OracleKind::SearchEquivalence => "search-equivalence",
         }
@@ -74,7 +78,8 @@ impl OracleKind {
             0..=15 => OracleKind::RoundtripMutated,
             16..=19 => OracleKind::RoundtripClean,
             20..=25 => OracleKind::EstimatorVsSim,
-            26..=29 => OracleKind::SessionDeterminism,
+            26..=28 => OracleKind::SessionDeterminism,
+            29 => OracleKind::ArenaEquivalence,
             30 => OracleKind::AnalyzeCongruence,
             _ => OracleKind::SearchEquivalence,
         }
@@ -176,6 +181,14 @@ pub fn run_case(seed: u64, case_id: u64, bands: &ToleranceBands) -> CaseResult {
                 .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
             (v, Some(src))
         }
+        OracleKind::ArenaEquivalence => {
+            let m = g.valid_module();
+            let src = tytra_ir::print(&m);
+            let dev = tytra_device::eval_small();
+            let v = panic::catch_unwind(AssertUnwindSafe(|| oracle::arena_equivalence(&m, &dev)))
+                .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
+            (v, Some(src))
+        }
         OracleKind::AnalyzeCongruence => {
             let m = g.valid_module();
             let src = tytra_ir::print(&m);
@@ -204,6 +217,7 @@ fn reproduces(case: &CaseResult, bands: &ToleranceBands, candidate: &str) -> boo
         }
         OracleKind::EstimatorVsSim
         | OracleKind::SessionDeterminism
+        | OracleKind::ArenaEquivalence
         | OracleKind::AnalyzeCongruence => {
             let m = match tytra_ir::parse(candidate) {
                 Ok(m) => m,
@@ -212,6 +226,9 @@ fn reproduces(case: &CaseResult, bands: &ToleranceBands, candidate: &str) -> boo
             let run = || match case.oracle {
                 OracleKind::EstimatorVsSim => {
                     oracle::estimator_vs_sim(&m, &tytra_device::stratix_v_gsd8(), bands)
+                }
+                OracleKind::ArenaEquivalence => {
+                    oracle::arena_equivalence(&m, &tytra_device::eval_small())
                 }
                 OracleKind::AnalyzeCongruence => {
                     oracle::analyze_congruence(&m, &tytra_device::eval_small())
@@ -278,8 +295,8 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
 
 /// Replay a corpus fixture (or any TIRL source) through every oracle
 /// that accepts file input: round-trip always; estimator-vs-sim,
-/// session determinism and analyze-congruence when the source parses
-/// and validates. Returns
+/// session determinism, arena equivalence and analyze-congruence when
+/// the source parses and validates. Returns
 /// the per-oracle verdicts. Search equivalence has no file input; the
 /// regression test replays it separately from recorded seeds.
 pub fn replay_source(src: &str, bands: &ToleranceBands) -> Vec<(OracleKind, Verdict)> {
@@ -298,6 +315,9 @@ pub fn replay_source(src: &str, bands: &ToleranceBands) -> Vec<(OracleKind, Verd
         let v = panic::catch_unwind(AssertUnwindSafe(|| oracle::session_determinism(&m, &dev)))
             .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
         out.push((OracleKind::SessionDeterminism, v));
+        let v = panic::catch_unwind(AssertUnwindSafe(|| oracle::arena_equivalence(&m, &dev)))
+            .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
+        out.push((OracleKind::ArenaEquivalence, v));
         let v = panic::catch_unwind(AssertUnwindSafe(|| oracle::analyze_congruence(&m, &dev)))
             .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
         out.push((OracleKind::AnalyzeCongruence, v));
@@ -325,7 +345,7 @@ mod tests {
     fn the_wheel_covers_every_oracle() {
         let kinds: std::collections::BTreeSet<&str> =
             (0..32).map(|i| OracleKind::for_case(i).label()).collect();
-        assert_eq!(kinds.len(), 6);
+        assert_eq!(kinds.len(), 7);
     }
 
     #[test]
@@ -342,7 +362,7 @@ mod tests {
         let mut g = TirlGen::new(21);
         let src = g.valid_source();
         let verdicts = replay_source(&src, &ToleranceBands::default());
-        assert_eq!(verdicts.len(), 4);
+        assert_eq!(verdicts.len(), 5);
         assert!(verdicts.iter().all(|(_, v)| !v.is_failure()), "{verdicts:?}");
     }
 }

@@ -6,7 +6,7 @@
 //! truth (`tytra-sim`'s virtual toolchain + cycle simulator), which
 //! makes differential testing cheap: generate designs, run both sides,
 //! and flag any panic, disagreement beyond tolerance, or non-finite
-//! metric. Five oracles (see [`oracle`]):
+//! metric. Six oracles (see [`oracle`]):
 //!
 //! 1. **Round-trip** — parse → print → reparse fixed point; malformed
 //!    input must produce a structured error, never a panic.
@@ -20,6 +20,10 @@
 //!    deterministic, and congruence-classed A/B siblings produce
 //!    bit-identical cost reports (the DSE prefilter's soundness
 //!    contract).
+//! 6. **Arena equivalence** — the arena/SoA IR fingerprints,
+//!    materializes and costs (`estimate_design`/`bound_design`)
+//!    bit-identically to the tree on any module and any
+//!    copy-on-write patch.
 //!
 //! Everything is derived from `(seed, case_id)` — see [`gen::TirlGen`]
 //! and [`harness::run_case`] — so every corpus entry replays exactly.

@@ -1,4 +1,4 @@
-//! The five differential oracles.
+//! The differential oracles.
 //!
 //! Each oracle takes an input (a TIRL source, a validated module, or a
 //! drawn search-space shape) and returns a [`Verdict`]. Oracles never
@@ -12,7 +12,7 @@ use tytra_cost::EstimatorSession;
 use tytra_device::TargetDevice;
 use tytra_dse::explore::ExplorationConfig;
 use tytra_dse::{search, SearchConfig, SearchOutcome};
-use tytra_ir::{IrModule, MemForm};
+use tytra_ir::{ArenaModule, IrModule, MemForm};
 use tytra_kernels::{EvalKernel, Sor, StreamTriad};
 
 /// The outcome of running one oracle on one case.
@@ -358,6 +358,83 @@ pub fn analyze_congruence(m: &IrModule, dev: &TargetDevice) -> Verdict {
     }
 }
 
+/// Oracle 6 — arena/tree bit-identity on any validated module.
+///
+/// The arena IR ([`ArenaModule`]) carries the estimator's whole hot
+/// path, so its contract is total: for any module the generator can
+/// produce, (a) the identity patch fingerprints and materializes exactly
+/// as the tree; (b) for a sweep of copy-on-write patches over the three
+/// patched cells (name, form, DV), `estimate_design`/`bound_design` are
+/// `Debug`-bit-identical to a tree session estimating the materialized
+/// patch. Float `Debug` is round-trip exact, so string equality is bit
+/// equality.
+pub fn arena_equivalence(m: &IrModule, dev: &TargetDevice) -> Verdict {
+    let arena = ArenaModule::build(m.clone());
+    if arena.identity().fingerprint() != tytra_ir::fingerprint_module(m) {
+        return Verdict::Disagreement("arena identity fingerprint differs from the tree".into());
+    }
+    if &arena.identity().materialize() != m {
+        return Verdict::Disagreement(
+            "arena identity materialization differs from the tree".into(),
+        );
+    }
+    let mut via_arena = EstimatorSession::new(dev.clone());
+    let mut via_tree = EstimatorSession::new(dev.clone());
+    let patches: [(&str, MemForm, u32); 4] = [
+        (&m.name, m.meta.form, m.meta.vect),
+        ("fz_patch", MemForm::A, 1),
+        ("fz_patch", MemForm::B, 2),
+        ("fz_patch", MemForm::Tiled { tiles: 2 }, m.meta.vect),
+    ];
+    for (name, form, vect) in patches {
+        let d = arena.patched(name, form, vect);
+        let tree = d.materialize();
+        match (via_arena.estimate_design(&d), via_tree.estimate(&tree)) {
+            (Ok(a), Ok(t)) => {
+                if format!("{a:?}") != format!("{t:?}") {
+                    return Verdict::Disagreement(format!(
+                        "estimate_design differs from tree estimate on patch {name}/{form:?}/DV{vect}"
+                    ));
+                }
+            }
+            (Err(a), Err(t)) => {
+                if a != t {
+                    return Verdict::Disagreement(format!(
+                        "arena/tree estimates erred differently: {a} / {t}"
+                    ));
+                }
+            }
+            _ => {
+                return Verdict::Disagreement(
+                    "Ok/Err disagreement between arena and tree estimates".into(),
+                );
+            }
+        }
+        match (via_arena.bound_design(&d), via_tree.bound(&tree)) {
+            (Ok(a), Ok(t)) => {
+                if format!("{a:?}") != format!("{t:?}") {
+                    return Verdict::Disagreement(format!(
+                        "bound_design differs from tree bound on patch {name}/{form:?}/DV{vect}"
+                    ));
+                }
+            }
+            (Err(a), Err(t)) => {
+                if a != t {
+                    return Verdict::Disagreement(format!(
+                        "arena/tree bounds erred differently: {a} / {t}"
+                    ));
+                }
+            }
+            _ => {
+                return Verdict::Disagreement(
+                    "Ok/Err disagreement between arena and tree bounds".into(),
+                );
+            }
+        }
+    }
+    Verdict::Pass
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +497,16 @@ mod tests {
         m.meta.nki = 5;
         let dev = tytra_device::eval_small();
         assert_eq!(analyze_congruence(&m, &dev), Verdict::Pass);
+    }
+
+    #[test]
+    fn arena_equivalence_holds_on_generated_modules() {
+        let dev = tytra_device::eval_small();
+        for seed in [3u64, 17, 99] {
+            let mut g = TirlGen::new(seed);
+            let m = g.valid_module();
+            assert_eq!(arena_equivalence(&m, &dev), Verdict::Pass, "seed {seed}");
+        }
     }
 
     #[test]

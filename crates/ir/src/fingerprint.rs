@@ -87,7 +87,7 @@ impl StableHasher {
     }
 }
 
-fn write_ty(h: &mut StableHasher, ty: ScalarType) {
+pub(crate) fn write_ty(h: &mut StableHasher, ty: ScalarType) {
     match ty {
         ScalarType::UInt(w) => {
             h.write_u8(1);
@@ -125,7 +125,7 @@ fn write_operand(h: &mut StableHasher, o: &Operand) {
     }
 }
 
-fn write_pattern(h: &mut StableHasher, p: AccessPattern) {
+pub(crate) fn write_pattern(h: &mut StableHasher, p: AccessPattern) {
     match p {
         AccessPattern::Contiguous => h.write_u8(1),
         AccessPattern::Strided { stride } => {
@@ -135,7 +135,7 @@ fn write_pattern(h: &mut StableHasher, p: AccessPattern) {
     }
 }
 
-fn write_form(h: &mut StableHasher, f: MemForm) {
+pub(crate) fn write_form(h: &mut StableHasher, f: MemForm) {
     match f {
         MemForm::A => h.write_u8(1),
         MemForm::B => h.write_u8(2),
@@ -239,20 +239,35 @@ pub fn fingerprint_streams(m: &IrModule) -> u64 {
 }
 
 fn write_meta(h: &mut StableHasher, meta: &ExecMeta) {
-    h.write_u64(meta.ndrange.len() as u64);
-    for &d in &meta.ndrange {
+    write_meta_parts(h, &meta.ndrange, meta.nki, meta.form, meta.freq_mhz, meta.vect);
+}
+
+/// Meta encoding with each field passed explicitly, so the arena's
+/// copy-on-write fingerprint can hash a *patched* (form, vect) pair over
+/// the base module's other fields without materializing an [`ExecMeta`].
+/// Byte-compatible with [`write_meta`] by construction.
+pub(crate) fn write_meta_parts(
+    h: &mut StableHasher,
+    ndrange: &[u64],
+    nki: u64,
+    form: MemForm,
+    freq_mhz: Option<f64>,
+    vect: u32,
+) {
+    h.write_u64(ndrange.len() as u64);
+    for &d in ndrange {
         h.write_u64(d);
     }
-    h.write_u64(meta.nki);
-    write_form(h, meta.form);
-    match meta.freq_mhz {
+    h.write_u64(nki);
+    write_form(h, form);
+    match freq_mhz {
         Some(f) => {
             h.write_u8(1);
             h.write_f64(f);
         }
         None => h.write_u8(0),
     }
-    h.write_u64(u64::from(meta.vect));
+    h.write_u64(u64::from(vect));
 }
 
 /// Fingerprint of a whole module: name, execution metadata, Manage-IR

@@ -29,6 +29,7 @@
 //! computes the stable, span-transparent structural hashes under which the
 //! session-based cost estimator memoizes per-function sub-results.
 
+pub mod arena;
 pub mod builder;
 pub mod config_tree;
 pub mod dfg;
@@ -37,6 +38,7 @@ pub mod error;
 pub mod fingerprint;
 pub mod function;
 pub mod instr;
+pub mod intern;
 pub mod module;
 pub mod parser;
 pub mod printer;
@@ -44,6 +46,10 @@ pub mod stream;
 pub mod types;
 pub mod validate;
 
+pub use arena::{
+    ArenaModule, ConfigPlan, FnId, InstrId, MemId, PatchedModule, PlanNode, PortId, StmtId,
+    StmtKind, StreamId,
+};
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use config_tree::{ConfigClass, ConfigNode, ConfigTree};
 pub use dfg::{Dfg, DfgNode, LatencyModel, UnitLatency};
@@ -55,6 +61,7 @@ pub use fingerprint::{
 };
 pub use function::{Call, IrFunction, OffsetDecl, ParKind, Param, PortDir, Stmt};
 pub use instr::{Dest, Instruction, Opcode, Operand};
+pub use intern::{Symbol, SymbolTable};
 pub use module::{ExecMeta, IrModule, MemForm};
 pub use parser::{parse, parse_unvalidated};
 pub use printer::print;

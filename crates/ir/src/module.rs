@@ -29,13 +29,16 @@ pub enum MemForm {
 }
 
 impl MemForm {
-    /// Tag used in the textual IR metadata (`!form = !"B"`).
-    pub fn tag(&self) -> String {
+    /// Tag used in the textual IR metadata (`!form = !"B"`). Borrowed
+    /// (allocation-free) for the paper's three letter forms; only the
+    /// `Tiled` extension pays a formatting allocation. Hot paths that
+    /// print forms should go through `Display`, which never allocates.
+    pub fn tag(&self) -> std::borrow::Cow<'static, str> {
         match self {
-            MemForm::A => "A".to_string(),
-            MemForm::B => "B".to_string(),
-            MemForm::C => "C".to_string(),
-            MemForm::Tiled { tiles } => format!("T{tiles}"),
+            MemForm::A => std::borrow::Cow::Borrowed("A"),
+            MemForm::B => std::borrow::Cow::Borrowed("B"),
+            MemForm::C => std::borrow::Cow::Borrowed("C"),
+            MemForm::Tiled { tiles } => std::borrow::Cow::Owned(format!("T{tiles}")),
         }
     }
 
@@ -55,7 +58,12 @@ impl MemForm {
 
 impl fmt::Display for MemForm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.tag())
+        match self {
+            MemForm::A => f.write_str("A"),
+            MemForm::B => f.write_str("B"),
+            MemForm::C => f.write_str("C"),
+            MemForm::Tiled { tiles } => write!(f, "T{tiles}"),
+        }
     }
 }
 

@@ -38,7 +38,7 @@ pub use triad::StreamTriad;
 use std::collections::HashMap;
 use tytra_ir::{IrError, IrModule};
 use tytra_transform::lower::Geometry;
-use tytra_transform::{lower, KernelDef, Variant};
+use tytra_transform::{lower, KernelDef, Variant, VariantFactory};
 
 /// Common interface over the three evaluation kernels. `Sync` so sweep
 /// drivers can cost variants from worker threads.
@@ -80,6 +80,16 @@ pub trait EvalKernel: Sync {
     /// Lower the kernel under a variant.
     fn lower_variant(&self, variant: &Variant) -> Result<IrModule, IrError> {
         lower(&self.kernel_def(), &self.geometry(), variant)
+    }
+
+    /// A copy-on-write variant factory over the standard workload: one
+    /// lowered arena base per structural class, each variant served as a
+    /// three-cell patch with the same fingerprint as
+    /// [`lower_variant`][EvalKernel::lower_variant] (see
+    /// [`tytra_transform::VariantFactory`]). The DSE engine builds one
+    /// per sweep and costs designs through the estimator's arena path.
+    fn variant_factory(&self) -> VariantFactory {
+        VariantFactory::new(self.kernel_def(), self.geometry())
     }
 }
 

@@ -22,6 +22,9 @@
 //!   indices, for the branch-and-bound DSE search;
 //! * [`lower()`][lower::lower] — lowering a kernel + variant to a TyTra-IR module (the
 //!   Fig 12 / Fig 14 shapes);
+//! * [`factory`] — copy-on-write variant materialization: one lowered
+//!   arena base per structural class, each variant a three-cell patch
+//!   over it (the DSE engine's zero-alloc path);
 //! * [`proofs`] — executable statements of the transformation laws
 //!   (order/size preservation, map–reshape commutation), property-tested;
 //! * [`cexpr`] — a C/Fortran-flavoured surface syntax for kernel
@@ -30,6 +33,7 @@
 
 pub mod cexpr;
 pub mod expr;
+pub mod factory;
 pub mod lower;
 pub mod proofs;
 pub mod typetrans;
@@ -38,6 +42,7 @@ pub mod vect;
 
 pub use cexpr::parse_expr;
 pub use expr::{Expr, KernelDef, Reduction};
+pub use factory::{VariantDesign, VariantFactory};
 pub use lower::lower;
 pub use typetrans::{enumerate_variants, InnerKind, Variant};
 pub use variant_iter::{IndexedVariant, VariantIter};

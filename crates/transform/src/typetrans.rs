@@ -6,6 +6,7 @@
 //! transformation" (§II). A [`Variant`] is one such decorated reshape;
 //! [`enumerate_variants`] produces the legal set for a given NDRange.
 
+use std::fmt::Write as _;
 use tytra_ir::MemForm;
 
 /// How the inner map (one lane's work) executes.
@@ -40,11 +41,35 @@ impl Variant {
 
     /// Short tag used in design names: `l4_v1_pipe_B`.
     pub fn tag(&self) -> String {
+        self.tag_buf().as_str().to_string()
+    }
+
+    /// The tag formatted into a stack buffer — no heap allocation. The
+    /// DSE hot path (per-variant trace fields, leaderboard tie-break
+    /// comparisons) goes through this instead of [`tag`][Variant::tag].
+    pub fn tag_buf(&self) -> TagBuf {
         let inner = match self.inner {
             InnerKind::Pipe => "pipe",
             InnerKind::Seq => "seq",
         };
-        format!("l{}_v{}_{}_{}", self.lanes, self.vect, inner, self.form.tag())
+        let mut b = TagBuf::default();
+        // `MemForm`'s `Display` writes the letter forms without
+        // allocating; a TagBuf never overflows (see its docs), so the
+        // write cannot fail.
+        let _ = write!(b, "l{}_v{}_{}_{}", self.lanes, self.vect, inner, self.form);
+        b
+    }
+
+    /// Append the tag to an existing string (one buffer reserve at
+    /// most, no intermediate allocation).
+    pub fn write_tag(&self, out: &mut String) {
+        out.push_str(self.tag_buf().as_str());
+    }
+
+    /// Compare two variants by their tag strings (byte order, exactly
+    /// as comparing [`tag`][Variant::tag] results) without allocating.
+    pub fn tag_cmp(&self, other: &Variant) -> std::cmp::Ordering {
+        self.tag_buf().as_str().cmp(other.tag_buf().as_str())
     }
 
     /// Is the reshape legal for this NDRange (order/size preservation
@@ -55,6 +80,42 @@ impl Variant {
             && self.vect > 0
             && ngs.is_multiple_of(self.lanes)
             && (ngs / self.lanes).is_multiple_of(u64::from(self.vect))
+    }
+}
+
+/// A variant tag on the stack: `l{lanes}_v{vect}_{inner}_{form}` peaks
+/// at 50 bytes (20-digit lane count, 10-digit vector degree, `pipe`,
+/// 11-byte tiled form), so the 64-byte buffer always suffices.
+#[derive(Debug, Clone, Copy)]
+pub struct TagBuf {
+    buf: [u8; 64],
+    len: u8,
+}
+
+impl Default for TagBuf {
+    fn default() -> TagBuf {
+        TagBuf { buf: [0; 64], len: 0 }
+    }
+}
+
+impl TagBuf {
+    /// The formatted tag.
+    pub fn as_str(&self) -> &str {
+        // Only `write_str` fills the buffer, so it holds valid UTF-8.
+        std::str::from_utf8(&self.buf[..usize::from(self.len)]).unwrap_or("")
+    }
+}
+
+impl std::fmt::Write for TagBuf {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        let start = usize::from(self.len);
+        let end = start + s.len();
+        if end > self.buf.len() {
+            return Err(std::fmt::Error);
+        }
+        self.buf[start..end].copy_from_slice(s.as_bytes());
+        self.len = end as u8;
+        Ok(())
     }
 }
 
@@ -138,6 +199,31 @@ mod tests {
         )
         .len();
         assert!(large > 10 * small);
+    }
+
+    #[test]
+    fn tag_buf_matches_tag_and_orders_identically() {
+        let vs = enumerate_variants(
+            1 << 12,
+            &[1, 2, 4, 8, 16, 32],
+            &[1, 2, 4],
+            &[MemForm::A, MemForm::B, MemForm::C, MemForm::Tiled { tiles: 12 }],
+        );
+        for a in &vs {
+            assert_eq!(a.tag_buf().as_str(), a.tag());
+            let mut s = String::from("sor_");
+            a.write_tag(&mut s);
+            assert_eq!(s, format!("sor_{}", a.tag()));
+            for b in &vs {
+                // The explore tie-break sorts by tag *string*; tag_cmp
+                // must preserve that byte order exactly (note "l16..."
+                // sorts before "l2...").
+                assert_eq!(a.tag_cmp(b), a.tag().cmp(&b.tag()));
+            }
+        }
+        let l16 = Variant { lanes: 16, vect: 1, inner: InnerKind::Pipe, form: MemForm::B };
+        let l2 = Variant { lanes: 2, vect: 1, inner: InnerKind::Pipe, form: MemForm::B };
+        assert_eq!(l16.tag_cmp(&l2), std::cmp::Ordering::Less, "string order, not numeric");
     }
 
     #[test]
