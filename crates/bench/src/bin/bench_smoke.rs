@@ -272,6 +272,45 @@ fn bench_dse(out: &str) {
         std::process::exit(1);
     }
 
+    // Observability overhead: the flight recorder is on by default in
+    // production, so its cost on the costing hot path is a contract, not
+    // a curiosity. Re-run the arena sweep with one recorder mark per
+    // point (the bound pass emits exactly that) with the recorder on vs
+    // off, interleaving the reps so drift hits both sides equally. Gated
+    // at ≤ 5% median overhead.
+    const OBS_REPS: usize = 30;
+    let marked_sweep = |session: &mut EstimatorSession| {
+        for (i, v) in variants.iter().enumerate() {
+            tytra_trace::recorder::mark("dse.bound", i as u64);
+            let d = factory.design(v).expect("legal variant");
+            let _ = session.bound_design(&d.patched()).expect("bound");
+        }
+    };
+    let recorder_was_on = tytra_trace::recorder::enabled();
+    let mut on_walls = Vec::with_capacity(OBS_REPS);
+    let mut off_walls = Vec::with_capacity(OBS_REPS);
+    for _ in 0..OBS_REPS {
+        tytra_trace::recorder::set_enabled(true);
+        let t0 = Instant::now();
+        marked_sweep(&mut arena_session);
+        on_walls.push(t0.elapsed().as_secs_f64() * 1e6);
+        tytra_trace::recorder::set_enabled(false);
+        let t0 = Instant::now();
+        marked_sweep(&mut arena_session);
+        off_walls.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    tytra_trace::recorder::set_enabled(recorder_was_on);
+    let recorder_on_us = median_us(&mut on_walls);
+    let recorder_off_us = median_us(&mut off_walls);
+    let observability_overhead_pct = (recorder_on_us - recorder_off_us) / recorder_off_us * 100.0;
+    if observability_overhead_pct > 5.0 {
+        eprintln!(
+            "FAIL: flight recorder adds {observability_overhead_pct:.2}% to the costing sweep \
+             ({recorder_on_us:.1} vs {recorder_off_us:.1} µs; budget: 5%)"
+        );
+        std::process::exit(1);
+    }
+
     // Steady-state allocation budget of the arena costing path. Gated at
     // ≤ 2 heap allocations per variant when the counting allocator is
     // compiled in (`--features alloc-count`); reported as null otherwise.
@@ -300,6 +339,9 @@ fn bench_dse(out: &str) {
          \"costing_tree_points_per_sec\": {costing_tree_pps:.1},\n  \
          \"costing_arena_points_per_sec\": {costing_arena_pps:.1},\n  \
          \"arena_costing_speedup\": {costing_speedup:.2},\n  \
+         \"recorder_on_us\": {recorder_on_us:.3},\n  \
+         \"recorder_off_us\": {recorder_off_us:.3},\n  \
+         \"observability_overhead_pct\": {observability_overhead_pct:.3},\n  \
          \"peak_rss_kb\": {rss_kb},\n  \"allocs_per_variant\": {apv_json}\n}}\n",
         exhaustive_us / pruned_us,
         pr_stats.pruned_fraction(),
@@ -331,6 +373,10 @@ fn bench_dse(out: &str) {
     println!(
         "dse costing A/B: tree {costing_tree_pps:.0} pts/s  arena {costing_arena_pps:.0} pts/s  \
          speedup {costing_speedup:.1}x"
+    );
+    println!(
+        "dse observability: recorder on {recorder_on_us:.1} µs  off {recorder_off_us:.1} µs  \
+         overhead {observability_overhead_pct:+.2}%"
     );
     println!("wrote {out} (leaderboards identical)");
 }

@@ -14,17 +14,24 @@
 //! tybec exec   <design.tirl> [--items N] [--seed S]   run the datapath functionally
 //! tybec lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
 //! tybec analyze <design.tirl> [--json]              dataflow analysis report
+//! tybec profile <design.tirl> [--target <name>]     per-pass self-time attribution
 //! ```
 //!
 //! Every subcommand also accepts the global profiling flags
-//! `--trace <out>` and `--trace-format chrome|jsonl|tree` (see
+//! `--trace <out>` and `--trace-format chrome|jsonl|tree|folded` (see
 //! `docs/observability.md`). Tracing observes the run without changing
 //! it: stdout stays byte-identical, the trace file and its one-line
 //! status go elsewhere (the file and stderr respectively).
 //!
+//! The flight recorder (always-on crash breadcrumbs) is live for every
+//! invocation; a panic dumps the per-thread event rings to stderr (and
+//! to `$TYTRA_FLIGHT_DUMP` when set). `TYTRA_FLIGHT_RECORDER=0` turns
+//! it off.
+//!
 //! Targets: `stratix-v-gsd8` (default), `virtex7-adm7v3`, `eval-small`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use tytra_codegen::{check, emit_design, emit_maxj_wrapper};
 use tytra_cost::{estimate, EstimatorSession};
 use tytra_device::TargetDevice;
@@ -32,23 +39,79 @@ use tytra_dse::{lane_sweep_session, search, tune_session, ExplorationConfig, Sea
 use tytra_ir::{ErrorCategory, IrError, TybecError};
 use tytra_kernels::{EvalKernel, Hotspot, LavaMd, Sor};
 use tytra_sim::{run_application, synthesize};
-use tytra_trace::sink;
+use tytra_trace::metrics::Registry;
+use tytra_trace::prometheus::render_prometheus;
+use tytra_trace::sampler::Sampler;
+use tytra_trace::{profile, recorder, sink};
 use tytra_transform::Variant;
 
-const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint|analyze> <input> [options]
+/// Counting shim over the system allocator (feature `alloc-count`):
+/// `tybec profile` reports heap allocations per estimate with it on.
+#[cfg(feature = "alloc-count")]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    // SAFETY: defers entirely to `System`; the counter has no effect on
+    // the returned pointers or layouts.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static A: CountingAlloc = CountingAlloc;
+}
+
+/// Allocation counter reading, `None` without the `alloc-count` feature.
+fn alloc_count() -> Option<u64> {
+    #[cfg(feature = "alloc-count")]
+    {
+        Some(counting_alloc::ALLOCS.load(std::sync::atomic::Ordering::Relaxed))
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+}
+
+const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint|analyze|profile> <input> [options]
   cost   <design.tirl> [--target <name>]
   actual <design.tirl> [--target <name>]
   hdl    <design.tirl> [--target <name>] [-o <out.v>] [--wrapper] [--check]
   tree   <design.tirl>
   dse    <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...] [--workers N] [--exhaustive] [--stats] [--metrics]
+         [--metrics-format table|prometheus] [--metrics-out <file>]
+         [--metrics-stream <file.jsonl>] [--metrics-interval-ms N]
   roofline <sor|hotspot|lavamd> [--target <name>] [--lanes 1,2,4,...]
   exec   <design.tirl> [--items N] [--seed S]
   lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
   analyze <design.tirl> [--json]
-global: --trace <out> [--trace-format chrome|jsonl|tree]   write a span trace of the run
+  profile <design.tirl> [--target <name>]
+global: --trace <out> [--trace-format chrome|jsonl|tree|folded]   write a span trace of the run
+env: TYTRA_FLIGHT_RECORDER=0 disables crash breadcrumbs; TYTRA_FLIGHT_DUMP=<path> writes panic dumps there
 targets: stratix-v-gsd8 (default) | virtex7-adm7v3 | eval-small";
 
 fn main() -> ExitCode {
+    // The flight recorder is on by default; the env switch exists for
+    // measuring its (tiny) overhead and for paranoid reproductions.
+    if std::env::var("TYTRA_FLIGHT_RECORDER").as_deref() == Ok("0") {
+        recorder::set_enabled(false);
+    }
+    recorder::install_panic_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -126,14 +189,18 @@ enum TraceFormat {
     Jsonl,
     /// Human-readable span tree.
     Tree,
+    /// Collapsed stacks (`root;child;leaf self_ns`), one line per
+    /// unique stack — feed to inferno/flamegraph.pl or speedscope.
+    Folded,
 }
+
+/// The non-trace args plus the requested trace output, if any.
+type SplitArgs = (Vec<String>, Option<(String, TraceFormat)>);
 
 /// Split the global `--trace` / `--trace-format` flags off the argument
 /// list (so subcommand parsers never see them) and return the remaining
 /// args plus the requested trace output, if any.
-fn split_trace_flags(
-    args: &[String],
-) -> Result<(Vec<String>, Option<(String, TraceFormat)>), String> {
+fn split_trace_flags(args: &[String]) -> Result<SplitArgs, String> {
     let mut rest = Vec::with_capacity(args.len());
     let mut path = None;
     let mut format = TraceFormat::Chrome;
@@ -144,14 +211,15 @@ fn split_trace_flags(
                 path = Some(it.next().ok_or("--trace expects an output path")?.clone());
             }
             "--trace-format" => {
-                let v = it.next().ok_or("--trace-format expects chrome|jsonl|tree")?;
+                let v = it.next().ok_or("--trace-format expects chrome|jsonl|tree|folded")?;
                 format = match v.as_str() {
                     "chrome" => TraceFormat::Chrome,
                     "jsonl" => TraceFormat::Jsonl,
                     "tree" => TraceFormat::Tree,
+                    "folded" => TraceFormat::Folded,
                     other => {
                         return Err(format!(
-                            "unknown --trace-format `{other}` (expected chrome|jsonl|tree)"
+                            "unknown --trace-format `{other}` (expected chrome|jsonl|tree|folded)"
                         ))
                     }
                 };
@@ -172,6 +240,7 @@ fn write_trace(path: &str, format: TraceFormat) -> Result<(), String> {
         TraceFormat::Chrome => sink::render_chrome(&records, &labels),
         TraceFormat::Jsonl => sink::render_jsonl(&records),
         TraceFormat::Tree => sink::render_tree(&records, &labels),
+        TraceFormat::Folded => profile::render_folded(&records),
     };
     std::fs::write(path, body).map_err(|e| format!("writing trace {path}: {e}"))?;
     eprintln!("trace: {} span(s) written to {path}", records.len());
@@ -201,6 +270,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             "exec" => cmd_exec(rest),
             "lint" => cmd_lint(rest),
             "analyze" => cmd_analyze(rest),
+            "profile" => cmd_profile(rest),
             "--help" | "-h" | "help" => {
                 println!("{USAGE}");
                 Ok(())
@@ -293,6 +363,58 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
         println!("{}", report.render_json());
     } else {
         print!("{}", report.render_text());
+    }
+    Ok(())
+}
+
+/// `tybec profile`: run a cold and a warm estimate of the design under
+/// full span tracing, then print per-pass self-time attribution — which
+/// passes dominate, what the memo tables buy on the warm run, and (with
+/// the `alloc-count` feature) heap allocations per run.
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
+    let m = load_module(args)?;
+    let dev = target_of(args)?;
+    let mut session = EstimatorSession::new(dev);
+
+    // Attribution needs span records: collect for the two measured runs
+    // only, and snapshot (never drain) so a simultaneous `--trace` still
+    // writes every span it saw.
+    let was_on = tytra_trace::enabled();
+    tytra_trace::set_enabled(true);
+    let before = tytra_trace::snapshot_records().len();
+    let alloc_start = alloc_count();
+    session.estimate(&m)?;
+    let cold = session.stats();
+    let alloc_cold = alloc_count();
+    session.estimate(&m)?;
+    let warm = session.stats();
+    let alloc_warm = alloc_count();
+    let records: Vec<_> = tytra_trace::snapshot_records().into_iter().skip(before).collect();
+    tytra_trace::set_enabled(was_on);
+
+    // Drop the CLI's own wrapper span; the table is about estimator
+    // passes, not the harness around them.
+    let rows: Vec<_> = profile::attribution(&records)
+        .into_iter()
+        .filter(|r| !r.name.starts_with("tybec."))
+        .collect();
+    println!("== profile: {} (cold + warm estimate) ==", m.name);
+    print!("{}", profile::render_attribution_table(&rows));
+    let warm_hits = warm.hits - cold.hits;
+    let warm_lookups = warm.lookups() - cold.lookups();
+    println!(
+        "  memo: cold {}/{} hit(s), warm {}/{} hit(s) ({:.0}% warm hit rate)",
+        cold.hits,
+        cold.lookups(),
+        warm_hits,
+        warm_lookups,
+        if warm_lookups == 0 { 0.0 } else { warm_hits as f64 / warm_lookups as f64 * 100.0 }
+    );
+    match (alloc_start, alloc_cold, alloc_warm) {
+        (Some(s), Some(c), Some(w)) => {
+            println!("  allocs: cold {} warm {}", c - s, w - c);
+        }
+        _ => println!("  allocs: n/a (rebuild with --features alloc-count)"),
     }
     Ok(())
 }
@@ -445,6 +567,15 @@ fn cmd_exec(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// How `--metrics` / `--metrics-out` render the merged snapshot.
+#[derive(Debug, Clone, Copy)]
+enum MetricsFormat {
+    /// The aligned human-readable table.
+    Table,
+    /// Prometheus text exposition format (scrape-ready).
+    Prometheus,
+}
+
 fn cmd_dse(args: &[String]) -> Result<(), CliError> {
     let kernel = kernel_by_name(args)?;
     let dev = target_of(args)?;
@@ -456,6 +587,41 @@ fn cmd_dse(args: &[String]) -> Result<(), CliError> {
     let exhaustive = has_flag(args, "--exhaustive");
     let show_stats = has_flag(args, "--stats");
     let show_metrics = has_flag(args, "--metrics");
+    let metrics_format = match flag_value(args, "--metrics-format").unwrap_or("table") {
+        "table" => MetricsFormat::Table,
+        "prometheus" => MetricsFormat::Prometheus,
+        other => {
+            return Err(
+                format!("unknown --metrics-format `{other}` (expected table|prometheus)").into()
+            )
+        }
+    };
+    let metrics_out = flag_value(args, "--metrics-out");
+    let stream_path = flag_value(args, "--metrics-stream");
+    let interval_ms: u64 = match flag_value(args, "--metrics-interval-ms") {
+        Some(v) => v.parse().map_err(|e| format!("bad --metrics-interval-ms: {e}"))?,
+        None => 500,
+    };
+
+    // `--metrics-stream` turns on live exposition: the search workers
+    // publish into one shared registry while the sweep runs, and a
+    // sampler thread appends interval-tagged JSONL snapshots to the
+    // stream file. Without it, workers keep private registries that are
+    // merged after the fact (zero contention on the hot path).
+    let live: Option<Arc<Registry>> = stream_path.map(|_| Arc::new(Registry::default()));
+    let sampler = match (stream_path, &live) {
+        (Some(path), Some(reg)) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("creating metrics stream {path}: {e}"))?;
+            let source = Arc::clone(reg);
+            Some(Sampler::start(
+                std::time::Duration::from_millis(interval_ms.max(1)),
+                move || source.snapshot(),
+                file,
+            ))
+        }
+        _ => None,
+    };
 
     // One estimator session serves the sweep and the later tuning run,
     // so tuning starts with the sweep's memo tables already warm.
@@ -472,7 +638,14 @@ fn cmd_dse(args: &[String]) -> Result<(), CliError> {
     let space = ExplorationConfig { lanes, workers, ..ExplorationConfig::default() };
     let cfg =
         if exhaustive { SearchConfig::exhaustive(space) } else { SearchConfig::pruned(space) };
+    let cfg = SearchConfig { live: live.clone(), ..cfg };
     let outcome = search(kernel.as_ref(), &dev, &cfg);
+    if let Some(s) = sampler {
+        let lines = s.stop();
+        // stream_path is Some whenever sampler is.
+        let path = stream_path.unwrap_or_default();
+        eprintln!("metrics stream: {lines} sample(s) written to {path}");
+    }
     print!("{}", tytra_dse::render_search_leaderboard(&outcome, 10));
 
     println!("\n== guided tuning from baseline ==");
@@ -486,6 +659,14 @@ fn cmd_dse(args: &[String]) -> Result<(), CliError> {
         );
     }
 
+    // The CLI session (sweep + tuning) and every search worker session
+    // feed registries with the same metric names; the merge sums
+    // counters and merges histograms bucket-wise.
+    let merged = || {
+        let mut snap = session.metrics_snapshot();
+        snap.merge(&outcome.metrics);
+        snap
+    };
     if show_stats {
         let sweep_stats = session.stats();
         let mut total = sweep_stats;
@@ -498,15 +679,20 @@ fn cmd_dse(args: &[String]) -> Result<(), CliError> {
         if !exhaustive {
             println!("{}", tytra_dse::render_prefilter_stats_line(&outcome.stats));
         }
+        println!("{}", tytra_dse::render_latency_stats_line(&merged()));
     }
+    let render_metrics = |snap: &tytra_trace::metrics::Snapshot| match metrics_format {
+        MetricsFormat::Table => snap.render_table(),
+        MetricsFormat::Prometheus => render_prometheus(snap),
+    };
     if show_metrics {
-        // The CLI session (sweep + tuning) and every search worker
-        // session feed registries with the same metric names; the merge
-        // sums counters and merges histograms bucket-wise.
-        let mut snap = session.metrics_snapshot();
-        snap.merge(&outcome.metrics);
         println!("\n== metrics ==");
-        print!("{}", snap.render_table());
+        print!("{}", render_metrics(&merged()));
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, render_metrics(&merged()))
+            .map_err(|e| format!("writing metrics {path}: {e}"))?;
+        eprintln!("metrics: snapshot written to {path}");
     }
     Ok(())
 }

@@ -11,6 +11,15 @@ fn tybec(args: &[&str]) -> Output {
         .expect("tybec runs")
 }
 
+fn tybec_env(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_tybec"));
+    c.args(args).current_dir(workspace_root());
+    for (k, v) in envs {
+        c.env(k, v);
+    }
+    c.output().expect("tybec runs")
+}
+
 fn workspace_root() -> PathBuf {
     // crates/cli → workspace root two levels up.
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
@@ -514,6 +523,144 @@ fn dse_metrics_prints_the_registry_table() {
     {
         assert!(out.contains(metric), "missing `{metric}`:\n{out}");
     }
+}
+
+#[test]
+fn folded_trace_format_renders_collapsed_stacks() {
+    let path = trace_tmp("cost_folded.txt");
+    let o = tybec(&[
+        "cost",
+        "assets/sor_c2.tirl",
+        "--trace",
+        path.to_str().unwrap(),
+        "--trace-format",
+        "folded",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let body = std::fs::read_to_string(&path).unwrap();
+    assert!(!body.trim().is_empty());
+    // Every line is `root;child;leaf self_ns` — flamegraph.pl input.
+    for line in body.lines() {
+        let (stack, count) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line: {line}"));
+        assert!(!stack.is_empty(), "{line}");
+        count.parse::<u64>().unwrap_or_else(|e| panic!("bad self-time in `{line}`: {e}"));
+    }
+    assert!(
+        body.lines().any(|l| l.starts_with("tybec.cost;estimator.estimate;")),
+        "estimator passes should fold under the root span:\n{body}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn flight_recorder_env_switch_keeps_stdout_identical() {
+    // The recorder is on by default and must never show in stdout, so a
+    // run with it disabled is byte-identical on every CLI path.
+    // (No --stats here: its latency quantiles are wall-clock readings,
+    // the one part of the CLI that is deliberately not byte-stable.)
+    for args in [
+        vec!["cost", "assets/sor_c2.tirl"],
+        vec!["dse", "sor", "--target", "eval-small", "--lanes", "1,2,4"],
+    ] {
+        let on = tybec(&args);
+        let off = tybec_env(&args, &[("TYTRA_FLIGHT_RECORDER", "0")]);
+        assert!(on.status.success(), "{}", stderr(&on));
+        assert!(off.status.success(), "{}", stderr(&off));
+        assert_eq!(on.stdout, off.stdout, "recorder state leaked into {args:?} stdout");
+    }
+}
+
+#[test]
+fn profile_subcommand_ranks_estimator_passes() {
+    let o = tybec(&["profile", "assets/sor_c2.tirl", "--target", "eval-small"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("== profile:"), "{out}");
+    assert!(out.contains("self%"), "attribution table header missing:\n{out}");
+    assert!(out.contains("estimator.estimate"), "{out}");
+    assert!(out.contains("memo: cold"), "{out}");
+    assert!(out.contains("allocs:"), "{out}");
+    // The warm estimate replays from the memo tables.
+    let memo = out.lines().find(|l| l.trim_start().starts_with("memo:")).unwrap();
+    assert!(memo.contains("% warm hit rate"), "{memo}");
+}
+
+#[test]
+fn dse_metrics_out_writes_prometheus_exposition() {
+    let path = trace_tmp("dse_metrics.prom");
+    let o = tybec(&[
+        "dse",
+        "sor",
+        "--target",
+        "eval-small",
+        "--lanes",
+        "1,2",
+        "--metrics-out",
+        path.to_str().unwrap(),
+        "--metrics-format",
+        "prometheus",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stderr(&o).contains("snapshot written"), "{}", stderr(&o));
+    let body = std::fs::read_to_string(&path).unwrap();
+    assert!(body.contains("# TYPE"), "{body}");
+    assert!(body.contains("dse_points"), "{body}");
+    assert!(body.contains("le=\"+Inf\""), "histograms need an +Inf bucket:\n{body}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dse_metrics_stream_emits_interval_tagged_jsonl() {
+    let path = trace_tmp("dse_stream.jsonl");
+    let o = tybec(&[
+        "dse",
+        "sor",
+        "--target",
+        "eval-small",
+        "--lanes",
+        "1,2,4",
+        "--metrics-stream",
+        path.to_str().unwrap(),
+        "--metrics-interval-ms",
+        "20",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stderr(&o).contains("metrics stream:"), "{}", stderr(&o));
+    let body = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(!lines.is_empty(), "the stop-time flush guarantees at least one sample");
+    for (i, line) in lines.iter().enumerate() {
+        let v = tytra_trace::json::parse(line)
+            .unwrap_or_else(|e| panic!("bad stream line `{line}`: {e}"));
+        assert_eq!(v.get("seq").and_then(|s| s.as_num()), Some(i as f64), "{line}");
+        assert!(v.get("interval_ms").is_some(), "{line}");
+        assert!(v.get("metrics").is_some(), "{line}");
+    }
+    // By the final (stop-time) sample the workers have published.
+    assert!(lines.last().unwrap().contains("dse.points"), "{body}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_metrics_format_is_rejected() {
+    let o = tybec(&["dse", "sor", "--target", "eval-small", "--metrics-format", "xml"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--metrics-format"), "{}", stderr(&o));
+}
+
+#[test]
+fn dse_stats_shows_latency_quantiles() {
+    let o = tybec(&["dse", "sor", "--target", "eval-small", "--stats"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    let line = out
+        .lines()
+        .find(|l| l.trim_start().starts_with("latency (ns)"))
+        .unwrap_or_else(|| panic!("no latency stats line:\n{out}"));
+    assert!(line.contains("bound p50"), "{line}");
+    assert!(line.contains("estimate p50"), "{line}");
+    assert!(line.contains('≤'), "a real sweep must populate the histograms: {line}");
+    assert!(!line.contains("n/a"), "{line}");
 }
 
 #[test]

@@ -162,6 +162,7 @@ pub struct EstimatorSession {
     invalidations: Counter,
     memo_entries: Gauge,
     estimate_ns: Histogram,
+    bound_ns: Histogram,
 }
 
 impl EstimatorSession {
@@ -190,6 +191,7 @@ impl EstimatorSession {
             invalidations: metrics.counter("session.invalidations"),
             memo_entries: metrics.gauge("session.memo.entries"),
             estimate_ns: metrics.histogram("estimator.estimate_ns"),
+            bound_ns: metrics.histogram("estimator.bound_ns"),
             metrics,
         }
     }
@@ -344,6 +346,7 @@ impl EstimatorSession {
     /// resource and bandwidth sub-results, and vice versa, so
     /// interleaving bounds never perturbs estimate results.
     pub fn bound(&mut self, m: &IrModule) -> Result<CostBound, TybecError> {
+        let t0 = std::time::Instant::now();
         let _root = trace::span("estimator.bound").with("module", m.name.as_str());
         self.validate_pass(m)?;
         let tree = config_tree::extract(m)?;
@@ -361,6 +364,7 @@ impl EstimatorSession {
         };
         let b = crate::bound::assemble(&g, &self.dev, &bw, ii, resources.total, fits);
         self.memo_entries.set(self.memo_len() as f64);
+        self.bound_ns.record(t0.elapsed().as_nanos() as u64);
         Ok(b)
     }
 
@@ -483,6 +487,7 @@ impl EstimatorSession {
         let Some(plan) = d.arena.config() else {
             return self.bound(&d.materialize());
         };
+        let t0 = std::time::Instant::now();
         let _root = trace::span("estimator.bound").with("module", d.name);
         self.validate_design(d)?;
         let resources = self.resources_design(d, plan);
@@ -492,6 +497,7 @@ impl EstimatorSession {
         let bw = &self.bandwidths[&d.arena.bw_key()];
         let b = crate::bound::assemble(&g, &self.dev, bw, plan.lane_ii, resources.total, fits);
         self.memo_entries.set(self.memo_len() as f64);
+        self.bound_ns.record(t0.elapsed().as_nanos() as u64);
         Ok(b)
     }
 

@@ -13,6 +13,7 @@ use tytra_device::TargetDevice;
 use tytra_ir::MemForm;
 use tytra_kernels::EvalKernel;
 use tytra_trace::metrics::Snapshot;
+use tytra_trace::recorder;
 use tytra_trace::{self as trace};
 use tytra_transform::{enumerate_variants, InnerKind, Variant};
 
@@ -127,7 +128,10 @@ pub fn explore_with_metrics(
                     }
                     let mut session = EstimatorSession::new(dev.clone());
                     let mut found = Vec::new();
-                    for variant in variants.iter().skip(w).step_by(workers) {
+                    for (idx, variant) in variants.iter().enumerate().skip(w).step_by(workers) {
+                        // Always-on flight-recorder breadcrumb: if this
+                        // point crashes, the post-mortem lane names it.
+                        recorder::mark("dse.variant", idx as u64);
                         // One span per costed point, tagged with the
                         // worker lane, so sweeps render as parallel
                         // lanes in the Chrome sink. Gated on enabled():
@@ -148,6 +152,7 @@ pub fn explore_with_metrics(
                         let report = match outcome {
                             Ok(Ok(report)) => report,
                             Ok(Err(_)) | Err(_) => {
+                                recorder::mark("dse.fault", idx as u64);
                                 if trace::enabled() {
                                     let _f = trace::span("dse.fault")
                                         .with("variant", variant.tag())

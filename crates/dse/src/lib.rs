@@ -33,8 +33,8 @@ pub use explore::{
     ExplorationConfig,
 };
 pub use report::{
-    lane_sweep, lane_sweep_session, render_prefilter_stats_line, render_search_leaderboard,
-    render_search_stats_line, render_stats_line, LaneSweepRow,
+    lane_sweep, lane_sweep_session, render_latency_stats_line, render_prefilter_stats_line,
+    render_search_leaderboard, render_search_stats_line, render_stats_line, LaneSweepRow,
 };
 pub use roofline::{roofline, RooflinePoint};
 pub use search::{search, InvalidVariant, SearchConfig, SearchMode, SearchOutcome, SearchStats};

@@ -7,6 +7,7 @@ use crate::search::{SearchOutcome, SearchStats};
 use tytra_cost::{EstimatorSession, Limiter};
 use tytra_device::TargetDevice;
 use tytra_kernels::EvalKernel;
+use tytra_trace::metrics::{MetricValue, Snapshot};
 use tytra_transform::Variant;
 
 /// One row of the Fig 15 table.
@@ -202,6 +203,28 @@ pub fn render_search_stats_line(s: &SearchStats) -> String {
     )
 }
 
+/// The `tybec dse --stats` per-variant costing-latency line: p50/p99 of
+/// the estimator's bound and full-estimate passes, read from the
+/// session-metrics histograms. The quantiles are log₂-bucket *upper
+/// bounds* in nanoseconds (hence `≤`), so the line is byte-stable for a
+/// given set of bucket hits; an empty histogram (e.g. bound in
+/// `--exhaustive` mode, which never runs the bound pass) prints `n/a`.
+pub fn render_latency_stats_line(snap: &Snapshot) -> String {
+    fn quantiles(snap: &Snapshot, name: &str) -> (String, String) {
+        match snap.get(name) {
+            Some(MetricValue::Histogram(h)) if h.count > 0 => {
+                (format!("≤{}", h.quantile_bound(0.50)), format!("≤{}", h.quantile_bound(0.99)))
+            }
+            _ => ("n/a".to_string(), "n/a".to_string()),
+        }
+    }
+    let (bp50, bp99) = quantiles(snap, "estimator.bound_ns");
+    let (ep50, ep99) = quantiles(snap, "estimator.estimate_ns");
+    format!(
+        "  latency (ns)   bound p50 {bp50:>9} p99 {bp99:>9}  estimate p50 {ep50:>9} p99 {ep99:>9}"
+    )
+}
+
 /// The `tybec dse --stats` congruence-prefilter line. Only printed for
 /// pruned searches (the prefilter is off in exhaustive mode); byte-stable
 /// format like [`render_search_stats_line`].
@@ -325,6 +348,37 @@ mod tests {
         assert_eq!(
             render_search_stats_line(&s),
             "  search               6 generated      6 estimated      0 pruned (0 bound, 0 unfit)     0 stolen    0 faulted"
+        );
+    }
+
+    #[test]
+    fn latency_stats_line_is_byte_stable() {
+        use tytra_trace::metrics::Registry;
+        let reg = Registry::new();
+        reg.histogram("estimator.bound_ns").record(100); // bucket bound 127
+        reg.histogram("estimator.estimate_ns").record(1000); // bucket bound 1023
+        assert_eq!(
+            render_latency_stats_line(&reg.snapshot()),
+            "  latency (ns)   bound p50      ≤127 p99      ≤127  estimate p50     ≤1023 p99     ≤1023"
+        );
+    }
+
+    #[test]
+    fn latency_stats_line_shows_na_for_empty_histograms() {
+        // An exhaustive search never runs the bound pass; a dry run never
+        // estimates. Neither may print a misleading `≤0`.
+        let line = render_latency_stats_line(&Snapshot::new());
+        assert_eq!(
+            line,
+            "  latency (ns)   bound p50       n/a p99       n/a  estimate p50       n/a p99       n/a"
+        );
+        use tytra_trace::metrics::Registry;
+        let reg = Registry::new();
+        reg.histogram("estimator.estimate_ns").record(1000);
+        let mixed = render_latency_stats_line(&reg.snapshot());
+        assert_eq!(
+            mixed,
+            "  latency (ns)   bound p50       n/a p99       n/a  estimate p50     ≤1023 p99     ≤1023"
         );
     }
 

@@ -31,17 +31,27 @@
 //! Tracing: each bound carries a `dse.bound` span, each full estimate a
 //! `dse.variant` span, each successful steal a `dse.steal` span, all on
 //! `dse-worker-N` thread lanes.
+//!
+//! Observability: workers leave `dse.bound`/`dse.variant` breadcrumbs in
+//! the always-on [flight recorder][tytra_trace::recorder] (so a crashed
+//! or faulted variant ships a post-mortem trace — see
+//! [`SearchOutcome::fault_dumps`]), and publish live counters, per-worker
+//! `points_per_sec` gauges and bound-vs-estimate latency histograms into
+//! [`SearchConfig::live`] when a shared registry is attached (the merged
+//! view always lands in [`SearchOutcome::metrics`] either way).
 
 use crossbeam::deque::{Steal, Stealer, Worker};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use tytra_analyze::cost_class_key_design;
 use tytra_cost::{CostReport, EstimatorSession, SessionStats};
 use tytra_device::TargetDevice;
 use tytra_kernels::EvalKernel;
-use tytra_trace::metrics::Snapshot;
+use tytra_trace::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+use tytra_trace::recorder;
 use tytra_trace::{self as trace};
 use tytra_transform::{IndexedVariant, Variant, VariantFactory, VariantIter};
 
@@ -76,12 +86,27 @@ pub struct SearchConfig {
     /// must fault (the worker panics inside its catch region). `None` in
     /// production. A plain `fn` pointer keeps the config `Debug + Clone`.
     pub fault_inject: Option<fn(&Variant) -> bool>,
+    /// Live metrics registry. When attached, workers publish their
+    /// counters, latency histograms and `dse.worker.N.points_per_sec`
+    /// gauges here *while the sweep runs*, so a
+    /// [`Sampler`][tytra_trace::sampler::Sampler] (or a Prometheus
+    /// scrape of a snapshot) can watch progress. `None` keeps the same
+    /// metrics in per-worker registries merged into
+    /// [`SearchOutcome::metrics`] at the end.
+    pub live: Option<Arc<Registry>>,
 }
 
 impl SearchConfig {
     /// Pruned search over `space` with the default board size.
     pub fn pruned(space: ExplorationConfig) -> SearchConfig {
-        SearchConfig { space, mode: SearchMode::Pruned, top_k: 10, chunk: 4, fault_inject: None }
+        SearchConfig {
+            space,
+            mode: SearchMode::Pruned,
+            top_k: 10,
+            chunk: 4,
+            fault_inject: None,
+            live: None,
+        }
     }
 
     /// Exhaustive search over `space` (the `--exhaustive` escape hatch).
@@ -180,8 +205,16 @@ pub struct SearchOutcome {
     pub stats: SearchStats,
     /// Summed memo statistics of every worker's estimator session.
     pub session: SessionStats,
-    /// Merged metrics registries of every worker session.
+    /// Merged metrics registries of every worker session (plus the
+    /// worker observability counters/histograms; when
+    /// [`SearchConfig::live`] was attached, its final snapshot).
     pub metrics: Snapshot,
+    /// Post-mortem flight-recorder dumps, one per faulted variant:
+    /// `(variant tag, rendered dump)`. The dump is the faulting worker's
+    /// lane at the moment the fault was recorded, so it ends with the
+    /// variant's `dse.bound`/`dse.variant` breadcrumbs and the
+    /// `dse.fault` mark itself. Sorted by variant tag.
+    pub fault_dumps: Vec<(String, String)>,
 }
 
 /// The global incumbent: the K-th best valid EKIT seen so far, readable
@@ -282,6 +315,39 @@ struct WorkerOut {
     valid: Vec<(u64, EvaluatedVariant)>,
     invalid: Vec<InvalidVariant>,
     stats: SearchStats,
+    fault_dumps: Vec<(String, String)>,
+}
+
+/// One worker's live-observability handles. The counters mirror
+/// [`SearchStats`] (summed across workers when the registry is shared);
+/// the histograms time every bound and estimate call; the gauge is
+/// per-worker by name.
+struct WorkerObs {
+    points: Counter,
+    faulted: Counter,
+    pruned_unfit: Counter,
+    pruned_bound: Counter,
+    collapsed: Counter,
+    stolen: Counter,
+    bound_ns: Histogram,
+    estimate_ns: Histogram,
+    points_per_sec: Gauge,
+}
+
+impl WorkerObs {
+    fn new(reg: &Registry, w: usize) -> WorkerObs {
+        WorkerObs {
+            points: reg.counter("dse.points"),
+            faulted: reg.counter("dse.faulted"),
+            pruned_unfit: reg.counter("dse.pruned_unfit"),
+            pruned_bound: reg.counter("dse.pruned_bound"),
+            collapsed: reg.counter("dse.prefilter_collapsed"),
+            stolen: reg.counter("dse.stolen"),
+            bound_ns: reg.histogram("dse.bound_ns"),
+            estimate_ns: reg.histogram("dse.estimate_ns"),
+            points_per_sec: reg.gauge(&format!("dse.worker.{w}.points_per_sec")),
+        }
+    }
 }
 
 /// Human-readable description of a caught panic payload.
@@ -296,14 +362,26 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Record one faulted variant: counted, traced as a `dse.fault` span,
-/// and otherwise skipped — the sweep continues.
-fn record_fault(out: &mut WorkerOut, item: &IndexedVariant, worker: usize, why: &str) {
+/// stamped into the flight recorder, and shipped with a post-mortem dump
+/// of this worker's lane — then skipped; the sweep continues.
+fn record_fault(
+    out: &mut WorkerOut,
+    obs: &WorkerObs,
+    item: &IndexedVariant,
+    worker: usize,
+    why: &str,
+) {
     out.stats.faulted += 1;
+    obs.faulted.incr();
+    recorder::mark("dse.fault", item.index);
     if trace::enabled() {
         let _sp = trace::span("dse.fault")
             .with("variant", item.variant.tag())
             .with("worker", worker as u64)
             .with("why", why.to_string());
+    }
+    if let Some(lane) = recorder::dump_current_thread() {
+        out.fault_dumps.push((item.variant.tag(), recorder::render_dump(&[lane])));
     }
 }
 
@@ -326,8 +404,10 @@ fn process_item(
     classes: &ClassCache,
     session: &mut EstimatorSession,
     out: &mut WorkerOut,
+    obs: &WorkerObs,
     worker: usize,
 ) {
+    obs.points.incr();
     // The factory serves the variant as a three-cell patch over a shared
     // arena base (lowered once per structural class). Erroring is only
     // possible for illegal reshapes, which the generator already
@@ -350,6 +430,7 @@ fn process_item(
                     .with("worker", worker as u64);
             }
             out.stats.collapsed += 1;
+            obs.collapsed.incr();
             // The only two facts the class key erases, patched back in.
             report.design = design.name().to_string();
             report.params.form = design.form();
@@ -370,6 +451,8 @@ fn process_item(
     };
 
     if cfg.mode == SearchMode::Pruned {
+        recorder::mark("dse.bound", item.index);
+        let b0 = Instant::now();
         let verdict = catch_unwind(AssertUnwindSafe(|| {
             let _sp = trace::enabled().then(|| {
                 trace::span("dse.bound")
@@ -378,28 +461,33 @@ fn process_item(
             });
             session.bound_design(&d)
         }));
+        obs.bound_ns.record(b0.elapsed().as_nanos() as u64);
         let bound = match verdict {
             Ok(Ok(bound)) => bound,
             Ok(Err(e)) => {
-                record_fault(out, &item, worker, &e.to_string());
+                record_fault(out, obs, &item, worker, &e.to_string());
                 return;
             }
             Err(payload) => {
-                record_fault(out, &item, worker, &panic_message(payload.as_ref()));
+                record_fault(out, obs, &item, worker, &panic_message(payload.as_ref()));
                 return;
             }
         };
         if !bound.fits {
             out.stats.pruned_unfit += 1;
+            obs.pruned_unfit.incr();
             out.invalid.push(InvalidVariant { index: item.index, variant: item.variant });
             return;
         }
         if !bound.can_beat(incumbent.threshold()) {
             out.stats.pruned_bound += 1;
+            obs.pruned_bound.incr();
             return;
         }
     }
 
+    recorder::mark("dse.variant", item.index);
+    let e0 = Instant::now();
     let estimated = catch_unwind(AssertUnwindSafe(|| {
         let _sp = trace::enabled().then(|| {
             trace::span("dse.variant")
@@ -413,14 +501,15 @@ fn process_item(
         }
         session.estimate_design(&d)
     }));
+    obs.estimate_ns.record(e0.elapsed().as_nanos() as u64);
     let report = match estimated {
         Ok(Ok(report)) => report,
         Ok(Err(e)) => {
-            record_fault(out, &item, worker, &e.to_string());
+            record_fault(out, obs, &item, worker, &e.to_string());
             return;
         }
         Err(payload) => {
-            record_fault(out, &item, worker, &panic_message(payload.as_ref()));
+            record_fault(out, obs, &item, worker, &panic_message(payload.as_ref()));
             return;
         }
     };
@@ -458,13 +547,22 @@ fn worker_loop(
     if trace::enabled() {
         trace::set_thread_label(&format!("dse-worker-{w}"));
     }
+    let obs_reg: Arc<Registry> = cfg.live.clone().unwrap_or_default();
+    let obs = WorkerObs::new(&obs_reg, w);
+    let t0 = Instant::now();
+    let mut processed = 0u64;
+    let rate = |n: u64| n as f64 / t0.elapsed().as_secs_f64().max(1e-9);
     let mut session = EstimatorSession::new(dev.clone());
     let mut out = WorkerOut::default();
     loop {
         if let Some(item) = queue.pop() {
-            process_item(factory, item, cfg, incumbent, classes, &mut session, &mut out, w);
+            process_item(factory, item, cfg, incumbent, classes, &mut session, &mut out, &obs, w);
+            processed += 1;
             continue;
         }
+        // Refills are the loop's natural coarse tick: refresh the live
+        // throughput gauge here rather than per point.
+        obs.points_per_sec.set(rate(processed));
         let chunk = dispenser.refill(cfg.chunk);
         if !chunk.is_empty() {
             out.stats.generated += chunk.len() as u64;
@@ -473,7 +571,8 @@ fn worker_loop(
             for item in items {
                 queue.push(item);
             }
-            process_item(factory, first, cfg, incumbent, classes, &mut session, &mut out, w);
+            process_item(factory, first, cfg, incumbent, classes, &mut session, &mut out, &obs, w);
+            processed += 1;
             continue;
         }
         // Generator dry: steal up to half a victim's queue (the steal
@@ -492,16 +591,36 @@ fn worker_loop(
         match stolen {
             Some((victim, item)) => {
                 out.stats.stolen += 1;
+                obs.stolen.incr();
                 let _sp = trace::enabled().then(|| {
                     trace::span("dse.steal").with("worker", w as u64).with("victim", victim as u64)
                 });
                 drop(_sp);
-                process_item(factory, item, cfg, incumbent, classes, &mut session, &mut out, w);
+                process_item(
+                    factory,
+                    item,
+                    cfg,
+                    incumbent,
+                    classes,
+                    &mut session,
+                    &mut out,
+                    &obs,
+                    w,
+                );
+                processed += 1;
             }
             None => break,
         }
     }
-    (out, session.stats(), session.metrics_snapshot())
+    obs.points_per_sec.set(rate(processed));
+    let mut snap = session.metrics_snapshot();
+    if cfg.live.is_none() {
+        // No shared registry: fold this worker's observability metrics
+        // into its returned snapshot (a live registry is merged once, at
+        // the end of `search()`, to avoid double counting).
+        snap.merge(&obs_reg.snapshot());
+    }
+    (out, session.stats(), snap)
 }
 
 /// Branch-and-bound search over the design space of `kernel` on `dev`.
@@ -545,7 +664,11 @@ pub fn search(kernel: &dyn EvalKernel, dev: &TargetDevice, cfg: &SearchConfig) -
             invalid: Vec::new(),
             stats: SearchStats::default(),
             session: SessionStats::default(),
-            metrics: Snapshot::new(),
+            metrics: match &cfg.live {
+                Some(live) => live.snapshot(),
+                None => Snapshot::new(),
+            },
+            fault_dumps: Vec::new(),
         };
     }
     let mut preloaded = first_chunk.len() as u64;
@@ -604,6 +727,7 @@ pub fn search(kernel: &dyn EvalKernel, dev: &TargetDevice, cfg: &SearchConfig) -
                 merged.valid.extend(out.valid);
                 merged.invalid.extend(out.invalid);
                 merged.stats += out.stats;
+                merged.fault_dumps.extend(out.fault_dumps);
                 session_stats += stats;
                 metrics.merge(&snap);
             }
@@ -620,6 +744,13 @@ pub fn search(kernel: &dyn EvalKernel, dev: &TargetDevice, cfg: &SearchConfig) -
     });
     merged.valid.truncate(cfg.top_k);
     merged.invalid.sort_by_key(|iv| iv.index);
+    merged.fault_dumps.sort_by(|(a, _), (b, _)| a.cmp(b));
+
+    // A shared live registry accumulated every worker's observability
+    // metrics as the sweep ran; fold its final state in exactly once.
+    if let Some(live) = &cfg.live {
+        metrics.merge(&live.snapshot());
+    }
 
     SearchOutcome {
         leaderboard: merged.valid.into_iter().map(|(_, e)| e).collect(),
@@ -627,6 +758,7 @@ pub fn search(kernel: &dyn EvalKernel, dev: &TargetDevice, cfg: &SearchConfig) -
         stats: merged.stats,
         session: session_stats,
         metrics,
+        fault_dumps: merged.fault_dumps,
     }
 }
 
@@ -786,6 +918,69 @@ mod tests {
             .map(|e| (e.variant.tag(), e.report.throughput.ekit.to_bits()))
             .collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn faults_ship_post_mortem_flight_dumps() {
+        // top_k larger than the valid space keeps the incumbent board
+        // unfilled, so no 2-lane variant can be bound-pruned before its
+        // injected estimate fault fires — every fault is deterministic.
+        let sor = Sor::cubic(16, 10);
+        let dev = eval_small();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let cfg = SearchConfig {
+            fault_inject: Some(faults_on_two_lanes),
+            top_k: 100,
+            ..SearchConfig::pruned(space())
+        };
+        let outcome = search(&sor, &dev, &cfg);
+        std::panic::set_hook(prev);
+
+        assert!(outcome.stats.faulted > 0);
+        assert_eq!(outcome.fault_dumps.len() as u64, outcome.stats.faulted);
+        for (tag, dump) in &outcome.fault_dumps {
+            assert!(tag.starts_with("l2_"), "only 2-lane variants fault: {tag}");
+            // The post-mortem lane ends with the faulting variant's own
+            // breadcrumb trail: bound pass, estimate entry, fault mark.
+            assert!(dump.contains("dse.bound"), "{dump}");
+            assert!(dump.contains("dse.variant"), "{dump}");
+            assert!(dump.contains("dse.fault"), "{dump}");
+            assert!(dump.contains("== flight recorder =="), "{dump}");
+        }
+    }
+
+    #[test]
+    fn live_registry_sees_progress_and_merges_once() {
+        let sor = Sor::cubic(16, 10);
+        let dev = eval_small();
+        let live = Arc::new(Registry::new());
+        let cfg = SearchConfig { live: Some(Arc::clone(&live)), ..SearchConfig::pruned(space()) };
+        let outcome = search(&sor, &dev, &cfg);
+
+        // The shared registry saw the whole sweep...
+        let snap = live.snapshot();
+        assert_eq!(snap.counter("dse.points"), outcome.stats.generated);
+        assert_eq!(snap.counter("dse.pruned_unfit"), outcome.stats.pruned_unfit);
+        // ...and the outcome metrics carry the same counts exactly once.
+        assert_eq!(outcome.metrics.counter("dse.points"), outcome.stats.generated);
+        let bound_ns = outcome
+            .metrics
+            .entries
+            .iter()
+            .find(|(name, _)| name == "dse.bound_ns")
+            .expect("bound latency histogram present");
+        match &bound_ns.1 {
+            tytra_trace::metrics::MetricValue::Histogram(h) => {
+                assert_eq!(h.count, outcome.stats.estimated + outcome.stats.pruned())
+            }
+            other => panic!("dse.bound_ns is not a histogram: {other:?}"),
+        }
+
+        // Without a live registry the same metrics land in the outcome
+        // via the per-worker registries.
+        let local = search(&sor, &dev, &SearchConfig::pruned(space()));
+        assert_eq!(local.metrics.counter("dse.points"), local.stats.generated);
     }
 
     #[test]

@@ -65,12 +65,22 @@ pub struct CorpusEntry {
     pub verdict: Verdict,
     /// The (minimized) TIRL source, when the case has one.
     pub source: Option<String>,
+    /// Post-mortem flight-recorder dump captured when the case was
+    /// classified; written as a `.flight.txt` companion next to the
+    /// `.tirl` entry.
+    pub flight_dump: Option<String>,
 }
 
 impl CorpusEntry {
     /// Stable file name: `case_<seed>_<id>_<oracle>.tirl`.
     pub fn file_name(&self) -> String {
         format!("case_{}_{}_{}.tirl", self.seed, self.case_id, self.oracle)
+    }
+
+    /// Companion file name for the post-mortem trace:
+    /// `case_<seed>_<id>_<oracle>.flight.txt`.
+    pub fn flight_file_name(&self) -> String {
+        format!("case_{}_{}_{}.flight.txt", self.seed, self.case_id, self.oracle)
     }
 
     /// Render the entry: metadata header comments + source body.
@@ -98,14 +108,19 @@ impl CorpusEntry {
     }
 }
 
-/// Write entries into `dir` (created if missing). Returns the paths
-/// written, in entry order.
+/// Write entries into `dir` (created if missing). Returns the `.tirl`
+/// paths written, in entry order; an entry carrying a flight-recorder
+/// dump additionally gets a `.flight.txt` companion (not counted in the
+/// returned paths — one path per crasher).
 pub fn write_corpus(dir: &Path, entries: &[CorpusEntry]) -> io::Result<Vec<PathBuf>> {
     fs::create_dir_all(dir)?;
     let mut paths = Vec::with_capacity(entries.len());
     for e in entries {
         let path = dir.join(e.file_name());
         fs::write(&path, e.render())?;
+        if let Some(dump) = &e.flight_dump {
+            fs::write(dir.join(e.flight_file_name()), dump)?;
+        }
         paths.push(path);
     }
     Ok(paths)
@@ -144,6 +159,7 @@ mod tests {
             oracle: "roundtrip",
             verdict: Verdict::Disagreement("boom\ntwo lines".into()),
             source: Some("!module = !\"m\"".into()),
+            flight_dump: None,
         };
         let text = e.render();
         assert!(text.starts_with("; tytra-fuzz crasher\n"));
@@ -151,5 +167,37 @@ mod tests {
         assert!(text.contains(";   two lines"));
         assert!(text.ends_with("!module = !\"m\"\n"));
         assert_eq!(e.file_name(), "case_7_3_roundtrip.tirl");
+        assert_eq!(e.flight_file_name(), "case_7_3_roundtrip.flight.txt");
+    }
+
+    #[test]
+    fn flight_dumps_get_companion_files() {
+        let dir = std::env::temp_dir().join("tytra_fuzz_flight_test");
+        let _ = fs::remove_dir_all(&dir);
+        let entries = [
+            CorpusEntry {
+                seed: 1,
+                case_id: 0,
+                oracle: "a",
+                verdict: Verdict::Panic("boom".into()),
+                source: None,
+                flight_dump: Some("== flight recorder ==\n".into()),
+            },
+            CorpusEntry {
+                seed: 1,
+                case_id: 1,
+                oracle: "b",
+                verdict: Verdict::Panic("boom".into()),
+                source: None,
+                flight_dump: None,
+            },
+        ];
+        let paths = write_corpus(&dir, &entries).unwrap();
+        assert_eq!(paths.len(), 2, "one path per crasher, companions not counted");
+        assert!(dir.join("case_1_0_a.flight.txt").exists());
+        assert!(!dir.join("case_1_1_b.flight.txt").exists());
+        let dump = fs::read_to_string(dir.join("case_1_0_a.flight.txt")).unwrap();
+        assert_eq!(dump, "== flight recorder ==\n");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -10,6 +10,7 @@ use crate::oracle::{self, ToleranceBands, Verdict};
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
+use tytra_trace::recorder;
 
 /// Harness configuration.
 #[derive(Debug, Clone)]
@@ -97,6 +98,11 @@ pub struct CaseResult {
     pub verdict: Verdict,
     /// The TIRL source under test, for oracles that have one.
     pub source: Option<String>,
+    /// Post-mortem flight-recorder dump of the harness thread, captured
+    /// at classification time for `Panic`/`Disagreement`/`NonFinite`
+    /// verdicts (the always-on recorder means the caught panic's last
+    /// breadcrumbs are still in the ring). `None` for passing cases.
+    pub flight_dump: Option<String>,
 }
 
 /// Aggregated counters plus the retained failures.
@@ -145,10 +151,30 @@ fn case_gen(seed: u64, case_id: u64) -> TirlGen {
     TirlGen::new(seed ^ case_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// Finish a case: failing verdicts (the Panic/Disagreement/NonFinite
+/// classifications) are shipped with a post-mortem dump of this thread's
+/// flight-recorder lane, whose tail is the case's own breadcrumb trail.
+fn finish_case(
+    case_id: u64,
+    oracle: OracleKind,
+    verdict: Verdict,
+    source: Option<String>,
+) -> CaseResult {
+    let flight_dump = if verdict.is_failure() {
+        recorder::dump_current_thread().map(|lane| recorder::render_dump(&[lane]))
+    } else {
+        None
+    };
+    CaseResult { case_id, oracle, verdict, source, flight_dump }
+}
+
 /// Run one case to a verdict, catching any panic the pipeline leaks.
 /// Deterministic in `(seed, case_id, bands)`.
 pub fn run_case(seed: u64, case_id: u64, bands: &ToleranceBands) -> CaseResult {
     let oracle = OracleKind::for_case(case_id);
+    // Breadcrumb before any pipeline work: if the case panics, the
+    // post-mortem lane names the case that died.
+    recorder::mark("fuzz.case", case_id);
     let mut g = case_gen(seed, case_id);
     // Materialize the input *outside* catch_unwind where possible so a
     // generator bug is distinguishable from a pipeline bug; sources are
@@ -203,7 +229,7 @@ pub fn run_case(seed: u64, case_id: u64, bands: &ToleranceBands) -> CaseResult {
             (v, None)
         }
     };
-    CaseResult { case_id, oracle, verdict, source }
+    finish_case(case_id, oracle, verdict, source)
 }
 
 /// Re-run the oracle of a failing case on candidate source text; used as
@@ -284,6 +310,7 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
                 oracle: c.oracle.label(),
                 verdict: c.verdict.clone(),
                 source: c.source.clone(),
+                flight_dump: c.flight_dump.clone(),
             })
             .collect();
         if let Ok(paths) = corpus::write_corpus(dir, &entries) {
@@ -355,6 +382,66 @@ mod tests {
         assert_eq!(r.cases, 64);
         assert_eq!(r.failures(), 0, "crashes: {:?}", r.crashes);
         assert!(r.passes > 0);
+    }
+
+    #[test]
+    fn panic_verdicts_attach_post_mortem_dumps() {
+        // The classification path itself: a case that dies mid-pipeline
+        // leaves its breadcrumb in the ring, and finish_case ships the
+        // lane with the Panic verdict.
+        recorder::mark("fuzz.case", 42);
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        let verdict = panic::catch_unwind(|| panic!("pipeline died"))
+            .map(|()| Verdict::Pass)
+            .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
+        panic::set_hook(prev);
+        let case = finish_case(42, OracleKind::RoundtripClean, verdict, None);
+        let dump = case.flight_dump.expect("panic case must carry a dump");
+        assert!(dump.contains("== flight recorder =="), "{dump}");
+        assert!(dump.contains("fuzz.case"), "{dump}");
+        assert!(dump.contains("detail=42"), "{dump}");
+
+        // Passing cases stay lean: no dump captured.
+        let ok = finish_case(43, OracleKind::RoundtripClean, Verdict::Pass, None);
+        assert!(ok.flight_dump.is_none());
+    }
+
+    #[test]
+    fn failing_campaigns_write_flight_companions_into_the_corpus() {
+        // Zero-width tolerance bands force estimator-vs-sim
+        // disagreements deterministically, driving the whole
+        // failure path: dump capture, corpus write, companion files.
+        let dir = std::env::temp_dir().join("tytra_fuzz_harness_flight_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = FuzzConfig {
+            seed: 5,
+            cases: 64,
+            bands: ToleranceBands {
+                cpki_rel: 0.0,
+                resource_factor: 1.0,
+                resource_slack: 0,
+                clock_factor: 1.0,
+            },
+            corpus_dir: Some(dir.clone()),
+        };
+        let r = run(&cfg);
+        assert!(r.disagreements > 0, "zero bands must disagree: {r:?}");
+        for c in &r.crashes {
+            let dump = c
+                .flight_dump
+                .as_deref()
+                .unwrap_or_else(|| panic!("failing case {} has no flight dump", c.case_id));
+            assert!(dump.contains("fuzz.case"), "{dump}");
+        }
+        assert_eq!(r.corpus_written, r.crashes.len());
+        let companions = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".flight.txt"))
+            .count();
+        assert_eq!(companions, r.crashes.len(), "every crasher ships its post-mortem");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

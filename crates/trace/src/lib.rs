@@ -43,20 +43,37 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod prometheus;
+pub mod recorder;
+pub mod sampler;
 pub mod sink;
 
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Master switch. All [`span()`] sites load this and bail before doing
 /// any other work, so instrumentation left in hot paths is free when
-/// tracing is off.
+/// tracing is off. (The [`recorder`] flight rings are independent of
+/// this switch: they are on by default and stay on.)
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Completed spans, appended on guard drop, drained by [`take_records`].
+/// Bounded by [`RECORD_CAP`]: once full, further spans are counted in
+/// [`dropped_spans`] instead of growing memory without limit.
 static RECORDS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// Default ceiling on retained span records (see [`set_record_cap`]).
+pub const DEFAULT_RECORD_CAP: usize = 1 << 16;
+
+/// Current ceiling on [`RECORDS`].
+static RECORD_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_RECORD_CAP);
+
+/// Spans discarded because [`RECORDS`] was at capacity — the
+/// `trace.dropped_spans` counter.
+static DROPPED_SPANS: AtomicU64 = AtomicU64::new(0);
 
 /// Human labels for trace lanes, registered by [`set_thread_label`].
 static LABELS: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
@@ -115,6 +132,26 @@ pub fn take_records() -> Vec<SpanRecord> {
         Ok(mut v) => std::mem::take(&mut *v),
         Err(_) => Vec::new(),
     }
+}
+
+/// Copy (without draining) every completed span recorded so far. Used
+/// by `tybec profile`, which needs to fold the records while leaving
+/// them in place for a later `--trace` drain.
+pub fn snapshot_records() -> Vec<SpanRecord> {
+    RECORDS.lock().map(|v| v.clone()).unwrap_or_default()
+}
+
+/// The `trace.dropped_spans` counter: spans discarded because the
+/// record buffer was at capacity. Monotone for the process lifetime.
+pub fn dropped_spans() -> u64 {
+    DROPPED_SPANS.load(Ordering::Relaxed)
+}
+
+/// Change the record-buffer capacity (default [`DEFAULT_RECORD_CAP`]).
+/// Already-buffered records are kept even if over the new cap; only
+/// future records are gated. Intended for tests and long daemons.
+pub fn set_record_cap(cap: usize) {
+    RECORD_CAP.store(cap, Ordering::Relaxed);
 }
 
 /// Label the calling thread's trace lane (e.g. `dse-worker-3`). The
@@ -286,15 +323,26 @@ impl Drop for Span {
             dur_ns: end_ns.saturating_sub(inner.start_ns),
             fields: inner.fields,
         };
+        recorder::record_close(&record.name);
         if let Ok(mut records) = RECORDS.lock() {
-            records.push(record);
+            if records.len() < RECORD_CAP.load(Ordering::Relaxed) {
+                records.push(record);
+            } else {
+                DROPPED_SPANS.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
 
 /// Open a span named `name` on the calling thread. The returned guard
 /// times the region until it drops; nesting follows lexical scope.
+///
+/// The flight [`recorder`] logs the open unconditionally (one relaxed
+/// load + a ring write, no allocation); everything else — ids,
+/// timestamps, the record itself — happens only while tracing is
+/// enabled.
 pub fn span(name: &str) -> Span {
+    recorder::record_open(name);
     if !ENABLED.load(Ordering::Relaxed) {
         return Span { inner: None };
     }
@@ -365,6 +413,63 @@ mod tests {
                 ("n".to_string(), Value::U64(7)),
             ]
         );
+    }
+
+    #[test]
+    fn record_buffer_is_bounded_and_counts_drops() {
+        let _guard = GLOBAL_TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        let _ = take_records();
+        set_record_cap(8);
+        let dropped_before = dropped_spans();
+        for _ in 0..20 {
+            let _s = span("cap.test");
+        }
+        set_enabled(false);
+        set_record_cap(DEFAULT_RECORD_CAP);
+        let records = take_records();
+        assert_eq!(records.len(), 8, "buffer capped");
+        assert_eq!(dropped_spans() - dropped_before, 12, "overflow counted");
+        // Draining frees the buffer: new spans record again.
+        set_enabled(true);
+        {
+            let _s = span("cap.after");
+        }
+        set_enabled(false);
+        assert_eq!(take_records().len(), 1);
+    }
+
+    #[test]
+    fn spans_leave_breadcrumbs_in_the_flight_recorder() {
+        let _guard = GLOBAL_TEST_LOCK.lock().unwrap();
+        // Recorder-only (tracing off): the open is logged, nothing else.
+        std::thread::spawn(|| {
+            set_enabled(false);
+            {
+                let _s = span("crumb.untraced");
+            }
+            let d = recorder::dump_current_thread().expect("lane exists");
+            let opens = d
+                .events
+                .iter()
+                .filter(|e| e.name == "crumb.untraced")
+                .map(|e| e.kind)
+                .collect::<Vec<_>>();
+            assert_eq!(opens, [recorder::EventKind::Open]);
+        })
+        .join()
+        .unwrap();
+        // Traced: both open and close land in the ring.
+        set_enabled(true);
+        {
+            let _s = span("crumb.traced");
+        }
+        set_enabled(false);
+        let _ = take_records();
+        let d = recorder::dump_current_thread().expect("lane exists");
+        let kinds: Vec<recorder::EventKind> =
+            d.events.iter().filter(|e| e.name == "crumb.traced").map(|e| e.kind).collect();
+        assert_eq!(kinds, [recorder::EventKind::Open, recorder::EventKind::Close]);
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Self-profiling attribution: fold completed spans into per-name
+//! self/total time, a ranked attribution table (`tybec profile`) and a
+//! collapsed-stack ("folded") flamegraph sink.
+//!
+//! Self time is wall time not covered by child spans: a pass that
+//! spends 1 ms total but 0.8 ms inside sub-passes attributes 0.2 ms to
+//! itself. The folded sink emits one line per unique stack path —
+//! `root;child;leaf <self_ns>` — the input format of
+//! [inferno](https://github.com/jonhoo/inferno) `flamegraph.pl` and
+//! [speedscope](https://www.speedscope.app/), so a traced sweep turns
+//! into a flamegraph with two commands and no custom tooling.
+
+use crate::{SpanRecord, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// Per-span-name totals folded out of a record buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribution {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Summed wall time.
+    pub total_ns: u64,
+    /// Summed wall time minus child-span time (never negative).
+    pub self_ns: u64,
+    /// `memo_hit=true` fields seen on spans of this name.
+    pub memo_hits: u64,
+    /// `memo_hit=false` fields seen on spans of this name.
+    pub memo_misses: u64,
+}
+
+impl Attribution {
+    /// Memo hit rate in percent, `None` when no span of this name
+    /// carried a `memo_hit` field.
+    pub fn memo_rate(&self) -> Option<f64> {
+        let lookups = self.memo_hits + self.memo_misses;
+        if lookups == 0 {
+            None
+        } else {
+            Some(self.memo_hits as f64 * 100.0 / lookups as f64)
+        }
+    }
+}
+
+fn memo_hit(r: &SpanRecord) -> Option<bool> {
+    r.fields.iter().rev().find_map(|(k, v)| match (k.as_str(), v) {
+        ("memo_hit", Value::Bool(b)) => Some(*b),
+        _ => None,
+    })
+}
+
+/// Fold records into per-name attribution rows, ranked by self time
+/// (descending; name breaks ties so the order is deterministic).
+pub fn attribution(records: &[SpanRecord]) -> Vec<Attribution> {
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for r in records {
+        if let Some(parent) = r.parent {
+            *child_ns.entry(parent).or_default() += r.dur_ns;
+        }
+    }
+    let mut rows: BTreeMap<&str, Attribution> = BTreeMap::new();
+    for r in records {
+        let row = rows.entry(r.name.as_str()).or_insert_with(|| Attribution {
+            name: r.name.clone(),
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+        });
+        row.count += 1;
+        row.total_ns += r.dur_ns;
+        // Children can overshoot the parent by clock jitter; clamp at 0.
+        row.self_ns += r.dur_ns.saturating_sub(child_ns.get(&r.id).copied().unwrap_or(0));
+        match memo_hit(r) {
+            Some(true) => row.memo_hits += 1,
+            Some(false) => row.memo_misses += 1,
+            None => {}
+        }
+    }
+    let mut out: Vec<Attribution> = rows.into_values().collect();
+    out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+    out
+}
+
+/// Render collapsed stacks: one `frame;frame;frame self_ns` line per
+/// unique stack path with nonzero self time, sorted lexicographically.
+/// Spans whose parent never completed root their own stack.
+pub fn render_folded(records: &[SpanRecord]) -> String {
+    let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for r in records {
+        if let Some(parent) = r.parent.filter(|p| by_id.contains_key(p)) {
+            *child_ns.entry(parent).or_default() += r.dur_ns;
+        }
+    }
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for r in records {
+        let self_ns = r.dur_ns.saturating_sub(child_ns.get(&r.id).copied().unwrap_or(0));
+        if self_ns == 0 {
+            continue;
+        }
+        // Walk ancestors leaf→root, then reverse into root;…;leaf.
+        let mut frames = vec![frame(&r.name)];
+        let mut cursor = r.parent;
+        while let Some(p) = cursor.and_then(|id| by_id.get(&id)) {
+            frames.push(frame(&p.name));
+            cursor = p.parent;
+        }
+        frames.reverse();
+        *stacks.entry(frames.join(";")).or_default() += self_ns;
+    }
+    let mut out = String::new();
+    for (stack, ns) in stacks {
+        let _ = writeln!(out, "{stack} {ns}");
+    }
+    out
+}
+
+/// A span name as a folded-stack frame: the format reserves `;`
+/// (separator) and whitespace (count delimiter), so both degrade to
+/// `_`. Span names in this workspace use neither.
+fn frame(name: &str) -> String {
+    name.chars().map(|c| if c == ';' || c.is_whitespace() { '_' } else { c }).collect()
+}
+
+/// Render the ranked attribution table printed by `tybec profile`.
+/// `self%` is relative to the summed self time of every row, which by
+/// construction equals total traced wall time per thread.
+pub fn render_attribution_table(rows: &[Attribution]) -> String {
+    let grand_self: u64 = rows.iter().map(|r| r.self_ns).sum();
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<name_w$} {:>7} {:>10} {:>10} {:>6}  {:>6}",
+        "pass", "calls", "total", "self", "self%", "memo"
+    );
+    for r in rows {
+        let pct = if grand_self == 0 { 0.0 } else { r.self_ns as f64 * 100.0 / grand_self as f64 };
+        let memo = match r.memo_rate() {
+            Some(rate) => format!("{rate:.1}%"),
+            None => "—".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<name_w$} {:>7} {:>10} {:>10} {:>5.1}%  {:>6}",
+            r.name,
+            r.count,
+            fmt_ns(r.total_ns),
+            fmt_ns(r.self_ns),
+            pct,
+            memo,
+        );
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        dur_ns: u64,
+        fields: Vec<(String, Value)>,
+    ) -> SpanRecord {
+        SpanRecord { id, parent, tid: 1, name: name.to_string(), start_ns: 0, dur_ns, fields }
+    }
+
+    fn memo(hit: bool) -> Vec<(String, Value)> {
+        vec![("memo_hit".to_string(), Value::Bool(hit))]
+    }
+
+    fn sample() -> Vec<SpanRecord> {
+        vec![
+            rec(1, None, "estimate", 1_000, vec![]),
+            rec(2, Some(1), "schedule", 600, memo(false)),
+            rec(3, Some(2), "resources", 100, memo(true)),
+            rec(4, None, "estimate", 800, vec![]),
+            rec(5, Some(4), "schedule", 300, memo(true)),
+        ]
+    }
+
+    #[test]
+    fn self_time_subtracts_children_and_ranks() {
+        let rows = attribution(&sample());
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["estimate", "schedule", "resources"]);
+        let estimate = &rows[0];
+        assert_eq!((estimate.count, estimate.total_ns, estimate.self_ns), (2, 1_800, 900));
+        let schedule = &rows[1];
+        // 600-100 self on the first call, 300 on the second.
+        assert_eq!((schedule.count, schedule.total_ns, schedule.self_ns), (2, 900, 800));
+        assert_eq!(schedule.memo_rate(), Some(50.0));
+        assert_eq!(estimate.memo_rate(), None);
+        // Self times sum back to total traced wall.
+        let grand: u64 = rows.iter().map(|r| r.self_ns).sum();
+        assert_eq!(grand, 1_800);
+    }
+
+    #[test]
+    fn children_overshooting_their_parent_clamp_to_zero() {
+        let records =
+            vec![rec(1, None, "outer", 100, vec![]), rec(2, Some(1), "inner", 150, vec![])];
+        let rows = attribution(&records);
+        let outer = rows.iter().find(|r| r.name == "outer").unwrap();
+        assert_eq!(outer.self_ns, 0);
+    }
+
+    #[test]
+    fn folded_stacks_join_ancestry_and_sum_self_ns() {
+        let out = render_folded(&sample());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            ["estimate 900", "estimate;schedule 800", "estimate;schedule;resources 100",]
+        );
+        // Every line matches the `frames count` grammar.
+        for line in lines {
+            let (stack, n) = line.rsplit_once(' ').unwrap();
+            assert!(stack.split(';').all(|f| !f.is_empty()));
+            n.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn folded_escapes_separator_bytes_and_roots_orphans() {
+        let records = vec![
+            rec(1, Some(99), "week;end span", 10, vec![]), // parent 99 never completed
+        ];
+        let out = render_folded(&records);
+        assert_eq!(out, "week_end_span 10\n");
+    }
+
+    #[test]
+    fn zero_self_stacks_are_omitted() {
+        let records = vec![rec(1, None, "a", 50, vec![]), rec(2, Some(1), "b", 50, vec![])];
+        let out = render_folded(&records);
+        assert_eq!(out, "a;b 50\n");
+    }
+
+    #[test]
+    fn attribution_table_renders_ranked_rows() {
+        let table = render_attribution_table(&attribution(&sample()));
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("pass") && lines[0].contains("self%"), "{table}");
+        assert!(lines[1].starts_with("  estimate"), "{table}");
+        assert!(lines[1].contains("50.0%"), "{table}"); // 900/1800 self
+        assert!(lines[2].contains("44.4%"), "{table}"); // 800/1800 self
+        assert!(lines[2].contains("50.0%"), "{table}"); // memo rate
+        assert!(lines[1].trim_end().ends_with('—'), "{table}");
+    }
+
+    #[test]
+    fn empty_records_render_empty_but_valid() {
+        assert_eq!(render_folded(&[]), "");
+        let table = render_attribution_table(&attribution(&[]));
+        assert_eq!(table.lines().count(), 1, "{table}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Periodic metrics streaming: a sampler thread snapshots a metrics
+//! source on a fixed interval and appends one JSONL line per sample —
+//! an interval-tagged time series a long DSE sweep (or the future
+//! `tybec serve` daemon) can be watched through while it runs.
+//!
+//! Each line is a standalone JSON object:
+//!
+//! ```json
+//! {"seq":3,"t_ms":1500,"interval_ms":500,"metrics":{"dse.points":128,...}}
+//! ```
+//!
+//! `t_ms` is milliseconds since the sampler started; `metrics` is the
+//! [`render_snapshot_json`](crate::prometheus::render_snapshot_json)
+//! encoding of the source snapshot. [`Sampler::stop`] takes one final
+//! sample before joining, so even a sweep shorter than the interval
+//! produces a complete series with at least one line.
+
+use crate::metrics::Snapshot;
+use crate::prometheus::render_snapshot_json;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Handle to a running sampler thread; dropping without
+/// [`stop`][Sampler::stop] detaches the thread (it exits at the next
+/// tick after the handle's stop flag drops).
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<usize>>,
+}
+
+impl Sampler {
+    /// Start sampling `source` every `interval`, appending JSONL lines
+    /// to `sink`. The source runs on the sampler thread, so it must be
+    /// `Send` — a `move` closure over an `Arc<Registry>` is the
+    /// intended shape.
+    pub fn start(
+        interval: Duration,
+        source: impl Fn() -> Snapshot + Send + 'static,
+        mut sink: impl Write + Send + 'static,
+    ) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut seq = 0usize;
+            let mut emit = |seq: usize| {
+                let line = render_line(seq, t0.elapsed(), interval, &source());
+                sink.write_all(line.as_bytes()).and_then(|()| sink.flush()).is_ok()
+            };
+            loop {
+                if stop_flag.load(Ordering::Relaxed) {
+                    // Final sample so the series always covers the end
+                    // of the run.
+                    if emit(seq) {
+                        seq += 1;
+                    }
+                    return seq;
+                }
+                // Sleep in short slices so stop() never waits a full
+                // interval behind a long period.
+                let tick = Instant::now();
+                while tick.elapsed() < interval && !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(1).min(interval));
+                }
+                if !stop_flag.load(Ordering::Relaxed) {
+                    if !emit(seq) {
+                        return seq; // sink is gone; stop sampling
+                    }
+                    seq += 1;
+                }
+            }
+        });
+        Sampler { stop, handle: Some(handle) }
+    }
+
+    /// Signal the thread, wait for its final sample, and return the
+    /// number of lines written.
+    pub fn stop(mut self) -> usize {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.handle.take() {
+            Some(h) => h.join().unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+fn render_line(seq: usize, elapsed: Duration, interval: Duration, snap: &Snapshot) -> String {
+    format!(
+        "{{\"seq\":{seq},\"t_ms\":{},\"interval_ms\":{},\"metrics\":{}}}\n",
+        elapsed.as_millis(),
+        interval.as_millis(),
+        render_snapshot_json(snap),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::metrics::Registry;
+    use std::sync::Mutex;
+
+    /// A `Write` that appends into shared memory, so tests can inspect
+    /// what the sampler thread wrote.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lines_are_interval_tagged_jsonl_over_the_live_registry() {
+        let reg = Arc::new(Registry::new());
+        let counter = reg.counter("dse.points");
+        let buf = SharedBuf::default();
+        let src = Arc::clone(&reg);
+        let sampler = Sampler::start(Duration::from_millis(5), move || src.snapshot(), buf.clone());
+        counter.add(7);
+        std::thread::sleep(Duration::from_millis(20));
+        counter.add(3);
+        let written = sampler.stop();
+        assert!(written >= 1, "at least the final sample");
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), written);
+        for (i, line) in lines.iter().enumerate() {
+            let doc = parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert_eq!(doc.get("seq").unwrap().as_num(), Some(i as f64));
+            assert_eq!(doc.get("interval_ms").unwrap().as_num(), Some(5.0));
+            assert!(doc.get("t_ms").unwrap().as_num().is_some());
+            assert!(doc.get("metrics").unwrap().get("dse.points").is_some());
+        }
+        // The final (stop-time) sample saw every increment.
+        let last = parse(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("metrics").unwrap().get("dse.points").unwrap().as_num(), Some(10.0));
+    }
+
+    #[test]
+    fn stop_before_first_tick_still_writes_one_sample() {
+        let reg = Arc::new(Registry::new());
+        reg.counter("x").incr();
+        let buf = SharedBuf::default();
+        let src = Arc::clone(&reg);
+        let sampler =
+            Sampler::start(Duration::from_secs(3600), move || src.snapshot(), buf.clone());
+        let written = sampler.stop();
+        assert_eq!(written, 1);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"metrics\":{\"x\":1}"), "{text}");
+    }
+}
