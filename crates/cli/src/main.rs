@@ -15,6 +15,7 @@
 //! tybec lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
 //! tybec analyze <design.tirl> [--json]              dataflow analysis report
 //! tybec profile <design.tirl> [--target <name>]     per-pass self-time attribution
+//! tybec serve  [--tcp <addr>|--unix <path>] [--workers N] [--cache-capacity N] [--batch N]
 //! ```
 //!
 //! Every subcommand also accepts the global profiling flags
@@ -88,7 +89,7 @@ fn alloc_count() -> Option<u64> {
     }
 }
 
-const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint|analyze|profile> <input> [options]
+const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint|analyze|profile|serve> <input> [options]
   cost   <design.tirl> [--target <name>]
   actual <design.tirl> [--target <name>]
   hdl    <design.tirl> [--target <name>] [-o <out.v>] [--wrapper] [--check]
@@ -101,6 +102,9 @@ const USAGE: &str = "usage: tybec <cost|actual|hdl|tree|dse|roofline|exec|lint|a
   lint   <design.tirl> [--target <name>] [--json] [--deny-warnings]
   analyze <design.tirl> [--json]
   profile <design.tirl> [--target <name>]
+  serve  [--tcp <addr>|--unix <path>] [--workers N] [--cache-capacity N] [--batch N]
+         cost-model daemon: JSONL requests over TCP (default 127.0.0.1:7737) or a Unix socket;
+         see docs/serve.md for the wire protocol
 global: --trace <out> [--trace-format chrome|jsonl|tree|folded]   write a span trace of the run
 env: TYTRA_FLIGHT_RECORDER=0 disables crash breadcrumbs; TYTRA_FLIGHT_DUMP=<path> writes panic dumps there
 targets: stratix-v-gsd8 (default) | virtex7-adm7v3 | eval-small";
@@ -271,6 +275,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             "lint" => cmd_lint(rest),
             "analyze" => cmd_analyze(rest),
             "profile" => cmd_profile(rest),
+            "serve" => cmd_serve(rest),
             "--help" | "-h" | "help" => {
                 println!("{USAGE}");
                 Ok(())
@@ -416,6 +421,51 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
         }
         _ => println!("  allocs: n/a (rebuild with --features alloc-count)"),
     }
+    Ok(())
+}
+
+/// `tybec serve`: run the cost model as a long-lived JSONL daemon with
+/// warm estimator sessions, request batching, and a bounded
+/// cross-request cache. Blocks until a `shutdown` request is served.
+/// Wire protocol and deployment notes: `docs/serve.md`.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    use tytra_serve::{serve_tcp, ServeConfig};
+    let mut cfg = ServeConfig::default();
+    if let Some(v) = flag_value(args, "--workers") {
+        cfg.workers = v.parse().map_err(|e| format!("bad --workers: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--cache-capacity") {
+        cfg.cache_capacity = v.parse().map_err(|e| format!("bad --cache-capacity: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--batch") {
+        cfg.batch_max = v.parse().map_err(|e| format!("bad --batch: {e}"))?;
+    }
+    let tcp = flag_value(args, "--tcp");
+    let unix = flag_value(args, "--unix");
+    if tcp.is_some() && unix.is_some() {
+        return Err("--tcp and --unix are mutually exclusive".into());
+    }
+    if let Some(path) = unix {
+        #[cfg(unix)]
+        {
+            let handle = tytra_serve::serve_unix(std::path::Path::new(path), cfg)
+                .map_err(|e| TybecError::new(ErrorCategory::Io, format!("binding {path}: {e}")))?;
+            eprintln!("tybec serve: listening on unix socket {path}");
+            handle.wait();
+            return Ok(());
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(
+                format!("--unix {path}: unix sockets are unavailable on this platform").into()
+            );
+        }
+    }
+    let addr = tcp.unwrap_or("127.0.0.1:7737");
+    let handle = serve_tcp(addr, cfg)
+        .map_err(|e| TybecError::new(ErrorCategory::Io, format!("binding {addr}: {e}")))?;
+    eprintln!("tybec serve: listening on {}", handle.addr());
+    handle.wait();
     Ok(())
 }
 

@@ -215,11 +215,12 @@ fn dse_stats_reports_high_hit_rate() {
         .lines()
         .find(|l| l.trim_start().starts_with("total"))
         .unwrap_or_else(|| panic!("no total stats line:\n{out}"));
-    // "  total       1234 hits    56 misses  hit rate  84.7%"
+    // "  total       1234 hits    56 misses  hit rate  84.7%      0 evicted"
     let pct: f64 = total
         .split("hit rate")
         .nth(1)
-        .and_then(|s| s.trim().trim_end_matches('%').parse().ok())
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.trim_end_matches('%').parse().ok())
         .unwrap_or_else(|| panic!("unparseable stats line: {total}"));
     assert!(pct > 50.0, "memo hit rate should exceed 50%: {total}");
 }

@@ -26,12 +26,12 @@
 //! synthesised 5400: the synthesis tool's FIFO drops the in-flight
 //! element. Our synthesis emulator reproduces that behaviour.
 
-use std::collections::HashMap;
 use tytra_device::{CachedLatency, CurveCache, ResourceVector, TargetDevice};
 use tytra_ir::{
     fingerprint_function, ArenaModule, ConfigNode, ConfigPlan, Dfg, IrError, IrFunction, IrModule,
     Opcode, ParKind, PlanNode, ScalarType,
 };
+use tytra_trace::bounded::BoundedMap;
 use tytra_trace::metrics::Counter;
 
 /// Offset windows at or below this many bits stay in registers; larger
@@ -215,17 +215,20 @@ fn plan_nodes_cost(
             let f = &a.tree().functions[node.func.index()];
             let own = function_cost(a.tree(), dev, f, node.kind, dv, opts, Some(curves));
             *acc += &own;
-            memo.table.insert(key, own);
+            if memo.table.insert(key, own) {
+                memo.evictions.incr();
+            }
         }
     }
 }
 
 /// Memo handles threaded through a session-backed resource walk. The
-/// counters are the session's registry-backed `session.memo.*` pair.
+/// counters are the session's registry-backed `session.memo.*` set.
 pub(crate) struct NodeMemo<'a> {
-    pub(crate) table: &'a mut HashMap<(u64, u64), ResourceBreakdown>,
+    pub(crate) table: &'a mut BoundedMap<(u64, u64), ResourceBreakdown>,
     pub(crate) hits: &'a Counter,
     pub(crate) misses: &'a Counter,
+    pub(crate) evictions: &'a Counter,
 }
 
 /// One resource-accumulation walk over a configuration tree.
@@ -324,7 +327,9 @@ impl Walk<'_> {
                 let own =
                     function_cost(self.m, self.dev, f, node.kind, self.dv, self.opts, self.curves);
                 *acc += &own;
-                memo.table.insert(key, own);
+                if memo.table.insert(key, own) {
+                    memo.evictions.incr();
+                }
             }
         } else {
             let own =

@@ -47,7 +47,6 @@ use crate::report::{assemble, CostReport};
 use crate::resource::{self, ResourceBreakdown};
 use crate::schedule::{self, PipelineSchedule};
 use crate::{bottleneck, throughput, CostOptions};
-use std::collections::{HashMap, HashSet};
 use tytra_device::{CurveCache, TargetDevice};
 use tytra_ir::{
     config_tree, fingerprint_function, fingerprint_module, fingerprint_streams,
@@ -55,14 +54,22 @@ use tytra_ir::{
     PatchedModule, StableHasher, TybecError,
 };
 use tytra_trace as trace;
+use tytra_trace::bounded::{BoundedMap, BoundedSet};
 use tytra_trace::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+
+/// Entries each pass memo table may hold before CLOCK eviction kicks
+/// in. Sized for full-space sweeps (a few thousand variants share a few
+/// hundred distinct fingerprints) while keeping a long-running
+/// `tybec serve` session's footprint bounded.
+pub const DEFAULT_MEMO_CAPACITY: usize = 8192;
 
 /// Memo-table traffic counters for one estimator session.
 ///
 /// `hits`/`misses` aggregate every memoized pass *and* the device-level
 /// curve cache; `invalidations` counts [`EstimatorSession::invalidate`]
-/// calls. The DSE engine sums these across worker sessions and the CLI
-/// prints them under `--stats`.
+/// calls; `evictions` counts entries the CLOCK hand dropped under
+/// capacity pressure (pass memos plus curve cache). The DSE engine sums
+/// these across worker sessions and the CLI prints them under `--stats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Lookups answered from a memo table.
@@ -71,6 +78,8 @@ pub struct SessionStats {
     pub misses: u64,
     /// Explicit whole-session invalidations.
     pub invalidations: u64,
+    /// Memo entries evicted under capacity pressure.
+    pub evictions: u64,
 }
 
 impl SessionStats {
@@ -96,6 +105,7 @@ impl std::ops::AddAssign for SessionStats {
         self.hits += rhs.hits;
         self.misses += rhs.misses;
         self.invalidations += rhs.invalidations;
+        self.evictions += rhs.evictions;
     }
 }
 
@@ -136,21 +146,21 @@ pub struct EstimatorSession {
     opts: CostOptions,
     curves: CurveCache,
     /// Whole-module fingerprints that already passed validation.
-    validated: HashSet<u64>,
+    validated: BoundedSet<u64>,
     /// Arena base fingerprints whose *base tree* passed validation. The
     /// validator never reads the three patched cells (it only touches
     /// `meta.ndrange`/`nki`/`freq_mhz`, plus the module name for its
     /// trace span), so one base validation covers every
     /// [`PatchedModule`] of that arena.
-    validated_bases: HashSet<u64>,
+    validated_bases: BoundedSet<u64>,
     /// Per-function resource costs, keyed `(function fingerprint, DV)`.
-    node_costs: HashMap<(u64, u64), ResourceBreakdown>,
+    node_costs: BoundedMap<(u64, u64), ResourceBreakdown>,
     /// Per-function worst stage delays, keyed on function fingerprint.
-    worst_stage: HashMap<u64, Option<(f64, String)>>,
+    worst_stage: BoundedMap<u64, Option<(f64, String)>>,
     /// Lane-subtree schedules, keyed on subtree fingerprint.
-    schedules: HashMap<u64, PipelineSchedule>,
+    schedules: BoundedMap<u64, PipelineSchedule>,
     /// Bandwidth breakdowns, keyed on (stream fingerprint, lanes).
-    bandwidths: HashMap<u64, BandwidthBreakdown>,
+    bandwidths: BoundedMap<u64, BandwidthBreakdown>,
     /// The single source of truth for the session's counters: the
     /// handles below (and the curve cache's `curves.*` pair) all live in
     /// this registry, so [`stats`][EstimatorSession::stats] and
@@ -160,6 +170,7 @@ pub struct EstimatorSession {
     hits: Counter,
     misses: Counter,
     invalidations: Counter,
+    evictions: Counter,
     memo_entries: Gauge,
     estimate_ns: Histogram,
     bound_ns: Histogram,
@@ -175,20 +186,33 @@ impl EstimatorSession {
     /// are fixed for the session's lifetime so they need not be part of
     /// any memo key.
     pub fn with_options(dev: TargetDevice, opts: CostOptions) -> EstimatorSession {
+        EstimatorSession::with_memo_capacity(dev, opts, DEFAULT_MEMO_CAPACITY)
+    }
+
+    /// A session whose pass memo tables each evict past `capacity`
+    /// entries. Eviction only ever forces a bit-identical recompute
+    /// (every memoized value is a pure function of its key), so a tiny
+    /// capacity trades speed for memory, never accuracy.
+    pub fn with_memo_capacity(
+        dev: TargetDevice,
+        opts: CostOptions,
+        capacity: usize,
+    ) -> EstimatorSession {
         let metrics = Registry::new();
         EstimatorSession {
             dev,
             opts,
             curves: CurveCache::with_registry(&metrics),
-            validated: HashSet::new(),
-            validated_bases: HashSet::new(),
-            node_costs: HashMap::new(),
-            worst_stage: HashMap::new(),
-            schedules: HashMap::new(),
-            bandwidths: HashMap::new(),
+            validated: BoundedSet::new(capacity),
+            validated_bases: BoundedSet::new(capacity),
+            node_costs: BoundedMap::new(capacity),
+            worst_stage: BoundedMap::new(capacity),
+            schedules: BoundedMap::new(capacity),
+            bandwidths: BoundedMap::new(capacity),
             hits: metrics.counter("session.memo.hits"),
             misses: metrics.counter("session.memo.misses"),
             invalidations: metrics.counter("session.invalidations"),
+            evictions: metrics.counter("session.memo.evictions"),
             memo_entries: metrics.gauge("session.memo.entries"),
             estimate_ns: metrics.histogram("estimator.estimate_ns"),
             bound_ns: metrics.histogram("estimator.bound_ns"),
@@ -214,6 +238,7 @@ impl EstimatorSession {
             hits: self.hits.get() + self.curves.hits(),
             misses: self.misses.get() + self.curves.misses(),
             invalidations: self.invalidations.get(),
+            evictions: self.evictions.get() + self.curves.evictions(),
         }
     }
 
@@ -278,7 +303,9 @@ impl EstimatorSession {
                     let s = schedule::schedule_with(m, &self.dev, Some(&self.curves), &tree.root)?;
                     self.misses.incr();
                     sp.record("memo_hit", false);
-                    self.schedules.insert(lane_fp, s.clone());
+                    if self.schedules.insert(lane_fp, s.clone()) {
+                        self.evictions.incr();
+                    }
                     s
                 }
             }
@@ -419,7 +446,9 @@ impl EstimatorSession {
                     )?;
                     self.misses.incr();
                     sp.record("memo_hit", false);
-                    self.schedules.insert(plan.lane_fp, s.clone());
+                    if self.schedules.insert(plan.lane_fp, s.clone()) {
+                        self.evictions.incr();
+                    }
                     s
                 }
             }
@@ -514,13 +543,19 @@ impl EstimatorSession {
         } else if self.validated_bases.contains(&d.arena.base_fp()) {
             self.hits.incr();
             sp.record("memo_hit", true);
-            self.validated.insert(module_fp);
+            if self.validated.insert(module_fp) {
+                self.evictions.incr();
+            }
         } else {
             self.misses.incr();
             sp.record("memo_hit", false);
             validate::validate(d.arena.tree())?;
-            self.validated_bases.insert(d.arena.base_fp());
-            self.validated.insert(module_fp);
+            if self.validated_bases.insert(d.arena.base_fp()) {
+                self.evictions.incr();
+            }
+            if self.validated.insert(module_fp) {
+                self.evictions.incr();
+            }
         }
         Ok(())
     }
@@ -544,6 +579,7 @@ impl EstimatorSession {
                 table: &mut self.node_costs,
                 hits: &self.hits,
                 misses: &self.misses,
+                evictions: &self.evictions,
             },
         )
     }
@@ -563,12 +599,14 @@ impl EstimatorSession {
                 let v =
                     frequency::function_worst_stage(&self.dev, Some(&self.curves), f, node.kind);
                 self.misses.incr();
-                self.worst_stage.insert(key, v);
+                if self.worst_stage.insert(key, v) {
+                    self.evictions.incr();
+                }
             }
         }
         let mut worst: (f64, &str) = (0.0, "");
         for node in &plan.nodes {
-            if let Some(Some(own)) = self.worst_stage.get(&a.fn_fp(node.func)) {
+            if let Some(Some(own)) = self.worst_stage.peek(&a.fn_fp(node.func)) {
                 if own.0 > worst.0 {
                     worst = (own.0, own.1.as_str());
                 }
@@ -598,7 +636,9 @@ impl EstimatorSession {
             };
             self.misses.incr();
             sp.record("memo_hit", false);
-            self.bandwidths.insert(bw_key, b);
+            if self.bandwidths.insert(bw_key, b) {
+                self.evictions.incr();
+            }
         }
     }
 
@@ -613,7 +653,9 @@ impl EstimatorSession {
             self.misses.incr();
             sp.record("memo_hit", false);
             validate::validate(m)?;
-            self.validated.insert(module_fp);
+            if self.validated.insert(module_fp) {
+                self.evictions.incr();
+            }
         }
         Ok(())
     }
@@ -635,6 +677,7 @@ impl EstimatorSession {
                 table: &mut self.node_costs,
                 hits: &self.hits,
                 misses: &self.misses,
+                evictions: &self.evictions,
             },
         )
     }
@@ -662,7 +705,9 @@ impl EstimatorSession {
                 };
                 self.misses.incr();
                 sp.record("memo_hit", false);
-                self.bandwidths.insert(bw_key, b.clone());
+                if self.bandwidths.insert(bw_key, b.clone()) {
+                    self.evictions.incr();
+                }
                 b
             }
         }
@@ -700,7 +745,9 @@ impl EstimatorSession {
                 let v =
                     frequency::function_worst_stage(&self.dev, Some(&self.curves), f, node.kind);
                 self.misses.incr();
-                self.worst_stage.insert(key, v.clone());
+                if self.worst_stage.insert(key, v.clone()) {
+                    self.evictions.incr();
+                }
                 v
             }
         };
@@ -942,12 +989,41 @@ mod tests {
 
     #[test]
     fn stats_math() {
-        let s = SessionStats { hits: 3, misses: 1, invalidations: 0 };
+        let s = SessionStats { hits: 3, misses: 1, invalidations: 0, evictions: 0 };
         assert_eq!(s.lookups(), 4);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(SessionStats::default().hit_rate(), 0.0);
         let mut t = s;
-        t += SessionStats { hits: 1, misses: 1, invalidations: 2 };
-        assert_eq!(t, SessionStats { hits: 4, misses: 2, invalidations: 2 });
+        t += SessionStats { hits: 1, misses: 1, invalidations: 2, evictions: 5 };
+        assert_eq!(t, SessionStats { hits: 4, misses: 2, invalidations: 2, evictions: 5 });
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        // `tybec serve` hands warm sessions to worker threads; pin the
+        // auto-trait so a non-Send field cannot sneak in unnoticed.
+        fn assert_send<T: Send>() {}
+        assert_send::<EstimatorSession>();
+    }
+
+    #[test]
+    fn tiny_capacity_evicts_but_stays_bit_identical() {
+        // Capacity 1 forces the CLOCK hand on nearly every insert; the
+        // evicted entries are recomputed, so reports must still match an
+        // unbounded session bit for bit.
+        let dev = eval_small();
+        let mut roomy = EstimatorSession::new(dev.clone());
+        let mut tight = EstimatorSession::with_memo_capacity(dev, CostOptions::default(), 1);
+        for lanes in [1usize, 2, 4, 8] {
+            for form in [MemForm::A, MemForm::B] {
+                let m = laned_module(lanes, form);
+                let a = roomy.estimate(&m).unwrap();
+                let b = tight.estimate(&m).unwrap();
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "l{lanes} {form:?}");
+            }
+        }
+        assert_eq!(roomy.stats().evictions, 0, "default capacity never evicts here");
+        let tight_stats = tight.stats();
+        assert!(tight_stats.evictions > 0, "capacity 1 must evict: {tight_stats:?}");
     }
 }

@@ -17,8 +17,8 @@ use crate::bandwidth::BandwidthModel;
 use crate::calibration::OpCostModel;
 use crate::resources::ResourceVector;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use tytra_ir::{AccessPattern, LatencyModel, Opcode, ScalarType};
+use tytra_trace::bounded::BoundedMap;
 use tytra_trace::metrics::{Counter, Registry};
 
 /// Which link a bandwidth lookup is for (part of the memo key, so the
@@ -33,16 +33,41 @@ pub enum LinkKind {
 
 type OpKey = (Opcode, ScalarType);
 
+/// Entries each memo table may hold before the CLOCK hand starts
+/// evicting. The op-keyed tables see a handful of distinct points per
+/// device, and the sustained-bandwidth table one point per distinct
+/// transfer size — 1024 is far above any real working set while keeping
+/// a long-running `tybec serve` deployment's memory bounded.
+const CURVE_TABLE_CAPACITY: usize = 1024;
+
 /// Memo tables for per-op calibration fits and sustained-bandwidth
 /// interpolations. Cheap to construct; hold one per estimator session.
-#[derive(Debug, Default)]
+/// Size-bounded: each table evicts with the CLOCK policy past
+/// [`CURVE_TABLE_CAPACITY`] entries (an eviction only ever forces a
+/// bit-identical recompute).
+#[derive(Debug)]
 pub struct CurveCache {
-    cost: RefCell<HashMap<OpKey, ResourceVector>>,
-    latency: RefCell<HashMap<OpKey, u32>>,
-    stage_delay: RefCell<HashMap<OpKey, u64>>,
-    sustained: RefCell<HashMap<(LinkKind, AccessPattern, u64), u64>>,
+    cost: RefCell<BoundedMap<OpKey, ResourceVector>>,
+    latency: RefCell<BoundedMap<OpKey, u32>>,
+    stage_delay: RefCell<BoundedMap<OpKey, u64>>,
+    sustained: RefCell<BoundedMap<(LinkKind, AccessPattern, u64), u64>>,
     hits: Counter,
     misses: Counter,
+    evictions: Counter,
+}
+
+impl Default for CurveCache {
+    fn default() -> CurveCache {
+        CurveCache {
+            cost: RefCell::new(BoundedMap::new(CURVE_TABLE_CAPACITY)),
+            latency: RefCell::new(BoundedMap::new(CURVE_TABLE_CAPACITY)),
+            stage_delay: RefCell::new(BoundedMap::new(CURVE_TABLE_CAPACITY)),
+            sustained: RefCell::new(BoundedMap::new(CURVE_TABLE_CAPACITY)),
+            hits: Counter::default(),
+            misses: Counter::default(),
+            evictions: Counter::default(),
+        }
+    }
 }
 
 impl CurveCache {
@@ -51,13 +76,15 @@ impl CurveCache {
         CurveCache::default()
     }
 
-    /// Fresh cache whose hit/miss counters are registered in `metrics`
-    /// as `curves.hits` / `curves.misses`, so a session's metrics
-    /// snapshot reports curve-cache traffic without extra bookkeeping.
+    /// Fresh cache whose counters are registered in `metrics` as
+    /// `curves.hits` / `curves.misses` / `curves.evictions`, so a
+    /// session's metrics snapshot reports curve-cache traffic without
+    /// extra bookkeeping.
     pub fn with_registry(metrics: &Registry) -> CurveCache {
         CurveCache {
             hits: metrics.counter("curves.hits"),
             misses: metrics.counter("curves.misses"),
+            evictions: metrics.counter("curves.evictions"),
             ..CurveCache::default()
         }
     }
@@ -73,7 +100,9 @@ impl CurveCache {
             None => {
                 self.misses.incr();
                 let v = ops.cost(op, ty);
-                table.insert((op, ty), v);
+                if table.insert((op, ty), v) {
+                    self.evictions.incr();
+                }
                 v
             }
         }
@@ -90,7 +119,9 @@ impl CurveCache {
             None => {
                 self.misses.incr();
                 let v = ops.latency(op, ty);
-                table.insert((op, ty), v);
+                if table.insert((op, ty), v) {
+                    self.evictions.incr();
+                }
                 v
             }
         }
@@ -108,7 +139,9 @@ impl CurveCache {
             None => {
                 self.misses.incr();
                 let v = ops.stage_delay_ns(op, ty);
-                table.insert((op, ty), v.to_bits());
+                if table.insert((op, ty), v.to_bits()) {
+                    self.evictions.incr();
+                }
                 v
             }
         }
@@ -131,7 +164,9 @@ impl CurveCache {
             None => {
                 self.misses.incr();
                 let v = bw.sustained_bytes_per_s(pattern, total_elems);
-                table.insert((link, pattern, total_elems), v.to_bits());
+                if table.insert((link, pattern, total_elems), v.to_bits()) {
+                    self.evictions.incr();
+                }
                 v
             }
         }
@@ -145,6 +180,11 @@ impl CurveCache {
     /// Lookups that fell through to the underlying model.
     pub fn misses(&self) -> u64 {
         self.misses.get()
+    }
+
+    /// Entries the CLOCK hand has evicted under capacity pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
     }
 
     /// Number of interned entries across all tables.

@@ -117,16 +117,21 @@ pub fn render_table(rows: &[LaneSweepRow]) -> String {
 
 /// One line of the `tybec dse --stats` block. The numeric format is
 /// byte-stable (scripts parse it); a session with no lookups at all
-/// prints `n/a` rather than a misleading `0.0%`.
+/// prints `n/a` rather than a misleading `0.0%`. The trailing eviction
+/// count tracks CLOCK pressure on the bounded memo tables.
 pub fn render_stats_line(label: &str, s: &tytra_cost::SessionStats) -> String {
     if s.lookups() == 0 {
-        format!("  {label:<14} {:>7} hits {:>7} misses  hit rate {:>6}", s.hits, s.misses, "n/a")
+        format!(
+            "  {label:<14} {:>7} hits {:>7} misses  hit rate {:>6}  {:>5} evicted",
+            s.hits, s.misses, "n/a", s.evictions
+        )
     } else {
         format!(
-            "  {label:<14} {:>7} hits {:>7} misses  hit rate {:>5.1}%",
+            "  {label:<14} {:>7} hits {:>7} misses  hit rate {:>5.1}%  {:>5} evicted",
             s.hits,
             s.misses,
-            s.hit_rate() * 100.0
+            s.hit_rate() * 100.0,
+            s.evictions
         )
     }
 }
@@ -298,10 +303,10 @@ mod tests {
     #[test]
     fn stats_line_format_is_byte_stable() {
         use tytra_cost::SessionStats;
-        let s = SessionStats { hits: 1234, misses: 56, invalidations: 0 };
+        let s = SessionStats { hits: 1234, misses: 56, invalidations: 0, evictions: 7 };
         assert_eq!(
             render_stats_line("total", &s),
-            "  total             1234 hits      56 misses  hit rate  95.7%"
+            "  total             1234 hits      56 misses  hit rate  95.7%      7 evicted"
         );
     }
 
@@ -309,7 +314,10 @@ mod tests {
     fn stats_line_shows_na_for_an_untouched_session() {
         use tytra_cost::SessionStats;
         let line = render_stats_line("sweep+tuning", &SessionStats::default());
-        assert_eq!(line, "  sweep+tuning         0 hits       0 misses  hit rate    n/a");
+        assert_eq!(
+            line,
+            "  sweep+tuning         0 hits       0 misses  hit rate    n/a      0 evicted"
+        );
         assert!(!line.contains("0.0%"), "untouched session must not claim a 0.0% rate: {line}");
     }
 

@@ -55,6 +55,11 @@ pub enum OracleKind {
     AnalyzeCongruence,
     /// Pruned vs exhaustive search leaderboard bit-identity.
     SearchEquivalence,
+    /// In-process `tybec serve` round-trip vs the direct estimate:
+    /// served payloads (cold and cache-replayed) must be byte-identical
+    /// to the offline rendering, and served errors must carry the
+    /// direct path's category.
+    ServeEquivalence,
 }
 
 impl OracleKind {
@@ -68,6 +73,7 @@ impl OracleKind {
             OracleKind::ArenaEquivalence => "arena-equivalence",
             OracleKind::AnalyzeCongruence => "analyze-congruence",
             OracleKind::SearchEquivalence => "search-equivalence",
+            OracleKind::ServeEquivalence => "serve-equivalence",
         }
     }
 
@@ -79,7 +85,8 @@ impl OracleKind {
             0..=15 => OracleKind::RoundtripMutated,
             16..=19 => OracleKind::RoundtripClean,
             20..=25 => OracleKind::EstimatorVsSim,
-            26..=28 => OracleKind::SessionDeterminism,
+            26..=27 => OracleKind::SessionDeterminism,
+            28 => OracleKind::ServeEquivalence,
             29 => OracleKind::ArenaEquivalence,
             30 => OracleKind::AnalyzeCongruence,
             _ => OracleKind::SearchEquivalence,
@@ -228,6 +235,13 @@ pub fn run_case(seed: u64, case_id: u64, bands: &ToleranceBands) -> CaseResult {
                 .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
             (v, None)
         }
+        OracleKind::ServeEquivalence => {
+            let m = g.valid_module();
+            let src = tytra_ir::print(&m);
+            let v = panic::catch_unwind(AssertUnwindSafe(|| oracle::serve_equivalence(&m)))
+                .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
+            (v, Some(src))
+        }
     };
     finish_case(case_id, oracle, verdict, source)
 }
@@ -244,7 +258,8 @@ fn reproduces(case: &CaseResult, bands: &ToleranceBands, candidate: &str) -> boo
         OracleKind::EstimatorVsSim
         | OracleKind::SessionDeterminism
         | OracleKind::ArenaEquivalence
-        | OracleKind::AnalyzeCongruence => {
+        | OracleKind::AnalyzeCongruence
+        | OracleKind::ServeEquivalence => {
             let m = match tytra_ir::parse(candidate) {
                 Ok(m) => m,
                 Err(_) => return false,
@@ -259,6 +274,7 @@ fn reproduces(case: &CaseResult, bands: &ToleranceBands, candidate: &str) -> boo
                 OracleKind::AnalyzeCongruence => {
                     oracle::analyze_congruence(&m, &tytra_device::eval_small())
                 }
+                OracleKind::ServeEquivalence => oracle::serve_equivalence(&m),
                 _ => oracle::session_determinism(&m, &tytra_device::eval_small()),
             };
             panic::catch_unwind(AssertUnwindSafe(run))
@@ -322,8 +338,8 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
 
 /// Replay a corpus fixture (or any TIRL source) through every oracle
 /// that accepts file input: round-trip always; estimator-vs-sim,
-/// session determinism, arena equivalence and analyze-congruence when
-/// the source parses and validates. Returns
+/// session determinism, arena equivalence, analyze-congruence and
+/// serve-equivalence when the source parses and validates. Returns
 /// the per-oracle verdicts. Search equivalence has no file input; the
 /// regression test replays it separately from recorded seeds.
 pub fn replay_source(src: &str, bands: &ToleranceBands) -> Vec<(OracleKind, Verdict)> {
@@ -348,6 +364,9 @@ pub fn replay_source(src: &str, bands: &ToleranceBands) -> Vec<(OracleKind, Verd
         let v = panic::catch_unwind(AssertUnwindSafe(|| oracle::analyze_congruence(&m, &dev)))
             .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
         out.push((OracleKind::AnalyzeCongruence, v));
+        let v = panic::catch_unwind(AssertUnwindSafe(|| oracle::serve_equivalence(&m)))
+            .unwrap_or_else(|p| Verdict::Panic(panic_message(p.as_ref())));
+        out.push((OracleKind::ServeEquivalence, v));
     }
     panic::set_hook(prev_hook);
     out
@@ -372,7 +391,7 @@ mod tests {
     fn the_wheel_covers_every_oracle() {
         let kinds: std::collections::BTreeSet<&str> =
             (0..32).map(|i| OracleKind::for_case(i).label()).collect();
-        assert_eq!(kinds.len(), 7);
+        assert_eq!(kinds.len(), 8);
     }
 
     #[test]
@@ -449,7 +468,7 @@ mod tests {
         let mut g = TirlGen::new(21);
         let src = g.valid_source();
         let verdicts = replay_source(&src, &ToleranceBands::default());
-        assert_eq!(verdicts.len(), 5);
+        assert_eq!(verdicts.len(), 6);
         assert!(verdicts.iter().all(|(_, v)| !v.is_failure()), "{verdicts:?}");
     }
 }

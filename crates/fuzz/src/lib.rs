@@ -6,7 +6,7 @@
 //! truth (`tytra-sim`'s virtual toolchain + cycle simulator), which
 //! makes differential testing cheap: generate designs, run both sides,
 //! and flag any panic, disagreement beyond tolerance, or non-finite
-//! metric. Six oracles (see [`oracle`]):
+//! metric. Seven oracles (see [`oracle`]):
 //!
 //! 1. **Round-trip** — parse → print → reparse fixed point; malformed
 //!    input must produce a structured error, never a panic.
@@ -24,6 +24,10 @@
 //!    materializes and costs (`estimate_design`/`bound_design`)
 //!    bit-identically to the tree on any module and any
 //!    copy-on-write patch.
+//! 7. **Serve equivalence** — the in-process `tybec serve` round-trip
+//!    (parse → prepare → cache → guarded compute → render) answers
+//!    byte-identically to the direct estimate, cold and cache-replayed
+//!    alike, and served errors keep the direct path's category.
 //!
 //! Everything is derived from `(seed, case_id)` — see [`gen::TirlGen`]
 //! and [`harness::run_case`] — so every corpus entry replays exactly.

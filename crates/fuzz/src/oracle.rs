@@ -14,6 +14,7 @@ use tytra_dse::explore::ExplorationConfig;
 use tytra_dse::{search, SearchConfig, SearchOutcome};
 use tytra_ir::{ArenaModule, IrModule, MemForm};
 use tytra_kernels::{EvalKernel, Sor, StreamTriad};
+use tytra_trace::json::{self, Json};
 
 /// The outcome of running one oracle on one case.
 #[derive(Debug, Clone, PartialEq)]
@@ -289,6 +290,78 @@ pub fn session_determinism(m: &IrModule, dev: &TargetDevice) -> Verdict {
             }
         }
         _ => Verdict::Disagreement("Ok/Err disagreement between warm and cold sessions".into()),
+    }
+}
+
+/// Oracle 7 — the served cost model equals the offline one.
+///
+/// Drives the daemon's full per-request path in process — parse →
+/// prepare → cache probe → guarded compute → render, via
+/// [`tytra_serve::Engine::respond`] — and demands the `estimate`
+/// payload be byte-identical to the direct `estimate` rendering for
+/// the same design. The identical request is then replayed so the
+/// cache-served answer is checked against the computed one, and error
+/// inputs must carry the exact category the direct path raises. This
+/// is the wire-level face of the session-determinism property: no
+/// daemon state (warm session, response cache, batch history) may leak
+/// into a response.
+pub fn serve_equivalence(m: &IrModule) -> Verdict {
+    let src = tytra_ir::print(m);
+    let dev = tytra_device::eval_small();
+    let m2 = match tytra_ir::parse(&src) {
+        Ok(m2) => m2,
+        // A print→parse failure is the round-trip oracle's finding.
+        Err(_) => return Verdict::Skip("printed source does not reparse".into()),
+    };
+    let direct = tytra_cost::estimate(&m2, &dev);
+
+    let mut engine = tytra_serve::Engine::new();
+    let shared = tytra_serve::Shared::new(64);
+    let line = format!(
+        "{{\"id\":1,\"kind\":\"estimate\",\"design\":\"{}\",\"target\":\"eval-small\"}}",
+        json::escape(&src)
+    );
+    let cold = engine.respond(&line, &shared);
+    let warm = engine.respond(&line, &shared);
+    let (Ok(cold), Ok(warm)) = (json::parse(cold.trim_end()), json::parse(warm.trim_end())) else {
+        return Verdict::Disagreement("served response is not valid JSON".into());
+    };
+
+    match direct {
+        Ok(report) => {
+            let expected = format!("{report}");
+            for (pass, v) in [("cold", &cold), ("warm", &warm)] {
+                if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                    return Verdict::Disagreement(format!(
+                        "{pass} served request failed where the direct estimate succeeded"
+                    ));
+                }
+                if v.get("report").and_then(Json::as_str) != Some(expected.as_str()) {
+                    return Verdict::Disagreement(format!(
+                        "{pass} served payload differs from the offline cost report"
+                    ));
+                }
+            }
+            Verdict::Pass
+        }
+        Err(e) => {
+            for (pass, v) in [("cold", &cold), ("warm", &warm)] {
+                if v.get("ok").and_then(Json::as_bool) != Some(false) {
+                    return Verdict::Disagreement(format!(
+                        "{pass} served request succeeded where the direct estimate failed"
+                    ));
+                }
+                let category =
+                    v.get("error").and_then(|x| x.get("category")).and_then(Json::as_str);
+                if category != Some(e.category.label()) {
+                    return Verdict::Disagreement(format!(
+                        "{pass} served error category {category:?} != direct `{}`",
+                        e.category.label()
+                    ));
+                }
+            }
+            Verdict::Pass
+        }
     }
 }
 

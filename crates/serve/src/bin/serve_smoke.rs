@@ -1,0 +1,288 @@
+//! `serve_smoke` — the CI load generator and gatekeeper for
+//! `tybec serve` (see `.github/workflows/ci.yml` and `docs/serve.md`).
+//!
+//! It runs three measured passes against an in-process daemon:
+//!
+//! 1. **Mixed replay**: C client threads replay a mixed workload of
+//!    estimate/bound/analyze requests over K distinct designs — the
+//!    throughput number and the cache-hit-rate gate come from here.
+//! 2. **Warm probe**: one client sends single-design estimates
+//!    one-at-a-time and records exact client-side latencies — the
+//!    p50/p99 gates come from here.
+//! 3. **Spawn baseline**: the same estimate request served the
+//!    pre-daemon way, one `tybec cost` process per request — the
+//!    speedup gate compares its requests/sec against pass 1.
+//!
+//! Results land in `BENCH_serve.json`; any failed gate exits nonzero.
+//!
+//! ```text
+//! serve_smoke [--requests N] [--clients C] [--warm-probes N]
+//!             [--baseline-requests N] [--tybec <path>] [--out <file>]
+//! ```
+//!
+//! The `tybec` binary is found via `--tybec`, then `$TYBEC_BIN`, then
+//! next to this executable, then `target/release/tybec`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Instant;
+use tytra_kernels::{EvalKernel, Hotspot, LavaMd, Sor};
+use tytra_serve::{serve_tcp, ServeConfig};
+use tytra_trace::json::{self, Json};
+use tytra_transform::Variant;
+
+/// Warm p50 ceiling from the issue brief: a warm single-design estimate
+/// answers in under a millisecond.
+const GATE_WARM_P50_MS: f64 = 1.0;
+/// Tail ceiling for the same probe — generous, but catches a daemon
+/// that stalls requests behind the dispatcher or a lock.
+const GATE_WARM_P99_MS: f64 = 25.0;
+/// Mixed replay must hit the cross-request cache more often than not.
+const GATE_HIT_RATE: f64 = 0.5;
+/// Served throughput over the spawn-per-request baseline.
+const GATE_SPEEDUP: f64 = 10.0;
+
+struct Args {
+    requests: usize,
+    clients: usize,
+    warm_probes: usize,
+    baseline_requests: usize,
+    tybec: Option<PathBuf>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 2400,
+        clients: 8,
+        warm_probes: 200,
+        baseline_requests: 20,
+        tybec: None,
+        out: PathBuf::from("BENCH_serve.json"),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| die(&format!("{name} expects a value"))).clone()
+        };
+        match a.as_str() {
+            "--requests" => args.requests = parse_num(&value("--requests"), "--requests"),
+            "--clients" => args.clients = parse_num(&value("--clients"), "--clients").max(1),
+            "--warm-probes" => {
+                args.warm_probes = parse_num(&value("--warm-probes"), "--warm-probes").max(1)
+            }
+            "--baseline-requests" => {
+                args.baseline_requests =
+                    parse_num(&value("--baseline-requests"), "--baseline-requests").max(1)
+            }
+            "--tybec" => args.tybec = Some(PathBuf::from(value("--tybec"))),
+            "--out" => args.out = PathBuf::from(value("--out")),
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    args
+}
+
+fn parse_num(v: &str, name: &str) -> usize {
+    v.parse().unwrap_or_else(|e| die(&format!("bad {name} `{v}`: {e}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("serve_smoke: {msg}");
+    std::process::exit(2);
+}
+
+/// The K distinct designs the mixed workload cycles through.
+fn designs() -> Vec<String> {
+    let kernels: Vec<(Box<dyn EvalKernel>, &[u64])> = vec![
+        (Box::new(Sor::default()), &[1, 2, 4][..]),
+        (Box::new(Hotspot::default()), &[1, 2][..]),
+        (Box::new(LavaMd::default()), &[1][..]),
+    ];
+    let mut out = Vec::new();
+    for (k, lanes) in kernels {
+        for &l in lanes {
+            let v = Variant { lanes: l, ..Variant::baseline() };
+            if let Ok(m) = k.lower_variant(&v) {
+                out.push(tytra_ir::print(&m));
+            }
+        }
+    }
+    out
+}
+
+fn request(id: u64, kind: &str, src: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"kind\":\"{kind}\",\"design\":\"{}\",\"target\":\"eval-small\"}}\n",
+        json::escape(src)
+    )
+}
+
+/// Pipeline `lines` over one connection; die on any `ok:false`.
+fn drive(addr: SocketAddr, lines: &[String]) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    for line in lines {
+        stream.write_all(line.as_bytes()).expect("send");
+    }
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    for _ in 0..lines.len() {
+        resp.clear();
+        reader.read_line(&mut resp).expect("response");
+        let v = json::parse(resp.trim_end()).expect("valid response JSON");
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            die(&format!("request failed: {}", resp.trim_end()));
+        }
+    }
+}
+
+/// Exact quantile of a sorted sample set.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn find_tybec(cli: Option<PathBuf>) -> Option<PathBuf> {
+    let mut candidates = Vec::new();
+    candidates.extend(cli);
+    candidates.extend(std::env::var_os("TYBEC_BIN").map(PathBuf::from));
+    if let Ok(me) = std::env::current_exe() {
+        candidates.extend(me.parent().map(|d| d.join("tybec")));
+    }
+    candidates.push(PathBuf::from("target/release/tybec"));
+    candidates.into_iter().find(|p| p.is_file())
+}
+
+fn main() {
+    let args = parse_args();
+    let designs = designs();
+    assert!(designs.len() >= 3, "need several structural classes for a mixed workload");
+
+    let handle = serve_tcp("127.0.0.1:0", ServeConfig::default()).expect("bind loopback");
+    let addr = handle.addr();
+
+    // Pass 1: mixed replay. Every client cycles kinds and designs from
+    // its own offset, so the daemon sees interleaved repeats of each
+    // structural class — the shape the cross-request cache exists for.
+    let kinds = ["estimate", "estimate", "bound", "analyze"];
+    let per_client = args.requests.div_ceil(args.clients);
+    let total_requests = per_client * args.clients;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..args.clients {
+            let designs = &designs;
+            scope.spawn(move || {
+                let lines: Vec<String> = (0..per_client)
+                    .map(|i| {
+                        let n = c * per_client + i;
+                        let kind = kinds[n % kinds.len()];
+                        let src = &designs[n % designs.len()];
+                        request(n as u64, kind, src)
+                    })
+                    .collect();
+                drive(addr, &lines);
+            });
+        }
+    });
+    let mixed_elapsed = t0.elapsed().as_secs_f64();
+    let served_rps = total_requests as f64 / mixed_elapsed;
+
+    // Pass 2: warm probe. One connection, strict request/response
+    // lock-step, exact client-side latency per request.
+    let probe = request(0, "estimate", &designs[0]);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut latencies_ms = Vec::with_capacity(args.warm_probes);
+    let mut resp = String::new();
+    for _ in 0..args.warm_probes {
+        let t = Instant::now();
+        stream.write_all(probe.as_bytes()).expect("send probe");
+        resp.clear();
+        reader.read_line(&mut resp).expect("probe response");
+        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    drop((stream, reader));
+    latencies_ms.sort_by(f64::total_cmp);
+    let warm_p50_ms = quantile(&latencies_ms, 0.5);
+    let warm_p99_ms = quantile(&latencies_ms, 0.99);
+
+    let snap = handle.shared().snapshot();
+    handle.stop();
+    let hits = snap.counter("serve.cache.hits");
+    let misses = snap.counter("serve.cache.misses");
+    let hit_rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+    let batch = match snap.get("serve.batch_size") {
+        Some(tytra_trace::metrics::MetricValue::Histogram(h)) => h.clone(),
+        _ => die("daemon exposed no serve.batch_size histogram"),
+    };
+
+    // Pass 3: spawn baseline — the pre-daemon workflow, one `tybec cost`
+    // process per request over the same design and target.
+    let tybec = find_tybec(args.tybec).unwrap_or_else(|| {
+        die("no tybec binary (try --tybec, $TYBEC_BIN, or `cargo build --release -p tytra-cli`)")
+    });
+    let tirl = std::env::temp_dir().join(format!("serve_smoke_{}.tirl", std::process::id()));
+    std::fs::write(&tirl, &designs[0]).expect("write baseline design");
+    let t0 = Instant::now();
+    for _ in 0..args.baseline_requests {
+        let out = std::process::Command::new(&tybec)
+            .arg("cost")
+            .arg(&tirl)
+            .args(["--target", "eval-small"])
+            .output()
+            .unwrap_or_else(|e| die(&format!("spawning {}: {e}", tybec.display())));
+        if !out.status.success() {
+            die(&format!("baseline tybec cost failed: {}", String::from_utf8_lossy(&out.stderr)));
+        }
+    }
+    let baseline_elapsed = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&tirl);
+    let baseline_rps = args.baseline_requests as f64 / baseline_elapsed;
+    let speedup = served_rps / baseline_rps;
+
+    let mut gates: HashMap<&str, bool> = HashMap::new();
+    gates.insert("warm_p50_under_1ms", warm_p50_ms < GATE_WARM_P50_MS);
+    gates.insert("warm_p99_under_ceiling", warm_p99_ms < GATE_WARM_P99_MS);
+    gates.insert("cache_hit_rate_over_50pct", hit_rate > GATE_HIT_RATE);
+    gates.insert("nonzero_cache_hits", hits > 0);
+    gates.insert("speedup_10x_over_spawn", speedup >= GATE_SPEEDUP);
+    let pass = gates.values().all(|&ok| ok);
+
+    let mut gate_lines: Vec<String> =
+        gates.iter().map(|(name, ok)| format!("    \"{name}\": {ok}")).collect();
+    gate_lines.sort();
+    let body = format!(
+        "{{\n  \"requests\": {total_requests},\n  \"clients\": {clients},\n  \
+         \"elapsed_s\": {mixed_elapsed:.4},\n  \"requests_per_sec\": {served_rps:.1},\n  \
+         \"warm_probes\": {warm_probes},\n  \"warm_p50_ms\": {warm_p50_ms:.4},\n  \
+         \"warm_p99_ms\": {warm_p99_ms:.4},\n  \"cache_hits\": {hits},\n  \
+         \"cache_misses\": {misses},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \
+         \"batches\": {batches},\n  \"batch_size_mean\": {batch_mean:.2},\n  \
+         \"batch_size_max\": {batch_max},\n  \"baseline_requests\": {baseline_requests},\n  \
+         \"baseline_elapsed_s\": {baseline_elapsed:.4},\n  \
+         \"baseline_requests_per_sec\": {baseline_rps:.1},\n  \"speedup\": {speedup:.1},\n  \
+         \"gates\": {{\n{gate_body}\n  }},\n  \"pass\": {pass}\n}}\n",
+        clients = args.clients,
+        warm_probes = args.warm_probes,
+        batches = snap.counter("serve.batches"),
+        batch_mean = batch.mean(),
+        batch_max = if batch.count == 0 { 0 } else { batch.max },
+        baseline_requests = args.baseline_requests,
+        gate_body = gate_lines.join(",\n"),
+    );
+    std::fs::write(&args.out, &body)
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", args.out.display())));
+    print!("{body}");
+
+    if !pass {
+        eprintln!("serve_smoke: gate failure (see {})", args.out.display());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,444 @@
+//! Request execution: warm estimator sessions, the cross-request cache,
+//! and per-request fault isolation.
+//!
+//! An [`Engine`] is one worker's private state — estimator sessions
+//! keyed by target device, each with warm memo tables. [`Shared`] is the
+//! daemon-wide state every worker sees: the bounded cross-request
+//! response cache and the live metrics registry. The split keeps the
+//! hot path lock-light: a warm estimate touches the shared cache mutex
+//! once and its own session the rest of the way.
+//!
+//! Responses are rendered from the same code paths the offline CLI
+//! prints from (`session.estimate` is pinned bit-identical to
+//! `tytra_cost::estimate`), so a served `estimate` payload is
+//! byte-identical to `tybec cost` stdout for the same design and
+//! target, whatever worker, batch, or cache state produced it.
+
+use crate::protocol::{
+    parse_request, render_err, render_ok, MetricsFormat, RequestError, RequestKind,
+};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use tytra_cost::EstimatorSession;
+use tytra_device::TargetDevice;
+use tytra_dse::{render_search_leaderboard, search, ExplorationConfig, SearchConfig};
+use tytra_ir::{fingerprint_module, ErrorCategory, IrModule, TybecError};
+use tytra_kernels::{EvalKernel, Hotspot, LavaMd, Sor};
+use tytra_trace::bounded::BoundedMap;
+use tytra_trace::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+use tytra_trace::prometheus::render_prometheus;
+use tytra_trace::recorder;
+
+/// Cross-request cache key: request flavour tag, canonical device name
+/// (empty for device-independent requests), structural fingerprint of
+/// the parsed design.
+pub type CacheKey = (u8, String, u64);
+
+const TAG_ESTIMATE: u8 = 1;
+const TAG_BOUND: u8 = 2;
+const TAG_ANALYZE_TEXT: u8 = 3;
+const TAG_ANALYZE_JSON: u8 = 4;
+
+/// Parsed, ready-to-run request body. Produced by [`prepare`] on the
+/// connection reader thread, so TIRL parsing and fingerprinting happen
+/// per-client while the worker pool stays busy costing.
+#[derive(Debug)]
+pub enum Work {
+    /// `session.estimate` and render the report.
+    Estimate { m: Box<IrModule>, dev: String },
+    /// `session.bound` and render the verdict.
+    Bound { m: Box<IrModule>, dev: String },
+    /// Dataflow analysis; `json` selects the strict-JSON rendering.
+    Analyze { m: Box<IrModule>, json: bool },
+    /// Full-space search over a named kernel.
+    Dse {
+        kernel: String,
+        dev: String,
+        lanes: Vec<u64>,
+        workers: usize,
+        top: usize,
+        exhaustive: bool,
+    },
+    /// Snapshot of the daemon's metrics registry.
+    Metrics { format: MetricsFormat },
+    /// Stop accepting connections.
+    Shutdown,
+}
+
+/// Resolve a target name exactly as the CLI's `--target` flag does.
+pub fn target_device(name: &str) -> Result<TargetDevice, TybecError> {
+    match name {
+        "stratix-v-gsd8" | "stratix" => Ok(tytra_device::stratix_v_gsd8()),
+        "virtex7-adm7v3" | "virtex7" => Ok(tytra_device::virtex7_adm7v3()),
+        "eval-small" => Ok(tytra_device::eval_small()),
+        other => Err(TybecError::new(ErrorCategory::Config, format!("unknown target `{other}`"))),
+    }
+}
+
+/// The canonical spelling of a target name, so aliases like `stratix`
+/// share a cache class and a warm session with `stratix-v-gsd8`.
+fn canonical_target(name: &str) -> Result<&'static str, TybecError> {
+    match name {
+        "stratix-v-gsd8" | "stratix" => Ok("stratix-v-gsd8"),
+        "virtex7-adm7v3" | "virtex7" => Ok("virtex7-adm7v3"),
+        "eval-small" => Ok("eval-small"),
+        other => Err(TybecError::new(ErrorCategory::Config, format!("unknown target `{other}`"))),
+    }
+}
+
+fn kernel_by_name(name: &str) -> Result<Box<dyn EvalKernel>, TybecError> {
+    match name {
+        "sor" => Ok(Box::new(Sor::default())),
+        "hotspot" => Ok(Box::new(Hotspot::default())),
+        "lavamd" => Ok(Box::new(LavaMd::default())),
+        other => Err(TybecError::new(
+            ErrorCategory::Config,
+            format!("unknown kernel `{other}`; expected sor|hotspot|lavamd"),
+        )),
+    }
+}
+
+/// Turn a decoded request into runnable [`Work`] plus its cache key (if
+/// the flavour is cacheable): parse the TIRL design, resolve the target,
+/// fingerprint. Runs on the reader thread.
+pub fn prepare(kind: &RequestKind) -> Result<(Work, Option<CacheKey>), TybecError> {
+    let parse_design = |design: &str| -> Result<(Box<IrModule>, u64), TybecError> {
+        let m = tytra_ir::parse(design).map_err(TybecError::from)?;
+        let fp = fingerprint_module(&m);
+        Ok((Box::new(m), fp))
+    };
+    Ok(match kind {
+        RequestKind::Estimate { design, target } => {
+            let dev = canonical_target(target)?.to_string();
+            let (m, fp) = parse_design(design)?;
+            let key = (TAG_ESTIMATE, dev.clone(), fp);
+            (Work::Estimate { m, dev }, Some(key))
+        }
+        RequestKind::Bound { design, target } => {
+            let dev = canonical_target(target)?.to_string();
+            let (m, fp) = parse_design(design)?;
+            let key = (TAG_BOUND, dev.clone(), fp);
+            (Work::Bound { m, dev }, Some(key))
+        }
+        RequestKind::Analyze { design, json } => {
+            let (m, fp) = parse_design(design)?;
+            let tag = if *json { TAG_ANALYZE_JSON } else { TAG_ANALYZE_TEXT };
+            (Work::Analyze { m, json: *json }, Some((tag, String::new(), fp)))
+        }
+        RequestKind::Dse { kernel, target, lanes, workers, top, exhaustive } => {
+            kernel_by_name(kernel)?;
+            let dev = canonical_target(target)?.to_string();
+            (
+                Work::Dse {
+                    kernel: kernel.clone(),
+                    dev,
+                    lanes: lanes.clone(),
+                    workers: *workers,
+                    top: *top,
+                    exhaustive: *exhaustive,
+                },
+                None,
+            )
+        }
+        RequestKind::Metrics { format } => (Work::Metrics { format: *format }, None),
+        RequestKind::Shutdown => (Work::Shutdown, None),
+    })
+}
+
+/// Source-level fast-path key: request flavour tag, raw target string,
+/// raw design text. Identical source bytes parse to the identical
+/// module, so this maps straight to a [`CacheKey`] without re-parsing.
+pub type FastKey = (u8, String, String);
+
+/// The fast-path key for a request, if its flavour has one.
+pub fn fast_key(kind: &RequestKind) -> Option<FastKey> {
+    match kind {
+        RequestKind::Estimate { design, target } => {
+            Some((TAG_ESTIMATE, target.clone(), design.clone()))
+        }
+        RequestKind::Bound { design, target } => Some((TAG_BOUND, target.clone(), design.clone())),
+        RequestKind::Analyze { design, json } => {
+            let tag = if *json { TAG_ANALYZE_JSON } else { TAG_ANALYZE_TEXT };
+            Some((tag, String::new(), design.clone()))
+        }
+        _ => None,
+    }
+}
+
+/// Daemon-wide state: the bounded cross-request response cache, the
+/// shutdown flag, and the live metrics registry (`serve.*` names; see
+/// `docs/serve.md` for the catalogue).
+pub struct Shared {
+    cache: Mutex<BoundedMap<CacheKey, String>>,
+    /// Raw request text → structural cache key, so a repeat of the exact
+    /// same request bytes skips TIRL parsing and fingerprinting
+    /// entirely: the reader thread answers from [`Shared::cache`]
+    /// without touching the dispatcher. Bounded by the same CLOCK
+    /// policy and capacity as the response cache.
+    fast: Mutex<BoundedMap<FastKey, CacheKey>>,
+    /// Set by a `shutdown` request or [`ServerHandle::stop`]
+    /// [`crate::server::ServerHandle::stop`]; the accept loop checks it
+    /// per connection.
+    pub shutdown: AtomicBool,
+    registry: Registry,
+    /// Requests read off connections (including ones rejected at parse).
+    pub requests: Counter,
+    /// Requests answered with `ok:false`.
+    pub errors: Counter,
+    /// Requests answered from the cross-request cache or coalesced onto
+    /// a same-class computation in the same batch.
+    pub cache_hits: Counter,
+    /// Cacheable computations actually performed.
+    pub cache_misses: Counter,
+    /// Cache entries the CLOCK hand dropped under capacity pressure.
+    pub cache_evictions: Counter,
+    /// Dispatcher wake-ups (each drains one micro-batch).
+    pub batches: Counter,
+    /// Requests coalesced per dispatcher wake-up.
+    pub batch_size: Histogram,
+    /// Wall time from request read to response write, nanoseconds.
+    pub request_ns: Histogram,
+    /// Requests queued between reader and workers right now.
+    pub queue_depth: Gauge,
+    pending: AtomicU64,
+}
+
+impl Shared {
+    /// Fresh daemon state with a response cache bounded to
+    /// `cache_capacity` entries.
+    pub fn new(cache_capacity: usize) -> Shared {
+        let registry = Registry::new();
+        Shared {
+            cache: Mutex::new(BoundedMap::new(cache_capacity)),
+            fast: Mutex::new(BoundedMap::new(cache_capacity)),
+            shutdown: AtomicBool::new(false),
+            requests: registry.counter("serve.requests"),
+            errors: registry.counter("serve.errors"),
+            cache_hits: registry.counter("serve.cache.hits"),
+            cache_misses: registry.counter("serve.cache.misses"),
+            cache_evictions: registry.counter("serve.cache.evictions"),
+            batches: registry.counter("serve.batches"),
+            batch_size: registry.histogram("serve.batch_size"),
+            request_ns: registry.histogram("serve.request_ns"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            pending: AtomicU64::new(0),
+            registry,
+        }
+    }
+
+    /// Point-in-time snapshot of the daemon's metrics registry.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// A request entered the dispatch queue.
+    pub fn enqueued(&self) {
+        let d = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        self.queue_depth.set(d as f64);
+    }
+
+    /// `n` requests left the dispatch queue.
+    pub fn dequeued(&self, n: u64) {
+        let d = self.pending.fetch_sub(n, Ordering::SeqCst).saturating_sub(n);
+        self.queue_depth.set(d as f64);
+    }
+
+    /// Cached payload for `key`, marking it recently used.
+    pub fn cache_get(&self, key: &CacheKey) -> Option<String> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).get(key).cloned()
+    }
+
+    /// Store a computed payload under `key`.
+    pub fn cache_put(&self, key: CacheKey, payload: String) {
+        if self.cache.lock().unwrap_or_else(|e| e.into_inner()).insert(key, payload) {
+            self.cache_evictions.incr();
+        }
+    }
+
+    /// Fast-path probe: the cached payload for this exact request text,
+    /// if both the source memo and the response cache hold it. No TIRL
+    /// parsing happens on this path.
+    pub fn fast_get(&self, key: &FastKey) -> Option<String> {
+        let cache_key = self.fast.lock().unwrap_or_else(|e| e.into_inner()).get(key).cloned()?;
+        self.cache_get(&cache_key)
+    }
+
+    /// Remember which structural class this exact request text maps to.
+    pub fn fast_put(&self, key: FastKey, cache_key: CacheKey) {
+        // Evictions here are bookkeeping-only (the memo is re-derivable
+        // by parsing), so they don't count toward `cache_evictions`.
+        self.fast.lock().unwrap_or_else(|e| e.into_inner()).insert(key, cache_key);
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One worker's private execution state: an estimator session per
+/// target device, kept warm across requests.
+#[derive(Default)]
+pub struct Engine {
+    sessions: HashMap<String, EstimatorSession>,
+}
+
+impl Engine {
+    /// An engine with no warm sessions yet.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    fn session(&mut self, dev: &str) -> Result<&mut EstimatorSession, TybecError> {
+        if !self.sessions.contains_key(dev) {
+            let device = target_device(dev)?;
+            self.sessions.insert(dev.to_string(), EstimatorSession::new(device));
+        }
+        Ok(self.sessions.get_mut(dev).expect("session just ensured"))
+    }
+
+    /// Aggregate memo statistics across this engine's sessions.
+    pub fn session_stats(&self) -> tytra_cost::SessionStats {
+        let mut total = tytra_cost::SessionStats::default();
+        for s in self.sessions.values() {
+            total += s.stats();
+        }
+        total
+    }
+
+    /// Run one prepared request body to its response payload. Payloads
+    /// reproduce the offline CLI's stdout for the same input (see module
+    /// docs); errors carry the same category the CLI would exit with.
+    pub fn compute(&mut self, work: &Work, shared: &Shared) -> Result<String, TybecError> {
+        match work {
+            Work::Estimate { m, dev } => {
+                let report = self.session(dev)?.estimate(m)?;
+                Ok(format!("{report}"))
+            }
+            Work::Bound { m, dev } => {
+                let b = self.session(dev)?.bound(m)?;
+                Ok(format!("{b:?}"))
+            }
+            Work::Analyze { m, json } => {
+                let report = tytra_analyze::analyze_module(m);
+                if *json {
+                    // `tybec analyze --json` prints with println!.
+                    Ok(format!("{}\n", report.render_json()))
+                } else {
+                    Ok(report.render_text())
+                }
+            }
+            Work::Dse { kernel, dev, lanes, workers, top, exhaustive } => {
+                let kernel = kernel_by_name(kernel)?;
+                let device = target_device(dev)?;
+                let space = ExplorationConfig {
+                    lanes: lanes.clone(),
+                    workers: *workers,
+                    ..ExplorationConfig::default()
+                };
+                let cfg = if *exhaustive {
+                    SearchConfig::exhaustive(space)
+                } else {
+                    SearchConfig::pruned(space)
+                };
+                let outcome = search(kernel.as_ref(), &device, &cfg);
+                Ok(render_search_leaderboard(&outcome, *top))
+            }
+            Work::Metrics { format } => {
+                let snap = shared.snapshot();
+                Ok(match format {
+                    MetricsFormat::Table => snap.render_table(),
+                    MetricsFormat::Prometheus => render_prometheus(&snap),
+                })
+            }
+            Work::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                Ok("shutting down".to_string())
+            }
+        }
+    }
+
+    /// [`compute`][Engine::compute] behind a panic fence. A panicking
+    /// request — injected via `fault` or a genuine bug — becomes a
+    /// categorized internal error plus this thread's flight-recorder
+    /// breadcrumbs; the worker (and the daemon) live on.
+    pub fn compute_guarded(
+        &mut self,
+        work: &Work,
+        shared: &Shared,
+        fault: bool,
+    ) -> Result<String, (TybecError, Option<String>)> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if fault {
+                recorder::mark("serve.fault_inject", 1);
+                panic!("injected fault");
+            }
+            self.compute(work, shared)
+        }));
+        match outcome {
+            Ok(r) => r.map_err(|e| (e, None)),
+            Err(p) => {
+                let dump =
+                    recorder::dump_current_thread().map(|lane| recorder::render_dump(&[lane]));
+                let err = TybecError::new(
+                    ErrorCategory::Internal,
+                    format!("request panicked: {}", panic_message(p.as_ref())),
+                );
+                Err((err, dump))
+            }
+        }
+    }
+
+    /// Full in-process round-trip for one request line: parse → prepare
+    /// → cache probe → guarded compute → render. This is exactly the
+    /// path a daemon worker runs per request (minus the socket and the
+    /// batching dispatcher); the fuzz `serve-equivalence` oracle and the
+    /// unit tests drive it directly.
+    pub fn respond(&mut self, line: &str, shared: &Shared) -> String {
+        let t0 = std::time::Instant::now();
+        shared.requests.incr();
+        let req = match parse_request(line) {
+            Ok(r) => r,
+            Err(RequestError { id, error }) => {
+                shared.errors.incr();
+                return render_err(id, &error, None);
+            }
+        };
+        let (work, key) = match prepare(&req.kind) {
+            Ok(p) => p,
+            Err(e) => {
+                shared.errors.incr();
+                return render_err(req.id, &e, None);
+            }
+        };
+        if let Some(key) = &key {
+            if let Some(hit) = shared.cache_get(key) {
+                shared.cache_hits.incr();
+                shared.request_ns.record(t0.elapsed().as_nanos() as u64);
+                return render_ok(req.id, &hit);
+            }
+        }
+        let out = match self.compute_guarded(&work, shared, false) {
+            Ok(payload) => {
+                if let Some(key) = key {
+                    shared.cache_misses.incr();
+                    shared.cache_put(key, payload.clone());
+                }
+                render_ok(req.id, &payload)
+            }
+            Err((e, dump)) => {
+                shared.errors.incr();
+                render_err(req.id, &e, dump.as_deref())
+            }
+        };
+        shared.request_ns.record(t0.elapsed().as_nanos() as u64);
+        out
+    }
+}

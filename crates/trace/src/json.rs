@@ -1,4 +1,5 @@
-//! Minimal JSON writing and reading support for the trace sinks.
+//! Minimal JSON writing and reading support for the trace sinks and the
+//! `tybec serve` wire protocol.
 //!
 //! The workspace has no serde; the sinks hand-roll their output and the
 //! only guarantee they need from this module is that [`escape`] yields a
@@ -6,9 +7,44 @@
 //! exactly (a superset of) what the sinks emit — enough to validate a
 //! trace file in CI ([`trace_check`](../bin/trace_check.rs)) and in
 //! property tests without an external JSON library.
+//!
+//! Because `tybec serve` feeds this parser *untrusted network input*,
+//! it is strict where leniency would be a liability: trailing bytes
+//! after the top-level value are rejected, recursion is capped at
+//! [`MAX_DEPTH`] (a 10 kB `[[[[…` bomb must produce a structured error,
+//! not a stack overflow), and every error carries the byte offset it
+//! was detected at ([`JsonError`]) so servers can map it to a span.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Deepest array/object nesting [`parse`] accepts. Far beyond anything
+/// the sinks emit (span trees are a few levels), and small enough that
+/// the recursive-descent parser cannot be driven to stack exhaustion by
+/// adversarial input.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parse failure: what went wrong and the byte offset where it was
+/// detected. `Display` renders as `"{message} at byte {offset}"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the source where the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(offset: usize, message: impl Into<String>) -> JsonError {
+        JsonError { offset, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
 
 /// Escape `s` as the *contents* of a JSON string literal (no quotes).
 /// `"` and `\` are escaped, control characters become `\u00XX`, and
@@ -95,17 +131,32 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Parse one complete JSON document. Returns a message with a byte
 /// offset on malformed input or trailing garbage.
 pub fn parse(src: &str) -> Result<Json, String> {
+    parse_spanned(src).map_err(|e| e.to_string())
+}
+
+/// [`parse`] with the structured [`JsonError`] (offset preserved, for
+/// callers that map parse failures to spans — the `tybec serve` wire
+/// protocol does).
+pub fn parse_spanned(src: &str) -> Result<Json, JsonError> {
     let bytes = src.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(src, bytes, &mut pos)?;
+    let value = parse_value(src, bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
+        return Err(JsonError::new(pos, "trailing data"));
     }
     Ok(value)
 }
@@ -119,19 +170,22 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
     if bytes.get(*pos) == Some(&b) {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected `{}` at byte {pos}", b as char))
+        Err(JsonError::new(*pos, format!("expected `{}`", b as char)))
     }
 }
 
-fn parse_value(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(src: &str, bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
+    if depth >= MAX_DEPTH {
+        return Err(JsonError::new(*pos, format!("nesting deeper than {MAX_DEPTH} levels")));
+    }
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
+        None => Err(JsonError::new(*pos, "unexpected end of input")),
         Some(b'n') => parse_lit(src, pos, "null", Json::Null),
         Some(b't') => parse_lit(src, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(src, pos, "false", Json::Bool(false)),
@@ -145,7 +199,7 @@ fn parse_value(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String>
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(src, bytes, pos)?);
+                items.push(parse_value(src, bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -153,7 +207,7 @@ fn parse_value(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String>
                         *pos += 1;
                         return Ok(Json::Arr(items));
                     }
-                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                    _ => return Err(JsonError::new(*pos, "expected `,` or `]`")),
                 }
             }
         }
@@ -170,7 +224,7 @@ fn parse_value(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String>
                 let key = parse_string(src, bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(src, bytes, pos)?;
+                let value = parse_value(src, bytes, pos, depth + 1)?;
                 map.insert(key, value);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -179,25 +233,25 @@ fn parse_value(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String>
                         *pos += 1;
                         return Ok(Json::Obj(map));
                     }
-                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                    _ => return Err(JsonError::new(*pos, "expected `,` or `}`")),
                 }
             }
         }
         Some(b'-' | b'0'..=b'9') => parse_number(src, bytes, pos),
-        Some(&b) => Err(format!("unexpected byte `{}` at {pos}", b as char)),
+        Some(&b) => Err(JsonError::new(*pos, format!("unexpected byte `{}`", b as char))),
     }
 }
 
-fn parse_lit(src: &str, pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+fn parse_lit(src: &str, pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
     if src[*pos..].starts_with(lit) {
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(format!("bad literal at byte {pos}"))
+        Err(JsonError::new(*pos, "bad literal"))
     }
 }
 
-fn parse_number(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -223,17 +277,17 @@ fn parse_number(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String
     src[start..*pos]
         .parse::<f64>()
         .map(Json::Num)
-        .map_err(|e| format!("bad number at byte {start}: {e}"))
+        .map_err(|e| JsonError::new(start, format!("bad number: {e}")))
 }
 
-fn parse_string(src: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(src: &str, bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
         let rest = &src[*pos..];
         let mut chars = rest.char_indices();
         match chars.next() {
-            None => return Err("unterminated string".to_string()),
+            None => return Err(JsonError::new(*pos, "unterminated string")),
             Some((_, '"')) => {
                 *pos += 1;
                 return Ok(out);
@@ -255,11 +309,11 @@ fn parse_string(src: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Stri
                         if (0xD800..0xDC00).contains(&code) {
                             // High surrogate: require the low half.
                             if !src[*pos + 1..].starts_with("\\u") {
-                                return Err(format!("lone surrogate at byte {pos}"));
+                                return Err(JsonError::new(*pos, "lone surrogate"));
                             }
                             let low = parse_hex4(src, *pos + 3)?;
                             if !(0xDC00..0xE000).contains(&low) {
-                                return Err(format!("bad surrogate pair at byte {pos}"));
+                                return Err(JsonError::new(*pos, "bad surrogate pair"));
                             }
                             *pos += 6;
                             let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
@@ -267,16 +321,16 @@ fn parse_string(src: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Stri
                         } else {
                             match char::from_u32(code) {
                                 Some(c) => out.push(c),
-                                None => return Err(format!("lone surrogate at byte {pos}")),
+                                None => return Err(JsonError::new(*pos, "lone surrogate")),
                             }
                         }
                     }
-                    _ => return Err(format!("bad escape at byte {pos}")),
+                    _ => return Err(JsonError::new(*pos, "bad escape")),
                 }
                 *pos += 1;
             }
             Some((_, c)) if (c as u32) < 0x20 => {
-                return Err(format!("raw control character at byte {pos}"));
+                return Err(JsonError::new(*pos, "raw control character"));
             }
             Some((_, c)) => {
                 out.push(c);
@@ -286,10 +340,10 @@ fn parse_string(src: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Stri
     }
 }
 
-fn parse_hex4(src: &str, at: usize) -> Result<u32, String> {
+fn parse_hex4(src: &str, at: usize) -> Result<u32, JsonError> {
     src.get(at..at + 4)
         .and_then(|h| u32::from_str_radix(h, 16).ok())
-        .ok_or_else(|| format!("bad \\u escape at byte {at}"))
+        .ok_or_else(|| JsonError::new(at, "bad \\u escape"))
 }
 
 #[cfg(test)]
@@ -329,6 +383,49 @@ mod tests {
         {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage_with_its_offset() {
+        let err = parse_spanned("{\"a\": 1} {").unwrap_err();
+        assert_eq!(err.offset, 9);
+        assert_eq!(err.message, "trailing data");
+        assert_eq!(err.to_string(), "trailing data at byte 9");
+        // A second complete document is still trailing garbage (JSONL
+        // framing is one document per line, enforced by the caller).
+        assert!(parse("1 2").is_err());
+        assert!(parse("[1][2]").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_nesting_up_to_the_depth_limit() {
+        let deep = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&deep).is_ok(), "depth {MAX_DEPTH} must parse");
+    }
+
+    #[test]
+    fn parse_rejects_a_nesting_bomb_with_a_structured_error() {
+        // One past the limit, and an adversarial 64 kB bomb: both must
+        // come back as errors (never a stack overflow).
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = parse_spanned(&over).unwrap_err();
+        assert!(err.message.contains("nesting deeper than"), "{err}");
+        assert_eq!(err.offset, MAX_DEPTH);
+
+        let bomb = "[".repeat(64 * 1024);
+        assert!(parse_spanned(&bomb).is_err());
+        let obj_bomb = "{\"k\":".repeat(64 * 1024);
+        assert!(parse_spanned(&obj_bomb).is_err());
+    }
+
+    #[test]
+    fn spanned_errors_carry_the_detection_offset() {
+        let err = parse_spanned("{\"a\" 1}").unwrap_err();
+        assert_eq!(err.offset, 5);
+        assert_eq!(err.message, "expected `:`");
+        let err = parse_spanned("").unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert_eq!(err.message, "unexpected end of input");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! println!("{}", tytra_trace::sink::render_tree(&records, &tytra_trace::thread_labels()));
 //! ```
 
+pub mod bounded;
 pub mod json;
 pub mod metrics;
 pub mod profile;

@@ -62,7 +62,7 @@ fn min_valid_fixture_reaches_the_semantic_oracles() {
     let src =
         fs::read_to_string(corpus_dir().join("case_12648430_84_min_valid_pipe.tirl")).unwrap();
     let verdicts = replay_source(&src, &ToleranceBands::default());
-    assert_eq!(verdicts.len(), 5, "expected all five file oracles to run: {verdicts:?}");
+    assert_eq!(verdicts.len(), 6, "expected all six file oracles to run: {verdicts:?}");
 }
 
 #[test]
